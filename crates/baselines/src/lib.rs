@@ -1,0 +1,26 @@
+//! Competing real-time query mechanisms (§3.1), behind one provider trait.
+//!
+//! The paper compares InvaliDB against the two approaches used by
+//! state-of-the-art real-time databases:
+//!
+//! * **poll-and-diff** (Meteor): periodically re-execute every subscribed
+//!   query against the database and diff the results — full pull-based
+//!   expressiveness, but staleness bounded only by the polling interval and
+//!   per-query database load that collapses with many subscriptions;
+//! * **log tailing** (Meteor oplog mode, RethinkDB, Parse): every
+//!   application server tails the *complete* database change log and matches
+//!   all queries against every write — lag-free, scales with the number of
+//!   queries, but the single consumer must keep up with the combined write
+//!   throughput of all database partitions (no write-stream partitioning).
+//!
+//! The [`RealTimeProvider`] trait abstracts over both and over InvaliDB
+//! itself ([`InvaliDbProvider`]), enabling the Table 2 capability matrix and
+//! apples-to-apples scalability comparisons on identical workloads.
+
+mod log_tailing;
+mod poll_and_diff;
+mod provider;
+
+pub use log_tailing::LogTailing;
+pub use poll_and_diff::PollAndDiff;
+pub use provider::{Capabilities, InvaliDbProvider, LiveQuery, RealTimeProvider};

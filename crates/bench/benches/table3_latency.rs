@@ -1,0 +1,53 @@
+//! Table 3 — Measured latency (average, standard deviation, 99th
+//! percentile, maximum) for different InvaliDB cluster sizes under identical
+//! *relative* load:
+//!
+//! * (a) read-heavy: 1 500 queries per query partition at 1 000 ops/s
+//!   (≈80 % of capacity);
+//! * (b) write-heavy: 1 000 ops/s per write partition at 1 000 queries
+//!   (≈66 % of capacity).
+//!
+//! The paper's headline: latency stays flat (≈9 ms average, sub-50 ms
+//! outliers) across cluster sizes — the grid adds capacity, not latency.
+
+use invalidb_bench::table;
+use invalidb_sim::{simulate, SimParams};
+
+fn row(label: String, r: &invalidb_sim::SimResult) -> Vec<String> {
+    vec![
+        label,
+        format!("{:.1}", r.mean_ms()),
+        format!("{:.1}", r.latency_us.stddev() / 1_000.0),
+        format!("{:.1}", r.p99_ms()),
+        format!("{:.0}", r.latency_us.max() as f64 / 1_000.0),
+    ]
+}
+
+fn main() {
+    let scale = invalidb_bench::scale();
+    let duration = 30.0 * scale;
+
+    table::banner("Table 3a", "Read-heavy latency @ 1k ops/s: 1500 queries per query partition (~80% capacity)");
+    let mut rows = Vec::new();
+    for qp in [1usize, 2, 4, 8, 16] {
+        let mut p = SimParams::new(qp, 1);
+        p.queries = 1_500 * qp as u64;
+        p.duration_s = duration;
+        let r = simulate(&p);
+        rows.push(row(format!("{} QP, {} queries", qp, p.queries), &r));
+    }
+    table::table(&["configuration", "avg (ms)", "std dev", "p99 (ms)", "max (ms)"], &rows);
+    println!("paper: avg 9.0-9.4 ms, std 2.4-3.4 ms, p99 15.2-20.1 ms, max <= 46 ms");
+
+    table::banner("Table 3b", "Write-heavy latency @ 1k queries: 1000 ops/s per write partition (~66% capacity)");
+    let mut rows = Vec::new();
+    for wp in [1usize, 2, 4, 8, 16] {
+        let mut p = SimParams::new(1, wp);
+        p.writes_per_sec = 1_000.0 * wp as f64;
+        p.duration_s = duration;
+        let r = simulate(&p);
+        rows.push(row(format!("{} WP, {:.0} ops/s", wp, p.writes_per_sec), &r));
+    }
+    table::table(&["configuration", "avg (ms)", "std dev", "p99 (ms)", "max (ms)"], &rows);
+    println!("paper: avg 8.8-10.3 ms, std 2.3-3.5 ms, p99 15.0-21.9 ms, max <= 79 ms");
+}

@@ -1,0 +1,20 @@
+//! Benchmark support library: the paper's workload generator, table
+//! printers, and a live-cluster measurement harness.
+//!
+//! Every table and figure of the paper's evaluation (§6/§7) has a
+//! `cargo bench` target in this crate (see `benches/`); `EXPERIMENTS.md` at
+//! the workspace root records paper-vs-measured values. Scalability sweeps
+//! beyond a laptop's core count run on the calibrated discrete-event
+//! simulator (`invalidb-sim`); the live harness validates the same shapes
+//! at small scale on the real cluster.
+
+pub mod live;
+pub mod table;
+pub mod workload;
+
+/// Reads a scale factor from `INVALIDB_BENCH_SCALE` (default 1.0): values
+/// below 1 shrink durations/workloads for smoke runs, above 1 extend them
+/// for higher-fidelity numbers.
+pub fn scale() -> f64 {
+    std::env::var("INVALIDB_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+}

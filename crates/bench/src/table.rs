@@ -1,0 +1,71 @@
+//! Plain-text table and series printers for bench output.
+
+/// Prints a header banner for one paper artifact.
+pub fn banner(id: &str, title: &str) {
+    println!();
+    println!("==============================================================================");
+    println!("{id}: {title}");
+    println!("==============================================================================");
+}
+
+/// Prints a table: column headers plus rows of preformatted cells.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::from("|");
+        for (cell, w) in cells.iter().zip(widths.iter()) {
+            out.push_str(&format!(" {cell:>w$} |", w = w));
+        }
+        println!("{out}");
+    };
+    let sep: String = {
+        let mut out = String::from("+");
+        for w in &widths {
+            out.push_str(&"-".repeat(w + 2));
+            out.push('+');
+        }
+        out
+    };
+    println!("{sep}");
+    line(headers.iter().map(|h| h.to_string()).collect());
+    println!("{sep}");
+    for row in rows {
+        line(row.clone());
+    }
+    println!("{sep}");
+}
+
+/// Prints an ASCII bar-series (one line per point), for figure-style output.
+pub fn series(title: &str, points: &[(String, f64)], unit: &str) {
+    println!("-- {title} --");
+    let max = points.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
+    for (label, value) in points {
+        let bar_len = ((value / max) * 50.0).round() as usize;
+        println!("  {label:>16} | {}{} {value:.1} {unit}", "#".repeat(bar_len), " ".repeat(50 - bar_len.min(50)));
+    }
+}
+
+/// Formats milliseconds with one decimal.
+pub fn ms(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn printers_do_not_panic() {
+        banner("T0", "smoke");
+        table(&["a", "bb"], &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]]);
+        series("s", &[("x".into(), 1.0), ("y".into(), 2.0)], "ops/s");
+        assert_eq!(ms(1.234), "1.2");
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's benchmark workload (§6.1).
+//!
+//! Every written document has five 10-character string attributes and five
+//! integer attributes, one of which (`random`) is a unique random number.
+//! Queries are range predicates `random >= i AND random < j`. The value
+//! space is laid out so that a configurable subset of queries (1 000 in the
+//! paper) match exactly one written item each, while all remaining queries
+//! never match — yielding a steady, bounded notification throughput
+//! (≈17 matches/s in the paper) independent of the total query count.
+
+use invalidb_common::{doc, Document, Key, QuerySpec};
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// Deterministic workload generator.
+pub struct Workload {
+    rng: StdRng,
+    /// Unique `random`-attribute values assigned to written documents, in
+    /// write order.
+    match_values: Vec<i64>,
+    next_write: usize,
+}
+
+/// Value-space regions: matching queries target `[0, spread)`, never-matching
+/// queries target `[MISS_BASE, ..)` which no document ever occupies.
+const MISS_BASE: i64 = 1_000_000_000;
+
+impl Workload {
+    /// A workload where `matching_writes` documents will each be matched by
+    /// exactly one of the first `matching_writes` queries.
+    pub fn new(seed: u64, matching_writes: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Unique, well-spread values: shuffled multiples of a stride.
+        let mut match_values: Vec<i64> = (0..matching_writes as i64).map(|i| i * 1_000).collect();
+        match_values.shuffle(&mut rng);
+        Self { rng, match_values, next_write: 0 }
+    }
+
+    /// The collection name used by all generated specs and documents.
+    pub fn collection() -> &'static str {
+        "test"
+    }
+
+    /// Generates the query set: the first `self.match_count()` queries match
+    /// exactly one written document each; the rest can never match.
+    pub fn queries(&self, total: usize) -> Vec<QuerySpec> {
+        let mut out = Vec::with_capacity(total);
+        for (i, v) in self.match_values.iter().enumerate().take(total) {
+            let _ = i;
+            out.push(range_query(*v, *v + 1));
+        }
+        // Non-matching queries: ranges in the unpopulated region, distinct
+        // bounds so every query is a distinct subscription.
+        for i in out.len()..total {
+            let base = MISS_BASE + (i as i64) * 10;
+            out.push(range_query(base, base + 5));
+        }
+        out
+    }
+
+    /// Number of writes that will produce a notification.
+    pub fn match_count(&self) -> usize {
+        self.match_values.len()
+    }
+
+    /// Next document to write: five 10-char strings + five ints, one of
+    /// which is the unique `random` value. The first `match_count()` writes
+    /// carry the matching values; later writes miss every query.
+    pub fn next_document(&mut self) -> (Key, Document) {
+        let idx = self.next_write;
+        self.next_write += 1;
+        let random = if idx < self.match_values.len() {
+            self.match_values[idx]
+        } else {
+            MISS_BASE / 2 + idx as i64 // populated nowhere near any query range
+        };
+        let doc = self.document_with_random(random);
+        (Key::of(format!("doc-{idx}")), doc)
+    }
+
+    /// A document with a specific `random` value.
+    pub fn document_with_random(&mut self, random: i64) -> Document {
+        doc! {
+            "s1" => self.literal(), "s2" => self.literal(), "s3" => self.literal(),
+            "s4" => self.literal(), "s5" => self.literal(),
+            "i1" => self.rng.gen_range(0..1_000i64),
+            "i2" => self.rng.gen_range(0..1_000i64),
+            "i3" => self.rng.gen_range(0..1_000i64),
+            "i4" => self.rng.gen_range(0..1_000i64),
+            "random" => random,
+        }
+    }
+
+    fn literal(&mut self) -> String {
+        const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+        (0..10).map(|_| ALPHABET[self.rng.gen_range(0..ALPHABET.len())] as char).collect()
+    }
+}
+
+/// `SELECT * FROM test WHERE random >= lo AND random < hi` (§6.1).
+pub fn range_query(lo: i64, hi: i64) -> QuerySpec {
+    QuerySpec::filter(Workload::collection(), doc! { "random" => doc! { "$gte" => lo, "$lt" => hi } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_query::{MongoQueryEngine, QueryEngine};
+
+    #[test]
+    fn each_matching_write_hits_exactly_one_query() {
+        let mut w = Workload::new(7, 50);
+        let queries = w.queries(200);
+        let prepared: Vec<_> = queries.iter().map(|q| MongoQueryEngine.prepare(q).unwrap()).collect();
+        for _ in 0..50 {
+            let (_, doc) = w.next_document();
+            let hits = prepared.iter().filter(|p| p.matches(&doc)).count();
+            assert_eq!(hits, 1);
+        }
+        // Non-matching writes hit nothing.
+        for _ in 0..20 {
+            let (_, doc) = w.next_document();
+            let hits = prepared.iter().filter(|p| p.matches(&doc)).count();
+            assert_eq!(hits, 0);
+        }
+    }
+
+    #[test]
+    fn queries_are_distinct_subscriptions() {
+        let w = Workload::new(7, 10);
+        let queries = w.queries(100);
+        let hashes: std::collections::HashSet<_> = queries.iter().map(|q| q.stable_hash()).collect();
+        assert_eq!(hashes.len(), 100);
+    }
+
+    #[test]
+    fn documents_have_paper_shape() {
+        let mut w = Workload::new(7, 1);
+        let (_, doc) = w.next_document();
+        assert_eq!(doc.len(), 10);
+        let strings = doc.iter().filter(|(_, v)| v.as_str().is_some()).count();
+        assert_eq!(strings, 5);
+        assert_eq!(doc.get("s1").unwrap().as_str().unwrap().len(), 10);
+        assert!(doc.get("random").unwrap().as_i64().is_some());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Workload::new(9, 5);
+        let mut b = Workload::new(9, 5);
+        assert_eq!(a.next_document(), b.next_document());
+        assert_eq!(a.queries(10), b.queries(10));
+    }
+}

@@ -1,0 +1,142 @@
+//! Delayed-delivery scheduler and chaos configuration.
+
+use bytes::Bytes;
+use crossbeam::channel::Sender;
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Which topics chaos applies to.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ChaosScope {
+    /// Misbehave on every topic.
+    #[default]
+    AllTopics,
+    /// Misbehave only on topics starting with this prefix (e.g. scope chaos
+    /// to the cluster-inbound topic to model the paper's "writes delayed or
+    /// skewed" while client channels stay ordered, like a WebSocket).
+    TopicPrefix(String),
+}
+
+/// Fault-injection settings for a [`crate::Broker`].
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// RNG seed (deterministic chaos for reproducible tests).
+    pub seed: u64,
+    /// Per-message delivery delay drawn uniformly from `(min, max)`.
+    /// Variable delays naturally cause reordering between messages.
+    pub delay: Option<(Duration, Duration)>,
+    /// Probability in `[0, 1]` of dropping a message outright.
+    pub drop_probability: f64,
+    /// Which topics the chaos applies to.
+    pub scope: ChaosScope,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self { seed: 0, delay: None, drop_probability: 0.0, scope: ChaosScope::AllTopics }
+    }
+}
+
+struct Pending {
+    due: Instant,
+    seq: u64,
+    tx: Sender<Bytes>,
+    payload: Bytes,
+}
+
+impl PartialEq for Pending {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Pending {}
+impl PartialOrd for Pending {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Pending {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+#[derive(Default)]
+struct SchedulerState {
+    heap: BinaryHeap<Reverse<Pending>>,
+    next_seq: u64,
+    shutdown: bool,
+}
+
+/// Background thread delivering delayed messages at their due time.
+/// Created lazily: brokers without chaos never spawn the thread.
+pub(crate) struct DelayScheduler {
+    state: Arc<(Mutex<SchedulerState>, Condvar)>,
+    started: Mutex<bool>,
+}
+
+impl DelayScheduler {
+    pub(crate) fn new() -> Self {
+        Self { state: Arc::new((Mutex::new(SchedulerState::default()), Condvar::new())), started: Mutex::new(false) }
+    }
+
+    fn ensure_thread(&self) {
+        let mut started = self.started.lock();
+        if *started {
+            return;
+        }
+        *started = true;
+        let state = Arc::clone(&self.state);
+        std::thread::Builder::new()
+            .name("invalidb-broker-delay".into())
+            .spawn(move || run_scheduler(state))
+            .expect("spawn delay scheduler");
+    }
+
+    pub(crate) fn schedule(&self, delay: Duration, tx: Sender<Bytes>, payload: Bytes) {
+        self.ensure_thread();
+        let (lock, cvar) = &*self.state;
+        let mut st = lock.lock();
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.heap.push(Reverse(Pending { due: Instant::now() + delay, seq, tx, payload }));
+        cvar.notify_one();
+    }
+}
+
+impl Drop for DelayScheduler {
+    fn drop(&mut self) {
+        let (lock, cvar) = &*self.state;
+        lock.lock().shutdown = true;
+        cvar.notify_all();
+    }
+}
+
+fn run_scheduler(state: Arc<(Mutex<SchedulerState>, Condvar)>) {
+    let (lock, cvar) = &*state;
+    let mut st = lock.lock();
+    loop {
+        if st.shutdown {
+            return;
+        }
+        let now = Instant::now();
+        // Deliver everything due.
+        while st.heap.peek().is_some_and(|Reverse(p)| p.due <= now) {
+            let Reverse(p) = st.heap.pop().expect("peeked");
+            // Ignore send failures: the subscriber unsubscribed meanwhile.
+            let _ = p.tx.send(p.payload);
+        }
+        match st.heap.peek() {
+            Some(Reverse(p)) => {
+                let wait = p.due.saturating_duration_since(now);
+                cvar.wait_for(&mut st, wait);
+            }
+            None => {
+                cvar.wait(&mut st);
+            }
+        }
+    }
+}

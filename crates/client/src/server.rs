@@ -1,0 +1,521 @@
+//! The application server.
+
+use crate::rate::TokenBucket;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use invalidb_broker::{notify_topic, Broker, CLUSTER_TOPIC};
+use invalidb_common::{
+    AfterImage, ClusterMessage, Document, Key, Notification, NotificationKind, QueryHash, QuerySpec,
+    ResultItem, SubscriptionId, SubscriptionRequest, TenantId,
+};
+use invalidb_query::normalize_spec;
+use invalidb_store::{Store, StoreError, UpdateSpec, WriteResult};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Application-server tunables.
+#[derive(Debug, Clone)]
+pub struct AppServerConfig {
+    /// Slack added to sorted bootstrap queries (§5.2).
+    pub default_slack: u64,
+    /// Subscription TTL granted to the cluster.
+    pub ttl: Duration,
+    /// How often TTL extensions are sent.
+    pub ttl_refresh_interval: Duration,
+    /// Cluster silence tolerated before subscriptions are terminated with a
+    /// connection error (heartbeat supervision).
+    pub heartbeat_timeout: Duration,
+    /// Token-bucket capacity for query renewals (burst).
+    pub renewal_burst: u32,
+    /// Token-bucket refill (renewals per second) — the poll frequency rate
+    /// limit of §5.2.
+    pub renewals_per_sec: f64,
+    /// Upper bound for adaptive slack growth (§5.2 fn. 5: "using a higher
+    /// slack value to increase robustness against deletes" on re-execution).
+    /// Each renewal doubles the subscription's slack up to this cap.
+    pub max_slack: u64,
+}
+
+impl Default for AppServerConfig {
+    fn default() -> Self {
+        Self {
+            default_slack: 3,
+            ttl: Duration::from_secs(60),
+            ttl_refresh_interval: Duration::from_secs(10),
+            heartbeat_timeout: Duration::from_secs(5),
+            renewal_burst: 16,
+            renewals_per_sec: 20.0,
+            max_slack: 64,
+        }
+    }
+}
+
+/// Event delivered to a subscribed client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientEvent {
+    /// The initial query result (always the first event).
+    Initial(Vec<ResultItem>),
+    /// An incremental result change.
+    Change(invalidb_common::ChangeItem),
+    /// The sorted query hit a maintenance error; the app server is renewing
+    /// it (rate-limited). The local result stays valid; incremental deltas
+    /// follow after renewal.
+    MaintenanceError(String),
+    /// Cluster heartbeats stopped: the subscription is terminated. Clients
+    /// may resubscribe or fall back to pull-based queries.
+    ConnectionLost,
+    /// Updated value of a real-time aggregate query (extension, §8.1).
+    Aggregate {
+        /// Current aggregate value.
+        value: invalidb_common::Value,
+        /// Number of currently matching records.
+        count: u64,
+    },
+}
+
+struct SubEntry {
+    spec: QuerySpec,
+    rewritten: QuerySpec,
+    /// Memoized hash of the normalized query (§5.1): attached to every
+    /// follow-up request because it cannot be recomputed from those alone.
+    query_hash: QueryHash,
+    slack: u64,
+    tx: Sender<ClientEvent>,
+    needs_renewal: bool,
+}
+
+struct Shared {
+    subs: Mutex<HashMap<SubscriptionId, SubEntry>>,
+    last_heartbeat: Mutex<Instant>,
+    shutdown: AtomicBool,
+    renewals_performed: AtomicU64,
+    connection_lost: AtomicBool,
+}
+
+/// An application server for one tenant.
+///
+/// Owns the connection to the primary [`Store`] and to the event layer.
+/// Multi-tenancy: run one `AppServer` per application — a single InvaliDB
+/// cluster serves them all (§5).
+pub struct AppServer {
+    tenant: TenantId,
+    store: Arc<Store>,
+    broker: Broker,
+    config: AppServerConfig,
+    shared: Arc<Shared>,
+    renewal_bucket: Arc<TokenBucket>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl AppServer {
+    /// Starts an application server.
+    pub fn start(tenant: impl Into<TenantId>, store: Arc<Store>, broker: Broker, config: AppServerConfig) -> Self {
+        let tenant = tenant.into();
+        let shared = Arc::new(Shared {
+            subs: Mutex::new(HashMap::new()),
+            last_heartbeat: Mutex::new(Instant::now()),
+            shutdown: AtomicBool::new(false),
+            renewals_performed: AtomicU64::new(0),
+            connection_lost: AtomicBool::new(false),
+        });
+        let renewal_bucket = Arc::new(TokenBucket::new(config.renewal_burst, config.renewals_per_sec));
+        let mut server = Self {
+            tenant: tenant.clone(),
+            store,
+            broker,
+            config,
+            shared,
+            renewal_bucket,
+            threads: Vec::new(),
+        };
+        server.spawn_dispatcher();
+        server.spawn_keeper();
+        server
+    }
+
+    /// The tenant this server belongs to.
+    pub fn tenant(&self) -> &TenantId {
+        &self.tenant
+    }
+
+    /// The primary store (for direct pull access in tests/tools).
+    pub fn store(&self) -> &Arc<Store> {
+        &self.store
+    }
+
+    /// Number of renewals performed so far (observability).
+    pub fn renewals_performed(&self) -> u64 {
+        self.shared.renewals_performed.load(Ordering::Relaxed)
+    }
+
+    /// Current slack of a subscription (grows adaptively with renewals).
+    pub fn current_slack(&self, subscription: &Subscription) -> Option<u64> {
+        self.shared.subs.lock().get(&subscription.id()).map(|e| e.slack)
+    }
+
+    // ------------------------------------------------------------------
+    // Pull-based interface
+    // ------------------------------------------------------------------
+
+    /// Executes a pull-based query.
+    pub fn find(&self, spec: &QuerySpec) -> Result<Vec<ResultItem>, StoreError> {
+        self.store.execute(spec)
+    }
+
+    // ------------------------------------------------------------------
+    // Write interface (after-images forwarded to the cluster, §5.4)
+    // ------------------------------------------------------------------
+
+    /// Inserts a record.
+    pub fn insert(&self, collection: &str, key: Key, doc: Document) -> Result<WriteResult, StoreError> {
+        let w = self.store.insert(collection, key, doc)?;
+        self.forward(collection, &w);
+        Ok(w)
+    }
+
+    /// Inserts or replaces a record.
+    pub fn save(&self, collection: &str, key: Key, doc: Document) -> Result<WriteResult, StoreError> {
+        let w = self.store.save(collection, key, doc)?;
+        self.forward(collection, &w);
+        Ok(w)
+    }
+
+    /// Applies an update to a record.
+    pub fn update(&self, collection: &str, key: Key, update: &UpdateSpec) -> Result<WriteResult, StoreError> {
+        let w = self.store.update(collection, key, update)?;
+        self.forward(collection, &w);
+        Ok(w)
+    }
+
+    /// Deletes a record.
+    pub fn delete(&self, collection: &str, key: Key) -> Result<WriteResult, StoreError> {
+        let w = self.store.delete(collection, key)?;
+        self.forward(collection, &w);
+        Ok(w)
+    }
+
+    fn forward(&self, collection: &str, w: &WriteResult) {
+        let msg = ClusterMessage::Write(AfterImage {
+            tenant: self.tenant.clone(),
+            collection: collection.to_owned(),
+            key: w.key.clone(),
+            version: w.version,
+            doc: w.doc.clone(),
+            written_at: now_micros(),
+        });
+        self.publish(&msg);
+    }
+
+    fn publish(&self, msg: &ClusterMessage) {
+        self.broker.publish(CLUSTER_TOPIC, invalidb_json::document_to_payload(&msg.to_document()));
+    }
+
+    // ------------------------------------------------------------------
+    // Push-based interface
+    // ------------------------------------------------------------------
+
+    /// Subscribes to a real-time query. The first event is the initial
+    /// result; every subsequent event is an incremental update.
+    pub fn subscribe(&self, spec: &QuerySpec) -> Result<Subscription, StoreError> {
+        if spec.needs_aggregation_stage() && spec.needs_sorting_stage() {
+            return Err(StoreError::BadQuery(
+                "aggregate queries cannot be combined with sort/limit/offset".into(),
+            ));
+        }
+        let id = SubscriptionId::generate();
+        // Hash from normalized query attributes, memoized for the
+        // subscription lifetime (§5.1).
+        let normalized = normalize_spec(spec);
+        let query_hash = normalized.stable_hash();
+        let slack = if spec.needs_sorting_stage() { self.config.default_slack } else { 0 };
+        let mut rewritten = spec.rewrite_for_bootstrap(slack);
+        // Aggregate queries bootstrap from the plain matching set: the
+        // aggregation stage computes the value; the store just supplies the
+        // records.
+        rewritten.aggregate = None;
+        let initial = self.store.execute(&rewritten)?;
+        let (tx, rx) = unbounded();
+        self.shared.subs.lock().insert(
+            id,
+            SubEntry {
+                spec: spec.clone(),
+                rewritten: rewritten.clone(),
+                query_hash,
+                slack,
+                tx,
+                needs_renewal: false,
+            },
+        );
+        self.publish(&ClusterMessage::Subscribe(SubscriptionRequest {
+            tenant: self.tenant.clone(),
+            subscription: id,
+            spec: spec.clone(),
+            query_hash,
+            initial,
+            slack,
+            ttl_micros: self.config.ttl.as_micros() as u64,
+        }));
+        Ok(Subscription { id, rx, result: crate::LiveResult::new(), latest_aggregate: None })
+    }
+
+    /// Cancels a subscription so it stops consuming cluster resources.
+    pub fn unsubscribe(&self, subscription: &Subscription) {
+        if let Some(entry) = self.shared.subs.lock().remove(&subscription.id) {
+            self.publish(&ClusterMessage::Unsubscribe {
+                tenant: self.tenant.clone(),
+                subscription: subscription.id,
+                query_hash: entry.query_hash,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Background machinery
+    // ------------------------------------------------------------------
+
+    /// Dispatcher: receives notifications/heartbeats from the event layer
+    /// and routes them to subscription channels; flags renewals.
+    fn spawn_dispatcher(&mut self) {
+        let sub = self.broker.subscribe(&notify_topic(&self.tenant.0));
+        let shared = Arc::clone(&self.shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("appserver-dispatch-{}", self.tenant))
+            .spawn(move || {
+                while !shared.shutdown.load(Ordering::Relaxed) {
+                    let payload = match sub.recv_timeout(Duration::from_millis(50)) {
+                        Some(p) => p,
+                        None => continue,
+                    };
+                    let d = match invalidb_json::payload_to_document(&payload) {
+                        Ok(d) => d,
+                        Err(_) => continue,
+                    };
+                    if d.get("type").and_then(|v| v.as_str()) == Some("heartbeat") {
+                        *shared.last_heartbeat.lock() = Instant::now();
+                        shared.connection_lost.store(false, Ordering::Relaxed);
+                        continue;
+                    }
+                    let n = match Notification::from_document(&d) {
+                        Ok(n) => n,
+                        Err(_) => continue,
+                    };
+                    // Any cluster traffic proves liveness.
+                    *shared.last_heartbeat.lock() = Instant::now();
+                    let mut subs = shared.subs.lock();
+                    if let Some(entry) = subs.get_mut(&n.subscription) {
+                        let event = match &n.kind {
+                            NotificationKind::InitialResult { items } => ClientEvent::Initial(items.clone()),
+                            NotificationKind::Change(c) => ClientEvent::Change(c.clone()),
+                            NotificationKind::Error(e) => {
+                                entry.needs_renewal = true;
+                                ClientEvent::MaintenanceError(e.reason.clone())
+                            }
+                            NotificationKind::Aggregate { value, count } => {
+                                ClientEvent::Aggregate { value: value.clone(), count: *count }
+                            }
+                        };
+                        let _ = entry.tx.send(event);
+                    }
+                }
+            })
+            .expect("spawn dispatcher");
+        self.threads.push(handle);
+    }
+
+    /// Keeper: TTL extensions, heartbeat supervision, rate-limited renewals.
+    fn spawn_keeper(&mut self) {
+        let shared = Arc::clone(&self.shared);
+        let store = Arc::clone(&self.store);
+        let broker = self.broker.clone();
+        let tenant = self.tenant.clone();
+        let config = self.config.clone();
+        let bucket = Arc::clone(&self.renewal_bucket);
+        let handle = std::thread::Builder::new()
+            .name(format!("appserver-keeper-{}", self.tenant))
+            .spawn(move || {
+                let mut last_ttl_refresh = Instant::now();
+                while !shared.shutdown.load(Ordering::Relaxed) {
+                    std::thread::sleep(Duration::from_millis(20));
+                    // 1. Renewals (poll-frequency rate limited, §5.2).
+                    let pending: Vec<SubscriptionId> = shared
+                        .subs
+                        .lock()
+                        .iter()
+                        .filter(|(_, e)| e.needs_renewal)
+                        .map(|(id, _)| *id)
+                        .collect();
+                    for id in pending {
+                        if !bucket.try_take() {
+                            break; // retry on the next keeper cycle
+                        }
+                        let request = {
+                            let mut subs = shared.subs.lock();
+                            match subs.get_mut(&id) {
+                                Some(entry) => {
+                                    entry.needs_renewal = false;
+                                    // Adaptive slack (§5.2 fn. 5): every
+                                    // renewal doubles the slack (capped), so
+                                    // delete-heavy queries stop thrashing
+                                    // the database with re-executions.
+                                    entry.slack = (entry.slack * 2).clamp(1, config.max_slack);
+                                    entry.rewritten = entry.spec.rewrite_for_bootstrap(entry.slack);
+                                    Some((entry.spec.clone(), entry.rewritten.clone(), entry.query_hash, entry.slack))
+                                }
+                                None => None,
+                            }
+                        };
+                        if let Some((spec, rewritten, query_hash, slack)) = request {
+                            if let Ok(initial) = store.execute(&rewritten) {
+                                shared.renewals_performed.fetch_add(1, Ordering::Relaxed);
+                                let msg = ClusterMessage::Subscribe(SubscriptionRequest {
+                                    tenant: tenant.clone(),
+                                    subscription: id,
+                                    spec,
+                                    query_hash,
+                                    initial,
+                                    slack,
+                                    ttl_micros: config.ttl.as_micros() as u64,
+                                });
+                                broker.publish(
+                                    CLUSTER_TOPIC,
+                                    invalidb_json::document_to_payload(&msg.to_document()),
+                                );
+                            }
+                        }
+                    }
+                    // 2. TTL extensions.
+                    if last_ttl_refresh.elapsed() >= config.ttl_refresh_interval {
+                        last_ttl_refresh = Instant::now();
+                        let subs = shared.subs.lock();
+                        for (id, entry) in subs.iter() {
+                            let msg = ClusterMessage::ExtendTtl {
+                                tenant: tenant.clone(),
+                                subscription: *id,
+                                query_hash: entry.query_hash,
+                                ttl_micros: config.ttl.as_micros() as u64,
+                            };
+                            broker
+                                .publish(CLUSTER_TOPIC, invalidb_json::document_to_payload(&msg.to_document()));
+                        }
+                    }
+                    // 3. Heartbeat supervision: terminate on cluster silence.
+                    let silent_for = shared.last_heartbeat.lock().elapsed();
+                    if silent_for > config.heartbeat_timeout
+                        && !shared.connection_lost.swap(true, Ordering::Relaxed)
+                    {
+                        let subs = shared.subs.lock();
+                        for entry in subs.values() {
+                            let _ = entry.tx.send(ClientEvent::ConnectionLost);
+                        }
+                    }
+                }
+            })
+            .expect("spawn keeper");
+        self.threads.push(handle);
+    }
+}
+
+impl Drop for AppServer {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// A live real-time query held by a client.
+pub struct Subscription {
+    id: SubscriptionId,
+    rx: Receiver<ClientEvent>,
+    result: crate::LiveResult,
+    latest_aggregate: Option<(invalidb_common::Value, u64)>,
+}
+
+impl Subscription {
+    /// The unique subscription id (client-generated, §5 fn. 2).
+    pub fn id(&self) -> SubscriptionId {
+        self.id
+    }
+
+    /// Waits for the next event, applying it to the local result.
+    pub fn next_event(&mut self, timeout: Duration) -> Option<ClientEvent> {
+        let event = self.rx.recv_timeout(timeout).ok()?;
+        self.apply(&event);
+        Some(event)
+    }
+
+    /// Non-blocking variant of [`Subscription::next_event`].
+    pub fn try_next_event(&mut self) -> Option<ClientEvent> {
+        let event = self.rx.try_recv().ok()?;
+        self.apply(&event);
+        Some(event)
+    }
+
+    fn apply(&mut self, event: &ClientEvent) {
+        use invalidb_common::{MaintenanceError, NotificationKind, TenantId};
+        let kind = match event {
+            ClientEvent::Initial(items) => NotificationKind::InitialResult { items: items.clone() },
+            ClientEvent::Change(c) => NotificationKind::Change(c.clone()),
+            ClientEvent::MaintenanceError(reason) => {
+                NotificationKind::Error(MaintenanceError { reason: reason.clone() })
+            }
+            ClientEvent::ConnectionLost => return,
+            ClientEvent::Aggregate { value, count } => {
+                self.latest_aggregate = Some((value.clone(), *count));
+                return;
+            }
+        };
+        self.result.apply(&Notification {
+            tenant: TenantId::new(""),
+            subscription: self.id,
+            kind,
+            caused_by_write_at: 0,
+        });
+    }
+
+    /// The locally maintained result.
+    pub fn result(&self) -> &crate::LiveResult {
+        &self.result
+    }
+
+    /// Latest value of an aggregate subscription, as `(value, match count)`.
+    pub fn aggregate(&self) -> Option<&(invalidb_common::Value, u64)> {
+        self.latest_aggregate.as_ref()
+    }
+
+    /// Batched receive with notification coalescing (extension, §8.1):
+    /// waits up to `window` for a first event, keeps collecting until the
+    /// window closes, applies everything to the local result, and returns
+    /// the batch collapsed to its net effect (hot-key churn disappears).
+    pub fn next_events_coalesced(&mut self, window: Duration) -> Vec<ClientEvent> {
+        let first = match self.rx.recv_timeout(window) {
+            Ok(ev) => ev,
+            Err(_) => return Vec::new(),
+        };
+        self.apply(&first);
+        let mut batch = vec![first];
+        let deadline = Instant::now() + window;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match self.rx.recv_timeout(deadline - now) {
+                Ok(ev) => {
+                    self.apply(&ev);
+                    batch.push(ev);
+                }
+                Err(_) => break,
+            }
+        }
+        crate::coalesce::collapse(batch)
+    }
+}
+
+fn now_micros() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0)
+}

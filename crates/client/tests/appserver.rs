@@ -1,0 +1,327 @@
+//! Application-server integration tests against a real cluster.
+
+use invalidb_broker::Broker;
+use invalidb_client::{AppServer, AppServerConfig, ClientEvent};
+use invalidb_common::{doc, Key, MatchType, QuerySpec, SortDirection};
+use invalidb_core::{Cluster, ClusterConfig};
+use invalidb_store::{Store, UpdateSpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn setup(qp: usize, wp: usize) -> (Broker, Arc<Store>, Cluster, AppServer) {
+    let broker = Broker::new();
+    let store = Arc::new(Store::new());
+    let cluster = Cluster::start(broker.clone(), ClusterConfig::new(qp, wp));
+    let app = AppServer::start("app", Arc::clone(&store), broker.clone(), AppServerConfig::default());
+    (broker, store, cluster, app)
+}
+
+fn wait_for<T>(mut f: impl FnMut() -> Option<T>, timeout: Duration) -> Option<T> {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if let Some(v) = f() {
+            return Some(v);
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    None
+}
+
+#[test]
+fn push_and_pull_agree() {
+    let (_broker, _store, cluster, app) = setup(2, 2);
+    // Pre-existing data.
+    for i in 0..10i64 {
+        app.insert("nums", Key::of(i), doc! { "n" => i }).unwrap();
+    }
+    let spec = QuerySpec::filter("nums", doc! { "n" => doc! { "$gte" => 5i64 } });
+    let mut sub = app.subscribe(&spec).unwrap();
+    match sub.next_event(Duration::from_secs(5)).expect("initial") {
+        ClientEvent::Initial(items) => assert_eq!(items.len(), 5),
+        other => panic!("expected initial, got {other:?}"),
+    }
+    // Pull result matches push initial result.
+    let pulled = app.find(&spec).unwrap();
+    assert_eq!(pulled.len(), 5);
+    assert_eq!(sub.result().len(), 5);
+
+    // A write through the app server pushes an incremental update.
+    app.insert("nums", Key::of(100i64), doc! { "n" => 100i64 }).unwrap();
+    let ev = sub.next_event(Duration::from_secs(5)).expect("push update");
+    match ev {
+        ClientEvent::Change(c) => {
+            assert_eq!(c.match_type, MatchType::Add);
+            assert_eq!(c.item.key, Key::of(100i64));
+        }
+        other => panic!("expected change, got {other:?}"),
+    }
+    assert_eq!(sub.result().len(), 6);
+    // Pull agrees again.
+    assert_eq!(app.find(&spec).unwrap().len(), 6);
+    cluster.shutdown();
+}
+
+#[test]
+fn sorted_subscription_maintains_order() {
+    let (_broker, _store, cluster, app) = setup(1, 2);
+    for (id, score) in [("a", 10i64), ("b", 30), ("c", 20)] {
+        app.insert("players", Key::of(id), doc! { "score" => score }).unwrap();
+    }
+    let spec = QuerySpec::filter("players", doc! {})
+        .sorted_by("score", SortDirection::Desc)
+        .with_limit(2);
+    let mut sub = app.subscribe(&spec).unwrap();
+    sub.next_event(Duration::from_secs(5)).expect("initial");
+    assert_eq!(sub.result().keys(), vec![Key::of("b"), Key::of("c")]);
+
+    // "a" overtakes everyone.
+    app.update(
+        "players",
+        Key::of("a"),
+        &UpdateSpec::from_document(&doc! { "$set" => doc! { "score" => 99i64 } }).unwrap(),
+    )
+    .unwrap();
+    wait_for(
+        || {
+            while sub.try_next_event().is_some() {}
+            (sub.result().keys() == vec![Key::of("a"), Key::of("b")]).then_some(())
+        },
+        Duration::from_secs(5),
+    )
+    .expect("a enters at the top");
+    cluster.shutdown();
+}
+
+#[test]
+fn renewal_after_maintenance_error_is_automatic_and_rate_limited() {
+    let (_broker, _store, cluster, app) = setup(1, 1);
+    for i in 0..10i64 {
+        app.insert("t", Key::of(i), doc! { "n" => i }).unwrap();
+    }
+    // slack defaults to 3; limit 2 → window of 5.
+    let spec = QuerySpec::filter("t", doc! {}).sorted_by("n", SortDirection::Asc).with_limit(2);
+    let mut sub = app.subscribe(&spec).unwrap();
+    sub.next_event(Duration::from_secs(5)).expect("initial");
+    assert_eq!(sub.result().keys(), vec![Key::of(0i64), Key::of(1i64)]);
+
+    // Delete enough leading items to exhaust the slack and force a renewal.
+    for i in 0..5i64 {
+        app.delete("t", Key::of(i)).unwrap();
+    }
+    // Eventually the result converges to [5, 6] — via incremental updates,
+    // one maintenance error, and an automatic renewal.
+    let mut saw_error = false;
+    wait_for(
+        || {
+            while let Some(ev) = sub.try_next_event() {
+                if matches!(ev, ClientEvent::MaintenanceError(_)) {
+                    saw_error = true;
+                }
+            }
+            (sub.result().keys() == vec![Key::of(5i64), Key::of(6i64)]).then_some(())
+        },
+        Duration::from_secs(10),
+    )
+    .unwrap_or_else(|| panic!("converged result, got {:?}", sub.result().keys()));
+    assert!(saw_error, "client observed the renewal request");
+    assert!(app.renewals_performed() >= 1);
+    cluster.shutdown();
+}
+
+#[test]
+fn heartbeat_loss_terminates_subscriptions() {
+    let broker = Broker::new();
+    let store = Arc::new(Store::new());
+    let cluster = Cluster::start(broker.clone(), ClusterConfig::new(1, 1));
+    let mut config = AppServerConfig::default();
+    config.heartbeat_timeout = Duration::from_millis(300);
+    let app = AppServer::start("app", Arc::clone(&store), broker.clone(), config);
+
+    let spec = QuerySpec::filter("t", doc! {});
+    let mut sub = app.subscribe(&spec).unwrap();
+    sub.next_event(Duration::from_secs(5)).expect("initial");
+
+    // Kill the cluster: heartbeats stop; the app server must signal loss.
+    cluster.shutdown();
+    let ev = wait_for(
+        || match sub.next_event(Duration::from_millis(100)) {
+            Some(ClientEvent::ConnectionLost) => Some(()),
+            _ => None,
+        },
+        Duration::from_secs(10),
+    );
+    assert!(ev.is_some(), "subscription terminated with connection error");
+    // The pull path (store) is completely unaffected — isolated failure
+    // domain (§5).
+    app.insert("t", Key::of(1i64), doc! { "x" => 1i64 }).unwrap();
+    assert_eq!(app.find(&spec).unwrap().len(), 1);
+}
+
+#[test]
+fn unsubscribe_stops_events() {
+    let (_broker, _store, cluster, app) = setup(1, 1);
+    let spec = QuerySpec::filter("t", doc! {});
+    let mut sub = app.subscribe(&spec).unwrap();
+    sub.next_event(Duration::from_secs(5)).expect("initial");
+    app.unsubscribe(&sub);
+    std::thread::sleep(Duration::from_millis(200));
+    app.insert("t", Key::of(1i64), doc! { "x" => 1i64 }).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(sub.try_next_event().is_none(), "no events after unsubscribe");
+    cluster.shutdown();
+}
+
+#[test]
+fn two_app_servers_share_one_cluster() {
+    // Multi-tenancy: one cluster, two applications, isolated data.
+    let broker = Broker::new();
+    let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
+    let store_a = Arc::new(Store::new());
+    let store_b = Arc::new(Store::new());
+    let app_a = AppServer::start("tenant-a", Arc::clone(&store_a), broker.clone(), AppServerConfig::default());
+    let app_b = AppServer::start("tenant-b", Arc::clone(&store_b), broker.clone(), AppServerConfig::default());
+
+    let spec = QuerySpec::filter("t", doc! {});
+    let mut sub_a = app_a.subscribe(&spec).unwrap();
+    let mut sub_b = app_b.subscribe(&spec).unwrap();
+    sub_a.next_event(Duration::from_secs(5)).expect("initial a");
+    sub_b.next_event(Duration::from_secs(5)).expect("initial b");
+
+    app_a.insert("t", Key::of(1i64), doc! { "from" => "a" }).unwrap();
+    match sub_a.next_event(Duration::from_secs(5)).expect("a notified") {
+        ClientEvent::Change(c) => assert_eq!(c.match_type, MatchType::Add),
+        other => panic!("unexpected {other:?}"),
+    }
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(sub_b.try_next_event().is_none(), "tenant-b unaffected");
+    cluster.shutdown();
+}
+
+#[test]
+fn slack_grows_adaptively_with_renewals() {
+    let broker = Broker::new();
+    let store = Arc::new(Store::new());
+    let cluster = Cluster::start(broker.clone(), ClusterConfig::new(1, 1));
+    let mut config = AppServerConfig::default();
+    config.default_slack = 1;
+    config.max_slack = 8;
+    let app = AppServer::start("adapt", Arc::clone(&store), broker.clone(), config);
+
+    for i in 0..40i64 {
+        app.insert("t", Key::of(i), doc! { "n" => i }).unwrap();
+    }
+    let spec = QuerySpec::filter("t", doc! {}).sorted_by("n", SortDirection::Asc).with_limit(2);
+    let mut sub = app.subscribe(&spec).unwrap();
+    sub.next_event(Duration::from_secs(5)).expect("initial");
+    assert_eq!(app.current_slack(&sub), Some(1));
+
+    // Delete-heavy churn forces renewals; each renewal doubles the slack.
+    for i in 0..30i64 {
+        app.delete("t", Key::of(i)).unwrap();
+    }
+    wait_for(
+        || {
+            while sub.try_next_event().is_some() {}
+            (sub.result().keys() == vec![Key::of(30i64), Key::of(31i64)]).then_some(())
+        },
+        Duration::from_secs(10),
+    )
+    .unwrap_or_else(|| panic!("converged, got {:?}", sub.result().keys()));
+    let renewals = app.renewals_performed();
+    assert!(renewals >= 1, "at least one renewal");
+    let slack = app.current_slack(&sub).unwrap();
+    assert!(slack > 1, "slack grew: {slack}");
+    assert!(slack <= 8, "slack capped: {slack}");
+    cluster.shutdown();
+}
+
+#[test]
+fn aggregate_queries_end_to_end() {
+    use invalidb_common::{AggregateOp, Value};
+    let (_broker, _store, cluster, app) = setup(2, 2);
+    for (id, price) in [(1i64, 10i64), (2, 30), (3, 20)] {
+        app.insert("orders", Key::of(id), doc! { "price" => price, "open" => true }).unwrap();
+    }
+    // Live SUM(price) over open orders.
+    let spec = QuerySpec::filter("orders", doc! { "open" => true }).aggregated(AggregateOp::Sum, Some("price"));
+    let mut sub = app.subscribe(&spec).unwrap();
+    match sub.next_event(Duration::from_secs(5)).expect("initial aggregate") {
+        ClientEvent::Aggregate { value, count } => {
+            assert_eq!(value, Value::Int(60));
+            assert_eq!(count, 3);
+        }
+        other => panic!("expected aggregate, got {other:?}"),
+    }
+    // New matching order raises the sum.
+    app.insert("orders", Key::of(4i64), doc! { "price" => 40i64, "open" => true }).unwrap();
+    match sub.next_event(Duration::from_secs(5)).expect("sum update") {
+        ClientEvent::Aggregate { value, count } => {
+            assert_eq!(value, Value::Int(100));
+            assert_eq!(count, 4);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    // Closing an order (update-out of the filter) lowers it.
+    app.update(
+        "orders",
+        Key::of(2i64),
+        &UpdateSpec::from_document(&doc! { "$set" => doc! { "open" => false } }).unwrap(),
+    )
+    .unwrap();
+    match sub.next_event(Duration::from_secs(5)).expect("sum drop") {
+        ClientEvent::Aggregate { value, count } => {
+            assert_eq!(value, Value::Int(70));
+            assert_eq!(count, 3);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+    assert_eq!(sub.aggregate(), Some(&(Value::Int(70), 3)));
+
+    // Irrelevant writes do not notify.
+    app.insert("other", Key::of(1i64), doc! { "x" => 1i64 }).unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    assert!(sub.try_next_event().is_none());
+
+    // Combining aggregate with sort is rejected at subscribe.
+    let bad = QuerySpec::filter("orders", doc! {})
+        .sorted_by("price", SortDirection::Asc)
+        .aggregated(AggregateOp::Count, None);
+    assert!(app.subscribe(&bad).is_err());
+    cluster.shutdown();
+}
+
+#[test]
+fn coalesced_receive_collapses_hot_key_churn() {
+    let (_broker, _store, cluster, app) = setup(1, 1);
+    let spec = QuerySpec::filter("hot", doc! { "n" => doc! { "$gte" => 0i64 } });
+    let mut sub = app.subscribe(&spec).unwrap();
+    sub.next_event(Duration::from_secs(5)).expect("initial");
+
+    // A hot key updated 20 times plus one cold key.
+    app.insert("hot", Key::of("hk"), doc! { "n" => 0i64 }).unwrap();
+    for i in 1..20i64 {
+        app.save("hot", Key::of("hk"), doc! { "n" => i }).unwrap();
+    }
+    app.insert("hot", Key::of("cold"), doc! { "n" => 100i64 }).unwrap();
+    std::thread::sleep(Duration::from_millis(400));
+
+    let batch = sub.next_events_coalesced(Duration::from_millis(300));
+    // 21 raw notifications collapse to two net events (hk add, cold add).
+    assert_eq!(batch.len(), 2, "collapsed batch: {batch:?}");
+    let hot = batch
+        .iter()
+        .find_map(|e| match e {
+            ClientEvent::Change(c) if c.item.key == Key::of("hk") => Some(c),
+            _ => None,
+        })
+        .expect("hot key event");
+    assert_eq!(hot.match_type, MatchType::Add);
+    assert_eq!(
+        hot.item.doc.as_ref().unwrap().get("n"),
+        Some(&invalidb_common::Value::Int(19)),
+        "net effect carries the final content"
+    );
+    // The local result was maintained from the *uncollapsed* stream.
+    assert_eq!(sub.result().len(), 2);
+    cluster.shutdown();
+}

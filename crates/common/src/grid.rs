@@ -1,0 +1,153 @@
+//! The two-dimensional workload-partitioning grid (§5.1).
+//!
+//! A cluster with `QP` query partitions and `WP` write partitions deploys
+//! `QP × WP` matching nodes. Node `(qp, wp)` is responsible for the
+//! intersection of query partition `qp` and write partition `wp`:
+//!
+//! * a subscription whose query hashes to `qp` is **broadcast to the row**
+//!   `{(qp, wp) | wp ∈ 0..WP}`, with its initial result split so each node
+//!   receives only the slice belonging to its write partition;
+//! * an after-image whose key hashes to `wp` is **broadcast to the column**
+//!   `{(qp, wp) | qp ∈ 0..QP}`.
+//!
+//! Every node therefore holds a subset of queries and sees a fraction of the
+//! write stream; adding rows scales the number of sustainable queries,
+//! adding columns scales write throughput.
+
+use crate::id::{Key, QueryHash};
+use crate::partition::partition_of;
+
+/// Shape of a matching grid: number of query and write partitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridShape {
+    /// Number of query partitions (rows).
+    pub query_partitions: usize,
+    /// Number of write partitions (columns).
+    pub write_partitions: usize,
+}
+
+impl GridShape {
+    /// Creates a grid shape; both dimensions must be ≥ 1.
+    pub fn new(query_partitions: usize, write_partitions: usize) -> Self {
+        assert!(query_partitions >= 1 && write_partitions >= 1, "grid dimensions must be >= 1");
+        Self { query_partitions, write_partitions }
+    }
+
+    /// Total number of matching nodes.
+    pub fn nodes(&self) -> usize {
+        self.query_partitions * self.write_partitions
+    }
+
+    /// Query partition responsible for a query hash.
+    pub fn query_partition(&self, q: QueryHash) -> usize {
+        partition_of(q.0, self.query_partitions)
+    }
+
+    /// Write partition responsible for a primary key.
+    pub fn write_partition(&self, key: &Key) -> usize {
+        partition_of(key.stable_hash(), self.write_partitions)
+    }
+
+    /// Task index of the node at `(qp, wp)` (row-major layout).
+    pub fn task_index(&self, coord: GridCoord) -> usize {
+        debug_assert!(coord.qp < self.query_partitions && coord.wp < self.write_partitions);
+        coord.qp * self.write_partitions + coord.wp
+    }
+
+    /// Inverse of [`GridShape::task_index`].
+    pub fn coord_of(&self, task: usize) -> GridCoord {
+        debug_assert!(task < self.nodes());
+        GridCoord { qp: task / self.write_partitions, wp: task % self.write_partitions }
+    }
+
+    /// Task indices of the full row for a query partition (all nodes that
+    /// must receive a subscription to a query in partition `qp`).
+    pub fn row_tasks(&self, qp: usize) -> impl Iterator<Item = usize> + '_ {
+        let wp_count = self.write_partitions;
+        (0..wp_count).map(move |wp| qp * wp_count + wp)
+    }
+
+    /// Task indices of the full column for a write partition (all nodes that
+    /// must receive an after-image in partition `wp`).
+    pub fn column_tasks(&self, wp: usize) -> impl Iterator<Item = usize> + '_ {
+        let wp_count = self.write_partitions;
+        (0..self.query_partitions).map(move |qp| qp * wp_count + wp)
+    }
+
+    /// Tasks a subscription must reach, given its query hash.
+    pub fn tasks_for_query(&self, q: QueryHash) -> Vec<usize> {
+        self.row_tasks(self.query_partition(q)).collect()
+    }
+
+    /// Tasks an after-image must reach, given its primary key.
+    pub fn tasks_for_key(&self, key: &Key) -> Vec<usize> {
+        self.column_tasks(self.write_partition(key)).collect()
+    }
+}
+
+/// Coordinate of one matching node in the grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridCoord {
+    /// Query partition (row).
+    pub qp: usize,
+    /// Write partition (column).
+    pub wp: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_index_roundtrip() {
+        let g = GridShape::new(3, 4);
+        for task in 0..g.nodes() {
+            assert_eq!(g.task_index(g.coord_of(task)), task);
+        }
+    }
+
+    #[test]
+    fn rows_and_columns_intersect_in_exactly_one_node() {
+        let g = GridShape::new(3, 4);
+        for qp in 0..3 {
+            for wp in 0..4 {
+                let row: Vec<usize> = g.row_tasks(qp).collect();
+                let col: Vec<usize> = g.column_tasks(wp).collect();
+                let inter: Vec<&usize> = row.iter().filter(|t| col.contains(t)).collect();
+                assert_eq!(inter.len(), 1);
+                assert_eq!(*inter[0], g.task_index(GridCoord { qp, wp }));
+            }
+        }
+    }
+
+    #[test]
+    fn every_query_meets_every_write_exactly_once() {
+        // The fundamental guarantee of 2-D partitioning: for any (query,
+        // write) pair there is exactly one matching node receiving both.
+        let g = GridShape::new(4, 4);
+        for qi in 0..50u64 {
+            let q = QueryHash(crate::partition::fnv1a64(&qi.to_be_bytes()));
+            let q_tasks = g.tasks_for_query(q);
+            for ki in 0..50i64 {
+                let k = Key::of(ki);
+                let k_tasks = g.tasks_for_key(&k);
+                let shared: Vec<&usize> = q_tasks.iter().filter(|t| k_tasks.contains(t)).collect();
+                assert_eq!(shared.len(), 1, "query {q} x key {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_node_grid() {
+        let g = GridShape::new(1, 1);
+        assert_eq!(g.nodes(), 1);
+        assert_eq!(g.tasks_for_key(&Key::of("x")), vec![0]);
+        assert_eq!(g.tasks_for_query(QueryHash(123)), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid dimensions")]
+    fn zero_dimension_rejected() {
+        GridShape::new(0, 1);
+    }
+}

@@ -1,0 +1,355 @@
+//! Change notifications delivered to subscribed clients.
+//!
+//! Every notification represents a transition of a query result from one
+//! state to another (§5). The first notification for a subscription carries
+//! the initial result; all subsequent ones are incremental updates tagged
+//! with a [`MatchType`]. A maintenance-error notification doubles as a
+//! *query renewal request* (§5.2).
+
+use crate::document::Document;
+use crate::id::{Key, SubscriptionId, TenantId};
+use crate::query_spec::SpecError;
+use crate::value::Value;
+use crate::Version;
+use std::fmt;
+
+/// The exact kind of result change encoded in a change notification (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchType {
+    /// New result member.
+    Add,
+    /// Result member was updated (position unchanged for sorted queries).
+    Change,
+    /// Sorted queries only: result member was updated and changed position.
+    ChangeIndex,
+    /// Item left the result.
+    Remove,
+}
+
+impl MatchType {
+    /// Wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MatchType::Add => "add",
+            MatchType::Change => "change",
+            MatchType::ChangeIndex => "changeIndex",
+            MatchType::Remove => "remove",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse_str(s: &str) -> Option<Self> {
+        match s {
+            "add" => Some(MatchType::Add),
+            "change" => Some(MatchType::Change),
+            "changeIndex" => Some(MatchType::ChangeIndex),
+            "remove" => Some(MatchType::Remove),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for MatchType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One member of a query result (initial results and change payloads).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultItem {
+    /// Primary key of the record.
+    pub key: Key,
+    /// Record version the item reflects.
+    pub version: Version,
+    /// After-image of the record; `None` only for removes, where the record
+    /// content is no longer relevant.
+    pub doc: Option<Document>,
+    /// Position within the result for sorted queries.
+    pub index: Option<u64>,
+}
+
+impl ResultItem {
+    /// Item with document content and no position.
+    pub fn new(key: Key, version: Version, doc: Document) -> Self {
+        Self { key, version, doc: Some(doc), index: None }
+    }
+
+    fn to_document(&self) -> Document {
+        let mut d = Document::with_capacity(4);
+        d.insert("key", self.key.0.clone());
+        d.insert("version", self.version as i64);
+        match &self.doc {
+            Some(doc) => d.insert("doc", doc.clone()),
+            None => d.insert("doc", Value::Null),
+        };
+        if let Some(idx) = self.index {
+            d.insert("index", idx as i64);
+        }
+        d
+    }
+
+    fn from_document(d: &Document) -> Result<Self, SpecError> {
+        let key = Key(d.get("key").cloned().ok_or_else(|| decode_err("result item missing `key`"))?);
+        let version = d
+            .get("version")
+            .and_then(Value::as_i64)
+            .ok_or_else(|| decode_err("result item missing `version`"))? as Version;
+        let doc = match d.get("doc") {
+            Some(Value::Null) | None => None,
+            Some(Value::Object(doc)) => Some(doc.clone()),
+            Some(_) => return Err(decode_err("result item `doc` must be object or null")),
+        };
+        let index = d.get("index").and_then(Value::as_i64).map(|i| i as u64);
+        Ok(Self { key, version, doc, index })
+    }
+}
+
+/// One incremental change to a maintained query result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChangeItem {
+    /// The kind of result transition.
+    pub match_type: MatchType,
+    /// The affected record.
+    pub item: ResultItem,
+    /// Previous position within the result (sorted queries, moves/removes).
+    pub old_index: Option<u64>,
+}
+
+/// Why a sorted query stopped being maintainable (§5.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintenanceError {
+    /// Human-readable description, e.g. "slack exhausted".
+    pub reason: String,
+}
+
+impl fmt::Display for MaintenanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query maintenance error: {}", self.reason)
+    }
+}
+
+/// Payload of a notification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NotificationKind {
+    /// The complete result at subscription time — always the first message
+    /// for any real-time query.
+    InitialResult {
+        /// Result members; for sorted queries, in result order with indices.
+        items: Vec<ResultItem>,
+    },
+    /// Incremental result update.
+    Change(ChangeItem),
+    /// The query became unmaintainable and was deactivated; the application
+    /// server should renew it by re-executing the rewritten query
+    /// (rate-limited by the poll frequency limit).
+    Error(MaintenanceError),
+    /// Updated value of a real-time aggregate query (extension, §8.1).
+    Aggregate {
+        /// Current aggregate value (`Null` when no record matches and the
+        /// aggregate has no identity, e.g. min/max/avg of an empty set).
+        value: Value,
+        /// Number of currently matching records.
+        count: u64,
+    },
+}
+
+/// A notification addressed to one subscription.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Notification {
+    /// Owning tenant (application).
+    pub tenant: TenantId,
+    /// Target subscription.
+    pub subscription: SubscriptionId,
+    /// Payload.
+    pub kind: NotificationKind,
+    /// Microsecond timestamp (app-server clock domain) of the write that
+    /// caused this notification; `0` when not applicable. Carried so the
+    /// benchmark harness can measure end-to-end notification latency the
+    /// way the paper does (time from before insert until notification).
+    pub caused_by_write_at: u64,
+}
+
+impl Notification {
+    /// Encodes the notification as a document for transport.
+    pub fn to_document(&self) -> Document {
+        let mut d = Document::with_capacity(5);
+        d.insert("tenant", self.tenant.0.clone());
+        d.insert("subscription", self.subscription.0 as i64);
+        d.insert("writeAt", self.caused_by_write_at as i64);
+        match &self.kind {
+            NotificationKind::InitialResult { items } => {
+                d.insert("type", "initial");
+                d.insert(
+                    "items",
+                    Value::Array(items.iter().map(|i| Value::Object(i.to_document())).collect()),
+                );
+            }
+            NotificationKind::Change(change) => {
+                d.insert("type", change.match_type.as_str());
+                d.insert("item", change.item.to_document());
+                if let Some(old) = change.old_index {
+                    d.insert("oldIndex", old as i64);
+                }
+            }
+            NotificationKind::Error(err) => {
+                d.insert("type", "error");
+                d.insert("error", err.reason.clone());
+            }
+            NotificationKind::Aggregate { value, count } => {
+                d.insert("type", "aggregate");
+                d.insert("value", value.clone());
+                d.insert("count", *count as i64);
+            }
+        }
+        d
+    }
+
+    /// Decodes a notification from its document encoding.
+    pub fn from_document(d: &Document) -> Result<Self, SpecError> {
+        let tenant = TenantId(
+            d.get("tenant").and_then(Value::as_str).ok_or_else(|| decode_err("missing `tenant`"))?.to_owned(),
+        );
+        let subscription = SubscriptionId(
+            d.get("subscription").and_then(Value::as_i64).ok_or_else(|| decode_err("missing `subscription`"))?
+                as u64,
+        );
+        let caused_by_write_at = d.get("writeAt").and_then(Value::as_i64).unwrap_or(0) as u64;
+        let ty = d.get("type").and_then(Value::as_str).ok_or_else(|| decode_err("missing `type`"))?;
+        let kind = match ty {
+            "initial" => {
+                let items = d
+                    .get("items")
+                    .and_then(Value::as_array)
+                    .ok_or_else(|| decode_err("missing `items`"))?
+                    .iter()
+                    .map(|v| {
+                        v.as_object().ok_or_else(|| decode_err("item must be object")).and_then(ResultItem::from_document)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                NotificationKind::InitialResult { items }
+            }
+            "error" => NotificationKind::Error(MaintenanceError {
+                reason: d.get("error").and_then(Value::as_str).unwrap_or("unknown").to_owned(),
+            }),
+            "aggregate" => NotificationKind::Aggregate {
+                value: d.get("value").cloned().unwrap_or(Value::Null),
+                count: d.get("count").and_then(Value::as_i64).unwrap_or(0) as u64,
+            },
+            other => {
+                let match_type =
+                    MatchType::parse_str(other).ok_or_else(|| decode_err("unknown notification type"))?;
+                let item = d
+                    .get("item")
+                    .and_then(Value::as_object)
+                    .ok_or_else(|| decode_err("missing `item`"))
+                    .and_then(ResultItem::from_document)?;
+                let old_index = d.get("oldIndex").and_then(Value::as_i64).map(|i| i as u64);
+                NotificationKind::Change(ChangeItem { match_type, item, old_index })
+            }
+        };
+        Ok(Self { tenant, subscription, kind, caused_by_write_at })
+    }
+}
+
+fn decode_err(msg: &str) -> SpecError {
+    SpecError::new(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+
+    fn item() -> ResultItem {
+        ResultItem {
+            key: Key::of("k1"),
+            version: 3,
+            doc: Some(doc! { "a" => 1i64 }),
+            index: Some(2),
+        }
+    }
+
+    #[test]
+    fn match_type_names_roundtrip() {
+        for mt in [MatchType::Add, MatchType::Change, MatchType::ChangeIndex, MatchType::Remove] {
+            assert_eq!(MatchType::parse_str(mt.as_str()), Some(mt));
+        }
+        assert_eq!(MatchType::parse_str("nope"), None);
+    }
+
+    #[test]
+    fn initial_result_roundtrip() {
+        let n = Notification {
+            tenant: TenantId::new("app"),
+            subscription: SubscriptionId(42),
+            kind: NotificationKind::InitialResult { items: vec![item(), ResultItem::new(Key::of(9i64), 1, doc! {})] },
+            caused_by_write_at: 0,
+        };
+        let back = Notification::from_document(&n.to_document()).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn change_roundtrip() {
+        let n = Notification {
+            tenant: TenantId::new("app"),
+            subscription: SubscriptionId(7),
+            kind: NotificationKind::Change(ChangeItem {
+                match_type: MatchType::ChangeIndex,
+                item: item(),
+                old_index: Some(5),
+            }),
+            caused_by_write_at: 123_456,
+        };
+        let back = Notification::from_document(&n.to_document()).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn remove_with_null_doc_roundtrip() {
+        let n = Notification {
+            tenant: TenantId::new("app"),
+            subscription: SubscriptionId(7),
+            kind: NotificationKind::Change(ChangeItem {
+                match_type: MatchType::Remove,
+                item: ResultItem { key: Key::of("gone"), version: 9, doc: None, index: None },
+                old_index: Some(0),
+            }),
+            caused_by_write_at: 1,
+        };
+        let back = Notification::from_document(&n.to_document()).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn error_roundtrip() {
+        let n = Notification {
+            tenant: TenantId::new("app"),
+            subscription: SubscriptionId(7),
+            kind: NotificationKind::Error(MaintenanceError { reason: "slack exhausted".into() }),
+            caused_by_write_at: 0,
+        };
+        let back = Notification::from_document(&n.to_document()).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn aggregate_roundtrip() {
+        let n = Notification {
+            tenant: TenantId::new("app"),
+            subscription: SubscriptionId(3),
+            kind: NotificationKind::Aggregate { value: Value::Float(4.5), count: 12 },
+            caused_by_write_at: 9,
+        };
+        let back = Notification::from_document(&n.to_document()).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(Notification::from_document(&Document::new()).is_err());
+        let d = doc! { "tenant" => "t", "subscription" => 1i64, "type" => "weird" };
+        assert!(Notification::from_document(&d).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Cluster assembly: wires ingestion, the matching grid, the sorting stage
+//! and the notifier into one stream topology connected to the event layer.
+
+use crate::aggregation::AggregationNode;
+use crate::config::ClusterConfig;
+use crate::event::Event;
+use crate::matching::MatchingNode;
+use crate::notifier::Notifier;
+use crate::sorting::SortingNode;
+use invalidb_broker::{Broker, CLUSTER_TOPIC};
+use invalidb_common::partition::partition_of;
+use invalidb_common::{ClusterMessage, GridShape, SystemClock};
+use invalidb_stream::{
+    Bolt, BoltContext, Grouping, RunningTopology, Source, TopologyBuilder, TopologyConfig,
+    TopologyMetrics,
+};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A running InvaliDB cluster.
+///
+/// The cluster is reachable *only* through the event layer: publish
+/// [`ClusterMessage`]s (JSON documents) to [`CLUSTER_TOPIC`]; notifications
+/// arrive on per-tenant `invalidb.notify.<tenant>` topics. Dropping the
+/// handle shuts the cluster down — application servers and the database are
+/// unaffected (isolated failure domain, §5).
+pub struct Cluster {
+    topology: Option<RunningTopology>,
+    grid: GridShape,
+    decode_errors: Arc<AtomicU64>,
+}
+
+impl Cluster {
+    /// Starts a cluster with the given configuration, attached to a broker.
+    pub fn start(broker: Broker, config: ClusterConfig) -> Cluster {
+        let grid = GridShape::new(config.query_partitions, config.write_partitions);
+        let clock = Arc::new(SystemClock::new());
+        let decode_errors = Arc::new(AtomicU64::new(0));
+
+        let mut b = TopologyBuilder::<Event>::new().with_config(TopologyConfig {
+            queue_capacity: config.queue_capacity,
+            tick_interval: config.tick_interval,
+            source_poll_timeout: Duration::from_millis(10),
+        });
+
+        // Ingress: decode opaque event-layer payloads into cluster events.
+        b.add_source(
+            "ingress",
+            IngressSource {
+                subscription: broker.subscribe(CLUSTER_TOPIC),
+                decode_errors: Arc::clone(&decode_errors),
+            },
+        );
+
+        // Stateless ingestion tiers (§5.1): they "merely receive data items,
+        // compute their partitions by hashing static attributes, and forward
+        // the items to the corresponding matching nodes" — the hashing lives
+        // in the grouping functions of their outgoing connections.
+        b.add_bolt("query-ingest", config.query_ingest_nodes.max(1), |_| Box::new(Forwarder));
+        b.add_bolt("write-ingest", config.write_ingest_nodes.max(1), |_| Box::new(Forwarder));
+
+        // The QP × WP matching grid (filtering stage).
+        {
+            let config = config.clone();
+            let clock = clock.clone();
+            b.add_bolt("matching", grid.nodes(), move |task| {
+                Box::new(MatchingNode::new(task, grid, config.clone(), clock.clone() as _))
+            });
+        }
+
+        // Sorting stage, partitioned by query.
+        {
+            let config = config.clone();
+            let clock = clock.clone();
+            b.add_bolt("sorting", config.sorting_tasks.max(1), move |_| {
+                Box::new(SortingNode::new(config.clone(), clock.clone() as _))
+            });
+        }
+
+        // Aggregation stage (extension, §8.1), partitioned by query.
+        {
+            let config = config.clone();
+            let clock = clock.clone();
+            b.add_bolt("aggregation", config.aggregation_tasks.max(1), move |_| {
+                Box::new(AggregationNode::new(config.clone(), clock.clone() as _))
+            });
+        }
+
+        // Notification sink.
+        {
+            let config = config.clone();
+            let broker = broker.clone();
+            let clock = clock.clone();
+            b.add_bolt("notifier", 1, move |_| {
+                Box::new(Notifier::new(broker.clone(), config.clone(), clock.clone() as _))
+            });
+        }
+
+        // Split ingress traffic to the two ingestion tiers.
+        b.connect(
+            "ingress",
+            "query-ingest",
+            Grouping::direct(|e: &Event, n| match e {
+                Event::Subscribe(req) => vec![partition_of(req.query_hash.0, n)],
+                Event::Unsubscribe { query_hash, .. } | Event::ExtendTtl { query_hash, .. } => {
+                    vec![partition_of(query_hash.0, n)]
+                }
+                _ => vec![],
+            }),
+        );
+        b.connect(
+            "ingress",
+            "write-ingest",
+            Grouping::direct(|e: &Event, n| match e {
+                Event::Write(img) => vec![partition_of(img.key.stable_hash(), n)],
+                _ => vec![],
+            }),
+        );
+
+        // Query ingestion → notifier FIRST: emits route in declaration order,
+        // so the initial result is enqueued at the (single, FIFO) notifier
+        // before the matching/sorting nodes even receive the subscription —
+        // no change notification can overtake the initial result.
+        b.connect(
+            "query-ingest",
+            "notifier",
+            Grouping::direct(|e: &Event, _n| match e {
+                Event::Subscribe(_) => vec![0],
+                _ => vec![],
+            }),
+        );
+        // Query ingestion → the full grid row of the query partition.
+        {
+            let grid_rows = grid;
+            b.connect(
+                "query-ingest",
+                "matching",
+                Grouping::direct(move |e: &Event, _n| match e {
+                    Event::Subscribe(req) => grid_rows.tasks_for_query(req.query_hash),
+                    Event::Unsubscribe { query_hash, .. } | Event::ExtendTtl { query_hash, .. } => {
+                        grid_rows.tasks_for_query(*query_hash)
+                    }
+                    _ => vec![],
+                }),
+            );
+        }
+        // Query ingestion → sorting (sorted queries own exactly one task).
+        b.connect(
+            "query-ingest",
+            "sorting",
+            Grouping::direct(|e: &Event, n| match e {
+                Event::Subscribe(req) if req.spec.needs_sorting_stage() => {
+                    vec![partition_of(req.query_hash.0, n)]
+                }
+                Event::Unsubscribe { query_hash, .. } | Event::ExtendTtl { query_hash, .. } => {
+                    vec![partition_of(query_hash.0, n)]
+                }
+                _ => vec![],
+            }),
+        );
+        // Query ingestion → aggregation (aggregate queries own one task).
+        b.connect(
+            "query-ingest",
+            "aggregation",
+            Grouping::direct(|e: &Event, n| match e {
+                Event::Subscribe(req) if req.spec.needs_aggregation_stage() => {
+                    vec![partition_of(req.query_hash.0, n)]
+                }
+                Event::Unsubscribe { query_hash, .. } | Event::ExtendTtl { query_hash, .. } => {
+                    vec![partition_of(query_hash.0, n)]
+                }
+                _ => vec![],
+            }),
+        );
+
+        // Write ingestion → the full grid column of the write partition.
+        {
+            let grid_cols = grid;
+            b.connect(
+                "write-ingest",
+                "matching",
+                Grouping::direct(move |e: &Event, _n| match e {
+                    Event::Write(img) => grid_cols.tasks_for_key(&img.key),
+                    _ => vec![],
+                }),
+            );
+        }
+
+        // Filtering stage → sorting stage (partitioned by query hash) and
+        // → notifier (finished notifications of self-maintainable queries).
+        b.connect(
+            "matching",
+            "sorting",
+            Grouping::direct(|e: &Event, n| match e {
+                Event::FilterChange(fc) => vec![partition_of(fc.query_hash.0, n)],
+                _ => vec![],
+            }),
+        );
+        b.connect(
+            "matching",
+            "aggregation",
+            Grouping::direct(|e: &Event, n| match e {
+                Event::FilterChange(fc) => vec![partition_of(fc.query_hash.0, n)],
+                _ => vec![],
+            }),
+        );
+        b.connect(
+            "matching",
+            "notifier",
+            Grouping::direct(|e: &Event, _n| match e {
+                Event::Out(_) => vec![0],
+                _ => vec![],
+            }),
+        );
+        b.connect(
+            "sorting",
+            "notifier",
+            Grouping::direct(|e: &Event, _n| match e {
+                Event::Out(_) => vec![0],
+                _ => vec![],
+            }),
+        );
+        b.connect(
+            "aggregation",
+            "notifier",
+            Grouping::direct(|e: &Event, _n| match e {
+                Event::Out(_) => vec![0],
+                _ => vec![],
+            }),
+        );
+
+        Cluster { topology: Some(b.start()), grid, decode_errors }
+    }
+
+    /// The grid shape this cluster runs.
+    pub fn grid(&self) -> GridShape {
+        self.grid
+    }
+
+    /// Topology metrics (per-component processed/emitted counters).
+    pub fn metrics(&self) -> Arc<TopologyMetrics> {
+        Arc::clone(self.topology.as_ref().expect("running").metrics())
+    }
+
+    /// Count of event-layer payloads that failed to decode.
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors.load(Ordering::Relaxed)
+    }
+
+    /// Stops the cluster, draining in-flight work.
+    pub fn shutdown(mut self) {
+        if let Some(t) = self.topology.take() {
+            t.shutdown();
+        }
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        if let Some(t) = self.topology.take() {
+            t.shutdown();
+        }
+    }
+}
+
+/// Decodes event-layer payloads into topology events.
+struct IngressSource {
+    subscription: invalidb_broker::Subscription,
+    decode_errors: Arc<AtomicU64>,
+}
+
+impl Source<Event> for IngressSource {
+    fn poll(&mut self, timeout: Duration) -> Vec<Event> {
+        let first = match self.subscription.recv_timeout(timeout) {
+            Some(payload) => payload,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(8);
+        let mut decode = |payload: bytes::Bytes| {
+            match invalidb_json::payload_to_document(&payload)
+                .ok()
+                .and_then(|d| ClusterMessage::from_document(&d).ok())
+            {
+                Some(msg) => out.push(msg.into()),
+                None => {
+                    self.decode_errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        };
+        decode(first);
+        while let Some(payload) = self.subscription.try_recv() {
+            decode(payload);
+        }
+        out
+    }
+}
+
+impl From<ClusterMessage> for Event {
+    fn from(msg: ClusterMessage) -> Self {
+        match msg {
+            ClusterMessage::Subscribe(req) => Event::Subscribe(Arc::new(req)),
+            ClusterMessage::Unsubscribe { tenant, subscription, query_hash } => {
+                Event::Unsubscribe { tenant, subscription, query_hash }
+            }
+            ClusterMessage::ExtendTtl { tenant, subscription, query_hash, ttl_micros } => {
+                Event::ExtendTtl { tenant, subscription, query_hash, ttl_micros }
+            }
+            ClusterMessage::Write(img) => Event::Write(Arc::new(img)),
+        }
+    }
+}
+
+/// Stateless pass-through bolt (ingestion tier).
+struct Forwarder;
+
+impl Bolt<Event> for Forwarder {
+    fn execute(&mut self, input: Event, ctx: &mut BoltContext<'_, Event>) {
+        ctx.emit(input);
+    }
+}

@@ -1,0 +1,91 @@
+//! Cluster configuration.
+
+use invalidb_query::{MongoQueryEngine, QueryEngine};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of an InvaliDB cluster.
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of query partitions (grid rows). Scales the number of
+    /// sustainable concurrent queries (§6.2).
+    pub query_partitions: usize,
+    /// Number of write partitions (grid columns). Scales sustainable write
+    /// throughput (§6.3).
+    pub write_partitions: usize,
+    /// Parallelism of the sorting stage (scaled independently, §5.2).
+    pub sorting_tasks: usize,
+    /// Parallelism of the aggregation stage (extension, §8.1).
+    pub aggregation_tasks: usize,
+    /// Stateless query-ingestion nodes (the evaluation used 1).
+    pub query_ingest_nodes: usize,
+    /// Stateless write-ingestion nodes (the evaluation used 4).
+    pub write_ingest_nodes: usize,
+    /// Write-stream retention time: how long matching nodes keep received
+    /// after-images for replay on subscription (§5.1; Baqend runs a few
+    /// seconds).
+    pub retention: Duration,
+    /// Interval between heartbeat messages to application servers.
+    pub heartbeat_interval: Duration,
+    /// The pluggable query engine (§5.3).
+    pub engine: Arc<dyn QueryEngine>,
+    /// Per-task input queue capacity (backpressure bound).
+    pub queue_capacity: usize,
+    /// Tick interval of the underlying topology.
+    pub tick_interval: Duration,
+    /// Enable the multi-query index (interval trees over single-attribute
+    /// range/equality filters) in the matching nodes — the thesis's
+    /// multi-query optimization. Disable to force the naive
+    /// evaluate-every-query path (ablation).
+    pub multi_query_index: bool,
+    /// Optional synthetic CPU cost per query evaluation, used by the
+    /// benchmark harness to emulate the paper's per-node throttling (§6.1)
+    /// so saturation knees appear at laptop-friendly workload sizes.
+    pub synthetic_match_cost: Option<Duration>,
+}
+
+impl ClusterConfig {
+    /// A `query_partitions` × `write_partitions` cluster with defaults
+    /// matching the paper's evaluation setup.
+    pub fn new(query_partitions: usize, write_partitions: usize) -> Self {
+        Self {
+            query_partitions,
+            write_partitions,
+            sorting_tasks: 2,
+            aggregation_tasks: 1,
+            query_ingest_nodes: 1,
+            write_ingest_nodes: 4,
+            retention: Duration::from_secs(2),
+            heartbeat_interval: Duration::from_millis(500),
+            engine: Arc::new(MongoQueryEngine),
+            queue_capacity: 8192,
+            tick_interval: Duration::from_millis(50),
+            multi_query_index: true,
+            synthetic_match_cost: None,
+        }
+    }
+
+    /// Overrides the query engine.
+    pub fn with_engine(mut self, engine: Arc<dyn QueryEngine>) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Overrides the retention window.
+    pub fn with_retention(mut self, retention: Duration) -> Self {
+        self.retention = retention;
+        self
+    }
+}
+
+impl std::fmt::Debug for ClusterConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterConfig")
+            .field("query_partitions", &self.query_partitions)
+            .field("write_partitions", &self.write_partitions)
+            .field("sorting_tasks", &self.sorting_tasks)
+            .field("retention", &self.retention)
+            .field("engine", &self.engine.name())
+            .finish()
+    }
+}

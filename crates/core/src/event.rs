@@ -1,0 +1,85 @@
+//! Events flowing through the cluster topology.
+
+use invalidb_common::{
+    AfterImage, Document, Key, Notification, QueryHash, SubscriptionId, SubscriptionRequest, TenantId,
+    Version,
+};
+use std::sync::Arc;
+
+/// One message inside the cluster topology. Payloads are `Arc`-shared so
+/// broadcast groupings clone cheaply.
+#[derive(Debug, Clone)]
+pub enum Event {
+    /// Activate a real-time query (carries the full initial result).
+    Subscribe(Arc<SubscriptionRequest>),
+    /// Cancel a subscription.
+    Unsubscribe {
+        /// Owning tenant.
+        tenant: TenantId,
+        /// Subscription to cancel.
+        subscription: SubscriptionId,
+        /// Memoized query hash for routing.
+        query_hash: QueryHash,
+    },
+    /// Keep a subscription alive.
+    ExtendTtl {
+        /// Owning tenant.
+        tenant: TenantId,
+        /// Subscription to extend.
+        subscription: SubscriptionId,
+        /// Memoized query hash for routing.
+        query_hash: QueryHash,
+        /// New TTL in microseconds.
+        ttl_micros: u64,
+    },
+    /// An after-image from the write stream.
+    Write(Arc<AfterImage>),
+    /// Filtering-stage output destined for the sorting stage.
+    FilterChange(Arc<FilterChange>),
+    /// A finished notification (or heartbeat) destined for the notifier.
+    Out(Arc<OutMsg>),
+}
+
+/// Kind of matching-status transition detected by the filtering stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FilterChangeKind {
+    /// Item newly satisfies the query's matching condition.
+    Add,
+    /// Item still satisfies the matching condition (content update).
+    Change,
+    /// Item just ceased matching (update-out or delete).
+    Remove,
+}
+
+/// Filtering-stage output for one (query, write) pair (§5.2): only items
+/// that satisfy the matching condition or just ceased matching are passed
+/// down — everything else was filtered out upstream.
+#[derive(Debug, Clone)]
+pub struct FilterChange {
+    /// Owning tenant.
+    pub tenant: TenantId,
+    /// The affected query.
+    pub query_hash: QueryHash,
+    /// Transition kind.
+    pub kind: FilterChangeKind,
+    /// Primary key of the written item.
+    pub key: Key,
+    /// Version of the write.
+    pub version: Version,
+    /// After-image (`None` for deletes).
+    pub doc: Option<Document>,
+    /// Origin-write timestamp for latency accounting.
+    pub written_at: u64,
+}
+
+/// Message leaving the cluster through the notifier.
+#[derive(Debug, Clone)]
+pub enum OutMsg {
+    /// A change/initial/error notification for one subscription.
+    Notify(Notification),
+    /// Liveness signal for a tenant's application servers.
+    Heartbeat {
+        /// Tenant whose notify topic receives the heartbeat.
+        tenant: TenantId,
+    },
+}

@@ -1,0 +1,749 @@
+//! The matching node — one cell of the QP × WP filtering-stage grid (§5.1).
+//!
+//! A matching node at grid coordinate `(qp, wp)` holds the queries of query
+//! partition `qp` and sees the after-images of write partition `wp`. For
+//! every incoming after-image it evaluates all of its queries, compares the
+//! new matching status against the former one, and emits the transition:
+//!
+//! * unsorted filter queries are self-maintainable — the node emits finished
+//!   change notifications (one per subscription) straight to the notifier;
+//! * sorted queries emit [`FilterChange`]s to the sorting stage, and only
+//!   for items that match or just ceased matching — everything else is
+//!   filtered out here, slashing downstream throughput (§5.2).
+//!
+//! The node also implements **write-stream retention** and **staleness
+//! avoidance**: received after-images are buffered for a configurable time
+//! and replayed against newly subscribed queries (fixing the
+//! write-subscription race), and any write older than the newest seen
+//! version of the same record is dropped (§5.1).
+
+use crate::config::ClusterConfig;
+use crate::event::{Event, FilterChange, FilterChangeKind, OutMsg};
+use crate::query_index::QueryIndex;
+use invalidb_common::{
+    AfterImage, ChangeItem, Clock, GridCoord, GridShape, Key, MatchType, Notification, NotificationKind,
+    QueryHash, ResultItem, SubscriptionId, SubscriptionRequest, TenantId, Timestamp, Version,
+};
+use invalidb_query::PreparedQuery;
+use invalidb_stream::{Bolt, BoltContext};
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Key identifying a record across tenants and collections.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct RecordId {
+    tenant: TenantId,
+    collection: String,
+    key: Key,
+}
+
+struct SubState {
+    tenant: TenantId,
+    expires_at: Timestamp,
+}
+
+/// One active query on this node (shared by all its subscriptions).
+struct QueryGroup {
+    tenant: TenantId,
+    collection: String,
+    prepared: Arc<dyn PreparedQuery>,
+    /// True when downstream stages (sorting/aggregation) consume this
+    /// query's transitions; false for self-maintainable filter queries.
+    staged: bool,
+    /// This node's partition of the currently matching keys (filtering-stage
+    /// result state). For sorted queries this is the *matching status* of
+    /// keys within the bootstrap horizon, not the client-visible result.
+    result: HashMap<Key, Version>,
+    subscriptions: HashMap<SubscriptionId, SubState>,
+}
+
+/// The matching-node bolt.
+pub struct MatchingNode {
+    coord: GridCoord,
+    grid: GridShape,
+    config: ClusterConfig,
+    clock: Arc<dyn Clock>,
+    queries: HashMap<(TenantId, QueryHash), QueryGroup>,
+    /// Multi-query index per (tenant, collection): maps a write to the
+    /// candidate queries instead of evaluating all of them (thesis's
+    /// multi-query optimization; disable via `ClusterConfig`).
+    indexes: HashMap<(TenantId, String), QueryIndex<QueryHash>>,
+    /// Inverted result membership: which queries currently contain a key.
+    /// Needed alongside the index because an update can move a record *out*
+    /// of a query's range — the new value no longer stabs that query.
+    containing: HashMap<RecordId, Vec<QueryHash>>,
+    /// Retained after-images, oldest first (§5.1 write-stream retention).
+    retention: VecDeque<(Timestamp, Arc<AfterImage>)>,
+    /// Newest seen version per record (staleness avoidance).
+    latest_versions: HashMap<RecordId, Version>,
+    /// Observability: dropped stale writes.
+    stale_dropped: u64,
+}
+
+impl MatchingNode {
+    /// Creates the node for task index `task` in the grid.
+    pub fn new(task: usize, grid: GridShape, config: ClusterConfig, clock: Arc<dyn Clock>) -> Self {
+        Self {
+            coord: grid.coord_of(task),
+            grid,
+            config,
+            clock,
+            queries: HashMap::new(),
+            indexes: HashMap::new(),
+            containing: HashMap::new(),
+            retention: VecDeque::new(),
+            latest_versions: HashMap::new(),
+            stale_dropped: 0,
+        }
+    }
+
+    fn handle_subscribe(&mut self, req: &SubscriptionRequest, ctx: &mut BoltContext<'_, Event>) {
+        let now = self.clock.now();
+        let expires_at = now.after(std::time::Duration::from_micros(req.ttl_micros));
+        let group_key = (req.tenant.clone(), req.query_hash);
+        if let Some(group) = self.queries.get_mut(&group_key) {
+            group
+                .subscriptions
+                .insert(req.subscription, SubState { tenant: req.tenant.clone(), expires_at });
+            return;
+        }
+        let prepared = match self.config.engine.prepare(&req.spec) {
+            Ok(p) => p,
+            Err(e) => {
+                // Unparseable query: report an error notification so the
+                // subscription does not dangle silently.
+                ctx.emit(Event::Out(Arc::new(OutMsg::Notify(Notification {
+                    tenant: req.tenant.clone(),
+                    subscription: req.subscription,
+                    kind: NotificationKind::Error(invalidb_common::MaintenanceError {
+                        reason: format!("query rejected: {e}"),
+                    }),
+                    caused_by_write_at: 0,
+                }))));
+                return;
+            }
+        };
+        // Seed this node's result slice: only keys of *our* write partition
+        // ("every node receives only a partition of the result", §5.1).
+        let mut result = HashMap::new();
+        for item in &req.initial {
+            if self.grid.write_partition(&item.key) == self.coord.wp {
+                result.insert(item.key.clone(), item.version);
+            }
+        }
+        let mut group = QueryGroup {
+            tenant: req.tenant.clone(),
+            collection: req.spec.collection.clone(),
+            prepared,
+            staged: req.spec.needs_sorting_stage() || req.spec.needs_aggregation_stage(),
+            result,
+            subscriptions: HashMap::new(),
+        };
+        group
+            .subscriptions
+            .insert(req.subscription, SubState { tenant: req.tenant.clone(), expires_at });
+        // Replay retained writes against the new query: closes the
+        // write-subscription race (§5.1). Writes already reflected in the
+        // initial result are skipped by the version guard.
+        let retained: Vec<Arc<AfterImage>> = self
+            .retention
+            .iter()
+            .filter(|(_, img)| img.tenant == group.tenant && img.collection == group.collection)
+            .map(|(_, img)| Arc::clone(img))
+            .collect();
+        let hash = req.query_hash;
+        if self.config.multi_query_index {
+            self.indexes
+                .entry((req.tenant.clone(), req.spec.collection.clone()))
+                .or_default()
+                .insert(hash, &req.spec.filter);
+            for key in group.result.keys() {
+                let record = RecordId {
+                    tenant: group.tenant.clone(),
+                    collection: group.collection.clone(),
+                    key: key.clone(),
+                };
+                self.containing.entry(record).or_default().push(hash);
+            }
+        }
+        for img in retained {
+            let transition = Self::match_against(&mut group, hash, &img, ctx);
+            self.note_transition(&img, hash, transition);
+        }
+        self.queries.insert(group_key, group);
+    }
+
+    /// Maintains the inverted result-membership map after a transition.
+    fn note_transition(&mut self, img: &AfterImage, hash: QueryHash, kind: Option<FilterChangeKind>) {
+        if !self.config.multi_query_index {
+            return;
+        }
+        let record = RecordId {
+            tenant: img.tenant.clone(),
+            collection: img.collection.clone(),
+            key: img.key.clone(),
+        };
+        match kind {
+            Some(FilterChangeKind::Add) => {
+                let list = self.containing.entry(record).or_default();
+                if !list.contains(&hash) {
+                    list.push(hash);
+                }
+            }
+            Some(FilterChangeKind::Remove) => {
+                if let Some(list) = self.containing.get_mut(&record) {
+                    list.retain(|h| *h != hash);
+                    if list.is_empty() {
+                        self.containing.remove(&record);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_write(&mut self, img: &Arc<AfterImage>, ctx: &mut BoltContext<'_, Event>) {
+        let record = RecordId {
+            tenant: img.tenant.clone(),
+            collection: img.collection.clone(),
+            key: img.key.clone(),
+        };
+        // Staleness avoidance: drop anything not newer than what we've seen.
+        match self.latest_versions.get(&record) {
+            Some(&seen) if img.version <= seen => {
+                self.stale_dropped += 1;
+                return;
+            }
+            _ => {}
+        }
+        self.latest_versions.insert(record, img.version);
+        self.retention.push_back((self.clock.now(), Arc::clone(img)));
+        if let Some(cost) = self.config.synthetic_match_cost {
+            // Emulates the paper's CPU throttling so saturation appears at
+            // laptop-scale workloads; busy-wait to consume executor time.
+            let until = std::time::Instant::now() + cost * self.queries.len().max(1) as u32;
+            while std::time::Instant::now() < until {
+                std::hint::spin_loop();
+            }
+        }
+        if self.config.multi_query_index {
+            // Candidates = index stab (by the new content) ∪ queries whose
+            // result currently contains the key (covers moves out of range
+            // and deletes). Every candidate is verified by full evaluation.
+            let record = RecordId {
+                tenant: img.tenant.clone(),
+                collection: img.collection.clone(),
+                key: img.key.clone(),
+            };
+            let mut candidates = match self.indexes.get_mut(&(img.tenant.clone(), img.collection.clone())) {
+                Some(index) => match &img.doc {
+                    Some(doc) => index.candidates(doc),
+                    None => index.scan_candidates(),
+                },
+                None => return,
+            };
+            if let Some(holders) = self.containing.get(&record) {
+                candidates.extend(holders.iter().copied());
+            }
+            candidates.sort_unstable_by_key(|h| h.0);
+            candidates.dedup();
+            let mut dead: Vec<QueryHash> = Vec::new();
+            for hash in candidates {
+                let transition = match self.queries.get_mut(&(img.tenant.clone(), hash)) {
+                    Some(group) => Self::match_against(group, hash, img, ctx),
+                    None => {
+                        // The query was cancelled/expired; lazily purge its
+                        // membership entry so `containing` does not leak.
+                        dead.push(hash);
+                        continue;
+                    }
+                };
+                self.note_transition(img, hash, transition);
+            }
+            if !dead.is_empty() {
+                if let Some(list) = self.containing.get_mut(&record) {
+                    list.retain(|h| !dead.contains(h));
+                    if list.is_empty() {
+                        self.containing.remove(&record);
+                    }
+                }
+            }
+        } else {
+            for ((_, hash), group) in self.queries.iter_mut() {
+                if group.tenant == img.tenant && group.collection == img.collection {
+                    Self::match_against(group, *hash, img, ctx);
+                }
+            }
+        }
+    }
+
+    /// Core filtering-stage transition logic. Returns the transition kind
+    /// (None when the write was irrelevant or stale for this query).
+    fn match_against(
+        group: &mut QueryGroup,
+        hash: QueryHash,
+        img: &AfterImage,
+        ctx: &mut BoltContext<'_, Event>,
+    ) -> Option<FilterChangeKind> {
+        let old = group.result.get(&img.key).copied();
+        if let Some(old_version) = old {
+            if img.version <= old_version {
+                return None; // stale relative to what this query already reflects
+            }
+        }
+        let matches_now = img.doc.as_ref().is_some_and(|d| group.prepared.matches(d));
+        let kind = match (old.is_some(), matches_now) {
+            (false, true) => FilterChangeKind::Add,
+            (true, true) => FilterChangeKind::Change,
+            (true, false) => FilterChangeKind::Remove,
+            (false, false) => return None, // irrelevant write: filtered out
+        };
+        match kind {
+            FilterChangeKind::Remove => {
+                group.result.remove(&img.key);
+            }
+            _ => {
+                group.result.insert(img.key.clone(), img.version);
+            }
+        }
+        if group.staged {
+            // Sorted/aggregate queries: pass the transition downstream.
+            ctx.emit(Event::FilterChange(Arc::new(FilterChange {
+                tenant: group.tenant.clone(),
+                query_hash: hash,
+                kind,
+                key: img.key.clone(),
+                version: img.version,
+                doc: img.doc.clone(),
+                written_at: img.written_at,
+            })));
+        } else {
+            // Self-maintainable queries: emit finished notifications.
+            let match_type = match kind {
+                FilterChangeKind::Add => MatchType::Add,
+                FilterChangeKind::Change => MatchType::Change,
+                FilterChangeKind::Remove => MatchType::Remove,
+            };
+            for (sub, state) in &group.subscriptions {
+                ctx.emit(Event::Out(Arc::new(OutMsg::Notify(Notification {
+                    tenant: state.tenant.clone(),
+                    subscription: *sub,
+                    kind: NotificationKind::Change(ChangeItem {
+                        match_type,
+                        item: ResultItem {
+                            key: img.key.clone(),
+                            version: img.version,
+                            doc: img.doc.clone(),
+                            index: None,
+                        },
+                        old_index: None,
+                    }),
+                    caused_by_write_at: img.written_at,
+                }))));
+            }
+        }
+        Some(kind)
+    }
+
+    fn handle_unsubscribe(&mut self, tenant: &TenantId, query_hash: QueryHash, subscription: SubscriptionId) {
+        if let Some(group) = self.queries.get_mut(&(tenant.clone(), query_hash)) {
+            group.subscriptions.remove(&subscription);
+            if group.subscriptions.is_empty() {
+                // Deactivated queries stop consuming resources (§5).
+                let collection = group.collection.clone();
+                self.queries.remove(&(tenant.clone(), query_hash));
+                if let Some(index) = self.indexes.get_mut(&(tenant.clone(), collection)) {
+                    index.remove(query_hash);
+                }
+            }
+        }
+    }
+
+    fn handle_extend_ttl(
+        &mut self,
+        tenant: &TenantId,
+        query_hash: QueryHash,
+        subscription: SubscriptionId,
+        ttl_micros: u64,
+    ) {
+        let now = self.clock.now();
+        if let Some(group) = self.queries.get_mut(&(tenant.clone(), query_hash)) {
+            if let Some(sub) = group.subscriptions.get_mut(&subscription) {
+                sub.expires_at = now.after(std::time::Duration::from_micros(ttl_micros));
+            }
+        }
+    }
+
+    fn expire(&mut self) {
+        let now = self.clock.now();
+        // TTL enforcement: drop expired subscriptions, then empty groups.
+        let indexes = &mut self.indexes;
+        self.queries.retain(|(tenant, hash), group| {
+            group.subscriptions.retain(|_, sub| sub.expires_at > now);
+            let keep = !group.subscriptions.is_empty();
+            if !keep {
+                if let Some(index) = indexes.get_mut(&(tenant.clone(), group.collection.clone())) {
+                    index.remove(*hash);
+                }
+            }
+            keep
+        });
+        // Retention trimming.
+        let horizon = self.config.retention;
+        while let Some((t, _)) = self.retention.front() {
+            if now.since(*t) > horizon {
+                let (_, img) = self.retention.pop_front().expect("peeked");
+                // Forget latest-version entries only when they refer to the
+                // trimmed write (a newer one may have refreshed the record).
+                let record = RecordId {
+                    tenant: img.tenant.clone(),
+                    collection: img.collection.clone(),
+                    key: img.key.clone(),
+                };
+                if self.latest_versions.get(&record) == Some(&img.version) {
+                    self.latest_versions.remove(&record);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Number of active query groups (tests/metrics).
+    pub fn active_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Number of retained after-images (tests/metrics).
+    pub fn retained_writes(&self) -> usize {
+        self.retention.len()
+    }
+
+    /// Count of writes dropped by staleness avoidance.
+    pub fn stale_dropped(&self) -> u64 {
+        self.stale_dropped
+    }
+}
+
+impl Bolt<Event> for MatchingNode {
+    fn execute(&mut self, input: Event, ctx: &mut BoltContext<'_, Event>) {
+        match input {
+            Event::Subscribe(req) => self.handle_subscribe(&req, ctx),
+            Event::Write(img) => self.handle_write(&img, ctx),
+            Event::Unsubscribe { tenant, query_hash, subscription } => {
+                self.handle_unsubscribe(&tenant, query_hash, subscription)
+            }
+            Event::ExtendTtl { tenant, query_hash, subscription, ttl_micros } => {
+                self.handle_extend_ttl(&tenant, query_hash, subscription, ttl_micros)
+            }
+            // Not addressed to the filtering stage.
+            Event::FilterChange(_) | Event::Out(_) => {}
+        }
+    }
+
+    fn tick(&mut self, _ctx: &mut BoltContext<'_, Event>) {
+        self.expire();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_common::{doc, MockClock, QuerySpec, SortDirection};
+    use invalidb_stream::{Grouping, Source, TopologyBuilder};
+    use parking_lot::Mutex;
+    use std::time::Duration;
+
+    /// Runs a single matching node standalone inside a tiny topology and
+    /// collects its emissions.
+    struct Harness {
+        tx: crossbeam::channel::Sender<Event>,
+        out: Arc<Mutex<Vec<Event>>>,
+        clock: MockClock,
+        _topo: invalidb_stream::RunningTopology,
+    }
+
+    struct ChanSource(crossbeam::channel::Receiver<Event>);
+    impl Source<Event> for ChanSource {
+        fn poll(&mut self, timeout: Duration) -> Vec<Event> {
+            match self.0.recv_timeout(timeout) {
+                Ok(e) => {
+                    let mut out = vec![e];
+                    out.extend(self.0.try_iter());
+                    out
+                }
+                Err(_) => Vec::new(),
+            }
+        }
+    }
+
+    struct Collector(Arc<Mutex<Vec<Event>>>);
+    impl Bolt<Event> for Collector {
+        fn execute(&mut self, input: Event, _ctx: &mut BoltContext<'_, Event>) {
+            self.0.lock().push(input);
+        }
+    }
+
+    fn harness(config: ClusterConfig) -> Harness {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let clock = MockClock::new();
+        let grid = GridShape::new(1, 1);
+        let mut b = TopologyBuilder::new();
+        b.add_source("src", ChanSource(rx));
+        let clock2 = clock.clone();
+        let cfg = config.clone();
+        b.add_bolt("node", 1, move |task| {
+            Box::new(MatchingNode::new(task, grid, cfg.clone(), Arc::new(clock2.clone())))
+        });
+        let out2 = Arc::clone(&out);
+        b.add_bolt("sink", 1, move |_| Box::new(Collector(Arc::clone(&out2))));
+        b.connect("src", "node", Grouping::Broadcast);
+        b.connect("node", "sink", Grouping::Shuffle);
+        Harness { tx, out, clock, _topo: b.start() }
+    }
+
+    fn subscribe_event(spec: QuerySpec, sub: u64, initial: Vec<ResultItem>) -> Event {
+        Event::Subscribe(Arc::new(SubscriptionRequest {
+            tenant: TenantId::new("app"),
+            subscription: SubscriptionId(sub),
+            query_hash: spec.stable_hash(),
+            spec,
+            initial,
+            slack: 2,
+            ttl_micros: 60_000_000,
+        }))
+    }
+
+    fn write_event(key: Key, version: Version, doc: Option<invalidb_common::Document>) -> Event {
+        Event::Write(Arc::new(AfterImage {
+            tenant: TenantId::new("app"),
+            collection: "t".into(),
+            key,
+            version,
+            doc,
+            written_at: 42,
+        }))
+    }
+
+    fn wait_events(h: &Harness, n: usize) -> Vec<Event> {
+        for _ in 0..400 {
+            if h.out.lock().len() >= n {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        h.out.lock().clone()
+    }
+
+    fn notifications(events: &[Event]) -> Vec<Notification> {
+        events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Out(msg) => match &**msg {
+                    OutMsg::Notify(n) => Some(n.clone()),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unsorted_query_lifecycle() {
+        let h = harness(ClusterConfig::new(1, 1));
+        let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 10i64 } });
+        h.tx.send(subscribe_event(spec, 1, vec![])).unwrap();
+        // add: matching insert
+        h.tx.send(write_event(Key::of("a"), 1, Some(doc! { "n" => 15i64 }))).unwrap();
+        // filtered: non-matching insert
+        h.tx.send(write_event(Key::of("b"), 1, Some(doc! { "n" => 5i64 }))).unwrap();
+        // change: still matching
+        h.tx.send(write_event(Key::of("a"), 2, Some(doc! { "n" => 20i64 }))).unwrap();
+        // remove: update out of the result
+        h.tx.send(write_event(Key::of("a"), 3, Some(doc! { "n" => 1i64 }))).unwrap();
+        let notes = notifications(&wait_events(&h, 3));
+        let kinds: Vec<MatchType> = notes
+            .iter()
+            .filter_map(|n| match &n.kind {
+                NotificationKind::Change(c) => Some(c.match_type),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(kinds, vec![MatchType::Add, MatchType::Change, MatchType::Remove]);
+        assert_eq!(notes[0].caused_by_write_at, 42);
+    }
+
+    #[test]
+    fn sorted_query_emits_filter_changes() {
+        let h = harness(ClusterConfig::new(1, 1));
+        let spec = QuerySpec::filter("t", doc! {}).sorted_by("n", SortDirection::Asc).with_limit(3);
+        h.tx.send(subscribe_event(spec, 1, vec![])).unwrap();
+        h.tx.send(write_event(Key::of("a"), 1, Some(doc! { "n" => 1i64 }))).unwrap();
+        let events = wait_events(&h, 1);
+        let fcs: Vec<&FilterChange> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::FilterChange(fc) => Some(&**fc),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(fcs.len(), 1);
+        assert_eq!(fcs[0].kind, FilterChangeKind::Add);
+        assert!(notifications(&events).is_empty(), "sorted queries do not notify directly");
+    }
+
+    #[test]
+    fn stale_writes_are_dropped() {
+        let h = harness(ClusterConfig::new(1, 1));
+        let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
+        h.tx.send(subscribe_event(spec, 1, vec![])).unwrap();
+        h.tx.send(write_event(Key::of("a"), 2, Some(doc! { "n" => 2i64 }))).unwrap();
+        // Older version arrives late (event-layer skew): must be ignored.
+        h.tx.send(write_event(Key::of("a"), 1, Some(doc! { "n" => 1i64 }))).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let notes = notifications(&h.out.lock().clone());
+        assert_eq!(notes.len(), 1, "only the newer write notifies");
+    }
+
+    #[test]
+    fn retention_replay_closes_write_subscription_race() {
+        let h = harness(ClusterConfig::new(1, 1));
+        // Write arrives BEFORE the subscription (and is not reflected in the
+        // initial result): retention replay must catch it.
+        h.tx.send(write_event(Key::of("early"), 1, Some(doc! { "n" => 99i64 }))).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 10i64 } });
+        h.tx.send(subscribe_event(spec, 1, vec![])).unwrap();
+        let notes = notifications(&wait_events(&h, 1));
+        assert_eq!(notes.len(), 1);
+        match &notes[0].kind {
+            NotificationKind::Change(c) => {
+                assert_eq!(c.match_type, MatchType::Add);
+                assert_eq!(c.item.key, Key::of("early"));
+            }
+            other => panic!("expected change, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn replay_respects_initial_result_versions() {
+        let h = harness(ClusterConfig::new(1, 1));
+        // The write is already reflected in the initial result (same
+        // version): replay must NOT double-notify.
+        h.tx.send(write_event(Key::of("seen"), 3, Some(doc! { "n" => 50i64 }))).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 10i64 } });
+        let initial = vec![ResultItem::new(Key::of("seen"), 3, doc! { "n" => 50i64 })];
+        h.tx.send(subscribe_event(spec, 1, initial)).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(notifications(&h.out.lock().clone()).is_empty());
+    }
+
+    #[test]
+    fn unsubscribe_stops_notifications() {
+        let h = harness(ClusterConfig::new(1, 1));
+        let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
+        let hash = spec.stable_hash();
+        h.tx.send(subscribe_event(spec, 1, vec![])).unwrap();
+        h.tx.send(write_event(Key::of("a"), 1, Some(doc! { "n" => 1i64 }))).unwrap();
+        wait_events(&h, 1);
+        h.tx.send(Event::Unsubscribe {
+            tenant: TenantId::new("app"),
+            subscription: SubscriptionId(1),
+            query_hash: hash,
+        })
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        h.tx.send(write_event(Key::of("b"), 1, Some(doc! { "n" => 2i64 }))).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(notifications(&h.out.lock().clone()).len(), 1, "no notification after cancel");
+    }
+
+    #[test]
+    fn ttl_expiry_deactivates_queries() {
+        let mut cfg = ClusterConfig::new(1, 1);
+        cfg.tick_interval = Duration::from_millis(10);
+        let h = harness(cfg);
+        let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
+        let mut req = match subscribe_event(spec, 1, vec![]) {
+            Event::Subscribe(r) => (*r).clone(),
+            _ => unreachable!(),
+        };
+        req.ttl_micros = 1_000; // 1ms TTL
+        h.tx.send(Event::Subscribe(Arc::new(req))).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        h.clock.advance(Duration::from_secs(1)); // well past TTL
+        std::thread::sleep(Duration::from_millis(200)); // ticks run expiry
+        h.tx.send(write_event(Key::of("a"), 1, Some(doc! { "n" => 1i64 }))).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(notifications(&h.out.lock().clone()).is_empty(), "expired query must not match");
+    }
+
+    #[test]
+    fn multi_tenant_isolation() {
+        let h = harness(ClusterConfig::new(1, 1));
+        let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
+        h.tx.send(subscribe_event(spec, 1, vec![])).unwrap(); // tenant "app"
+        // Write from another tenant: same collection name, must not match.
+        h.tx.send(Event::Write(Arc::new(AfterImage {
+            tenant: TenantId::new("other"),
+            collection: "t".into(),
+            key: Key::of("x"),
+            version: 1,
+            doc: Some(doc! { "n" => 5i64 }),
+            written_at: 0,
+        })))
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(notifications(&h.out.lock().clone()).is_empty());
+    }
+
+    #[test]
+    fn collection_isolation() {
+        let h = harness(ClusterConfig::new(1, 1));
+        let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
+        h.tx.send(subscribe_event(spec, 1, vec![])).unwrap();
+        h.tx.send(Event::Write(Arc::new(AfterImage {
+            tenant: TenantId::new("app"),
+            collection: "other_collection".into(),
+            key: Key::of("x"),
+            version: 1,
+            doc: Some(doc! { "n" => 5i64 }),
+            written_at: 0,
+        })))
+        .unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(notifications(&h.out.lock().clone()).is_empty());
+    }
+
+    #[test]
+    fn delete_of_matching_item_notifies_remove() {
+        let h = harness(ClusterConfig::new(1, 1));
+        let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
+        let initial = vec![ResultItem::new(Key::of("a"), 1, doc! { "n" => 1i64 })];
+        h.tx.send(subscribe_event(spec, 1, initial)).unwrap();
+        h.tx.send(write_event(Key::of("a"), 2, None)).unwrap();
+        let notes = notifications(&wait_events(&h, 1));
+        assert_eq!(notes.len(), 1);
+        match &notes[0].kind {
+            NotificationKind::Change(c) => {
+                assert_eq!(c.match_type, MatchType::Remove);
+                assert!(c.item.doc.is_none());
+            }
+            other => panic!("expected remove, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_subscriptions_same_query_both_notified() {
+        let h = harness(ClusterConfig::new(1, 1));
+        let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
+        h.tx.send(subscribe_event(spec.clone(), 1, vec![])).unwrap();
+        h.tx.send(subscribe_event(spec, 2, vec![])).unwrap();
+        h.tx.send(write_event(Key::of("a"), 1, Some(doc! { "n" => 1i64 }))).unwrap();
+        let notes = notifications(&wait_events(&h, 2));
+        let subs: std::collections::HashSet<u64> = notes.iter().map(|n| n.subscription.0).collect();
+        assert_eq!(subs, std::collections::HashSet::from([1, 2]));
+    }
+}

@@ -1,0 +1,116 @@
+//! The notification sink: serializes outbound messages and publishes them
+//! to the event layer, plus heartbeat emission (§5.1).
+//!
+//! The first notification for any real-time query is the initial result; it
+//! is emitted here directly from the subscription request (trimmed to the
+//! original offset/limit window, since the request carries the *rewritten*
+//! bootstrap result). In the absence of heartbeat messages an application
+//! server terminates affected subscriptions with an error, so the notifier
+//! periodically pings every tenant topic it has seen.
+
+use crate::config::ClusterConfig;
+use crate::event::{Event, OutMsg};
+use invalidb_broker::{notify_topic, Broker};
+use invalidb_common::{
+    doc, Clock, Notification, NotificationKind, SubscriptionRequest, TenantId, Timestamp,
+};
+use invalidb_stream::{Bolt, BoltContext};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The notifier bolt.
+pub struct Notifier {
+    broker: Broker,
+    config: ClusterConfig,
+    clock: Arc<dyn Clock>,
+    /// Tenants seen, with the time of their last heartbeat.
+    tenants: HashMap<TenantId, Timestamp>,
+}
+
+impl Notifier {
+    /// Creates the notifier.
+    pub fn new(broker: Broker, config: ClusterConfig, clock: Arc<dyn Clock>) -> Self {
+        Self { broker, config, clock, tenants: HashMap::new() }
+    }
+
+    fn publish(&self, notification: &Notification) {
+        let payload = invalidb_json::document_to_payload(&notification.to_document());
+        self.broker.publish(&notify_topic(&notification.tenant.0), payload);
+    }
+
+    fn initial_result(&mut self, req: &SubscriptionRequest) {
+        self.remember(req.tenant.clone());
+        if req.spec.needs_aggregation_stage() {
+            // Aggregate queries: the aggregation stage emits the initial
+            // aggregate value instead of an item list.
+            return;
+        }
+        // Trim the bootstrap result to the client-visible window.
+        let skip = req.spec.offset as usize;
+        let take = req.spec.limit.map(|l| l as usize).unwrap_or(usize::MAX);
+        let sorted = !req.spec.sort.is_empty();
+        let items = req
+            .initial
+            .iter()
+            .skip(skip)
+            .take(take)
+            .enumerate()
+            .map(|(i, item)| {
+                let mut item = item.clone();
+                item.index = sorted.then_some(i as u64);
+                item
+            })
+            .collect();
+        self.publish(&Notification {
+            tenant: req.tenant.clone(),
+            subscription: req.subscription,
+            kind: NotificationKind::InitialResult { items },
+            caused_by_write_at: 0,
+        });
+    }
+
+    fn remember(&mut self, tenant: TenantId) {
+        self.tenants.entry(tenant).or_insert_with(|| self.clock.now());
+    }
+
+    fn heartbeat(&mut self) {
+        let now = self.clock.now();
+        let interval = self.config.heartbeat_interval;
+        for (tenant, last) in self.tenants.iter_mut() {
+            if now.since(*last) >= interval {
+                *last = now;
+                let payload = invalidb_json::document_to_payload(&doc! {
+                    "type" => "heartbeat",
+                    "tenant" => tenant.0.clone(),
+                });
+                self.broker.publish(&notify_topic(&tenant.0), payload);
+            }
+        }
+    }
+}
+
+impl Bolt<Event> for Notifier {
+    fn execute(&mut self, input: Event, _ctx: &mut BoltContext<'_, Event>) {
+        match input {
+            Event::Subscribe(req) => self.initial_result(&req),
+            Event::Out(msg) => match &*msg {
+                OutMsg::Notify(n) => {
+                    self.remember(n.tenant.clone());
+                    self.publish(n);
+                }
+                OutMsg::Heartbeat { tenant } => {
+                    let payload = invalidb_json::document_to_payload(&doc! {
+                        "type" => "heartbeat",
+                        "tenant" => tenant.0.clone(),
+                    });
+                    self.broker.publish(&notify_topic(&tenant.0), payload);
+                }
+            },
+            _ => {}
+        }
+    }
+
+    fn tick(&mut self, _ctx: &mut BoltContext<'_, Event>) {
+        self.heartbeat();
+    }
+}

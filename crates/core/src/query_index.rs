@@ -1,0 +1,414 @@
+//! Multi-query index for the filtering stage.
+//!
+//! A naive matching node evaluates *every* of its queries against every
+//! incoming after-image — O(queries) per write. The InvaliDB thesis lists
+//! *multi-query optimizations* for exactly this hot path; this module
+//! implements the one that fits the paper's workload (§6.1: thousands of
+//! range predicates over one attribute): queries whose filter is a single
+//! top-level **range or equality condition** are indexed in a per-attribute
+//! **interval tree**, so a write only visits the queries whose interval its
+//! attribute value stabs — O(log queries + hits).
+//!
+//! The index is *conservative*: it may return supersets (bounds are
+//! widened to inclusive), never misses. Every candidate is still verified
+//! with the full predicate evaluation, so correctness never depends on the
+//! index. Queries with any other shape fall into a scan list and are
+//! evaluated the classic way.
+//!
+//! The tree is static and rebuilt lazily on the first lookup after a
+//! subscription change — subscription churn is orders of magnitude rarer
+//! than writes (the paper's measurement phases hold the query set constant).
+
+use invalidb_common::{canonical_cmp, Document, Key, Value};
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// An inclusive value interval (conservatively widened from the query).
+#[derive(Debug, Clone)]
+struct Interval<Id> {
+    lo: Value,
+    hi: Value,
+    id: Id,
+}
+
+/// Result of analyzing a filter document for indexability.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexableRange {
+    /// The single attribute the filter constrains.
+    pub attr: String,
+    /// Inclusive lower bound.
+    pub lo: Value,
+    /// Inclusive upper bound.
+    pub hi: Value,
+}
+
+/// Analyzes a filter document: indexable iff it is exactly one top-level
+/// condition of the form `{attr: literal}` (scalar) or
+/// `{attr: {$eq/$gt/$gte/$lt/$lte: scalar, ...}}` with only range operators.
+pub fn analyze_filter(filter: &Document) -> Option<IndexableRange> {
+    if filter.len() != 1 {
+        return None;
+    }
+    let (attr, cond) = filter.iter().next()?;
+    if attr.starts_with('$') || attr.contains('.') {
+        return None; // dotted paths interact with array fan-out; keep scanned
+    }
+    let scalar = |v: &Value| matches!(v.type_rank(), 1 | 2); // numbers, strings
+    match cond {
+        Value::Object(obj) if obj.keys().any(|k| k.starts_with('$')) => {
+            let mut lo: Option<Value> = None;
+            let mut hi: Option<Value> = None;
+            for (op, v) in obj.iter() {
+                if !scalar(v) {
+                    return None;
+                }
+                match op {
+                    "$eq" => {
+                        lo = Some(tighten(lo, v, Ordering::Greater));
+                        hi = Some(tighten(hi, v, Ordering::Less));
+                    }
+                    // Conservative: strict bounds widen to inclusive.
+                    "$gt" | "$gte" => lo = Some(tighten(lo, v, Ordering::Greater)),
+                    "$lt" | "$lte" => hi = Some(tighten(hi, v, Ordering::Less)),
+                    _ => return None,
+                }
+            }
+            let lo = lo.unwrap_or(bracket_min());
+            let hi = hi.unwrap_or(bracket_max());
+            Some(IndexableRange { attr: attr.to_owned(), lo, hi })
+        }
+        literal if scalar(literal) => Some(IndexableRange {
+            attr: attr.to_owned(),
+            lo: literal.clone(),
+            hi: literal.clone(),
+        }),
+        _ => None,
+    }
+}
+
+fn tighten(current: Option<Value>, candidate: &Value, keep_if: Ordering) -> Value {
+    match current {
+        None => candidate.clone(),
+        Some(cur) => {
+            if canonical_cmp(candidate, &cur) == keep_if {
+                candidate.clone()
+            } else {
+                cur
+            }
+        }
+    }
+}
+
+/// Smallest scalar under the canonical order (NaN opens the number bracket).
+fn bracket_min() -> Value {
+    Value::Float(f64::NAN)
+}
+
+/// A value above every number and string: the empty object.
+fn bracket_max() -> Value {
+    Value::Object(Document::new())
+}
+
+/// Static centered interval tree (sorted by `lo`, max-`hi` augmented).
+struct IntervalTree<Id> {
+    /// Intervals sorted by `(lo, insertion order)`.
+    intervals: Vec<Interval<Id>>,
+    /// `max_hi[i]` = maximum `hi` in the segment-tree node `i` covers.
+    max_hi: Vec<Option<Value>>,
+}
+
+impl<Id: Copy> IntervalTree<Id> {
+    fn build(mut intervals: Vec<Interval<Id>>) -> Self {
+        intervals.sort_by(|a, b| canonical_cmp(&a.lo, &b.lo));
+        let mut tree = Self { max_hi: vec![None; intervals.len() * 4 + 4], intervals };
+        if !tree.intervals.is_empty() {
+            tree.augment(1, 0, tree.intervals.len() - 1);
+        }
+        tree
+    }
+
+    fn augment(&mut self, node: usize, l: usize, r: usize) -> Value {
+        if l == r {
+            let hi = self.intervals[l].hi.clone();
+            self.max_hi[node] = Some(hi.clone());
+            return hi;
+        }
+        let mid = (l + r) / 2;
+        let left = self.augment(node * 2, l, mid);
+        let right = self.augment(node * 2 + 1, mid + 1, r);
+        let max = if canonical_cmp(&left, &right) == Ordering::Less { right } else { left };
+        self.max_hi[node] = Some(max.clone());
+        max
+    }
+
+    fn stab(&self, v: &Value, out: &mut Vec<Id>) {
+        if self.intervals.is_empty() {
+            return;
+        }
+        self.stab_rec(1, 0, self.intervals.len() - 1, v, out);
+    }
+
+    fn stab_rec(&self, node: usize, l: usize, r: usize, v: &Value, out: &mut Vec<Id>) {
+        // Prune: no interval below this node reaches up to `v`.
+        match &self.max_hi[node] {
+            Some(max) if canonical_cmp(max, v) != Ordering::Less => {}
+            _ => return,
+        }
+        // Prune: intervals are sorted by lo; if even the leftmost lo > v,
+        // nothing here contains v.
+        if canonical_cmp(&self.intervals[l].lo, v) == Ordering::Greater {
+            return;
+        }
+        if l == r {
+            // lo <= v (checked above) and hi >= v (max_hi == hi here).
+            out.push(self.intervals[l].id);
+            return;
+        }
+        let mid = (l + r) / 2;
+        self.stab_rec(node * 2, l, mid, v, out);
+        self.stab_rec(node * 2 + 1, mid + 1, r, v, out);
+    }
+}
+
+/// The per-(tenant, collection) multi-query index.
+pub struct QueryIndex<Id: Copy + Eq + Hash> {
+    /// Raw indexed intervals per attribute (source of truth).
+    ranges: HashMap<String, HashMap<Id, (Value, Value)>>,
+    /// Built trees (lazily rebuilt when dirty).
+    trees: HashMap<String, IntervalTree<Id>>,
+    /// Queries that could not be indexed: always evaluated.
+    scan: Vec<Id>,
+    dirty: bool,
+}
+
+impl<Id: Copy + Eq + Hash> Default for QueryIndex<Id> {
+    fn default() -> Self {
+        Self { ranges: HashMap::new(), trees: HashMap::new(), scan: Vec::new(), dirty: false }
+    }
+}
+
+impl<Id: Copy + Eq + Hash> QueryIndex<Id> {
+    /// Registers a query. Indexable filters go to the interval trees;
+    /// everything else to the scan list.
+    pub fn insert(&mut self, id: Id, filter: &Document) {
+        match analyze_filter(filter) {
+            Some(range) => {
+                self.ranges.entry(range.attr).or_default().insert(id, (range.lo, range.hi));
+                self.dirty = true;
+            }
+            None => self.scan.push(id),
+        }
+    }
+
+    /// Unregisters a query.
+    pub fn remove(&mut self, id: Id) {
+        self.scan.retain(|s| *s != id);
+        for by_attr in self.ranges.values_mut() {
+            if by_attr.remove(&id).is_some() {
+                self.dirty = true;
+            }
+        }
+    }
+
+    /// Number of registered queries (indexed + scanned).
+    pub fn len(&self) -> usize {
+        self.scan.len() + self.ranges.values().map(HashMap::len).sum::<usize>()
+    }
+
+    /// True when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of queries on the scan (non-indexable) path.
+    pub fn scan_len(&self) -> usize {
+        self.scan.len()
+    }
+
+    /// Candidate queries for a document: every scan-list query plus the
+    /// indexed queries whose interval is stabbed by one of the document's
+    /// top-level scalar attribute values. A superset of the true matches.
+    pub fn candidates(&mut self, doc: &Document) -> Vec<Id> {
+        self.rebuild_if_dirty();
+        let mut out = self.scan.clone();
+        for (attr, value) in doc.iter() {
+            if let Some(tree) = self.trees.get(attr) {
+                match value {
+                    // Arrays fan out (MongoDB semantics: any element hits).
+                    Value::Array(items) => {
+                        for item in items {
+                            tree.stab(item, &mut out);
+                        }
+                    }
+                    v => tree.stab(v, &mut out),
+                }
+            }
+        }
+        out.dedup();
+        out
+    }
+
+    /// Candidates for a *delete* (no document): deletes can only affect
+    /// queries that currently contain the key, which the caller resolves
+    /// through its result sets; only the scan list is returned here.
+    pub fn scan_candidates(&self) -> Vec<Id> {
+        self.scan.clone()
+    }
+
+    fn rebuild_if_dirty(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.trees.clear();
+        for (attr, by_id) in &self.ranges {
+            let intervals = by_id
+                .iter()
+                .map(|(id, (lo, hi))| Interval { lo: lo.clone(), hi: hi.clone(), id: *id })
+                .collect();
+            self.trees.insert(attr.clone(), IntervalTree::build(intervals));
+        }
+        self.dirty = false;
+    }
+}
+
+// Keys are unused here but keep the module self-contained for tests below.
+#[allow(unused)]
+fn _assert_key_unused(_: Key) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_common::doc;
+
+    fn range_filter(lo: i64, hi: i64) -> Document {
+        doc! { "random" => doc! { "$gte" => lo, "$lt" => hi } }
+    }
+
+    #[test]
+    fn analyze_recognizes_paper_workload() {
+        let r = analyze_filter(&range_filter(100, 200)).unwrap();
+        assert_eq!(r.attr, "random");
+        assert_eq!(r.lo, Value::Int(100));
+        assert_eq!(r.hi, Value::Int(200), "conservatively inclusive");
+        let eq = analyze_filter(&doc! { "color" => "red" }).unwrap();
+        assert_eq!(eq.lo, Value::from("red"));
+        assert_eq!(eq.hi, Value::from("red"));
+        let open = analyze_filter(&doc! { "n" => doc! { "$gt" => 5i64 } }).unwrap();
+        assert_eq!(open.lo, Value::Int(5));
+        assert!(matches!(open.hi, Value::Object(_)), "open top clamps to bracket max");
+    }
+
+    #[test]
+    fn analyze_rejects_complex_shapes() {
+        assert!(analyze_filter(&doc! {}).is_none());
+        assert!(analyze_filter(&doc! { "a" => 1i64, "b" => 2i64 }).is_none());
+        assert!(analyze_filter(&doc! { "$or" => Vec::<Value>::new() }).is_none());
+        assert!(analyze_filter(&doc! { "a" => doc! { "$ne" => 1i64 } }).is_none());
+        assert!(analyze_filter(&doc! { "a.b" => 1i64 }).is_none());
+        assert!(analyze_filter(&doc! { "a" => doc! { "$gte" => Value::from(vec![1i64]) } }).is_none());
+        assert!(analyze_filter(&doc! { "a" => true }).is_none(), "bool literal not bracketed");
+    }
+
+    #[test]
+    fn stabbing_returns_exactly_the_covering_intervals() {
+        let mut idx: QueryIndex<u32> = QueryIndex::default();
+        for i in 0..100u32 {
+            let lo = (i as i64) * 10;
+            idx.insert(i, &range_filter(lo, lo + 10));
+        }
+        // Value 55 lies in interval 5 only ($lt widened to inclusive can
+        // also admit interval 4's hi bound = 50; 55 hits none of those).
+        let c = idx.candidates(&doc! { "random" => 55i64 });
+        assert_eq!(c, vec![5]);
+        // Boundary value 50: interval 5 ($gte 50) plus interval 4's widened
+        // $lt 50 — conservative superset is allowed.
+        let c = idx.candidates(&doc! { "random" => 50i64 });
+        assert!(c.contains(&5));
+        assert!(c.len() <= 2);
+        // Out of range: nothing.
+        let c = idx.candidates(&doc! { "random" => 99_999i64 });
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn overlapping_intervals_all_found() {
+        let mut idx: QueryIndex<u32> = QueryIndex::default();
+        idx.insert(1, &range_filter(0, 100));
+        idx.insert(2, &range_filter(40, 60));
+        idx.insert(3, &range_filter(50, 51));
+        idx.insert(4, &range_filter(90, 95));
+        let mut c = idx.candidates(&doc! { "random" => 50i64 });
+        c.sort();
+        assert_eq!(c, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn non_indexable_queries_always_candidates() {
+        let mut idx: QueryIndex<u32> = QueryIndex::default();
+        idx.insert(1, &range_filter(0, 10));
+        idx.insert(2, &doc! { "$or" => vec![Value::Object(doc! { "a" => 1i64 })] });
+        assert_eq!(idx.scan_len(), 1);
+        let c = idx.candidates(&doc! { "unrelated" => 1i64 });
+        assert_eq!(c, vec![2], "scan queries always evaluated");
+    }
+
+    #[test]
+    fn remove_unregisters_everywhere() {
+        let mut idx: QueryIndex<u32> = QueryIndex::default();
+        idx.insert(1, &range_filter(0, 10));
+        idx.insert(2, &doc! { "complex" => doc! { "$ne" => 0i64 } });
+        assert_eq!(idx.len(), 2);
+        idx.remove(1);
+        idx.remove(2);
+        assert!(idx.is_empty());
+        assert!(idx.candidates(&doc! { "random" => 5i64 }).is_empty());
+    }
+
+    #[test]
+    fn array_values_fan_out() {
+        let mut idx: QueryIndex<u32> = QueryIndex::default();
+        idx.insert(1, &range_filter(0, 10));
+        idx.insert(2, &range_filter(100, 110));
+        let mut c = idx.candidates(&doc! { "random" => vec![5i64, 105] });
+        c.sort();
+        assert_eq!(c, vec![1, 2]);
+    }
+
+    #[test]
+    fn string_equality_intervals() {
+        let mut idx: QueryIndex<u32> = QueryIndex::default();
+        idx.insert(1, &doc! { "color" => "red" });
+        idx.insert(2, &doc! { "color" => "blue" });
+        assert_eq!(idx.candidates(&doc! { "color" => "red" }), vec![1]);
+        assert_eq!(idx.candidates(&doc! { "color" => "blue" }), vec![2]);
+        assert!(idx.candidates(&doc! { "color" => "green" }).is_empty());
+    }
+
+    #[test]
+    fn candidates_are_superset_of_true_matches() {
+        use invalidb_query::{MongoQueryEngine, QueryEngine};
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut idx: QueryIndex<usize> = QueryIndex::default();
+        let mut prepared = Vec::new();
+        for i in 0..200usize {
+            let lo = rng.gen_range(-100..100i64);
+            let hi = lo + rng.gen_range(0..30i64);
+            let filter = range_filter(lo, hi);
+            let spec = invalidb_common::QuerySpec::filter("t", filter.clone());
+            prepared.push(MongoQueryEngine.prepare(&spec).unwrap());
+            idx.insert(i, &filter);
+        }
+        for _ in 0..500 {
+            let doc = doc! { "random" => rng.gen_range(-120..120i64) };
+            let candidates = idx.candidates(&doc);
+            for (i, p) in prepared.iter().enumerate() {
+                if p.matches(&doc) {
+                    assert!(candidates.contains(&i), "index missed a true match");
+                }
+            }
+        }
+    }
+}

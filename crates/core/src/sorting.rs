@@ -1,0 +1,252 @@
+//! The sorting stage (§5.2).
+//!
+//! Sorting nodes receive filtering-stage output *partitioned by query* —
+//! each sorted query is owned by exactly one sorting task (fields grouping
+//! on the query hash), which therefore holds the query's full
+//! offset+result+slack window and can detect positional changes
+//! (`changeIndex`), boundary crossings, and maintenance errors.
+
+use crate::config::ClusterConfig;
+use crate::event::{Event, FilterChange, OutMsg};
+use crate::window::{apply_events, SortedWindow, VisibleEvent, WindowItem};
+use invalidb_common::{
+    ChangeItem, Clock, MaintenanceError, MatchType, Notification, NotificationKind, QueryHash,
+    ResultItem, SubscriptionId, SubscriptionRequest, TenantId, Timestamp,
+};
+use invalidb_query::PreparedQuery;
+use invalidb_stream::{Bolt, BoltContext};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct SubState {
+    tenant: TenantId,
+    expires_at: Timestamp,
+}
+
+struct SortGroup {
+    prepared: Arc<dyn PreparedQuery>,
+    window: SortedWindow,
+    /// What subscribed clients currently hold (maintained by applying the
+    /// same edit scripts that are sent out).
+    client_state: Vec<WindowItem>,
+    /// False after a maintenance error, until renewal re-activates.
+    active: bool,
+    slack: u64,
+    subscriptions: HashMap<SubscriptionId, SubState>,
+}
+
+/// The sorting-stage bolt.
+pub struct SortingNode {
+    config: ClusterConfig,
+    clock: Arc<dyn Clock>,
+    groups: HashMap<(TenantId, QueryHash), SortGroup>,
+    /// Observability: maintenance errors raised.
+    maintenance_errors: u64,
+}
+
+impl SortingNode {
+    /// Creates a sorting node.
+    pub fn new(config: ClusterConfig, clock: Arc<dyn Clock>) -> Self {
+        Self { config, clock, groups: HashMap::new(), maintenance_errors: 0 }
+    }
+
+    /// Number of sorted queries owned by this node.
+    pub fn active_queries(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Maintenance errors raised so far.
+    pub fn maintenance_errors(&self) -> u64 {
+        self.maintenance_errors
+    }
+
+    fn handle_subscribe(&mut self, req: &SubscriptionRequest, ctx: &mut BoltContext<'_, Event>) {
+        if !req.spec.needs_sorting_stage() {
+            return; // unsorted queries live entirely in the filtering stage
+        }
+        let now = self.clock.now();
+        let expires_at = now.after(std::time::Duration::from_micros(req.ttl_micros));
+        let group_key = (req.tenant.clone(), req.query_hash);
+        if let Some(group) = self.groups.get_mut(&group_key) {
+            group
+                .subscriptions
+                .insert(req.subscription, SubState { tenant: req.tenant.clone(), expires_at });
+            if group.active {
+                // Late joiner: its initial result (fresh from the database)
+                // may differ from the group's maintained window. Send the
+                // correction delta to this subscription only.
+                let fresh = SortedWindow::new(Arc::clone(&group.prepared), req.slack, &req.initial);
+                let delta = crate::window::diff_visible(fresh.visible(), &group.client_state);
+                let tenant = req.tenant.clone();
+                for ev in &delta {
+                    ctx.emit(to_notification_event(&tenant, req.subscription, ev, 0));
+                }
+            } else {
+                // Renewal: re-seed from the fresh result and stream the
+                // incremental evolution from the last valid state (§5.2).
+                let events = group.window.reseed(req.slack, &req.initial, &group.client_state);
+                group.active = true;
+                Self::broadcast(group, &events, 0, ctx);
+                apply_events(&mut group.client_state, &events);
+            }
+            return;
+        }
+        let prepared = match self.config.engine.prepare(&req.spec) {
+            Ok(p) => p,
+            Err(_) => return, // the filtering stage already reported this
+        };
+        let window = SortedWindow::new(Arc::clone(&prepared), req.slack, &req.initial);
+        let client_state = window.snapshot_visible();
+        let mut subscriptions = HashMap::new();
+        subscriptions.insert(req.subscription, SubState { tenant: req.tenant.clone(), expires_at });
+        self.groups.insert(
+            group_key,
+            SortGroup {
+                prepared,
+                window,
+                client_state,
+                active: true,
+                slack: req.slack,
+                subscriptions,
+            },
+        );
+    }
+
+    fn handle_filter_change(&mut self, fc: &FilterChange, ctx: &mut BoltContext<'_, Event>) {
+        let group = match self.groups.get_mut(&(fc.tenant.clone(), fc.query_hash)) {
+            Some(g) if g.active => g,
+            _ => return, // inactive (awaiting renewal) or unknown
+        };
+        let outcome = group.window.apply(&fc.key, fc.version, fc.doc.as_ref());
+        if let Some(reason) = outcome.error {
+            // Query maintenance error: deactivate and ask for renewal. The
+            // client's list stays at the last valid state (client_state).
+            group.active = false;
+            self.maintenance_errors += 1;
+            for (sub, state) in &group.subscriptions {
+                ctx.emit(Event::Out(Arc::new(OutMsg::Notify(Notification {
+                    tenant: state.tenant.clone(),
+                    subscription: *sub,
+                    kind: NotificationKind::Error(MaintenanceError { reason: reason.clone() }),
+                    caused_by_write_at: fc.written_at,
+                }))));
+            }
+            return;
+        }
+        Self::broadcast(group, &outcome.events, fc.written_at, ctx);
+        apply_events(&mut group.client_state, &outcome.events);
+    }
+
+    fn broadcast(group: &SortGroup, events: &[VisibleEvent], written_at: u64, ctx: &mut BoltContext<'_, Event>) {
+        for ev in events {
+            for (sub, state) in &group.subscriptions {
+                ctx.emit(to_notification_event(&state.tenant, *sub, ev, written_at));
+            }
+        }
+        let _ = &group.slack;
+    }
+
+    fn handle_unsubscribe(&mut self, tenant: &TenantId, query_hash: QueryHash, subscription: SubscriptionId) {
+        if let Some(group) = self.groups.get_mut(&(tenant.clone(), query_hash)) {
+            group.subscriptions.remove(&subscription);
+            if group.subscriptions.is_empty() {
+                self.groups.remove(&(tenant.clone(), query_hash));
+            }
+        }
+    }
+
+    fn handle_extend_ttl(
+        &mut self,
+        tenant: &TenantId,
+        query_hash: QueryHash,
+        subscription: SubscriptionId,
+        ttl_micros: u64,
+    ) {
+        let now = self.clock.now();
+        if let Some(group) = self.groups.get_mut(&(tenant.clone(), query_hash)) {
+            if let Some(sub) = group.subscriptions.get_mut(&subscription) {
+                sub.expires_at = now.after(std::time::Duration::from_micros(ttl_micros));
+            }
+        }
+    }
+
+    fn expire(&mut self) {
+        let now = self.clock.now();
+        self.groups.retain(|_, group| {
+            group.subscriptions.retain(|_, sub| sub.expires_at > now);
+            !group.subscriptions.is_empty()
+        });
+    }
+}
+
+/// Converts a window edit-script event into a per-subscription notification.
+fn to_notification_event(
+    tenant: &TenantId,
+    subscription: SubscriptionId,
+    ev: &VisibleEvent,
+    written_at: u64,
+) -> Event {
+    let kind = match ev {
+        VisibleEvent::Add { item, index } => NotificationKind::Change(ChangeItem {
+            match_type: MatchType::Add,
+            item: ResultItem {
+                key: item.key.clone(),
+                version: item.version,
+                doc: Some(item.doc.clone()),
+                index: Some(*index as u64),
+            },
+            old_index: None,
+        }),
+        VisibleEvent::Change { item, index } => NotificationKind::Change(ChangeItem {
+            match_type: MatchType::Change,
+            item: ResultItem {
+                key: item.key.clone(),
+                version: item.version,
+                doc: Some(item.doc.clone()),
+                index: Some(*index as u64),
+            },
+            old_index: None,
+        }),
+        VisibleEvent::ChangeIndex { item, old_index, index } => NotificationKind::Change(ChangeItem {
+            match_type: MatchType::ChangeIndex,
+            item: ResultItem {
+                key: item.key.clone(),
+                version: item.version,
+                doc: Some(item.doc.clone()),
+                index: Some(*index as u64),
+            },
+            old_index: Some(*old_index as u64),
+        }),
+        VisibleEvent::Remove { key, version, old_index } => NotificationKind::Change(ChangeItem {
+            match_type: MatchType::Remove,
+            item: ResultItem { key: key.clone(), version: *version, doc: None, index: None },
+            old_index: Some(*old_index as u64),
+        }),
+    };
+    Event::Out(Arc::new(OutMsg::Notify(Notification {
+        tenant: tenant.clone(),
+        subscription,
+        kind,
+        caused_by_write_at: written_at,
+    })))
+}
+
+impl Bolt<Event> for SortingNode {
+    fn execute(&mut self, input: Event, ctx: &mut BoltContext<'_, Event>) {
+        match input {
+            Event::Subscribe(req) => self.handle_subscribe(&req, ctx),
+            Event::FilterChange(fc) => self.handle_filter_change(&fc, ctx),
+            Event::Unsubscribe { tenant, query_hash, subscription } => {
+                self.handle_unsubscribe(&tenant, query_hash, subscription)
+            }
+            Event::ExtendTtl { tenant, query_hash, subscription, ttl_micros } => {
+                self.handle_extend_ttl(&tenant, query_hash, subscription, ttl_micros)
+            }
+            Event::Write(_) | Event::Out(_) => {}
+        }
+    }
+
+    fn tick(&mut self, _ctx: &mut BoltContext<'_, Event>) {
+        self.expire();
+    }
+}

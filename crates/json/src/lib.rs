@@ -1,0 +1,66 @@
+//! JSON text codec for the InvaliDB document model.
+//!
+//! The event layer transports *entirely opaque payloads* (§5.3); this crate
+//! provides the wire format that application servers and the InvaliDB
+//! cluster agree on: documents are serialized to JSON text and parsed back.
+//! Serialization cost is part of what the paper measures (§6.3 attributes
+//! the slightly sublinear write scalability to per-write (de)serialization
+//! overhead), so the codec is implemented honestly rather than bypassed with
+//! in-process references.
+//!
+//! Deviations from strict JSON (both documented and round-trip safe):
+//!
+//! * `NaN`, `Infinity` and `-Infinity` are accepted and produced as bare
+//!   tokens so that the full [`Value`] float domain round-trips;
+//! * integers and floats are distinct: a number without `.`/`e`/`E` that
+//!   fits `i64` parses as [`Value::Int`], anything else as [`Value::Float`];
+//!   the serializer always prints floats with a fractional part or exponent.
+
+mod error;
+mod parse;
+mod ser;
+
+pub use error::{JsonError, JsonErrorKind};
+pub use parse::{parse_document, parse_value, Parser};
+pub use ser::{to_bytes, to_string, write_document, write_value};
+
+use bytes::Bytes;
+use invalidb_common::Document;
+
+/// Serializes a document and wraps it in [`Bytes`] for the event layer.
+pub fn document_to_payload(doc: &Document) -> Bytes {
+    Bytes::from(to_bytes(doc))
+}
+
+/// Parses an event-layer payload back into a document.
+pub fn payload_to_document(payload: &Bytes) -> Result<Document, JsonError> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| JsonError::new(JsonErrorKind::InvalidUtf8, 0))?;
+    parse_document(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_common::{doc, Value};
+
+    #[test]
+    fn payload_roundtrip() {
+        let d = doc! {
+            "name" => "ada",
+            "age" => 36i64,
+            "score" => 1.5f64,
+            "tags" => vec![Value::from("x"), Value::Null, Value::from(true)],
+            "nested" => doc! { "a" => doc!{ "b" => 1i64 } },
+        };
+        let payload = document_to_payload(&d);
+        let back = payload_to_document(&payload).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn invalid_utf8_payload_rejected() {
+        let payload = Bytes::from_static(&[0xff, 0xfe, b'{']);
+        assert!(payload_to_document(&payload).is_err());
+    }
+}

@@ -1,0 +1,204 @@
+//! Geo query predicates: `$geoWithin` and `$nearSphere` (§5.4).
+//!
+//! Points use MongoDB's legacy coordinate convention `[longitude, latitude]`
+//! (also accepted: `{ "lon": .., "lat": .. }`). Supported shapes:
+//!
+//! * `$box` — planar rectangle `[[minLon, minLat], [maxLon, maxLat]]`;
+//! * `$center` — planar circle `[[lon, lat], radiusDegrees]`;
+//! * `$centerSphere` — spherical circle `[[lon, lat], radiusRadians]`;
+//! * `$polygon` — planar polygon (ray casting, boundary-inclusive corners).
+//!
+//! `$nearSphere` filters by haversine distance with `$maxDistance` (meters).
+//! Ordering by distance is a pull-query concern; for push-based matching the
+//! predicate form is what the matching nodes evaluate.
+
+use invalidb_common::Value;
+
+/// Mean Earth radius in meters (as used by MongoDB's spherical model).
+pub const EARTH_RADIUS_M: f64 = 6_371_000.0;
+
+/// A geographic point (`longitude`, `latitude`), degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// Longitude in degrees.
+    pub lon: f64,
+    /// Latitude in degrees.
+    pub lat: f64,
+}
+
+impl Point {
+    /// Parses a point from `[lon, lat]` or `{lon: .., lat: ..}`.
+    pub fn parse(v: &Value) -> Option<Point> {
+        match v {
+            Value::Array(items) if items.len() == 2 => {
+                Some(Point { lon: items[0].as_f64()?, lat: items[1].as_f64()? })
+            }
+            Value::Object(doc) => {
+                Some(Point { lon: doc.get("lon")?.as_f64()?, lat: doc.get("lat")?.as_f64()? })
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A compiled `$geoWithin` shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeoShape {
+    /// Planar rectangle.
+    Box {
+        /// Lower-left corner.
+        min: Point,
+        /// Upper-right corner.
+        max: Point,
+    },
+    /// Planar circle with radius in degrees.
+    Center {
+        /// Circle center.
+        center: Point,
+        /// Radius in coordinate degrees.
+        radius_deg: f64,
+    },
+    /// Spherical circle with radius in radians.
+    CenterSphere {
+        /// Circle center.
+        center: Point,
+        /// Radius in radians (distance / Earth radius).
+        radius_rad: f64,
+    },
+    /// Planar polygon (at least 3 vertices).
+    Polygon {
+        /// Polygon vertices in order.
+        vertices: Vec<Point>,
+    },
+}
+
+impl GeoShape {
+    /// True if the point lies within the shape.
+    pub fn contains(&self, p: Point) -> bool {
+        match self {
+            GeoShape::Box { min, max } => {
+                p.lon >= min.lon && p.lon <= max.lon && p.lat >= min.lat && p.lat <= max.lat
+            }
+            GeoShape::Center { center, radius_deg } => {
+                let dx = p.lon - center.lon;
+                let dy = p.lat - center.lat;
+                (dx * dx + dy * dy).sqrt() <= *radius_deg
+            }
+            GeoShape::CenterSphere { center, radius_rad } => {
+                haversine_m(*center, p) <= radius_rad * EARTH_RADIUS_M
+            }
+            GeoShape::Polygon { vertices } => point_in_polygon(p, vertices),
+        }
+    }
+}
+
+/// Great-circle distance between two points, meters (haversine formula).
+pub fn haversine_m(a: Point, b: Point) -> f64 {
+    let (lat1, lat2) = (a.lat.to_radians(), b.lat.to_radians());
+    let dlat = (b.lat - a.lat).to_radians();
+    let dlon = (b.lon - a.lon).to_radians();
+    let h = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlon / 2.0).sin().powi(2);
+    2.0 * EARTH_RADIUS_M * h.sqrt().min(1.0).asin()
+}
+
+/// Ray-casting point-in-polygon (even-odd rule); points exactly on a vertex
+/// count as inside.
+fn point_in_polygon(p: Point, vertices: &[Point]) -> bool {
+    if vertices.len() < 3 {
+        return false;
+    }
+    if vertices.iter().any(|v| v.lon == p.lon && v.lat == p.lat) {
+        return true;
+    }
+    let mut inside = false;
+    let mut j = vertices.len() - 1;
+    for i in 0..vertices.len() {
+        let (vi, vj) = (vertices[i], vertices[j]);
+        let crosses = (vi.lat > p.lat) != (vj.lat > p.lat);
+        if crosses {
+            let x = (vj.lon - vi.lon) * (p.lat - vi.lat) / (vj.lat - vi.lat) + vi.lon;
+            if p.lon < x {
+                inside = !inside;
+            }
+        }
+        j = i;
+    }
+    inside
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_common::doc;
+
+    fn pt(lon: f64, lat: f64) -> Point {
+        Point { lon, lat }
+    }
+
+    #[test]
+    fn parse_point_forms() {
+        assert_eq!(Point::parse(&Value::from(vec![10.0f64, 53.5])), Some(pt(10.0, 53.5)));
+        assert_eq!(
+            Point::parse(&Value::Object(doc! { "lon" => 10.0f64, "lat" => 53.5f64 })),
+            Some(pt(10.0, 53.5))
+        );
+        assert_eq!(Point::parse(&Value::from(vec![10.0f64])), None);
+        assert_eq!(Point::parse(&Value::from("nope")), None);
+    }
+
+    #[test]
+    fn box_containment() {
+        let b = GeoShape::Box { min: pt(0.0, 0.0), max: pt(10.0, 10.0) };
+        assert!(b.contains(pt(5.0, 5.0)));
+        assert!(b.contains(pt(0.0, 10.0)), "boundary inclusive");
+        assert!(!b.contains(pt(-0.1, 5.0)));
+        assert!(!b.contains(pt(5.0, 10.1)));
+    }
+
+    #[test]
+    fn center_containment() {
+        let c = GeoShape::Center { center: pt(0.0, 0.0), radius_deg: 1.0 };
+        assert!(c.contains(pt(0.5, 0.5)));
+        assert!(c.contains(pt(1.0, 0.0)));
+        assert!(!c.contains(pt(1.0, 1.0)));
+    }
+
+    #[test]
+    fn haversine_known_distance() {
+        // Hamburg (9.99, 53.55) to Berlin (13.40, 52.52): ~255 km.
+        let d = haversine_m(pt(9.99, 53.55), pt(13.40, 52.52));
+        assert!((d - 255_000.0).abs() < 5_000.0, "got {d}");
+        assert_eq!(haversine_m(pt(1.0, 2.0), pt(1.0, 2.0)), 0.0);
+    }
+
+    #[test]
+    fn center_sphere_containment() {
+        // 300 km radius around Hamburg includes Berlin (~255 km)...
+        let s = GeoShape::CenterSphere { center: pt(9.99, 53.55), radius_rad: 300_000.0 / EARTH_RADIUS_M };
+        assert!(s.contains(pt(13.40, 52.52)));
+        // ...but not Munich (~610 km).
+        assert!(!s.contains(pt(11.58, 48.14)));
+    }
+
+    #[test]
+    fn polygon_containment() {
+        let square = GeoShape::Polygon {
+            vertices: vec![pt(0.0, 0.0), pt(4.0, 0.0), pt(4.0, 4.0), pt(0.0, 4.0)],
+        };
+        assert!(square.contains(pt(2.0, 2.0)));
+        assert!(!square.contains(pt(5.0, 2.0)));
+        assert!(square.contains(pt(0.0, 0.0)), "vertex counts as inside");
+        // Concave polygon: arrow shape.
+        let arrow = GeoShape::Polygon {
+            vertices: vec![pt(0.0, 0.0), pt(4.0, 0.0), pt(2.0, 2.0), pt(4.0, 4.0), pt(0.0, 4.0)],
+        };
+        assert!(arrow.contains(pt(1.0, 2.0)));
+        assert!(!arrow.contains(pt(3.5, 2.0)), "inside the notch");
+    }
+
+    #[test]
+    fn degenerate_polygon_rejected() {
+        let line = GeoShape::Polygon { vertices: vec![pt(0.0, 0.0), pt(1.0, 1.0)] };
+        assert!(!line.contains(pt(0.5, 0.5)));
+    }
+}

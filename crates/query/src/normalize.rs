@@ -1,0 +1,167 @@
+//! Query normalization for stable query hashing (§5.1).
+//!
+//! Query partitioning hashes the *query attributes*; to make semantically
+//! identical filters hash identically, the filter structure is canonicalized
+//! first: field conditions are ordered lexicographically, operator keys
+//! within a predicate object are ordered, and the operand lists of `$and`,
+//! `$or` and `$nor` are sorted (and deduplicated) by canonical encoding.
+//! Literal values (equality operands, `$in` lists, …) are left untouched —
+//! their order carries meaning.
+
+use invalidb_common::{Document, QuerySpec, Value};
+
+/// Returns a canonicalized copy of the spec (used before hashing).
+pub fn normalize_spec(spec: &QuerySpec) -> QuerySpec {
+    let mut out = spec.clone();
+    out.filter = normalize_filter(&spec.filter);
+    out
+}
+
+/// Canonicalizes a filter document.
+pub fn normalize_filter(filter: &Document) -> Document {
+    let mut entries: Vec<(String, Value)> = filter
+        .iter()
+        .map(|(k, v)| {
+            let v = match k {
+                "$and" | "$or" | "$nor" => normalize_operand_list(v),
+                "$text" => v.clone(),
+                _ if k.starts_with('$') => v.clone(),
+                _ => normalize_condition(v),
+            };
+            (k.to_owned(), v)
+        })
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    entries.into_iter().collect()
+}
+
+fn normalize_operand_list(v: &Value) -> Value {
+    let items = match v.as_array() {
+        Some(items) => items,
+        None => return v.clone(),
+    };
+    let mut normalized: Vec<Value> = items
+        .iter()
+        .map(|item| match item {
+            Value::Object(doc) => Value::Object(normalize_filter(doc)),
+            other => other.clone(),
+        })
+        .collect();
+    normalized.sort_by_key(|v| {
+        let mut bytes = Vec::new();
+        v.write_canonical(&mut bytes);
+        bytes
+    });
+    normalized.dedup_by(|a, b| invalidb_common::canonical_eq(a, b));
+    Value::Array(normalized)
+}
+
+/// Normalizes one field condition: operator objects get their operator keys
+/// sorted (recursing into `$not`/`$elemMatch`); literals stay as-is.
+fn normalize_condition(v: &Value) -> Value {
+    let obj = match v {
+        Value::Object(obj) if obj.keys().any(|k| k.starts_with('$')) => obj,
+        other => return other.clone(),
+    };
+    let mut entries: Vec<(String, Value)> = obj
+        .iter()
+        .map(|(op, operand)| {
+            let operand = match op {
+                "$not" => normalize_condition(operand),
+                "$elemMatch" => match operand {
+                    Value::Object(inner) if inner.keys().any(|k| k.starts_with('$')) => {
+                        normalize_condition(operand)
+                    }
+                    Value::Object(inner) => Value::Object(normalize_filter(inner)),
+                    other => other.clone(),
+                },
+                _ => operand.clone(),
+            };
+            (op.to_owned(), operand)
+        })
+        .collect();
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    Value::Object(entries.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_common::doc;
+
+    #[test]
+    fn field_order_is_canonicalized() {
+        let a = QuerySpec::filter("t", doc! { "b" => 1i64, "a" => 2i64 });
+        let b = QuerySpec::filter("t", doc! { "a" => 2i64, "b" => 1i64 });
+        assert_ne!(a.stable_hash(), b.stable_hash(), "raw hashes differ");
+        assert_eq!(normalize_spec(&a).stable_hash(), normalize_spec(&b).stable_hash());
+    }
+
+    #[test]
+    fn operator_order_is_canonicalized() {
+        let a = QuerySpec::filter("t", doc! { "n" => doc! { "$lt" => 9i64, "$gt" => 5i64 } });
+        let b = QuerySpec::filter("t", doc! { "n" => doc! { "$gt" => 5i64, "$lt" => 9i64 } });
+        assert_eq!(normalize_spec(&a).stable_hash(), normalize_spec(&b).stable_hash());
+    }
+
+    #[test]
+    fn or_operands_are_sorted_and_deduped() {
+        let a = QuerySpec::filter(
+            "t",
+            doc! { "$or" => vec![
+                Value::Object(doc! { "a" => 1i64 }),
+                Value::Object(doc! { "b" => 2i64 }),
+                Value::Object(doc! { "a" => 1i64 }),
+            ]},
+        );
+        let b = QuerySpec::filter(
+            "t",
+            doc! { "$or" => vec![
+                Value::Object(doc! { "b" => 2i64 }),
+                Value::Object(doc! { "a" => 1i64 }),
+            ]},
+        );
+        assert_eq!(normalize_spec(&a).stable_hash(), normalize_spec(&b).stable_hash());
+    }
+
+    #[test]
+    fn literal_values_are_untouched() {
+        // $in list order is semantic identity here: do not reorder literals.
+        let a = QuerySpec::filter("t", doc! { "n" => doc! { "$in" => vec![2i64, 1] } });
+        let normalized = normalize_spec(&a);
+        assert_eq!(
+            normalized.filter.get("n").unwrap().as_object().unwrap().get("$in"),
+            Some(&Value::from(vec![2i64, 1]))
+        );
+        // Object literal equality keeps field order.
+        let b = QuerySpec::filter("t", doc! { "o" => doc! { "y" => 1i64, "x" => 2i64 } });
+        let normalized = normalize_spec(&b);
+        let keys: Vec<&str> = normalized.filter.get("o").unwrap().as_object().unwrap().keys().collect();
+        assert_eq!(keys, vec!["y", "x"]);
+    }
+
+    #[test]
+    fn normalization_preserves_semantics() {
+        let spec = QuerySpec::filter(
+            "t",
+            doc! {
+                "b" => doc! { "$lt" => 9i64, "$gt" => 5i64 },
+                "$or" => vec![
+                    Value::Object(doc! { "x" => 1i64 }),
+                    Value::Object(doc! { "y" => 2i64 }),
+                ],
+            },
+        );
+        let norm = normalize_spec(&spec);
+        let orig = crate::parse::parse_filter(&spec.filter).unwrap();
+        let canon = crate::parse::parse_filter(&norm.filter).unwrap();
+        for d in [
+            doc! { "b" => 7i64, "x" => 1i64 },
+            doc! { "b" => 7i64, "y" => 2i64 },
+            doc! { "b" => 7i64 },
+            doc! { "b" => 10i64, "x" => 1i64 },
+        ] {
+            assert_eq!(orig.matches(&d), canon.matches(&d), "doc {d}");
+        }
+    }
+}

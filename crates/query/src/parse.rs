@@ -1,0 +1,394 @@
+//! Parses MongoDB-style filter documents into the [`Filter`] AST.
+
+use crate::filter::{FieldPred, Filter};
+use crate::geo::{GeoShape, Point};
+use crate::regex::Regex;
+use crate::text::TextQuery;
+use invalidb_common::{Document, Value};
+use std::fmt;
+
+/// Filter parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FilterParseError {
+    /// What is wrong with the filter document.
+    pub message: String,
+}
+
+impl FilterParseError {
+    fn new(message: impl Into<String>) -> Self {
+        Self { message: message.into() }
+    }
+}
+
+impl fmt::Display for FilterParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid filter: {}", self.message)
+    }
+}
+
+impl std::error::Error for FilterParseError {}
+
+type Result<T> = std::result::Result<T, FilterParseError>;
+
+/// Parses a filter document (e.g. `{age: {$gte: 18}, $or: [...]}`).
+pub fn parse_filter(doc: &Document) -> Result<Filter> {
+    let mut clauses = Vec::new();
+    for (key, value) in doc.iter() {
+        match key {
+            "$and" => clauses.push(Filter::And(parse_filter_list(value, "$and")?)),
+            "$or" => clauses.push(Filter::Or(parse_filter_list(value, "$or")?)),
+            "$nor" => clauses.push(Filter::Nor(parse_filter_list(value, "$nor")?)),
+            "$text" => clauses.push(parse_text(value)?),
+            k if k.starts_with('$') => {
+                return Err(FilterParseError::new(format!("unsupported top-level operator `{k}`")));
+            }
+            path => clauses.push(parse_field(path, value)?),
+        }
+    }
+    Ok(match clauses.len() {
+        0 => Filter::True,
+        1 => clauses.pop().expect("one clause"),
+        _ => Filter::And(clauses),
+    })
+}
+
+fn parse_filter_list(value: &Value, op: &str) -> Result<Vec<Filter>> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| FilterParseError::new(format!("`{op}` expects an array")))?;
+    if items.is_empty() {
+        return Err(FilterParseError::new(format!("`{op}` must not be empty")));
+    }
+    items
+        .iter()
+        .map(|v| {
+            v.as_object()
+                .ok_or_else(|| FilterParseError::new(format!("`{op}` operands must be objects")))
+                .and_then(parse_filter)
+        })
+        .collect()
+}
+
+fn parse_text(value: &Value) -> Result<Filter> {
+    let obj = value.as_object().ok_or_else(|| FilterParseError::new("`$text` expects an object"))?;
+    let search = obj
+        .get("$search")
+        .and_then(Value::as_str)
+        .ok_or_else(|| FilterParseError::new("`$text` requires a `$search` string"))?;
+    Ok(Filter::Text(TextQuery::parse(search)))
+}
+
+fn parse_field(path: &str, value: &Value) -> Result<Filter> {
+    let preds = match value {
+        Value::Object(obj) if has_operator_keys(obj) => parse_pred_object(obj)?,
+        literal => vec![FieldPred::Eq(literal.clone())],
+    };
+    Ok(Filter::Field { path: path.to_owned(), preds })
+}
+
+fn has_operator_keys(obj: &Document) -> bool {
+    obj.keys().any(|k| k.starts_with('$'))
+}
+
+/// Parses an operator object like `{$gt: 5, $lt: 9}` into predicates.
+fn parse_pred_object(obj: &Document) -> Result<Vec<FieldPred>> {
+    if !obj.keys().all(|k| k.starts_with('$')) {
+        return Err(FilterParseError::new(
+            "cannot mix operators and plain fields in one predicate object",
+        ));
+    }
+    let mut preds = Vec::with_capacity(obj.len());
+    // `$options` and `$maxDistance` are consumed by their partner operators.
+    for (op, v) in obj.iter() {
+        match op {
+            "$eq" => preds.push(FieldPred::Eq(v.clone())),
+            "$ne" => preds.push(FieldPred::Ne(v.clone())),
+            "$gt" => preds.push(FieldPred::Gt(v.clone())),
+            "$gte" => preds.push(FieldPred::Gte(v.clone())),
+            "$lt" => preds.push(FieldPred::Lt(v.clone())),
+            "$lte" => preds.push(FieldPred::Lte(v.clone())),
+            "$in" => preds.push(FieldPred::In(expect_array(v, "$in")?)),
+            "$nin" => preds.push(FieldPred::Nin(expect_array(v, "$nin")?)),
+            "$exists" => preds.push(FieldPred::Exists(expect_bool_ish(v)?)),
+            "$mod" => {
+                let arr = expect_array(v, "$mod")?;
+                if arr.len() != 2 {
+                    return Err(FilterParseError::new("`$mod` expects [divisor, remainder]"));
+                }
+                let d = arr[0].as_i64().ok_or_else(|| FilterParseError::new("`$mod` divisor must be an integer"))?;
+                let r = arr[1].as_i64().ok_or_else(|| FilterParseError::new("`$mod` remainder must be an integer"))?;
+                if d == 0 {
+                    return Err(FilterParseError::new("`$mod` divisor must not be zero"));
+                }
+                preds.push(FieldPred::Mod(d, r));
+            }
+            "$size" => {
+                let n = v.as_i64().filter(|n| *n >= 0).ok_or_else(|| {
+                    FilterParseError::new("`$size` expects a non-negative integer")
+                })?;
+                preds.push(FieldPred::Size(n));
+            }
+            "$all" => preds.push(FieldPred::All(expect_array(v, "$all")?)),
+            "$elemMatch" => {
+                let inner = v
+                    .as_object()
+                    .ok_or_else(|| FilterParseError::new("`$elemMatch` expects an object"))?;
+                if has_operator_keys(inner) {
+                    preds.push(FieldPred::ElemMatchPreds(parse_pred_object(inner)?));
+                } else {
+                    preds.push(FieldPred::ElemMatchFilter(Box::new(parse_filter(inner)?)));
+                }
+            }
+            "$regex" => {
+                let pattern = v
+                    .as_str()
+                    .ok_or_else(|| FilterParseError::new("`$regex` expects a pattern string"))?;
+                let flags = obj.get("$options").and_then(Value::as_str).unwrap_or("");
+                let re = Regex::compile(pattern, flags)
+                    .map_err(|e| FilterParseError::new(format!("`$regex`: {e}")))?;
+                preds.push(FieldPred::Regex(re));
+            }
+            "$options" => {
+                if !obj.contains_key("$regex") {
+                    return Err(FilterParseError::new("`$options` requires `$regex`"));
+                }
+            }
+            "$not" => match v {
+                Value::Object(inner) if has_operator_keys(inner) => {
+                    preds.push(FieldPred::Not(parse_pred_object(inner)?));
+                }
+                Value::String(pattern) => {
+                    // MongoDB also allows `$not: /regex/`; our wire form is a string.
+                    let re = Regex::compile(pattern, "")
+                        .map_err(|e| FilterParseError::new(format!("`$not` regex: {e}")))?;
+                    preds.push(FieldPred::Not(vec![FieldPred::Regex(re)]));
+                }
+                _ => return Err(FilterParseError::new("`$not` expects an operator object or regex")),
+            },
+            "$type" => {
+                let name = v
+                    .as_str()
+                    .ok_or_else(|| FilterParseError::new("`$type` expects a type name string"))?;
+                const KNOWN: &[&str] = &["null", "bool", "int", "float", "string", "array", "object"];
+                if !KNOWN.contains(&name) {
+                    return Err(FilterParseError::new(format!("unknown `$type` name `{name}`")));
+                }
+                preds.push(FieldPred::Type(name.to_owned()));
+            }
+            "$geoWithin" => preds.push(FieldPred::GeoWithin(parse_geo_within(v)?)),
+            "$nearSphere" => {
+                let center = Point::parse(v)
+                    .ok_or_else(|| FilterParseError::new("`$nearSphere` expects a point"))?;
+                let max = obj
+                    .get("$maxDistance")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| FilterParseError::new("`$nearSphere` requires `$maxDistance` (meters)"))?;
+                preds.push(FieldPred::NearSphere { center, max_distance_m: max });
+            }
+            "$maxDistance" => {
+                if !obj.contains_key("$nearSphere") {
+                    return Err(FilterParseError::new("`$maxDistance` requires `$nearSphere`"));
+                }
+            }
+            other => return Err(FilterParseError::new(format!("unsupported operator `{other}`"))),
+        }
+    }
+    Ok(preds)
+}
+
+fn parse_geo_within(v: &Value) -> Result<GeoShape> {
+    let obj = v.as_object().ok_or_else(|| FilterParseError::new("`$geoWithin` expects an object"))?;
+    if let Some(b) = obj.get("$box") {
+        let pts = parse_points(b, 2, "$box")?;
+        return Ok(GeoShape::Box { min: pts[0], max: pts[1] });
+    }
+    if let Some(c) = obj.get("$center") {
+        let (center, radius) = parse_circle(c, "$center")?;
+        return Ok(GeoShape::Center { center, radius_deg: radius });
+    }
+    if let Some(c) = obj.get("$centerSphere") {
+        let (center, radius) = parse_circle(c, "$centerSphere")?;
+        return Ok(GeoShape::CenterSphere { center, radius_rad: radius });
+    }
+    if let Some(p) = obj.get("$polygon") {
+        let arr = p
+            .as_array()
+            .ok_or_else(|| FilterParseError::new("`$polygon` expects an array of points"))?;
+        if arr.len() < 3 {
+            return Err(FilterParseError::new("`$polygon` needs at least 3 vertices"));
+        }
+        let vertices = arr
+            .iter()
+            .map(|v| Point::parse(v).ok_or_else(|| FilterParseError::new("invalid `$polygon` vertex")))
+            .collect::<Result<Vec<_>>>()?;
+        return Ok(GeoShape::Polygon { vertices });
+    }
+    Err(FilterParseError::new("`$geoWithin` needs $box, $center, $centerSphere or $polygon"))
+}
+
+fn parse_points(v: &Value, n: usize, op: &str) -> Result<Vec<Point>> {
+    let arr = v.as_array().ok_or_else(|| FilterParseError::new(format!("`{op}` expects an array")))?;
+    if arr.len() != n {
+        return Err(FilterParseError::new(format!("`{op}` expects {n} points")));
+    }
+    arr.iter()
+        .map(|v| Point::parse(v).ok_or_else(|| FilterParseError::new(format!("invalid point in `{op}`"))))
+        .collect()
+}
+
+fn parse_circle(v: &Value, op: &str) -> Result<(Point, f64)> {
+    let arr = v.as_array().ok_or_else(|| FilterParseError::new(format!("`{op}` expects [center, radius]")))?;
+    if arr.len() != 2 {
+        return Err(FilterParseError::new(format!("`{op}` expects [center, radius]")));
+    }
+    let center = Point::parse(&arr[0]).ok_or_else(|| FilterParseError::new(format!("invalid center in `{op}`")))?;
+    let radius = arr[1]
+        .as_f64()
+        .filter(|r| *r >= 0.0)
+        .ok_or_else(|| FilterParseError::new(format!("invalid radius in `{op}`")))?;
+    Ok((center, radius))
+}
+
+fn expect_array(v: &Value, op: &str) -> Result<Vec<Value>> {
+    v.as_array()
+        .map(|a| a.to_vec())
+        .ok_or_else(|| FilterParseError::new(format!("`{op}` expects an array")))
+}
+
+fn expect_bool_ish(v: &Value) -> Result<bool> {
+    match v {
+        Value::Bool(b) => Ok(*b),
+        Value::Int(i) => Ok(*i != 0),
+        _ => Err(FilterParseError::new("`$exists` expects a boolean")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_common::doc;
+
+    fn matches(filter_json: &str, doc_json: &str) -> bool {
+        let filter_doc = invalidb_json::parse_document(filter_json).unwrap();
+        let doc = invalidb_json::parse_document(doc_json).unwrap();
+        parse_filter(&filter_doc).unwrap().matches(&doc)
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        assert!(matches("{}", r#"{"a": 1}"#));
+    }
+
+    #[test]
+    fn implicit_and_across_fields() {
+        assert!(matches(r#"{"a": 1, "b": {"$gt": 5}}"#, r#"{"a": 1, "b": 9}"#));
+        assert!(!matches(r#"{"a": 1, "b": {"$gt": 5}}"#, r#"{"a": 1, "b": 3}"#));
+    }
+
+    #[test]
+    fn logical_operators() {
+        let q = r#"{"$or": [{"a": 1}, {"$and": [{"b": 2}, {"c": 3}]}]}"#;
+        assert!(matches(q, r#"{"a": 1}"#));
+        assert!(matches(q, r#"{"b": 2, "c": 3}"#));
+        assert!(!matches(q, r#"{"b": 2}"#));
+        assert!(matches(r#"{"$nor": [{"a": 1}]}"#, r#"{"a": 2}"#));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert!(matches(r#"{"n": {"$gte": 10, "$lt": 20}}"#, r#"{"n": 10}"#));
+        assert!(!matches(r#"{"n": {"$gte": 10, "$lt": 20}}"#, r#"{"n": 20}"#));
+        assert!(matches(r#"{"n": {"$ne": 5}}"#, r#"{"n": 4}"#));
+        assert!(matches(r#"{"n": {"$in": [1, 2, 3]}}"#, r#"{"n": 2}"#));
+        assert!(matches(r#"{"n": {"$nin": [1, 2]}}"#, r#"{"n": 9}"#));
+    }
+
+    #[test]
+    fn regex_with_options() {
+        assert!(matches(r#"{"name": {"$regex": "^wing", "$options": "i"}}"#, r#"{"name": "Wingerath"}"#));
+        assert!(!matches(r#"{"name": {"$regex": "^wing"}}"#, r#"{"name": "Wingerath"}"#));
+    }
+
+    #[test]
+    fn elem_match_both_forms() {
+        let scalar = r#"{"scores": {"$elemMatch": {"$gte": 80, "$lt": 90}}}"#;
+        assert!(matches(scalar, r#"{"scores": [70, 85]}"#));
+        assert!(!matches(scalar, r#"{"scores": [70, 95]}"#));
+        let object = r#"{"items": {"$elemMatch": {"qty": {"$gt": 5}, "sku": "x"}}}"#;
+        assert!(matches(object, r#"{"items": [{"sku": "x", "qty": 7}]}"#));
+        assert!(!matches(object, r#"{"items": [{"sku": "x", "qty": 1}, {"sku": "y", "qty": 9}]}"#));
+    }
+
+    #[test]
+    fn text_operator() {
+        assert!(matches(r#"{"$text": {"$search": "coffee"}}"#, r#"{"title": "Coffee time"}"#));
+        assert!(!matches(r#"{"$text": {"$search": "-coffee tea"}}"#, r#"{"title": "coffee tea"}"#));
+    }
+
+    #[test]
+    fn geo_operators() {
+        let q = r#"{"loc": {"$geoWithin": {"$box": [[0, 0], [10, 10]]}}}"#;
+        assert!(matches(q, r#"{"loc": [5, 5]}"#));
+        assert!(!matches(q, r#"{"loc": [15, 5]}"#));
+        let near = r#"{"loc": {"$nearSphere": [10.0, 53.5], "$maxDistance": 50000}}"#;
+        assert!(matches(near, r#"{"loc": [10.1, 53.6]}"#));
+        assert!(!matches(near, r#"{"loc": [0.0, 0.0]}"#));
+        let poly = r#"{"loc": {"$geoWithin": {"$polygon": [[0,0],[4,0],[4,4],[0,4]]}}}"#;
+        assert!(matches(poly, r#"{"loc": [2, 2]}"#));
+    }
+
+    #[test]
+    fn not_operator() {
+        assert!(matches(r#"{"n": {"$not": {"$gt": 5}}}"#, r#"{"n": 3}"#));
+        assert!(!matches(r#"{"n": {"$not": {"$gt": 5}}}"#, r#"{"n": 9}"#));
+        assert!(matches(r#"{"name": {"$not": "^a"}}"#, r#"{"name": "beta"}"#));
+    }
+
+    #[test]
+    fn exists_and_type() {
+        assert!(matches(r#"{"a": {"$exists": true}}"#, r#"{"a": null}"#));
+        assert!(matches(r#"{"b": {"$exists": false}}"#, r#"{"a": 1}"#));
+        assert!(matches(r#"{"a": {"$type": "string"}}"#, r#"{"a": "x"}"#));
+        assert!(!matches(r#"{"a": {"$type": "int"}}"#, r#"{"a": "x"}"#));
+    }
+
+    #[test]
+    fn parse_errors() {
+        let bad = |s: &str| {
+            let d = invalidb_json::parse_document(s).unwrap();
+            parse_filter(&d).unwrap_err()
+        };
+        bad(r#"{"$or": []}"#);
+        bad(r#"{"$or": "nope"}"#);
+        bad(r#"{"$unknownTop": 1}"#);
+        bad(r#"{"a": {"$bogus": 1}}"#);
+        bad(r#"{"a": {"$in": 5}}"#);
+        bad(r#"{"a": {"$mod": [0, 1]}}"#);
+        bad(r#"{"a": {"$mod": [3]}}"#);
+        bad(r#"{"a": {"$size": -1}}"#);
+        bad(r#"{"a": {"$regex": "("}}"#);
+        bad(r#"{"a": {"$options": "i"}}"#);
+        bad(r#"{"a": {"$gt": 5, "plain": 1}}"#);
+        bad(r#"{"a": {"$nearSphere": [0, 0]}}"#);
+        bad(r#"{"a": {"$type": "decimal128"}}"#);
+        bad(r#"{"$text": {}}"#);
+        bad(r#"{"a": {"$geoWithin": {"$polygon": [[0,0],[1,1]]}}}"#);
+    }
+
+    #[test]
+    fn object_literal_without_operators_is_exact_equality() {
+        // {a: {b: 1}} is equality against the whole object, not a path match.
+        assert!(matches(r#"{"a": {"b": 1}}"#, r#"{"a": {"b": 1}}"#));
+        assert!(!matches(r#"{"a": {"b": 1}}"#, r#"{"a": {"b": 1, "c": 2}}"#));
+    }
+
+    #[test]
+    fn paper_benchmark_query_shape() {
+        // SELECT * FROM test WHERE random >= i AND random < j (§6.1).
+        let q = r#"{"random": {"$gte": 100, "$lt": 200}}"#;
+        assert!(matches(q, r#"{"random": 150}"#));
+        assert!(!matches(q, r#"{"random": 200}"#));
+        assert!(!matches(q, r#"{"random": 99}"#));
+        let _ = doc! {}; // keep the doc! import exercised
+    }
+}

@@ -1,0 +1,645 @@
+//! Backtracking regular-expression engine for the `$regex` operator.
+//!
+//! The paper's MongoDB-compatible query engine supports content-based
+//! filtering through regular expressions (§5.4); this module implements the
+//! commonly used subset from scratch (no external dependency):
+//!
+//! * literals, `.` (any char except newline), escapes `\d \D \w \W \s \S`
+//!   and escaped metacharacters;
+//! * character classes `[a-z0-9_]`, negated classes `[^...]`, ranges;
+//! * quantifiers `* + ?` and bounded `{m}`, `{m,}`, `{m,n}` (greedy);
+//! * alternation `|` and groups `(...)` (non-capturing semantics);
+//! * anchors `^` and `$`;
+//! * the `i` flag for ASCII-case-insensitive matching.
+//!
+//! Matching is unanchored by default (`is_match` searches all start
+//! positions), like MongoDB's `$regex`. A fuel counter bounds backtracking
+//! so adversarial patterns cannot wedge a matching node.
+
+use std::cell::Cell;
+use std::fmt;
+
+/// Maximum number of backtracking steps before a match attempt is abandoned
+/// (treated as "no match"). Generous for real queries, small enough to keep
+/// the matching node responsive under catastrophic patterns.
+const MATCH_FUEL: u64 = 1_000_000;
+
+/// A compiled regular expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Regex {
+    pattern: String,
+    case_insensitive: bool,
+    node: Node,
+    anchored_start: bool,
+}
+
+/// Regex compilation error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Description of the syntax problem.
+    pub message: String,
+    /// Byte offset in the pattern.
+    pub offset: usize,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid regex at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Empty,
+    Char(char),
+    AnyChar,
+    Class { negated: bool, items: Vec<ClassItem> },
+    Concat(Vec<Node>),
+    Alternate(Vec<Node>),
+    Repeat { node: Box<Node>, min: u32, max: Option<u32> },
+    StartAnchor,
+    EndAnchor,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ClassItem {
+    Char(char),
+    Range(char, char),
+    Digit(bool),
+    Word(bool),
+    Space(bool),
+}
+
+impl Regex {
+    /// Compiles a pattern. `flags` currently understands `i`.
+    pub fn compile(pattern: &str, flags: &str) -> Result<Regex, RegexError> {
+        let case_insensitive = flags.contains('i');
+        let mut p = PatternParser { chars: pattern.chars().collect(), pos: 0 };
+        let node = p.alternation()?;
+        if p.pos != p.chars.len() {
+            return Err(p.err("unexpected `)`"));
+        }
+        let anchored_start = starts_with_anchor(&node);
+        Ok(Regex { pattern: pattern.to_owned(), case_insensitive, node, anchored_start })
+    }
+
+    /// The original pattern text.
+    pub fn pattern(&self) -> &str {
+        &self.pattern
+    }
+
+    /// True when the regex matches anywhere within `text`.
+    pub fn is_match(&self, text: &str) -> bool {
+        let chars: Vec<char> = if self.case_insensitive {
+            text.chars().map(|c| c.to_ascii_lowercase()).collect()
+        } else {
+            text.chars().collect()
+        };
+        let fuel = Cell::new(MATCH_FUEL);
+        if self.anchored_start {
+            return self.try_at(&chars, 0, &fuel);
+        }
+        for start in 0..=chars.len() {
+            if self.try_at(&chars, start, &fuel) {
+                return true;
+            }
+            if fuel.get() == 0 {
+                return false;
+            }
+        }
+        false
+    }
+
+    fn try_at(&self, text: &[char], start: usize, fuel: &Cell<u64>) -> bool {
+        let ci = self.case_insensitive;
+        matches_node(&self.node, text, start, ci, fuel, &mut |_pos| true)
+    }
+}
+
+fn starts_with_anchor(node: &Node) -> bool {
+    match node {
+        Node::StartAnchor => true,
+        Node::Concat(nodes) => nodes.first().is_some_and(starts_with_anchor),
+        Node::Alternate(branches) => branches.iter().all(starts_with_anchor),
+        _ => false,
+    }
+}
+
+/// Continuation-passing backtracking matcher. `k` receives the position
+/// after this node matched; returning `true` commits the match.
+fn matches_node(
+    node: &Node,
+    text: &[char],
+    pos: usize,
+    ci: bool,
+    fuel: &Cell<u64>,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if fuel.get() == 0 {
+        return false;
+    }
+    fuel.set(fuel.get() - 1);
+    match node {
+        Node::Empty => k(pos),
+        Node::Char(c) => {
+            let want = if ci { c.to_ascii_lowercase() } else { *c };
+            if pos < text.len() && text[pos] == want {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Node::AnyChar => {
+            if pos < text.len() && text[pos] != '\n' {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Node::Class { negated, items } => {
+            if pos >= text.len() {
+                return false;
+            }
+            let c = text[pos];
+            let mut hit = items.iter().any(|item| class_item_matches(*item, c, ci));
+            if *negated {
+                hit = !hit;
+            }
+            if hit {
+                k(pos + 1)
+            } else {
+                false
+            }
+        }
+        Node::StartAnchor => {
+            if pos == 0 {
+                k(pos)
+            } else {
+                false
+            }
+        }
+        Node::EndAnchor => {
+            if pos == text.len() {
+                k(pos)
+            } else {
+                false
+            }
+        }
+        Node::Concat(nodes) => matches_seq(nodes, text, pos, ci, fuel, k),
+        Node::Alternate(branches) => {
+            for b in branches {
+                if matches_node(b, text, pos, ci, fuel, k) {
+                    return true;
+                }
+                if fuel.get() == 0 {
+                    return false;
+                }
+            }
+            false
+        }
+        Node::Repeat { node, min, max } => {
+            matches_repeat(node, *min, *max, text, pos, ci, fuel, k)
+        }
+    }
+}
+
+fn matches_seq(
+    nodes: &[Node],
+    text: &[char],
+    pos: usize,
+    ci: bool,
+    fuel: &Cell<u64>,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    match nodes.split_first() {
+        None => k(pos),
+        Some((head, rest)) => matches_node(head, text, pos, ci, fuel, &mut |next| {
+            matches_seq(rest, text, next, ci, fuel, k)
+        }),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn matches_repeat(
+    node: &Node,
+    min: u32,
+    max: Option<u32>,
+    text: &[char],
+    pos: usize,
+    ci: bool,
+    fuel: &Cell<u64>,
+    k: &mut dyn FnMut(usize) -> bool,
+) -> bool {
+    if fuel.get() == 0 {
+        return false;
+    }
+    if min > 0 {
+        return matches_node(node, text, pos, ci, fuel, &mut |next| {
+            // A mandatory repetition that consumed nothing would loop forever.
+            if next == pos {
+                return k(next);
+            }
+            matches_repeat(node, min - 1, max.map(|m| m.saturating_sub(1)), text, next, ci, fuel, k)
+        });
+    }
+    // Greedy: try one more repetition first, then fall back to continuing.
+    if max != Some(0) {
+        let matched_more = matches_node(node, text, pos, ci, fuel, &mut |next| {
+            if next == pos {
+                // Zero-width repetition: stop expanding to guarantee progress.
+                return false;
+            }
+            matches_repeat(node, 0, max.map(|m| m - 1), text, next, ci, fuel, k)
+        });
+        if matched_more {
+            return true;
+        }
+    }
+    k(pos)
+}
+
+fn class_item_matches(item: ClassItem, c: char, ci: bool) -> bool {
+    match item {
+        ClassItem::Char(want) => {
+            if ci {
+                want.to_ascii_lowercase() == c
+            } else {
+                want == c
+            }
+        }
+        ClassItem::Range(lo, hi) => {
+            if ci && lo.is_ascii_alphabetic() && hi.is_ascii_alphabetic() {
+                let cl = c.to_ascii_lowercase();
+                (lo.to_ascii_lowercase()..=hi.to_ascii_lowercase()).contains(&cl)
+            } else {
+                (lo..=hi).contains(&c)
+            }
+        }
+        ClassItem::Digit(neg) => c.is_ascii_digit() != neg,
+        ClassItem::Word(neg) => (c.is_ascii_alphanumeric() || c == '_') != neg,
+        ClassItem::Space(neg) => c.is_whitespace() != neg,
+    }
+}
+
+struct PatternParser {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl PatternParser {
+    fn err(&self, msg: &str) -> RegexError {
+        RegexError { message: msg.to_owned(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn alternation(&mut self) -> Result<Node, RegexError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some('|') {
+            self.pos += 1;
+            branches.push(self.concat()?);
+        }
+        if branches.len() == 1 {
+            Ok(branches.pop().expect("one branch"))
+        } else {
+            Ok(Node::Alternate(branches))
+        }
+    }
+
+    fn concat(&mut self) -> Result<Node, RegexError> {
+        let mut nodes = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            nodes.push(self.repeatable()?);
+        }
+        match nodes.len() {
+            0 => Ok(Node::Empty),
+            1 => Ok(nodes.pop().expect("one node")),
+            _ => Ok(Node::Concat(nodes)),
+        }
+    }
+
+    fn repeatable(&mut self) -> Result<Node, RegexError> {
+        let atom = self.atom()?;
+        let node = match self.peek() {
+            Some('*') => {
+                self.pos += 1;
+                Node::Repeat { node: Box::new(atom), min: 0, max: None }
+            }
+            Some('+') => {
+                self.pos += 1;
+                Node::Repeat { node: Box::new(atom), min: 1, max: None }
+            }
+            Some('?') => {
+                self.pos += 1;
+                Node::Repeat { node: Box::new(atom), min: 0, max: Some(1) }
+            }
+            Some('{') => {
+                // Only a `{` immediately followed by a digit opens a
+                // quantifier; otherwise it is a literal (like `a{b`). A
+                // malformed quantifier that *does* start with a digit is a
+                // hard error (`a{5,2}`) rather than silently literal.
+                if self.chars.get(self.pos + 1).is_some_and(|c| c.is_ascii_digit()) {
+                    self.bounded_repeat(atom)?
+                } else {
+                    atom
+                }
+            }
+            _ => atom,
+        };
+        if matches!(self.peek(), Some('*') | Some('+')) {
+            return Err(self.err("nested quantifier"));
+        }
+        Ok(node)
+    }
+
+    fn bounded_repeat(&mut self, atom: Node) -> Result<Node, RegexError> {
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.pos += 1;
+        let min = self.number()?;
+        let max = match self.peek() {
+            Some(',') => {
+                self.pos += 1;
+                if self.peek() == Some('}') {
+                    None
+                } else {
+                    Some(self.number()?)
+                }
+            }
+            _ => Some(min),
+        };
+        if self.bump() != Some('}') {
+            return Err(self.err("expected `}`"));
+        }
+        if let Some(max) = max {
+            if max < min {
+                return Err(self.err("repeat bound max < min"));
+            }
+        }
+        if min > 1000 || max.unwrap_or(0) > 1000 {
+            return Err(self.err("repeat bound too large"));
+        }
+        Ok(Node::Repeat { node: Box::new(atom), min, max })
+    }
+
+    fn number(&mut self) -> Result<u32, RegexError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some('0'..='9')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(self.err("expected number"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        text.parse().map_err(|_| self.err("number too large"))
+    }
+
+    fn atom(&mut self) -> Result<Node, RegexError> {
+        match self.bump() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some('(') => {
+                // Treat `(?:` as a plain group.
+                if self.peek() == Some('?') {
+                    self.pos += 1;
+                    if self.bump() != Some(':') {
+                        return Err(self.err("only (?: groups are supported"));
+                    }
+                }
+                let inner = self.alternation()?;
+                if self.bump() != Some(')') {
+                    return Err(self.err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.class(),
+            Some('.') => Ok(Node::AnyChar),
+            Some('^') => Ok(Node::StartAnchor),
+            Some('$') => Ok(Node::EndAnchor),
+            Some('\\') => self.escape(),
+            Some(c @ ('*' | '+' | '?')) => Err(self.err(&format!("dangling quantifier `{c}`"))),
+            Some(c) => Ok(Node::Char(c)),
+        }
+    }
+
+    fn escape(&mut self) -> Result<Node, RegexError> {
+        match self.bump() {
+            None => Err(self.err("trailing backslash")),
+            Some('d') => Ok(Node::Class { negated: false, items: vec![ClassItem::Digit(false)] }),
+            Some('D') => Ok(Node::Class { negated: false, items: vec![ClassItem::Digit(true)] }),
+            Some('w') => Ok(Node::Class { negated: false, items: vec![ClassItem::Word(false)] }),
+            Some('W') => Ok(Node::Class { negated: false, items: vec![ClassItem::Word(true)] }),
+            Some('s') => Ok(Node::Class { negated: false, items: vec![ClassItem::Space(false)] }),
+            Some('S') => Ok(Node::Class { negated: false, items: vec![ClassItem::Space(true)] }),
+            Some('n') => Ok(Node::Char('\n')),
+            Some('t') => Ok(Node::Char('\t')),
+            Some('r') => Ok(Node::Char('\r')),
+            Some(c) if !c.is_ascii_alphanumeric() => Ok(Node::Char(c)),
+            Some(c) => Err(self.err(&format!("unknown escape `\\{c}`"))),
+        }
+    }
+
+    fn class(&mut self) -> Result<Node, RegexError> {
+        let negated = if self.peek() == Some('^') {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        let mut items = Vec::new();
+        loop {
+            let c = match self.bump() {
+                None => return Err(self.err("unclosed character class")),
+                Some(']') if !items.is_empty() || negated => break,
+                Some(']') if items.is_empty() => {
+                    // `[]` would be empty; treat leading `]` as literal.
+                    ']'
+                }
+                Some('\\') => match self.bump() {
+                    None => return Err(self.err("trailing backslash in class")),
+                    Some('d') => {
+                        items.push(ClassItem::Digit(false));
+                        continue;
+                    }
+                    Some('D') => {
+                        items.push(ClassItem::Digit(true));
+                        continue;
+                    }
+                    Some('w') => {
+                        items.push(ClassItem::Word(false));
+                        continue;
+                    }
+                    Some('W') => {
+                        items.push(ClassItem::Word(true));
+                        continue;
+                    }
+                    Some('s') => {
+                        items.push(ClassItem::Space(false));
+                        continue;
+                    }
+                    Some('S') => {
+                        items.push(ClassItem::Space(true));
+                        continue;
+                    }
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some('r') => '\r',
+                    Some(c) => c,
+                },
+                Some(c) => c,
+            };
+            // Possible range `a-z` (but `-` before `]` is literal).
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).is_some_and(|n| *n != ']') {
+                self.pos += 1;
+                let hi = match self.bump() {
+                    None => return Err(self.err("unclosed character class")),
+                    Some('\\') => self.bump().ok_or_else(|| self.err("trailing backslash"))?,
+                    Some(c) => c,
+                };
+                if hi < c {
+                    return Err(self.err("invalid range in class"));
+                }
+                items.push(ClassItem::Range(c, hi));
+            } else {
+                items.push(ClassItem::Char(c));
+            }
+        }
+        Ok(Node::Class { negated, items })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pattern: &str, text: &str) -> bool {
+        Regex::compile(pattern, "").unwrap().is_match(text)
+    }
+
+    #[test]
+    fn literals_and_search_semantics() {
+        assert!(m("abc", "xxabcxx"));
+        assert!(!m("abc", "ab c"));
+        assert!(m("", "anything"));
+    }
+
+    #[test]
+    fn anchors() {
+        assert!(m("^abc", "abcdef"));
+        assert!(!m("^abc", "xabc"));
+        assert!(m("def$", "abcdef"));
+        assert!(!m("def$", "defx"));
+        assert!(m("^abc$", "abc"));
+        assert!(!m("^abc$", "abcd"));
+    }
+
+    #[test]
+    fn dot_and_classes() {
+        assert!(m("a.c", "abc"));
+        assert!(!m("a.c", "a\nc"));
+        assert!(m("[abc]+", "zzbz"));
+        assert!(m("[a-f0-9]+", "deadbeef"));
+        assert!(!m("[^a-z]", "abc"));
+        assert!(m("[^a-z]", "abc1"));
+        assert!(m("[]x]", "]"));
+        assert!(m("[a-]", "-"));
+    }
+
+    #[test]
+    fn escapes() {
+        assert!(m(r"\d{3}", "ab123"));
+        assert!(!m(r"^\d+$", "12a"));
+        assert!(m(r"\w+@\w+\.com", "mail me at bob@example.com please"));
+        assert!(m(r"\s", "a b"));
+        assert!(m(r"\$\d+", "$15"));
+        assert!(m(r"a\.b", "a.b"));
+        assert!(!m(r"a\.b", "axb"));
+    }
+
+    #[test]
+    fn quantifiers() {
+        assert!(m("ab*c", "ac"));
+        assert!(m("ab*c", "abbbc"));
+        assert!(m("ab+c", "abc"));
+        assert!(!m("ab+c", "ac"));
+        assert!(m("ab?c", "ac"));
+        assert!(m("ab?c", "abc"));
+        assert!(!m("ab?c", "abbc"));
+        assert!(m("a{3}", "aaa"));
+        assert!(!m("^a{3}$", "aa"));
+        assert!(m("^a{2,}$", "aaaa"));
+        assert!(m("^a{1,3}$", "aa"));
+        assert!(!m("^a{1,3}$", "aaaa"));
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        assert!(m("cat|dog", "hotdog"));
+        assert!(m("^(cat|dog)$", "cat"));
+        assert!(!m("^(cat|dog)$", "cow"));
+        assert!(m("^(ab)+$", "ababab"));
+        assert!(m("(?:x|y)z", "ayz"));
+        assert!(m("^a(b(c|d))?e$", "abce"));
+        assert!(m("^a(b(c|d))?e$", "ae"));
+    }
+
+    #[test]
+    fn case_insensitive_flag() {
+        let r = Regex::compile("^HeLLo$", "i").unwrap();
+        assert!(r.is_match("hello"));
+        assert!(r.is_match("HELLO"));
+        let r = Regex::compile("[a-z]+", "i").unwrap();
+        assert!(r.is_match("XYZ"));
+    }
+
+    #[test]
+    fn zero_width_repeat_terminates() {
+        assert!(m("(a*)*b", "b"));
+        assert!(m("(a?)*b", "aab"));
+    }
+
+    #[test]
+    fn catastrophic_pattern_bounded() {
+        // (a+)+$ on a long non-matching string is the classic blowup; the
+        // fuel bound must turn it into a plain "no match".
+        let r = Regex::compile("^(a+)+$", "").unwrap();
+        let text = "a".repeat(40) + "X";
+        assert!(!r.is_match(&text));
+    }
+
+    #[test]
+    fn compile_errors() {
+        assert!(Regex::compile("(", "").is_err());
+        assert!(Regex::compile(")", "").is_err());
+        assert!(Regex::compile("a**", "").is_err());
+        assert!(Regex::compile("*a", "").is_err());
+        assert!(Regex::compile("[a-", "").is_err());
+        assert!(Regex::compile("[z-a]", "").is_err());
+        assert!(Regex::compile("a{5,2}", "").is_err());
+        assert!(Regex::compile("a{2000}", "").is_err());
+        assert!(Regex::compile("\\q", "").is_err());
+    }
+
+    #[test]
+    fn literal_brace_fallback() {
+        assert!(m("a{b", "xa{bx"));
+        assert!(m("a{,2}", "a{,2}"));
+    }
+
+    #[test]
+    fn unicode_literals() {
+        assert!(m("héllo", "well héllo there"));
+        assert!(m("^.$", "é"));
+    }
+}

@@ -1,0 +1,206 @@
+//! `$text` full-text matching (§5.4).
+//!
+//! The pull-based MongoDB `$text` operator evaluates against a text index;
+//! for push-based matching the InvaliDB engine evaluates the search
+//! expression directly against the document's string content (recursively
+//! over all string fields — the equivalent of a wildcard text index).
+//!
+//! Search syntax follows MongoDB: whitespace-separated terms are OR-ed,
+//! `"quoted phrases"` must all occur, and `-term` negates. Matching is
+//! case-insensitive; tokens are unicode-alphanumeric runs.
+
+use invalidb_common::{Document, Value};
+
+/// A parsed `$search` expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextQuery {
+    /// OR-terms: at least one must occur (unless only phrases are given).
+    pub terms: Vec<String>,
+    /// Quoted phrases: all must occur as substrings (token-normalized).
+    pub phrases: Vec<String>,
+    /// Negated terms: none may occur.
+    pub negated: Vec<String>,
+}
+
+impl TextQuery {
+    /// Parses a `$search` string.
+    pub fn parse(search: &str) -> TextQuery {
+        let mut terms = Vec::new();
+        let mut phrases = Vec::new();
+        let mut negated = Vec::new();
+        let mut rest = search;
+        // Extract quoted phrases first.
+        while let Some(start) = rest.find('"') {
+            let before = &rest[..start];
+            collect_terms(before, &mut terms, &mut negated);
+            let after = &rest[start + 1..];
+            match after.find('"') {
+                Some(end) => {
+                    let phrase = normalize(&after[..end]);
+                    if !phrase.is_empty() {
+                        phrases.push(phrase);
+                    }
+                    rest = &after[end + 1..];
+                }
+                None => {
+                    // Unterminated quote: treat remainder as plain terms.
+                    rest = after;
+                    break;
+                }
+            }
+        }
+        collect_terms(rest, &mut terms, &mut negated);
+        TextQuery { terms, phrases, negated }
+    }
+
+    /// Evaluates the text query against a document.
+    pub fn matches(&self, doc: &Document) -> bool {
+        let haystack = normalize(&collect_strings(doc));
+        if self.negated.iter().any(|t| contains_token(&haystack, t)) {
+            return false;
+        }
+        if !self.phrases.iter().all(|p| haystack.contains(p.as_str())) {
+            return false;
+        }
+        if self.terms.is_empty() {
+            // Phrase-only (or empty) searches hinge on the phrases above.
+            return !self.phrases.is_empty();
+        }
+        self.terms.iter().any(|t| contains_token(&haystack, t))
+    }
+}
+
+fn collect_terms(text: &str, terms: &mut Vec<String>, negated: &mut Vec<String>) {
+    for raw in text.split_whitespace() {
+        if let Some(stripped) = raw.strip_prefix('-') {
+            let t = normalize(stripped);
+            if !t.is_empty() {
+                negated.push(t);
+            }
+        } else {
+            let t = normalize(raw);
+            if !t.is_empty() {
+                terms.push(t);
+            }
+        }
+    }
+}
+
+/// Lowercases and collapses non-alphanumerics to single spaces.
+fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_space = true;
+    for c in text.chars() {
+        if c.is_alphanumeric() {
+            out.extend(c.to_lowercase());
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Token-boundary containment: `needle` must appear as a whole token.
+fn contains_token(haystack: &str, needle: &str) -> bool {
+    haystack.split(' ').any(|tok| tok == needle)
+}
+
+/// Concatenates every string value in the document, recursively.
+fn collect_strings(doc: &Document) -> String {
+    let mut out = String::new();
+    collect_doc(doc, &mut out);
+    out
+}
+
+fn collect_doc(doc: &Document, out: &mut String) {
+    for (_, v) in doc.iter() {
+        collect_value(v, out);
+    }
+}
+
+fn collect_value(v: &Value, out: &mut String) {
+    match v {
+        Value::String(s) => {
+            out.push(' ');
+            out.push_str(s);
+        }
+        Value::Array(items) => items.iter().for_each(|v| collect_value(v, out)),
+        Value::Object(doc) => collect_doc(doc, out),
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_common::doc;
+
+    fn article(title: &str, body: &str) -> Document {
+        doc! { "title" => title, "body" => body, "views" => 7i64 }
+    }
+
+    #[test]
+    fn parse_splits_terms_phrases_negations() {
+        let q = TextQuery::parse(r#"coffee "french press" -decaf shop"#);
+        assert_eq!(q.terms, vec!["coffee", "shop"]);
+        assert_eq!(q.phrases, vec!["french press"]);
+        assert_eq!(q.negated, vec!["decaf"]);
+    }
+
+    #[test]
+    fn terms_are_or_semantics() {
+        let q = TextQuery::parse("espresso latte");
+        assert!(q.matches(&article("Best espresso in town", "")));
+        assert!(q.matches(&article("A latte a day", "")));
+        assert!(!q.matches(&article("Plain tea", "")));
+    }
+
+    #[test]
+    fn phrases_must_all_match() {
+        let q = TextQuery::parse(r#""french press" "cold brew""#);
+        assert!(q.matches(&article("French press and cold brew compared", "")));
+        assert!(!q.matches(&article("French press only", "")));
+    }
+
+    #[test]
+    fn negation_vetoes() {
+        let q = TextQuery::parse("coffee -decaf");
+        assert!(q.matches(&article("coffee roast", "")));
+        assert!(!q.matches(&article("decaf coffee", "")));
+    }
+
+    #[test]
+    fn matching_is_case_insensitive_and_tokenized() {
+        let q = TextQuery::parse("COFFEE");
+        assert!(q.matches(&article("Great Coffee!", "")));
+        // "coffeehouse" must not match the token "coffee".
+        assert!(!q.matches(&article("coffeehouse", "")));
+    }
+
+    #[test]
+    fn searches_nested_and_array_strings() {
+        let q = TextQuery::parse("hidden");
+        let d = doc! {
+            "meta" => doc! { "tags" => vec!["plain", "hidden"] },
+        };
+        assert!(q.matches(&d));
+    }
+
+    #[test]
+    fn unterminated_quote_degrades_to_terms() {
+        let q = TextQuery::parse(r#"a "b c"#);
+        assert_eq!(q.phrases, Vec::<String>::new());
+        assert_eq!(q.terms, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn empty_search_matches_nothing() {
+        let q = TextQuery::parse("");
+        assert!(!q.matches(&article("anything", "")));
+    }
+}

@@ -1,0 +1,349 @@
+//! The discrete-event engine.
+//!
+//! Each node is a FIFO single-server queue, so it suffices to process
+//! *arrivals* in global time order and track each node's next-free time:
+//! `completion = max(arrival, next_free) + service`. Downstream arrivals are
+//! scheduled at `completion + hop_delay`.
+
+use crate::model::SimParams;
+use invalidb_common::Histogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Outcome of one simulation run.
+#[derive(Debug)]
+pub struct SimResult {
+    /// End-to-end notification latency in microseconds.
+    pub latency_us: Histogram,
+    /// Peak utilization across matching nodes (busy time / duration).
+    pub max_matching_utilization: f64,
+    /// Notifications delivered.
+    pub notifications: u64,
+    /// Writes injected.
+    pub writes: u64,
+}
+
+impl SimResult {
+    /// 99th-percentile latency in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency_us.quantile(0.99) as f64 / 1_000.0
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        self.latency_us.mean() / 1_000.0
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Stage {
+    /// Write leaves the client (Quaestor: via app server first).
+    AppServerIn,
+    /// Write arrives at a write-ingestion node.
+    Ingest,
+    /// Write arrives at matching node `node` (grid task index).
+    Match { node: usize },
+    /// Notification arrives at the notifier.
+    Notifier,
+    /// Notification passes back through the app server (Quaestor).
+    AppServerOut,
+    /// Notification reaches the measuring client.
+    Client,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    at_us: u64,
+    seq: u64,
+    stage: Stage,
+    /// Origin write timestamp (µs) for latency measurement; `u64::MAX`
+    /// marks unmeasured traffic.
+    written_at_us: u64,
+    /// Matching node that will emit the notification for this write, if any.
+    notify_from: Option<usize>,
+    /// Write partition (column) of this write.
+    wp: usize,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at_us, self.seq) == (other.at_us, other.seq)
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_us, self.seq).cmp(&(other.at_us, other.seq))
+    }
+}
+
+/// Runs one deterministic simulation.
+pub fn simulate(params: &SimParams) -> SimResult {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let c = &params.costs;
+    let qp = params.query_partitions;
+    let wp = params.write_partitions;
+    let n_match = qp * wp;
+    let duration_us = (params.duration_s * 1e6) as u64;
+    let warmup_us = (params.duration_s * params.warmup_fraction * 1e6) as u64;
+
+    // next_free times (µs) per server.
+    let mut free_app: u64 = 0;
+    let mut free_ingest = vec![0u64; c.ingest_nodes.max(1)];
+    let mut free_match = vec![0u64; n_match];
+    let mut busy_match = vec![0u64; n_match];
+    let mut free_notifier: u64 = 0;
+
+    let mut heap: BinaryHeap<Reverse<Ev>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+
+    // Pre-generate Poisson write arrivals.
+    let mut t = 0.0f64;
+    let mut writes = 0u64;
+    let notify_prob = (params.matches_per_sec / params.writes_per_sec).clamp(0.0, 1.0);
+    while (t as u64) < duration_us {
+        let gap = -((1.0 - rng.gen::<f64>()).ln()) / params.writes_per_sec * 1e6;
+        t += gap;
+        let at = t as u64;
+        if at >= duration_us {
+            break;
+        }
+        writes += 1;
+        let measured = rng.gen::<f64>() < notify_prob;
+        let column = rng.gen_range(0..wp);
+        let notify_from = measured.then(|| rng.gen_range(0..qp) * wp + column);
+        // Client → (WebSocket to app server | event layer to ingest): one
+        // network hop either way; Quaestor then adds the app-server stage
+        // and the app-server→event-layer hop on top (≈5 ms total, §7.3).
+        let stage = if params.with_app_server { Stage::AppServerIn } else { Stage::Ingest };
+        let entry_at = at + hop(&mut rng, c);
+        heap.push(Reverse(Ev {
+            at_us: entry_at,
+            seq: bump(&mut seq),
+            stage,
+            written_at_us: if measured && at >= warmup_us { at } else { u64::MAX },
+            notify_from,
+            wp: column,
+        }));
+    }
+
+    let queries_per_node = params.queries_per_node();
+    let match_service_us =
+        ((c.base_overhead_s + c.write_overhead_s + queries_per_node * c.match_cost_s) * 1e6).max(1.0) as u64;
+    let ingest_service_us = (c.ingest_cost_s * 1e6).max(1.0) as u64;
+    let notifier_service_us = (c.notifier_cost_s * 1e6).max(1.0) as u64;
+    let app_service_us = (c.app_server_cost_s * 1e6).max(1.0) as u64;
+
+    let mut latency = Histogram::new();
+    let mut notifications = 0u64;
+    let mut rr_ingest = 0usize;
+
+    while let Some(Reverse(ev)) = heap.pop() {
+        match ev.stage {
+            Stage::AppServerIn => {
+                let done = serve(&mut free_app, ev.at_us, app_service_us);
+                heap.push(Reverse(Ev {
+                    at_us: done + hop(&mut rng, c),
+                    seq: bump(&mut seq),
+                    stage: Stage::Ingest,
+                    ..ev
+                }));
+            }
+            Stage::Ingest => {
+                let node = rr_ingest % free_ingest.len();
+                rr_ingest += 1;
+                let done = serve(&mut free_ingest[node], ev.at_us, ingest_service_us);
+                // Fan out to the full matching column (intra-cluster hop is
+                // cheap: half an event-layer hop).
+                for row in 0..qp {
+                    let node = row * wp + ev.wp;
+                    heap.push(Reverse(Ev {
+                        at_us: done + hop(&mut rng, c),
+                        seq: bump(&mut seq),
+                        stage: Stage::Match { node },
+                        ..ev
+                    }));
+                }
+            }
+            Stage::Match { node } => {
+                let done = serve(&mut free_match[node], ev.at_us, match_service_us);
+                busy_match[node] += match_service_us;
+                if ev.notify_from == Some(node) {
+                    heap.push(Reverse(Ev {
+                        at_us: done + hop(&mut rng, c),
+                        seq: bump(&mut seq),
+                        stage: Stage::Notifier,
+                        ..ev
+                    }));
+                }
+            }
+            Stage::Notifier => {
+                let done = serve(&mut free_notifier, ev.at_us, notifier_service_us);
+                let next = if params.with_app_server { Stage::AppServerOut } else { Stage::Client };
+                heap.push(Reverse(Ev {
+                    at_us: done + hop(&mut rng, c),
+                    seq: bump(&mut seq),
+                    stage: next,
+                    ..ev
+                }));
+            }
+            Stage::AppServerOut => {
+                let done = serve(&mut free_app, ev.at_us, app_service_us);
+                heap.push(Reverse(Ev {
+                    at_us: done + hop(&mut rng, c),
+                    seq: bump(&mut seq),
+                    stage: Stage::Client,
+                    ..ev
+                }));
+            }
+            Stage::Client => {
+                if ev.written_at_us != u64::MAX {
+                    latency.record(ev.at_us.saturating_sub(ev.written_at_us));
+                    notifications += 1;
+                }
+            }
+        }
+    }
+
+    let max_util = busy_match
+        .iter()
+        .map(|&b| b as f64 / duration_us as f64)
+        .fold(0.0f64, f64::max);
+    SimResult { latency_us: latency, max_matching_utilization: max_util, notifications, writes }
+}
+
+fn bump(seq: &mut u64) -> u64 {
+    *seq += 1;
+    *seq
+}
+
+fn serve(next_free: &mut u64, arrival: u64, service: u64) -> u64 {
+    let start = arrival.max(*next_free);
+    let done = start + service;
+    *next_free = done;
+    done
+}
+
+fn hop(rng: &mut StdRng, c: &crate::model::CostModel) -> u64 {
+    let jitter = -(1.0 - rng.gen::<f64>()).ln() * c.hop_jitter_mean_s;
+    let pause = if rng.gen::<f64>() < c.pause_prob {
+        -(1.0 - rng.gen::<f64>()).ln() * c.pause_mean_s
+    } else {
+        0.0
+    };
+    ((c.hop_base_s + jitter + pause) * 1e6) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SimParams;
+
+    #[test]
+    fn unloaded_latency_matches_paper_ballpark() {
+        // Table 3: ~9 ms average, p99 15–20 ms, at moderate load.
+        let mut p = SimParams::new(1, 1);
+        p.queries = 1_000;
+        p.writes_per_sec = 500.0;
+        let r = simulate(&p);
+        assert!(r.notifications > 50, "notifications: {}", r.notifications);
+        assert!((6.0..13.0).contains(&r.mean_ms()), "mean {} ms", r.mean_ms());
+        assert!((10.0..25.0).contains(&r.p99_ms()), "p99 {} ms", r.p99_ms());
+    }
+
+    #[test]
+    fn single_node_saturates_between_1500_and_2000_queries() {
+        // §6.2: 1 QP managed 1 500 queries and failed at 2 000 (1k writes/s).
+        let mut ok = SimParams::new(1, 1);
+        ok.queries = 1_500;
+        ok.duration_s = 20.0;
+        let r = simulate(&ok);
+        assert!(r.p99_ms() < 50.0, "1500 queries sustainable, p99 {}", r.p99_ms());
+
+        let mut over = SimParams::new(1, 1);
+        over.queries = 2_200;
+        over.duration_s = 20.0;
+        let r = simulate(&over);
+        assert!(r.p99_ms() > 50.0, "2200 queries must saturate, p99 {}", r.p99_ms());
+        assert!(r.max_matching_utilization > 0.99);
+    }
+
+    #[test]
+    fn more_query_partitions_sustain_more_queries() {
+        // Same per-node share → same comfort, double total queries.
+        for (qp, queries) in [(1usize, 1_500u64), (2, 3_000), (4, 6_000)] {
+            let mut p = SimParams::new(qp, 1);
+            p.queries = queries;
+            let r = simulate(&p);
+            assert!(r.p99_ms() < 30.0, "qp={qp} queries={queries}: p99 {}", r.p99_ms());
+        }
+    }
+
+    #[test]
+    fn more_write_partitions_sustain_more_throughput() {
+        // §6.3 shape: 1 WP handles ~1.6k writes/s at 1k queries; 4 WP ~4x.
+        let mut p1 = SimParams::new(1, 1);
+        p1.writes_per_sec = 3_000.0;
+        let r = simulate(&p1);
+        assert!(r.p99_ms() > 50.0, "1 WP at 3k writes/s saturates, p99 {}", r.p99_ms());
+
+        let mut p4 = SimParams::new(1, 4);
+        p4.writes_per_sec = 3_000.0;
+        let r = simulate(&p4);
+        assert!(r.p99_ms() < 30.0, "4 WP at 3k writes/s comfortable, p99 {}", r.p99_ms());
+    }
+
+    #[test]
+    fn app_server_adds_constant_overhead() {
+        // Figure 6a: Quaestor ≈ standalone + ~5 ms.
+        let mut standalone = SimParams::new(4, 1);
+        standalone.queries = 4_000;
+        let mut quaestor = standalone.clone();
+        quaestor.with_app_server = true;
+        let s = simulate(&standalone);
+        let q = simulate(&quaestor);
+        let delta = q.mean_ms() - s.mean_ms();
+        assert!((3.0..8.0).contains(&delta), "overhead {delta} ms");
+    }
+
+    #[test]
+    fn app_server_caps_write_throughput() {
+        // Figure 6b: the single app server saturates around 6k writes/s even
+        // with 16 write partitions behind it.
+        let mut p = SimParams::new(1, 16);
+        p.with_app_server = true;
+        p.writes_per_sec = 8_000.0;
+        p.duration_s = 20.0;
+        let r = simulate(&p);
+        assert!(r.p99_ms() > 50.0, "8k writes/s through one app server saturates, p99 {}", r.p99_ms());
+
+        let mut direct = SimParams::new(1, 16);
+        direct.writes_per_sec = 8_000.0;
+        let r = simulate(&direct);
+        assert!(r.p99_ms() < 30.0, "standalone cluster is fine at 8k/s, p99 {}", r.p99_ms());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = SimParams::new(2, 2);
+        let a = simulate(&p);
+        let b = simulate(&p);
+        assert_eq!(a.notifications, b.notifications);
+        assert_eq!(a.latency_us.quantile(0.99), b.latency_us.quantile(0.99));
+        let mut p2 = p.clone();
+        p2.seed = 99;
+        let c = simulate(&p2);
+        assert_ne!(
+            (c.notifications, c.latency_us.mean().to_bits()),
+            (a.notifications, a.latency_us.mean().to_bits()),
+            "different seeds give different runs"
+        );
+    }
+}

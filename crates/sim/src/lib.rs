@@ -1,0 +1,35 @@
+//! Discrete-event simulation of an InvaliDB cluster.
+//!
+//! The paper's evaluation (§6) ran 1–16-partition clusters on a five-machine
+//! testbed. Reproducing those sweeps live would require dozens of isolated
+//! cores; this simulator substitutes a calibrated queueing model of the
+//! filtering stage so the *shape* of the results — linear read/write
+//! scalability, SLA saturation knees, flat latency across cluster sizes, and
+//! the app-server overhead of Figure 6 — can be regenerated on one laptop.
+//! (See DESIGN.md for the substitution rationale; the live cluster in
+//! `invalidb-core` validates absolute behaviour at small scale.)
+//!
+//! ## Model
+//!
+//! Every node is a FIFO single-server queue. A write takes the path
+//!
+//! ```text
+//! client → [app server]* → event layer → write-ingest → matching column
+//!          (QP nodes in parallel) → notifier → event layer → [app server]* → client
+//! ```
+//!
+//! (* only in Quaestor mode, Figure 6). Matching a write on a node holding
+//! `q` queries costs `base + write_overhead + q · match_cost` — the
+//! `write_overhead` term models per-write (de)serialization and parsing,
+//! which the paper identifies as the reason write-heavy workloads saturate
+//! slightly earlier than read-heavy ones (§6.3). Event-layer hops add a
+//! fixed base plus exponential jitter. Measured latency is end-to-end for
+//! notification-producing writes, like the paper's benchmark client.
+
+pub mod engine;
+pub mod model;
+pub mod sweep;
+
+pub use engine::{simulate, SimResult};
+pub use model::{CostModel, SimParams};
+pub use sweep::{max_sustainable_queries, max_sustainable_writes, SlaSearch};

@@ -1,0 +1,104 @@
+//! Simulation parameters and the calibrated cost model.
+
+/// Service-time and network constants, in seconds.
+///
+/// Defaults are calibrated against the paper's measurements: a single
+/// matching node saturates around 1 500–1 800 queries at 1 000 writes/s
+/// (§6.2), a 16-write-partition cluster sustains ≈26 000 writes/s at 1 000
+/// queries (§6.3), unloaded end-to-end latency averages ≈9 ms with p99
+/// ≈15–17 ms (Table 3), one application server caps at ≈6 000 writes/s and
+/// adds ≈5 ms (§7.3).
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    /// CPU cost of evaluating one query's predicates against an after-image.
+    pub match_cost_s: f64,
+    /// Per-write overhead on a matching node: deserializing and parsing the
+    /// after-image (§6.3's write-heavy penalty).
+    pub write_overhead_s: f64,
+    /// Fixed per-message overhead on a matching node.
+    pub base_overhead_s: f64,
+    /// Per-write cost on a (stateless) ingestion node.
+    pub ingest_cost_s: f64,
+    /// Number of write-ingestion nodes (paper: 4).
+    pub ingest_nodes: usize,
+    /// Per-notification cost at the notifier.
+    pub notifier_cost_s: f64,
+    /// Fixed one-way event-layer hop delay.
+    pub hop_base_s: f64,
+    /// Mean of the exponential jitter added per hop.
+    pub hop_jitter_mean_s: f64,
+    /// Probability that a hop suffers a stall (JVM-GC-like pause, §5.4).
+    pub pause_prob: f64,
+    /// Mean of the exponential stall duration.
+    pub pause_mean_s: f64,
+    /// Per-message service time at an application server (Quaestor mode).
+    pub app_server_cost_s: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            match_cost_s: 5.0e-7,
+            write_overhead_s: 4.0e-5,
+            base_overhead_s: 1.0e-5,
+            ingest_cost_s: 3.0e-5,
+            ingest_nodes: 4,
+            notifier_cost_s: 1.0e-5,
+            hop_base_s: 1.5e-3,
+            hop_jitter_mean_s: 7.0e-4,
+            pause_prob: 0.006,
+            pause_mean_s: 5.0e-3,
+            app_server_cost_s: 1.55e-4,
+        }
+    }
+}
+
+/// One simulation run's configuration.
+#[derive(Debug, Clone)]
+pub struct SimParams {
+    /// Query partitions (grid rows).
+    pub query_partitions: usize,
+    /// Write partitions (grid columns).
+    pub write_partitions: usize,
+    /// Active real-time queries (spread evenly over query partitions).
+    pub queries: u64,
+    /// Aggregate write throughput (Poisson arrivals).
+    pub writes_per_sec: f64,
+    /// Notifications per second (the paper's workload produced ≈17/s —
+    /// 1 000 matches per 1-minute run).
+    pub matches_per_sec: f64,
+    /// Simulated duration in seconds.
+    pub duration_s: f64,
+    /// Warm-up fraction excluded from latency statistics.
+    pub warmup_fraction: f64,
+    /// Route traffic through an application server (Figure 6 Quaestor mode).
+    pub with_app_server: bool,
+    /// RNG seed (runs are fully deterministic).
+    pub seed: u64,
+    /// Cost model.
+    pub costs: CostModel,
+}
+
+impl SimParams {
+    /// The paper's standard workload shape on a `qp × wp` cluster.
+    pub fn new(qp: usize, wp: usize) -> Self {
+        Self {
+            query_partitions: qp,
+            write_partitions: wp,
+            queries: 1_000,
+            writes_per_sec: 1_000.0,
+            matches_per_sec: 17.0,
+            duration_s: 10.0,
+            warmup_fraction: 0.1,
+            with_app_server: false,
+            seed: 0xB0A7,
+            costs: CostModel::default(),
+        }
+    }
+
+    /// Queries held by one matching node (queries are hash-partitioned over
+    /// rows; the load-relevant figure is the per-node share).
+    pub fn queries_per_node(&self) -> f64 {
+        self.queries as f64 / self.query_partitions as f64
+    }
+}

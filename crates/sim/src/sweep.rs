@@ -1,0 +1,86 @@
+//! Capacity search: raise load until the 99th-percentile latency exceeds an
+//! SLA — the paper's saturation criterion (§6.1).
+
+use crate::engine::simulate;
+use crate::model::SimParams;
+
+/// Search configuration.
+#[derive(Debug, Clone)]
+pub struct SlaSearch {
+    /// Latency SLA on the 99th percentile, milliseconds.
+    pub sla_p99_ms: f64,
+    /// Simulated seconds per probe run.
+    pub duration_s: f64,
+}
+
+impl Default for SlaSearch {
+    fn default() -> Self {
+        Self { sla_p99_ms: 30.0, duration_s: 8.0 }
+    }
+}
+
+/// Largest query count (in `step`-sized increments, like the paper's 500)
+/// a configuration sustains under the SLA at fixed write throughput.
+pub fn max_sustainable_queries(base: &SimParams, search: &SlaSearch, step: u64, max: u64) -> u64 {
+    let mut best = 0;
+    let mut queries = step;
+    while queries <= max {
+        let mut p = base.clone();
+        p.queries = queries;
+        p.duration_s = search.duration_s;
+        let r = simulate(&p);
+        if r.p99_ms() <= search.sla_p99_ms && r.notifications > 0 {
+            best = queries;
+        } else if queries > best + 4 * step {
+            break; // well past the knee
+        }
+        queries += step;
+    }
+    best
+}
+
+/// Largest write throughput (in `step` ops/s increments) a configuration
+/// sustains under the SLA at fixed query count.
+pub fn max_sustainable_writes(base: &SimParams, search: &SlaSearch, step: f64, max: f64) -> f64 {
+    let mut best = 0.0;
+    let mut writes = step;
+    while writes <= max {
+        let mut p = base.clone();
+        p.writes_per_sec = writes;
+        p.duration_s = search.duration_s;
+        let r = simulate(&p);
+        if r.p99_ms() <= search.sla_p99_ms && r.notifications > 0 {
+            best = writes;
+        } else if writes > best + 4.0 * step {
+            break;
+        }
+        writes += step;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_capacity_doubles_with_query_partitions() {
+        // Figure 4's headline: doubling QP doubles sustainable queries.
+        let search = SlaSearch { sla_p99_ms: 30.0, duration_s: 5.0 };
+        let cap1 = max_sustainable_queries(&SimParams::new(1, 1), &search, 500, 6_000);
+        let cap2 = max_sustainable_queries(&SimParams::new(2, 1), &search, 500, 12_000);
+        assert!((1_000..=2_000).contains(&cap1), "1 QP sustains ~1.5k, got {cap1}");
+        let ratio = cap2 as f64 / cap1 as f64;
+        assert!((1.6..=2.5).contains(&ratio), "2 QP ≈ 2x 1 QP, got {cap1} -> {cap2}");
+    }
+
+    #[test]
+    fn write_capacity_doubles_with_write_partitions() {
+        let search = SlaSearch { sla_p99_ms: 30.0, duration_s: 5.0 };
+        let cap1 = max_sustainable_writes(&SimParams::new(1, 1), &search, 250.0, 8_000.0);
+        let cap2 = max_sustainable_writes(&SimParams::new(1, 2), &search, 250.0, 16_000.0);
+        assert!(cap1 >= 1_000.0, "1 WP sustains ≥1k writes/s, got {cap1}");
+        let ratio = cap2 / cap1;
+        assert!((1.6..=2.5).contains(&ratio), "2 WP ≈ 2x 1 WP: {cap1} -> {cap2}");
+    }
+}

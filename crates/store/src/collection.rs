@@ -1,0 +1,260 @@
+//! A single document collection: versioned records, secondary indexes, and
+//! query execution.
+
+use crate::index::FieldIndex;
+use crate::oplog::{Oplog, OplogOp};
+use crate::plan::{plan_query, Plan};
+use crate::record::{StoreError, StoredRecord, WriteOp, WriteResult};
+use crate::update::UpdateSpec;
+use invalidb_common::{Document, Key, Version};
+use invalidb_query::PreparedQuery;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+struct Inner {
+    records: BTreeMap<Key, StoredRecord>,
+    /// Last version of deleted records, so re-inserts continue the version
+    /// sequence (required for staleness avoidance across delete/insert).
+    tombstones: HashMap<Key, Version>,
+    indexes: HashMap<String, FieldIndex>,
+}
+
+/// A named, thread-safe document collection.
+pub struct Collection {
+    name: String,
+    oplog: Arc<Oplog>,
+    inner: RwLock<Inner>,
+}
+
+impl Collection {
+    pub(crate) fn new(name: String, oplog: Arc<Oplog>) -> Self {
+        Self {
+            name,
+            oplog,
+            inner: RwLock::new(Inner {
+                records: BTreeMap::new(),
+                tombstones: HashMap::new(),
+                indexes: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of live records.
+    pub fn len(&self) -> usize {
+        self.inner.read().records.len()
+    }
+
+    /// True if the collection holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reads one record (document and version).
+    pub fn get(&self, key: &Key) -> Option<(Version, Document)> {
+        let inner = self.inner.read();
+        inner.records.get(key).map(|r| (r.version, r.doc.clone()))
+    }
+
+    /// Creates a new record. Fails on duplicate keys (like MongoDB insert).
+    /// Returns the after-image (`findAndModify` semantics, §5.4).
+    pub fn insert(&self, key: Key, doc: Document) -> Result<WriteResult, StoreError> {
+        let mut inner = self.inner.write();
+        if inner.records.contains_key(&key) {
+            return Err(StoreError::DuplicateKey(key));
+        }
+        let version = inner.tombstones.remove(&key).map(|v| v + 1).unwrap_or(1);
+        index_insert(&mut inner, &key, &doc);
+        inner.records.insert(key.clone(), StoredRecord { version, doc: doc.clone() });
+        drop(inner);
+        self.oplog.append(&self.name, key.clone(), version, Some(doc.clone()), OplogOp::Insert);
+        Ok(WriteResult { key, version, doc: Some(doc), op: WriteOp::Insert })
+    }
+
+    /// Inserts or replaces (upsert). Returns the after-image.
+    pub fn save(&self, key: Key, doc: Document) -> Result<WriteResult, StoreError> {
+        let mut inner = self.inner.write();
+        let (version, op) = match inner.records.get(&key) {
+            Some(existing) => {
+                let old_doc = existing.doc.clone();
+                index_remove(&mut inner, &key, &old_doc);
+                (inner.records.get(&key).expect("held lock").version + 1, WriteOp::Update)
+            }
+            None => (inner.tombstones.remove(&key).map(|v| v + 1).unwrap_or(1), WriteOp::Insert),
+        };
+        index_insert(&mut inner, &key, &doc);
+        inner.records.insert(key.clone(), StoredRecord { version, doc: doc.clone() });
+        drop(inner);
+        let oplog_op = if op == WriteOp::Insert { OplogOp::Insert } else { OplogOp::Update };
+        self.oplog.append(&self.name, key.clone(), version, Some(doc.clone()), oplog_op);
+        Ok(WriteResult { key, version, doc: Some(doc), op })
+    }
+
+    /// Applies an update to an existing record; fails if it does not exist.
+    /// Returns the after-image.
+    pub fn update(&self, key: Key, spec: &UpdateSpec) -> Result<WriteResult, StoreError> {
+        let mut inner = self.inner.write();
+        let current = inner.records.get(&key).ok_or_else(|| StoreError::NotFound(key.clone()))?;
+        let new_doc = spec.apply(&current.doc)?;
+        let old_doc = current.doc.clone();
+        let version = current.version + 1;
+        index_remove(&mut inner, &key, &old_doc);
+        index_insert(&mut inner, &key, &new_doc);
+        inner.records.insert(key.clone(), StoredRecord { version, doc: new_doc.clone() });
+        drop(inner);
+        self.oplog.append(&self.name, key.clone(), version, Some(new_doc.clone()), OplogOp::Update);
+        Ok(WriteResult { key, version, doc: Some(new_doc), op: WriteOp::Update })
+    }
+
+    /// Deletes a record; fails if it does not exist. The returned
+    /// after-image is a tombstone (`doc: None`) carrying the next version.
+    pub fn delete(&self, key: Key) -> Result<WriteResult, StoreError> {
+        let mut inner = self.inner.write();
+        let record = inner.records.remove(&key).ok_or_else(|| StoreError::NotFound(key.clone()))?;
+        let old_doc = record.doc;
+        index_remove(&mut inner, &key, &old_doc);
+        let version = record.version + 1;
+        inner.tombstones.insert(key.clone(), version);
+        drop(inner);
+        self.oplog.append(&self.name, key.clone(), version, None, OplogOp::Delete);
+        Ok(WriteResult { key, version, doc: None, op: WriteOp::Delete })
+    }
+
+    /// Creates a secondary index on a (dotted) field path and backfills it.
+    pub fn create_index(&self, field: &str) -> Result<(), StoreError> {
+        let mut inner = self.inner.write();
+        if inner.indexes.contains_key(field) {
+            return Err(StoreError::IndexExists(field.to_owned()));
+        }
+        let mut idx = FieldIndex::new();
+        for (key, record) in inner.records.iter() {
+            idx.insert(field, key, &record.doc);
+        }
+        inner.indexes.insert(field.to_owned(), idx);
+        Ok(())
+    }
+
+    /// Names of existing indexes.
+    pub fn index_fields(&self) -> Vec<String> {
+        self.inner.read().indexes.keys().cloned().collect()
+    }
+
+    /// Executes a prepared query: plan, filter, sort, offset, limit.
+    /// Returns `(key, version, document)` triples in result order.
+    pub fn find(&self, query: &dyn PreparedQuery) -> Vec<(Key, Version, Document)> {
+        let spec = query.spec();
+        let inner = self.inner.read();
+        let plan = plan_query(&spec.filter, inner.indexes.keys().map(String::as_str));
+        let mut matched: Vec<(Key, Version, Document)> = Vec::new();
+        let mut consider = |key: &Key, inner: &Inner| {
+            if let Some(record) = inner.records.get(key) {
+                if query.matches(&record.doc) {
+                    matched.push((key.clone(), record.version, record.doc.clone()));
+                }
+            }
+        };
+        match &plan {
+            Plan::FullScan => {
+                for (key, record) in inner.records.iter() {
+                    if query.matches(&record.doc) {
+                        matched.push((key.clone(), record.version, record.doc.clone()));
+                    }
+                }
+            }
+            Plan::IndexEq { field, value } => {
+                let idx = inner.indexes.get(field).expect("planned index exists");
+                for key in idx.lookup_eq(value) {
+                    consider(&key, &inner);
+                }
+            }
+            Plan::IndexRange { field, lower, upper } => {
+                let idx = inner.indexes.get(field).expect("planned index exists");
+                for key in idx.lookup_range(as_ref_bound(lower), as_ref_bound(upper)) {
+                    consider(&key, &inner);
+                }
+            }
+        }
+        drop(inner);
+        if !spec.sort.is_empty() {
+            matched.sort_by(|a, b| query.cmp_items((&a.0, &a.2), (&b.0, &b.2)));
+        }
+        // Index scans return keys in value order, not key order; normalize
+        // unsorted results to key order so results are deterministic.
+        if spec.sort.is_empty() && !matches!(plan, Plan::FullScan) {
+            matched.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        let offset = spec.offset.min(matched.len() as u64) as usize;
+        let mut matched = matched.split_off(offset);
+        if let Some(limit) = spec.limit {
+            matched.truncate(limit as usize);
+        }
+        matched
+    }
+
+    /// Restores a record with an exact version (WAL recovery path —
+    /// bypasses the oplog so recovery is not re-logged).
+    pub(crate) fn restore(&self, key: Key, version: Version, doc: Document) {
+        let mut inner = self.inner.write();
+        if let Some(existing) = inner.records.get(&key) {
+            let old = existing.doc.clone();
+            index_remove(&mut inner, &key, &old);
+        }
+        inner.tombstones.remove(&key);
+        index_insert(&mut inner, &key, &doc);
+        inner.records.insert(key, StoredRecord { version, doc });
+    }
+
+    /// Restores a delete with its exact tombstone version (WAL recovery).
+    pub(crate) fn restore_delete(&self, key: Key, version: Version) {
+        let mut inner = self.inner.write();
+        if let Some(record) = inner.records.remove(&key) {
+            let old = record.doc;
+            index_remove(&mut inner, &key, &old);
+        }
+        inner.tombstones.insert(key, version);
+    }
+
+    /// Snapshot of tombstone versions (WAL checkpointing).
+    pub(crate) fn tombstone_snapshot(&self) -> Vec<(Key, Version)> {
+        self.inner.read().tombstones.iter().map(|(k, v)| (k.clone(), *v)).collect()
+    }
+
+    /// Snapshot of all records (tests and tooling).
+    pub fn scan_all(&self) -> Vec<(Key, Version, Document)> {
+        self.inner
+            .read()
+            .records
+            .iter()
+            .map(|(k, r)| (k.clone(), r.version, r.doc.clone()))
+            .collect()
+    }
+}
+
+fn as_ref_bound(b: &std::ops::Bound<invalidb_common::Value>) -> std::ops::Bound<&invalidb_common::Value> {
+    match b {
+        std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
+        std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),
+        std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+    }
+}
+
+fn index_insert(inner: &mut Inner, key: &Key, doc: &Document) {
+    let fields: Vec<String> = inner.indexes.keys().cloned().collect();
+    for field in fields {
+        let idx = inner.indexes.get_mut(&field).expect("just listed");
+        idx.insert(&field, key, doc);
+    }
+}
+
+fn index_remove(inner: &mut Inner, key: &Key, doc: &Document) {
+    let fields: Vec<String> = inner.indexes.keys().cloned().collect();
+    for field in fields {
+        let idx = inner.indexes.get_mut(&field).expect("just listed");
+        idx.remove(&field, key, doc);
+    }
+}

@@ -1,0 +1,155 @@
+//! Secondary indexes.
+//!
+//! A [`FieldIndex`] maps field values to the primary keys of records
+//! containing them, ordered by the canonical value order so range scans are
+//! possible. Array fields are *multikey*: every element is indexed. Missing
+//! fields index as `Null` (so `{field: null}` queries stay index-eligible).
+
+use invalidb_common::{Document, Key, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+
+/// Ordered index over one (dotted) field path.
+#[derive(Debug, Default)]
+pub struct FieldIndex {
+    /// field value -> primary keys of documents holding that value.
+    buckets: BTreeMap<Key, BTreeSet<Key>>,
+}
+
+impl FieldIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Values a document contributes to this index for `path`.
+    fn index_values(doc: &Document, path: &str) -> Vec<Value> {
+        let candidates = invalidb_query::path::resolve(doc, path);
+        if candidates.is_empty() {
+            return vec![Value::Null];
+        }
+        let mut out = Vec::with_capacity(candidates.len());
+        for c in candidates {
+            match c {
+                Value::Array(items) if !items.is_empty() => out.extend(items.iter().cloned()),
+                Value::Array(_) => out.push(Value::Null),
+                other => out.push(other.clone()),
+            }
+        }
+        out
+    }
+
+    /// Indexes a document under its primary key.
+    pub fn insert(&mut self, path: &str, pk: &Key, doc: &Document) {
+        for v in Self::index_values(doc, path) {
+            self.buckets.entry(Key(v)).or_default().insert(pk.clone());
+        }
+    }
+
+    /// Removes a document's entries.
+    pub fn remove(&mut self, path: &str, pk: &Key, doc: &Document) {
+        for v in Self::index_values(doc, path) {
+            if let Some(set) = self.buckets.get_mut(&Key(v.clone())) {
+                set.remove(pk);
+                if set.is_empty() {
+                    self.buckets.remove(&Key(v));
+                }
+            }
+        }
+    }
+
+    /// Primary keys of documents whose field equals `value`.
+    pub fn lookup_eq(&self, value: &Value) -> Vec<Key> {
+        self.buckets
+            .get(&Key(value.clone()))
+            .map(|set| set.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Primary keys of documents whose field lies in the value range.
+    /// Results are deduplicated (multikey documents can hit several buckets).
+    pub fn lookup_range(&self, lower: Bound<&Value>, upper: Bound<&Value>) -> Vec<Key> {
+        let to_key = |b: Bound<&Value>| match b {
+            Bound::Included(v) => Bound::Included(Key(v.clone())),
+            Bound::Excluded(v) => Bound::Excluded(Key(v.clone())),
+            Bound::Unbounded => Bound::Unbounded,
+        };
+        let mut seen = BTreeSet::new();
+        for (_, pks) in self.buckets.range((to_key(lower), to_key(upper))) {
+            seen.extend(pks.iter().cloned());
+        }
+        seen.into_iter().collect()
+    }
+
+    /// Number of distinct indexed values.
+    pub fn distinct_values(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_common::doc;
+
+    fn keys(v: Vec<Key>) -> Vec<String> {
+        v.into_iter().map(|k| k.to_string()).collect()
+    }
+
+    #[test]
+    fn eq_lookup() {
+        let mut idx = FieldIndex::new();
+        idx.insert("n", &Key::of("a"), &doc! { "n" => 5i64 });
+        idx.insert("n", &Key::of("b"), &doc! { "n" => 5i64 });
+        idx.insert("n", &Key::of("c"), &doc! { "n" => 7i64 });
+        assert_eq!(keys(idx.lookup_eq(&Value::Int(5))).len(), 2);
+        assert_eq!(keys(idx.lookup_eq(&Value::Int(7))), vec!["\"c\""]);
+        assert!(idx.lookup_eq(&Value::Int(9)).is_empty());
+        // Cross-numeric equality via canonical keys.
+        assert_eq!(idx.lookup_eq(&Value::Float(5.0)).len(), 2);
+    }
+
+    #[test]
+    fn range_lookup() {
+        let mut idx = FieldIndex::new();
+        for i in 0..10i64 {
+            idx.insert("n", &Key::of(i), &doc! { "n" => i });
+        }
+        let pks = idx.lookup_range(Bound::Included(&Value::Int(3)), Bound::Excluded(&Value::Int(6)));
+        assert_eq!(pks.len(), 3);
+    }
+
+    #[test]
+    fn multikey_arrays() {
+        let mut idx = FieldIndex::new();
+        let d = doc! { "tags" => vec!["x", "y"] };
+        idx.insert("tags", &Key::of(1i64), &d);
+        assert_eq!(idx.lookup_eq(&Value::from("x")).len(), 1);
+        assert_eq!(idx.lookup_eq(&Value::from("y")).len(), 1);
+        // Range spanning both values must dedupe to a single pk.
+        let pks = idx.lookup_range(Bound::Included(&Value::from("x")), Bound::Included(&Value::from("y")));
+        assert_eq!(pks.len(), 1);
+        idx.remove("tags", &Key::of(1i64), &d);
+        assert!(idx.lookup_eq(&Value::from("x")).is_empty());
+        assert_eq!(idx.distinct_values(), 0);
+    }
+
+    #[test]
+    fn missing_field_indexes_as_null() {
+        let mut idx = FieldIndex::new();
+        idx.insert("n", &Key::of(1i64), &doc! { "other" => 1i64 });
+        assert_eq!(idx.lookup_eq(&Value::Null).len(), 1);
+    }
+
+    #[test]
+    fn remove_then_reinsert_updated_doc() {
+        let mut idx = FieldIndex::new();
+        let old = doc! { "n" => 1i64 };
+        let new = doc! { "n" => 2i64 };
+        idx.insert("n", &Key::of("k"), &old);
+        idx.remove("n", &Key::of("k"), &old);
+        idx.insert("n", &Key::of("k"), &new);
+        assert!(idx.lookup_eq(&Value::Int(1)).is_empty());
+        assert_eq!(idx.lookup_eq(&Value::Int(2)).len(), 1);
+    }
+}

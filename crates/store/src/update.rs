@@ -1,0 +1,298 @@
+//! MongoDB-style update specifications.
+//!
+//! An update either replaces the whole document or applies a list of
+//! field-level operators: `$set`, `$unset`, `$inc`, `$mul`, `$min`, `$max`,
+//! `$push`, `$pull`, `$rename`.
+
+use crate::record::StoreError;
+use invalidb_common::{canonical_cmp, canonical_eq, Document, Value};
+use std::cmp::Ordering;
+
+/// How to modify an existing document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateSpec {
+    /// Replace the entire document (primary key stays).
+    Replace(Document),
+    /// Apply operators in order.
+    Ops(Vec<UpdateOp>),
+}
+
+/// One update operator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// `$set` a (dotted) path to a value.
+    Set(String, Value),
+    /// `$unset` a (dotted) path.
+    Unset(String),
+    /// `$inc` a numeric path.
+    Inc(String, Value),
+    /// `$mul` a numeric path.
+    Mul(String, Value),
+    /// `$min` — set if the operand is smaller.
+    Min(String, Value),
+    /// `$max` — set if the operand is larger.
+    Max(String, Value),
+    /// `$push` a value onto an array path (creates the array if missing).
+    Push(String, Value),
+    /// `$pull` all elements equal to the operand from an array path.
+    Pull(String, Value),
+    /// `$rename` a top-level field.
+    Rename(String, String),
+}
+
+impl UpdateSpec {
+    /// Parses the MongoDB update-document syntax, e.g.
+    /// `{"$set": {"a": 1}, "$inc": {"n": 2}}`. A document without any
+    /// `$`-operators is a full replacement.
+    pub fn from_document(d: &Document) -> Result<UpdateSpec, StoreError> {
+        let has_ops = d.keys().any(|k| k.starts_with('$'));
+        if !has_ops {
+            return Ok(UpdateSpec::Replace(d.clone()));
+        }
+        let mut ops = Vec::new();
+        for (op, operand) in d.iter() {
+            let fields = operand
+                .as_object()
+                .ok_or_else(|| StoreError::BadUpdate(format!("`{op}` expects an object")))?;
+            for (path, v) in fields.iter() {
+                let path = path.to_owned();
+                let v = v.clone();
+                ops.push(match op {
+                    "$set" => UpdateOp::Set(path, v),
+                    "$unset" => UpdateOp::Unset(path),
+                    "$inc" => UpdateOp::Inc(path, v),
+                    "$mul" => UpdateOp::Mul(path, v),
+                    "$min" => UpdateOp::Min(path, v),
+                    "$max" => UpdateOp::Max(path, v),
+                    "$push" => UpdateOp::Push(path, v),
+                    "$pull" => UpdateOp::Pull(path, v),
+                    "$rename" => {
+                        let to = v
+                            .as_str()
+                            .ok_or_else(|| StoreError::BadUpdate("`$rename` expects a string".into()))?;
+                        UpdateOp::Rename(path, to.to_owned())
+                    }
+                    other => return Err(StoreError::BadUpdate(format!("unknown operator `{other}`"))),
+                });
+            }
+        }
+        Ok(UpdateSpec::Ops(ops))
+    }
+
+    /// Applies the update to a document, producing the new state.
+    pub fn apply(&self, current: &Document) -> Result<Document, StoreError> {
+        match self {
+            UpdateSpec::Replace(doc) => Ok(doc.clone()),
+            UpdateSpec::Ops(ops) => {
+                let mut doc = current.clone();
+                for op in ops {
+                    apply_op(&mut doc, op)?;
+                }
+                Ok(doc)
+            }
+        }
+    }
+}
+
+fn apply_op(doc: &mut Document, op: &UpdateOp) -> Result<(), StoreError> {
+    match op {
+        UpdateOp::Set(path, v) => {
+            doc.set_path(path, v.clone()).map_err(|e| StoreError::BadUpdate(e.to_string()))?;
+        }
+        UpdateOp::Unset(path) => {
+            doc.remove_path(path);
+        }
+        UpdateOp::Inc(path, delta) => arith(doc, path, delta, "$inc", |a, b| a + b, |a, b| a.checked_add(b))?,
+        UpdateOp::Mul(path, factor) => arith(doc, path, factor, "$mul", |a, b| a * b, |a, b| a.checked_mul(b))?,
+        UpdateOp::Min(path, v) => {
+            let replace = match doc.get_path(path) {
+                None => true,
+                Some(cur) => canonical_cmp(v, cur) == Ordering::Less,
+            };
+            if replace {
+                doc.set_path(path, v.clone()).map_err(|e| StoreError::BadUpdate(e.to_string()))?;
+            }
+        }
+        UpdateOp::Max(path, v) => {
+            let replace = match doc.get_path(path) {
+                None => true,
+                Some(cur) => canonical_cmp(v, cur) == Ordering::Greater,
+            };
+            if replace {
+                doc.set_path(path, v.clone()).map_err(|e| StoreError::BadUpdate(e.to_string()))?;
+            }
+        }
+        UpdateOp::Push(path, v) => {
+            match doc.get_path(path) {
+                None => {
+                    doc.set_path(path, Value::Array(vec![v.clone()]))
+                        .map_err(|e| StoreError::BadUpdate(e.to_string()))?;
+                }
+                Some(Value::Array(_)) => {
+                    let mut arr = match doc.get_path(path) {
+                        Some(Value::Array(items)) => items.clone(),
+                        _ => unreachable!("checked above"),
+                    };
+                    arr.push(v.clone());
+                    doc.set_path(path, Value::Array(arr)).map_err(|e| StoreError::BadUpdate(e.to_string()))?;
+                }
+                Some(other) => {
+                    return Err(StoreError::BadUpdate(format!(
+                        "`$push` target `{path}` is {}, not an array",
+                        other.type_name()
+                    )))
+                }
+            }
+        }
+        UpdateOp::Pull(path, v) => {
+            if let Some(Value::Array(items)) = doc.get_path(path) {
+                let filtered: Vec<Value> = items.iter().filter(|e| !canonical_eq(e, v)).cloned().collect();
+                doc.set_path(path, Value::Array(filtered)).map_err(|e| StoreError::BadUpdate(e.to_string()))?;
+            }
+        }
+        UpdateOp::Rename(from, to) => {
+            if let Some(v) = doc.remove(from) {
+                doc.insert(to.clone(), v);
+            }
+        }
+    }
+    Ok(())
+}
+
+fn arith(
+    doc: &mut Document,
+    path: &str,
+    operand: &Value,
+    op_name: &str,
+    float_op: impl Fn(f64, f64) -> f64,
+    int_op: impl Fn(i64, i64) -> Option<i64>,
+) -> Result<(), StoreError> {
+    if !operand.is_number() {
+        return Err(StoreError::BadUpdate(format!("`{op_name}` operand must be numeric")));
+    }
+    let new = match doc.get_path(path) {
+        None => {
+            // Missing fields start from the additive/multiplicative identity
+            // like MongoDB ($inc treats missing as 0; $mul as 0 too).
+            match op_name {
+                "$inc" => operand.clone(),
+                _ => Value::Int(0),
+            }
+        }
+        Some(cur) if cur.is_number() => match (cur, operand) {
+            (Value::Int(a), Value::Int(b)) => match int_op(*a, *b) {
+                Some(n) => Value::Int(n),
+                None => Value::Float(float_op(*a as f64, *b as f64)),
+            },
+            (a, b) => Value::Float(float_op(
+                a.as_f64().expect("checked numeric"),
+                b.as_f64().expect("checked numeric"),
+            )),
+        },
+        Some(other) => {
+            return Err(StoreError::BadUpdate(format!(
+                "`{op_name}` target `{path}` is {}, not a number",
+                other.type_name()
+            )))
+        }
+    };
+    doc.set_path(path, new).map_err(|e| StoreError::BadUpdate(e.to_string()))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_common::doc;
+
+    #[test]
+    fn replace_vs_ops_detection() {
+        let plain = doc! { "a" => 1i64 };
+        assert!(matches!(UpdateSpec::from_document(&plain).unwrap(), UpdateSpec::Replace(_)));
+        let ops = doc! { "$set" => doc! { "a" => 1i64 } };
+        assert!(matches!(UpdateSpec::from_document(&ops).unwrap(), UpdateSpec::Ops(_)));
+    }
+
+    #[test]
+    fn set_unset_nested() {
+        let spec = UpdateSpec::from_document(&doc! {
+            "$set" => doc! { "user.name" => "ada", "n" => 1i64 },
+            "$unset" => doc! { "old" => 1i64 },
+        })
+        .unwrap();
+        let out = spec.apply(&doc! { "old" => true }).unwrap();
+        assert_eq!(out.get_path("user.name"), Some(&Value::String("ada".into())));
+        assert_eq!(out.get("n"), Some(&Value::Int(1)));
+        assert_eq!(out.get("old"), None);
+    }
+
+    #[test]
+    fn inc_mul_semantics() {
+        let cur = doc! { "i" => 10i64, "f" => 1.5f64 };
+        let spec = UpdateSpec::Ops(vec![
+            UpdateOp::Inc("i".into(), Value::Int(5)),
+            UpdateOp::Inc("f".into(), Value::Float(0.5)),
+            UpdateOp::Inc("fresh".into(), Value::Int(3)),
+            UpdateOp::Mul("i".into(), Value::Int(2)),
+        ]);
+        let out = spec.apply(&cur).unwrap();
+        assert_eq!(out.get("i"), Some(&Value::Int(30)));
+        assert_eq!(out.get("f"), Some(&Value::Float(2.0)));
+        assert_eq!(out.get("fresh"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn int_overflow_promotes_to_float() {
+        let cur = doc! { "i" => i64::MAX };
+        let out = UpdateSpec::Ops(vec![UpdateOp::Inc("i".into(), Value::Int(1))]).apply(&cur).unwrap();
+        assert!(matches!(out.get("i"), Some(Value::Float(_))));
+    }
+
+    #[test]
+    fn min_max() {
+        let cur = doc! { "n" => 5i64 };
+        let out = UpdateSpec::Ops(vec![UpdateOp::Min("n".into(), Value::Int(3))]).apply(&cur).unwrap();
+        assert_eq!(out.get("n"), Some(&Value::Int(3)));
+        let out = UpdateSpec::Ops(vec![UpdateOp::Min("n".into(), Value::Int(9))]).apply(&cur).unwrap();
+        assert_eq!(out.get("n"), Some(&Value::Int(5)));
+        let out = UpdateSpec::Ops(vec![UpdateOp::Max("n".into(), Value::Int(9))]).apply(&cur).unwrap();
+        assert_eq!(out.get("n"), Some(&Value::Int(9)));
+    }
+
+    #[test]
+    fn push_pull() {
+        let cur = doc! { "tags" => vec!["a", "b", "a"] };
+        let out = UpdateSpec::Ops(vec![UpdateOp::Push("tags".into(), "c".into())]).apply(&cur).unwrap();
+        assert_eq!(out.get("tags"), Some(&Value::from(vec!["a", "b", "a", "c"])));
+        let out = UpdateSpec::Ops(vec![UpdateOp::Pull("tags".into(), "a".into())]).apply(&cur).unwrap();
+        assert_eq!(out.get("tags"), Some(&Value::from(vec!["b"])));
+        // Push onto missing creates the array; onto scalar errors.
+        let out = UpdateSpec::Ops(vec![UpdateOp::Push("new".into(), 1i64.into())]).apply(&cur).unwrap();
+        assert_eq!(out.get("new"), Some(&Value::from(vec![1i64])));
+        let bad = UpdateSpec::Ops(vec![UpdateOp::Push("tags.0".into(), 1i64.into())]);
+        assert!(bad.apply(&cur).is_err());
+    }
+
+    #[test]
+    fn rename() {
+        let cur = doc! { "a" => 1i64 };
+        let out = UpdateSpec::Ops(vec![UpdateOp::Rename("a".into(), "b".into())]).apply(&cur).unwrap();
+        assert_eq!(out.get("a"), None);
+        assert_eq!(out.get("b"), Some(&Value::Int(1)));
+        // Renaming a missing field is a no-op.
+        let out = UpdateSpec::Ops(vec![UpdateOp::Rename("zz".into(), "b".into())]).apply(&cur).unwrap();
+        assert_eq!(out, cur);
+    }
+
+    #[test]
+    fn bad_updates_rejected() {
+        let cur = doc! { "s" => "text" };
+        assert!(UpdateSpec::Ops(vec![UpdateOp::Inc("s".into(), Value::Int(1))]).apply(&cur).is_err());
+        assert!(UpdateSpec::Ops(vec![UpdateOp::Inc("s".into(), Value::String("x".into()))])
+            .apply(&cur)
+            .is_err());
+        assert!(UpdateSpec::from_document(&doc! { "$explode" => doc! { "a" => 1i64 } }).is_err());
+        assert!(UpdateSpec::from_document(&doc! { "$set" => 5i64 }).is_err());
+        assert!(UpdateSpec::from_document(&doc! { "$rename" => doc! { "a" => 5i64 } }).is_err());
+    }
+}

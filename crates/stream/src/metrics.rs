@@ -1,0 +1,66 @@
+//! Topology observability: per-component counters and queue depths.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Counters for one component (all tasks combined).
+#[derive(Debug, Default)]
+pub struct ComponentMetrics {
+    /// Messages executed by the component's bolts (or emitted by sources).
+    pub processed: AtomicU64,
+    /// Messages emitted downstream.
+    pub emitted: AtomicU64,
+    /// Ticks delivered.
+    pub ticks: AtomicU64,
+}
+
+impl ComponentMetrics {
+    /// Snapshot of `(processed, emitted, ticks)`.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (
+            self.processed.load(Ordering::Relaxed),
+            self.emitted.load(Ordering::Relaxed),
+            self.ticks.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Metrics for a whole topology, keyed by component name.
+#[derive(Debug, Default)]
+pub struct TopologyMetrics {
+    components: parking_lot::RwLock<HashMap<String, Arc<ComponentMetrics>>>,
+}
+
+impl TopologyMetrics {
+    /// Gets (or creates) the metrics handle for a component.
+    pub fn component(&self, name: &str) -> Arc<ComponentMetrics> {
+        if let Some(m) = self.components.read().get(name) {
+            return Arc::clone(m);
+        }
+        let mut map = self.components.write();
+        Arc::clone(map.entry(name.to_owned()).or_default())
+    }
+
+    /// Names of all observed components.
+    pub fn component_names(&self) -> Vec<String> {
+        self.components.read().keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = TopologyMetrics::default();
+        let c = m.component("matcher");
+        c.processed.fetch_add(3, Ordering::Relaxed);
+        c.emitted.fetch_add(1, Ordering::Relaxed);
+        // Same handle returned for the same name.
+        let again = m.component("matcher");
+        assert_eq!(again.snapshot(), (3, 1, 0));
+        assert_eq!(m.component_names().len(), 1);
+    }
+}

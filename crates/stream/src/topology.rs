@@ -1,0 +1,433 @@
+//! Topology construction and execution.
+
+use crate::metrics::TopologyMetrics;
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use invalidb_common::partition::partition_of;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Marker bound for messages flowing through a topology.
+pub trait Message: Send + Clone + 'static {}
+impl<T: Send + Clone + 'static> Message for T {}
+
+/// A message source (Storm spout). Runs on its own executor thread; the
+/// runtime calls [`Source::poll`] in a loop until shutdown.
+pub trait Source<M: Message>: Send {
+    /// Returns the next batch of messages, waiting up to `timeout` for one.
+    /// An empty vector means "nothing right now".
+    fn poll(&mut self, timeout: Duration) -> Vec<M>;
+}
+
+/// Blanket impl so closures can be sources.
+impl<M: Message, F> Source<M> for F
+where
+    F: FnMut(Duration) -> Vec<M> + Send,
+{
+    fn poll(&mut self, timeout: Duration) -> Vec<M> {
+        self(timeout)
+    }
+}
+
+/// Context handed to a bolt for emitting downstream.
+pub struct BoltContext<'a, M: Message> {
+    outputs: &'a [OutputConnection<M>],
+    rr_counters: &'a [AtomicUsize],
+    emitted: u64,
+}
+
+impl<M: Message> BoltContext<'_, M> {
+    /// Emits a message to all downstream connections (routed per grouping).
+    pub fn emit(&mut self, msg: M) {
+        self.emitted += 1;
+        for (conn, rr) in self.outputs.iter().zip(self.rr_counters.iter()) {
+            conn.route(&msg, rr);
+        }
+    }
+}
+
+/// A processing node (Storm bolt). One instance per task.
+pub trait Bolt<M: Message>: Send {
+    /// Processes one input message.
+    fn execute(&mut self, input: M, ctx: &mut BoltContext<'_, M>);
+
+    /// Periodic tick for time-driven work (default: no-op).
+    fn tick(&mut self, _ctx: &mut BoltContext<'_, M>) {}
+}
+
+/// How messages are routed to the tasks of a downstream component.
+pub enum Grouping<M> {
+    /// Round-robin across tasks.
+    Shuffle,
+    /// Hash partitioning: same hash → same task.
+    Fields(Box<dyn Fn(&M) -> u64 + Send + Sync>),
+    /// Every task receives every message.
+    Broadcast,
+    /// Arbitrary task list per message — implements InvaliDB's grid routing.
+    Direct(Box<dyn Fn(&M, usize) -> Vec<usize> + Send + Sync>),
+}
+
+impl<M> Grouping<M> {
+    /// Fields grouping from a hash function.
+    pub fn fields(f: impl Fn(&M) -> u64 + Send + Sync + 'static) -> Self {
+        Grouping::Fields(Box::new(f))
+    }
+
+    /// Direct grouping from a task-list function (receives the message and
+    /// the downstream task count).
+    pub fn direct(f: impl Fn(&M, usize) -> Vec<usize> + Send + Sync + 'static) -> Self {
+        Grouping::Direct(Box::new(f))
+    }
+}
+
+enum Input<M> {
+    Msg(M),
+    Stop,
+}
+
+struct OutputConnection<M: Message> {
+    grouping: Arc<Grouping<M>>,
+    task_senders: Vec<Sender<Input<M>>>,
+    emitted: Arc<crate::metrics::ComponentMetrics>,
+}
+
+impl<M: Message> OutputConnection<M> {
+    fn route(&self, msg: &M, rr: &AtomicUsize) {
+        let n = self.task_senders.len();
+        if n == 0 {
+            return;
+        }
+        match &*self.grouping {
+            Grouping::Shuffle => {
+                let i = rr.fetch_add(1, Ordering::Relaxed) % n;
+                self.send_to(i, msg.clone());
+            }
+            Grouping::Fields(hash) => {
+                let i = partition_of(hash(msg), n);
+                self.send_to(i, msg.clone());
+            }
+            Grouping::Broadcast => {
+                for i in 0..n {
+                    self.send_to(i, msg.clone());
+                }
+            }
+            Grouping::Direct(f) => {
+                for i in f(msg, n) {
+                    if i < n {
+                        self.send_to(i, msg.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_to(&self, task: usize, msg: M) {
+        // Blocking send: bounded queues provide backpressure. A send only
+        // fails when the receiving task is gone (shutdown path) — the
+        // message is dropped then, matching "cluster taken down" semantics.
+        if self.task_senders[task].send(Input::Msg(msg)).is_ok() {
+            self.emitted.emitted.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runtime knobs.
+#[derive(Debug, Clone)]
+pub struct TopologyConfig {
+    /// Per-task input queue capacity (backpressure bound).
+    pub queue_capacity: usize,
+    /// Interval between ticks delivered to every bolt task.
+    pub tick_interval: Duration,
+    /// How long sources block in one `poll` call.
+    pub source_poll_timeout: Duration,
+}
+
+impl Default for TopologyConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 8192,
+            tick_interval: Duration::from_millis(100),
+            source_poll_timeout: Duration::from_millis(20),
+        }
+    }
+}
+
+enum ComponentKind<M: Message> {
+    Source(Option<Box<dyn Source<M>>>),
+    Bolt {
+        parallelism: usize,
+        factory: Box<dyn Fn(usize) -> Box<dyn Bolt<M>> + Send>,
+    },
+}
+
+struct ComponentDef<M: Message> {
+    name: String,
+    kind: ComponentKind<M>,
+    /// `(downstream component, grouping)` in declaration order.
+    downstream: Vec<(String, Arc<Grouping<M>>)>,
+}
+
+/// Declarative topology builder. Components must be added in topological
+/// order (upstream before downstream) — InvaliDB's pipelines are acyclic.
+pub struct TopologyBuilder<M: Message> {
+    components: Vec<ComponentDef<M>>,
+    config: TopologyConfig,
+}
+
+impl<M: Message> Default for TopologyBuilder<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Message> TopologyBuilder<M> {
+    /// New builder with default config.
+    pub fn new() -> Self {
+        Self { components: Vec::new(), config: TopologyConfig::default() }
+    }
+
+    /// Overrides the runtime configuration.
+    pub fn with_config(mut self, config: TopologyConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Adds a source component.
+    pub fn add_source(&mut self, name: &str, source: impl Source<M> + 'static) -> &mut Self {
+        assert!(!self.components.iter().any(|c| c.name == name), "duplicate component `{name}`");
+        self.components.push(ComponentDef {
+            name: name.to_owned(),
+            kind: ComponentKind::Source(Some(Box::new(source))),
+            downstream: Vec::new(),
+        });
+        self
+    }
+
+    /// Adds a bolt component with `parallelism` tasks; `factory` builds one
+    /// bolt instance per task index.
+    pub fn add_bolt(
+        &mut self,
+        name: &str,
+        parallelism: usize,
+        factory: impl Fn(usize) -> Box<dyn Bolt<M>> + Send + 'static,
+    ) -> &mut Self {
+        assert!(parallelism > 0, "bolt `{name}` needs at least one task");
+        assert!(!self.components.iter().any(|c| c.name == name), "duplicate component `{name}`");
+        self.components.push(ComponentDef {
+            name: name.to_owned(),
+            kind: ComponentKind::Bolt { parallelism, factory: Box::new(factory) },
+            downstream: Vec::new(),
+        });
+        self
+    }
+
+    /// Connects `from` → `to` with a grouping. `to` must be a bolt declared
+    /// *after* `from` (topological order).
+    pub fn connect(&mut self, from: &str, to: &str, grouping: Grouping<M>) -> &mut Self {
+        let from_idx = self.position(from).unwrap_or_else(|| panic!("unknown component `{from}`"));
+        let to_idx = self.position(to).unwrap_or_else(|| panic!("unknown component `{to}`"));
+        assert!(to_idx > from_idx, "`{to}` must be declared after `{from}` (acyclic, topological order)");
+        assert!(
+            matches!(self.components[to_idx].kind, ComponentKind::Bolt { .. }),
+            "`{to}` must be a bolt"
+        );
+        self.components[from_idx].downstream.push((to.to_owned(), Arc::new(grouping)));
+        self
+    }
+
+    fn position(&self, name: &str) -> Option<usize> {
+        self.components.iter().position(|c| c.name == name)
+    }
+
+    /// Builds and starts the topology.
+    pub fn start(mut self) -> RunningTopology {
+        let metrics = Arc::new(TopologyMetrics::default());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        // 1. Create input channels for every bolt task.
+        let mut task_senders: HashMap<String, Vec<Sender<Input<M>>>> = HashMap::new();
+        let mut task_receivers: HashMap<String, Vec<Receiver<Input<M>>>> = HashMap::new();
+        for c in &self.components {
+            if let ComponentKind::Bolt { parallelism, .. } = &c.kind {
+                let mut txs = Vec::with_capacity(*parallelism);
+                let mut rxs = Vec::with_capacity(*parallelism);
+                for _ in 0..*parallelism {
+                    let (tx, rx) = bounded(self.config.queue_capacity);
+                    txs.push(tx);
+                    rxs.push(rx);
+                }
+                task_senders.insert(c.name.clone(), txs);
+                task_receivers.insert(c.name.clone(), rxs);
+            }
+        }
+        // 2. Resolve output connections per component.
+        let connections: HashMap<String, Arc<Vec<OutputConnection<M>>>> = self
+            .components
+            .iter()
+            .map(|c| {
+                let conns: Vec<OutputConnection<M>> = c
+                    .downstream
+                    .iter()
+                    .map(|(to, grouping)| OutputConnection {
+                        grouping: Arc::clone(grouping),
+                        task_senders: task_senders[to].clone(),
+                        emitted: metrics.component(&c.name),
+                    })
+                    .collect();
+                (c.name.clone(), Arc::new(conns))
+            })
+            .collect();
+        // 3. Spawn executor threads.
+        let mut source_threads = Vec::new();
+        let mut bolt_threads: Vec<(String, Vec<JoinHandle<()>>)> = Vec::new();
+        for c in self.components.iter_mut() {
+            match &mut c.kind {
+                ComponentKind::Source(source) => {
+                    let mut source = source.take().expect("source consumed once");
+                    let outputs = Arc::clone(&connections[&c.name]);
+                    let shutdown = Arc::clone(&shutdown);
+                    let m = metrics.component(&c.name);
+                    let poll_timeout = self.config.source_poll_timeout;
+                    let name = c.name.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("src-{name}"))
+                        .spawn(move || {
+                            let rr: Vec<AtomicUsize> = outputs.iter().map(|_| AtomicUsize::new(0)).collect();
+                            while !shutdown.load(Ordering::Relaxed) {
+                                for msg in source.poll(poll_timeout) {
+                                    m.processed.fetch_add(1, Ordering::Relaxed);
+                                    for (conn, counter) in outputs.iter().zip(rr.iter()) {
+                                        conn.route(&msg, counter);
+                                    }
+                                }
+                            }
+                        })
+                        .expect("spawn source thread");
+                    source_threads.push(handle);
+                }
+                ComponentKind::Bolt { parallelism, factory } => {
+                    let rxs = task_receivers.remove(&c.name).expect("receivers exist");
+                    let mut handles = Vec::with_capacity(*parallelism);
+                    for (task, rx) in rxs.into_iter().enumerate() {
+                        let mut bolt = factory(task);
+                        let outputs = Arc::clone(&connections[&c.name]);
+                        let m = metrics.component(&c.name);
+                        let name = c.name.clone();
+                        let tick_interval = self.config.tick_interval;
+                        let handle = std::thread::Builder::new()
+                            .name(format!("bolt-{name}-{task}"))
+                            .spawn(move || {
+                                let rr: Vec<AtomicUsize> =
+                                    outputs.iter().map(|_| AtomicUsize::new(0)).collect();
+                                loop {
+                                    match rx.recv_timeout(tick_interval) {
+                                        Ok(Input::Msg(msg)) => {
+                                            m.processed.fetch_add(1, Ordering::Relaxed);
+                                            let mut ctx = BoltContext {
+                                                outputs: &outputs,
+                                                rr_counters: &rr,
+                                                emitted: 0,
+                                            };
+                                            bolt.execute(msg, &mut ctx);
+                                        }
+                                        Err(RecvTimeoutError::Timeout) => {
+                                            m.ticks.fetch_add(1, Ordering::Relaxed);
+                                            let mut ctx = BoltContext {
+                                                outputs: &outputs,
+                                                rr_counters: &rr,
+                                                emitted: 0,
+                                            };
+                                            bolt.tick(&mut ctx);
+                                        }
+                                        Ok(Input::Stop) | Err(RecvTimeoutError::Disconnected) => break,
+                                    }
+                                }
+                            })
+                            .expect("spawn bolt thread");
+                        handles.push(handle);
+                    }
+                    bolt_threads.push((c.name.clone(), handles));
+                }
+            }
+        }
+        // Keep one sender per bolt task for the shutdown path.
+        let stop_senders: Vec<(String, Vec<Sender<Input<M>>>)> =
+            bolt_threads.iter().map(|(name, _)| (name.clone(), task_senders[name].clone())).collect();
+        RunningTopology {
+            metrics,
+            shutdown,
+            source_threads,
+            stopper: Some(Box::new(move || {
+                // Components were added in topological order: stopping layer
+                // by layer after upstreams drained guarantees every task sees
+                // all of its input before Stop.
+                for ((_, handles), (_, senders)) in bolt_threads.into_iter().zip(stop_senders) {
+                    for tx in &senders {
+                        let _ = tx.send(Input::Stop);
+                    }
+                    for h in handles {
+                        let _ = h.join();
+                    }
+                }
+            })),
+        }
+    }
+}
+
+/// Runs a closure with a [`BoltContext`] whose emissions are collected into
+/// `out` — lets bolt implementations be unit-tested in isolation, without
+/// assembling a topology.
+pub fn run_with_collector<M: Message>(out: &mut Vec<M>, f: impl FnOnce(&mut BoltContext<'_, M>)) {
+    let (tx, rx) = bounded(1 << 20);
+    let conns = vec![OutputConnection {
+        grouping: Arc::new(Grouping::<M>::Shuffle),
+        task_senders: vec![tx],
+        emitted: Arc::new(crate::metrics::ComponentMetrics::default()),
+    }];
+    let rr = vec![AtomicUsize::new(0)];
+    let mut ctx = BoltContext { outputs: &conns, rr_counters: &rr, emitted: 0 };
+    f(&mut ctx);
+    drop(conns);
+    while let Ok(Input::Msg(m)) = rx.try_recv() {
+        out.push(m);
+    }
+}
+
+/// Handle to a started topology.
+pub struct RunningTopology {
+    metrics: Arc<TopologyMetrics>,
+    shutdown: Arc<AtomicBool>,
+    source_threads: Vec<JoinHandle<()>>,
+    stopper: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl RunningTopology {
+    /// Topology metrics.
+    pub fn metrics(&self) -> &Arc<TopologyMetrics> {
+        &self.metrics
+    }
+
+    /// Stops sources, drains bolts layer by layer, joins all threads.
+    pub fn shutdown(mut self) {
+        self.do_shutdown();
+    }
+
+    fn do_shutdown(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        for h in self.source_threads.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(stop) = self.stopper.take() {
+            stop();
+        }
+    }
+}
+
+impl Drop for RunningTopology {
+    fn drop(&mut self) {
+        self.do_shutdown();
+    }
+}

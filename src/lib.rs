@@ -1,0 +1,40 @@
+//! # InvaliDB
+//!
+//! A Rust reproduction of *InvaliDB: Scalable Push-Based Real-Time Queries
+//! on Top of Pull-Based Databases* (Wingerath, Gessert, Ritter; PVLDB 2020).
+//!
+//! This facade crate re-exports the public API of every workspace crate so
+//! applications can depend on a single `invalidb` crate:
+//!
+//! * [`common`] — document model, partitioning grid, notification types
+//! * [`json`] — JSON wire codec for documents
+//! * [`query`] — MongoDB-compatible pluggable query engine
+//! * [`store`] — embedded pull-based document database
+//! * [`broker`] — the event layer (async pub/sub)
+//! * [`stream`] — mini stream processor hosting the matching topology
+//! * [`core`] — the InvaliDB cluster (2-D partitioned matching)
+//! * [`client`] — the application server / InvaliDB client
+//! * [`baselines`] — poll-and-diff and log-tailing comparators
+//! * [`sim`] — discrete-event simulator for scalability studies
+//!
+//! ## Quickstart
+//!
+//! See `examples/quickstart.rs` for an end-to-end walkthrough: start a
+//! store, broker and cluster; subscribe to a real-time query through an
+//! application server; perform writes and receive push notifications.
+
+pub use invalidb_baselines as baselines;
+pub use invalidb_broker as broker;
+pub use invalidb_client as client;
+pub use invalidb_common as common;
+pub use invalidb_core as core;
+pub use invalidb_json as json;
+pub use invalidb_query as query;
+pub use invalidb_sim as sim;
+pub use invalidb_store as store;
+pub use invalidb_stream as stream;
+
+pub use invalidb_common::{
+    doc, AfterImage, ChangeItem, Document, Key, MatchType, Notification, NotificationKind, QueryHash,
+    QuerySpec, ResultItem, SortDirection, SubscriptionId, TenantId, Value, Version,
+};
