@@ -12,8 +12,8 @@
 //! Query support mirrors RethinkDB: composition and ordering with `limit`
 //! are available, `offset` is not (Table 2).
 
-use crate::provider::{Capabilities, ChannelLive, LiveQuery, RealTimeProvider};
 use crate::poll_and_diff::visible_to_change;
+use crate::provider::{Capabilities, ChannelLive, LiveQuery, RealTimeProvider};
 use invalidb_client::ClientEvent;
 use invalidb_common::{ChangeItem, Key, MatchType, QuerySpec, ResultItem, Version};
 use invalidb_core::window::{apply_events, SortedWindow, WindowItem};

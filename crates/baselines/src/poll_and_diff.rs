@@ -29,7 +29,12 @@ pub struct PollAndDiff {
 impl PollAndDiff {
     /// Creates a provider polling at `interval`.
     pub fn new(store: Arc<Store>, interval: Duration) -> Self {
-        Self { store, interval, shutdown: Arc::new(AtomicBool::new(false)), polls: Arc::new(AtomicU64::new(0)) }
+        Self {
+            store,
+            interval,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            polls: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Total pull queries executed so far — the database load this
@@ -115,7 +120,11 @@ pub(crate) fn diff_results(spec: &QuerySpec, old: &[ResultItem], new: &[ResultIt
             items
                 .iter()
                 .filter_map(|r| {
-                    r.doc.as_ref().map(|d| WindowItem { key: r.key.clone(), version: r.version, doc: d.clone() })
+                    r.doc.as_ref().map(|d| WindowItem {
+                        key: r.key.clone(),
+                        version: r.version,
+                        doc: d.clone(),
+                    })
                 })
                 .collect()
         };
@@ -140,12 +149,22 @@ fn diff_unordered(old: &[ResultItem], new: &[ResultItem]) -> Vec<ChangeItem> {
         match old_map.get(&r.key) {
             None => changes.push(ChangeItem {
                 match_type: MatchType::Add,
-                item: ResultItem { key: r.key.clone(), version: r.version, doc: r.doc.clone(), index: None },
+                item: ResultItem {
+                    key: r.key.clone(),
+                    version: r.version,
+                    doc: r.doc.clone(),
+                    index: None,
+                },
                 old_index: None,
             }),
             Some(&v) if v != r.version => changes.push(ChangeItem {
                 match_type: MatchType::Change,
-                item: ResultItem { key: r.key.clone(), version: r.version, doc: r.doc.clone(), index: None },
+                item: ResultItem {
+                    key: r.key.clone(),
+                    version: r.version,
+                    doc: r.doc.clone(),
+                    index: None,
+                },
                 old_index: None,
             }),
             _ => {}

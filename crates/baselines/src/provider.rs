@@ -109,7 +109,9 @@ pub(crate) struct ChannelLive {
 
 impl ChannelLive {
     fn apply(&mut self, event: &ClientEvent) {
-        use invalidb_common::{MaintenanceError, Notification, NotificationKind, SubscriptionId, TenantId};
+        use invalidb_common::{
+            MaintenanceError, Notification, NotificationKind, SubscriptionId, TenantId,
+        };
         let kind = match event {
             ClientEvent::Initial(items) => NotificationKind::InitialResult { items: items.clone() },
             ClientEvent::Change(c) => NotificationKind::Change(c.clone()),

@@ -19,11 +19,18 @@ fn main() {
     table::banner("Ablation", "1-D vs. 2-D partitioning at a fixed budget of 16 matching nodes");
 
     let mut rows = Vec::new();
-    for (label, qp, wp) in [("query-only (16x1)", 16usize, 1usize), ("write-only (1x16)", 1, 16), ("2-D grid (4x4)", 4, 4)] {
+    for (label, qp, wp) in
+        [("query-only (16x1)", 16usize, 1usize), ("write-only (1x16)", 1, 16), ("2-D grid (4x4)", 4, 4)]
+    {
         // Max queries at the paper's 1k ops/s.
         let q_cap = max_sustainable_queries(&SimParams::new(qp, wp), &search, 500, 40_000);
         // Max write throughput at the paper's 1k queries.
-        let w_cap = max_sustainable_writes(&SimParams::new(qp, wp), &search, 250.0 * wp as f64, 3_000.0 * wp as f64 + 2_000.0);
+        let w_cap = max_sustainable_writes(
+            &SimParams::new(qp, wp),
+            &search,
+            250.0 * wp as f64,
+            3_000.0 * wp as f64 + 2_000.0,
+        );
         rows.push(vec![label.to_string(), format!("{q_cap}"), format!("{w_cap:.0}")]);
     }
     table::table(&["scheme (QP x WP)", "max queries @ 1k ops/s", "max ops/s @ 1k queries"], &rows);

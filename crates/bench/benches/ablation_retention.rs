@@ -26,7 +26,8 @@ const TRIALS: usize = 60;
 fn main() {
     table::banner("Ablation", "Write-stream retention vs. the write-subscription race");
     let mut rows = Vec::new();
-    for (label, retention) in [("retention disabled", Duration::ZERO), ("retention 2 s (paper)", Duration::from_secs(2))]
+    for (label, retention) in
+        [("retention disabled", Duration::ZERO), ("retention 2 s (paper)", Duration::from_secs(2))]
     {
         let missed = run_trials(retention);
         rows.push(vec![
@@ -37,7 +38,9 @@ fn main() {
         ]);
     }
     table::table(&["configuration", "raced subscriptions", "missed notifications", "miss rate"], &rows);
-    println!("expectation: disabling retention loses racing writes; the paper's retention closes the race");
+    println!(
+        "expectation: disabling retention loses racing writes; the paper's retention closes the race"
+    );
 }
 
 /// Runs raced write/subscribe trials against a chaotic broker; returns how

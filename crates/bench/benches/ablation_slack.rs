@@ -48,8 +48,7 @@ struct Db {
 
 impl Db {
     fn top(&mut self, n: usize) -> Vec<ResultItem> {
-        let mut items: Vec<(i64, u64, i64)> =
-            self.docs.iter().map(|(k, (v, s))| (*k, *v, *s)).collect();
+        let mut items: Vec<(i64, u64, i64)> = self.docs.iter().map(|(k, (v, s))| (*k, *v, *s)).collect();
         items.sort_by_key(|(k, _, s)| (std::cmp::Reverse(*s), *k));
         items.truncate(n);
         self.reads += items.len() as u64;
@@ -61,9 +60,8 @@ impl Db {
 }
 
 fn churn(slack: u64) -> (u64, u64) {
-    let spec = QuerySpec::filter("players", doc! {})
-        .sorted_by("score", SortDirection::Desc)
-        .with_limit(LIMIT);
+    let spec =
+        QuerySpec::filter("players", doc! {}).sorted_by("score", SortDirection::Desc).with_limit(LIMIT);
     let prepared = MongoQueryEngine.prepare(&spec).unwrap();
     let mut rng = StdRng::seed_from_u64(slack.wrapping_mul(0x9E37_79B9).wrapping_add(7));
 

@@ -60,8 +60,22 @@ fn main() {
 
     // (c) + (d): latency distributions at the paper's snapshot points.
     for (id, title, qp, wp, queries, writes) in [
-        ("Figure 6c", "latency distribution, read-heavy (24k queries @ 1k ops/s)", 16usize, 1usize, 24_000u64, 1_000.0f64),
-        ("Figure 6d", "latency distribution, write-heavy (1k queries @ 5k ops/s)", 1, 16, 1_000, 5_000.0),
+        (
+            "Figure 6c",
+            "latency distribution, read-heavy (24k queries @ 1k ops/s)",
+            16usize,
+            1usize,
+            24_000u64,
+            1_000.0f64,
+        ),
+        (
+            "Figure 6d",
+            "latency distribution, write-heavy (1k queries @ 5k ops/s)",
+            1,
+            16,
+            1_000,
+            5_000.0,
+        ),
     ] {
         table::banner(id, title);
         for with_app in [false, true] {

@@ -14,11 +14,8 @@ use std::sync::Arc;
 
 fn bench_matching(c: &mut Criterion) {
     let mut w = Workload::new(1, 1_000);
-    let queries: Vec<_> = w
-        .queries(1_000)
-        .iter()
-        .map(|q| MongoQueryEngine.prepare(q).unwrap())
-        .collect();
+    let queries: Vec<_> =
+        w.queries(1_000).iter().map(|q| MongoQueryEngine.prepare(q).unwrap()).collect();
     let docs: Vec<_> = (0..100).map(|_| w.next_document().1).collect();
     let mut group = c.benchmark_group("matching");
     group.throughput(Throughput::Elements(queries.len() as u64));

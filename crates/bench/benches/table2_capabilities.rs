@@ -28,7 +28,12 @@ fn main() {
     let store = Arc::new(Store::new());
     let broker = Broker::new();
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
-    let app = Arc::new(AppServer::start("bench", Arc::clone(&store), broker.clone(), AppServerConfig::default()));
+    let app = Arc::new(AppServer::start(
+        "bench",
+        Arc::clone(&store),
+        broker.clone(),
+        AppServerConfig::default(),
+    ));
 
     let poll = PollAndDiff::new(Arc::clone(&store), POLL_INTERVAL);
     let tail = LogTailing::new(Arc::clone(&store));
@@ -47,11 +52,8 @@ fn main() {
         }
     };
 
-    let providers: Vec<(&dyn RealTimeProvider, Writer)> = vec![
-        (&poll, &store_writer),
-        (&tail, &store_writer),
-        (&invalidb, &app_writer),
-    ];
+    let providers: Vec<(&dyn RealTimeProvider, Writer)> =
+        vec![(&poll, &store_writer), (&tail, &store_writer), (&invalidb, &app_writer)];
 
     let mut rows: Vec<Vec<String>> = vec![
         vec!["scales with write TP".into()],
@@ -110,7 +112,10 @@ fn probe(provider: &dyn RealTimeProvider, spec: &QuerySpec, writer: Writer) -> b
     // inside the visible window.
     let id = NEXT.fetch_add(2, std::sync::atomic::Ordering::Relaxed) as i64;
     writer(Key::of(format!("p-{}-{id}", provider.name())), doc! { "a" => 1i64, "b" => 0i64, "s" => id });
-    writer(Key::of(format!("p-{}-{}", provider.name(), id + 1)), doc! { "a" => 1i64, "b" => 0i64, "s" => id + 1 });
+    writer(
+        Key::of(format!("p-{}-{}", provider.name(), id + 1)),
+        doc! { "a" => 1i64, "b" => 0i64, "s" => id + 1 },
+    );
     let deadline = Instant::now() + Duration::from_secs(5);
     while Instant::now() < deadline {
         match sub.next_event(Duration::from_millis(100)) {

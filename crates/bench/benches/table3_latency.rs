@@ -27,7 +27,10 @@ fn main() {
     let scale = invalidb_bench::scale();
     let duration = 30.0 * scale;
 
-    table::banner("Table 3a", "Read-heavy latency @ 1k ops/s: 1500 queries per query partition (~80% capacity)");
+    table::banner(
+        "Table 3a",
+        "Read-heavy latency @ 1k ops/s: 1500 queries per query partition (~80% capacity)",
+    );
     let mut rows = Vec::new();
     for qp in [1usize, 2, 4, 8, 16] {
         let mut p = SimParams::new(qp, 1);
@@ -39,7 +42,10 @@ fn main() {
     table::table(&["configuration", "avg (ms)", "std dev", "p99 (ms)", "max (ms)"], &rows);
     println!("paper: avg 9.0-9.4 ms, std 2.4-3.4 ms, p99 15.2-20.1 ms, max <= 46 ms");
 
-    table::banner("Table 3b", "Write-heavy latency @ 1k queries: 1000 ops/s per write partition (~66% capacity)");
+    table::banner(
+        "Table 3b",
+        "Write-heavy latency @ 1k queries: 1000 ops/s per write partition (~66% capacity)",
+    );
     let mut rows = Vec::new();
     for wp in [1usize, 2, 4, 8, 16] {
         let mut p = SimParams::new(1, wp);

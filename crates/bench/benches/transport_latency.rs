@@ -1,0 +1,131 @@
+//! Transport comparison — end-to-end notification latency (app-server
+//! write → push notification at the subscriber) with the event layer
+//! running (a) in-process, (b) with the app server attached over TCP
+//! loopback, and (c) with both the cluster and the app server attached
+//! over TCP loopback.
+//!
+//! The paper's prototype pays this hop through Redis (§5.3); the
+//! interesting question for the reproduction is how much of the ~9 ms
+//! average (Table 3) is transport. Loopback TCP with the framing codec
+//! adds tens to hundreds of microseconds per hop — small against the
+//! paper's numbers, so the in-process default does not flatter the
+//! matching pipeline by much.
+
+use invalidb_bench::table;
+use invalidb_broker::{Broker, BrokerHandle};
+use invalidb_client::{AppServer, AppServerConfig, ClientEvent};
+use invalidb_common::{doc, Key, QuerySpec};
+use invalidb_core::{Cluster, ClusterConfig};
+use invalidb_net::{BrokerServer, BrokerServerConfig, RemoteBroker, RemoteBrokerConfig};
+use invalidb_store::Store;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Stats {
+    mean_us: f64,
+    p99_us: f64,
+    max_us: f64,
+}
+
+fn stats(mut latencies_us: Vec<f64>) -> Stats {
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mean = latencies_us.iter().sum::<f64>() / latencies_us.len() as f64;
+    let p99 = latencies_us[((latencies_us.len() - 1) as f64 * 0.99) as usize];
+    let max = *latencies_us.last().unwrap();
+    Stats { mean_us: mean, p99_us: p99, max_us: max }
+}
+
+/// Runs `rounds` write→notification round trips on a freshly started
+/// stack whose cluster and app server sit on the given broker handles.
+fn measure(
+    cluster_link: impl Into<BrokerHandle>,
+    app_link: impl Into<BrokerHandle>,
+    tenant: &str,
+    rounds: usize,
+) -> Stats {
+    let store = Arc::new(Store::new());
+    let cluster = Cluster::start(cluster_link, ClusterConfig::new(1, 1));
+    let app = AppServer::start(tenant, Arc::clone(&store), app_link, AppServerConfig::default());
+
+    let spec = QuerySpec::filter("pings", doc! { "n" => doc! { "$gte" => 0i64 } });
+    let mut sub = app.subscribe(&spec).unwrap();
+    assert!(matches!(sub.next_event(Duration::from_secs(10)), Some(ClientEvent::Initial(_))));
+
+    let mut latencies = Vec::with_capacity(rounds);
+    for i in 0..rounds as i64 {
+        let key = Key::of(i);
+        let start = Instant::now();
+        app.save("pings", key.clone(), doc! { "n" => i }).unwrap();
+        loop {
+            match sub.next_event(Duration::from_secs(10)).expect("notification") {
+                ClientEvent::Change(c) if c.item.key == key => {
+                    latencies.push(start.elapsed().as_secs_f64() * 1e6);
+                    break;
+                }
+                _ => {}
+            }
+        }
+    }
+    drop(sub);
+    cluster.shutdown();
+    stats(latencies)
+}
+
+fn remote(addr: std::net::SocketAddr, name: &str) -> RemoteBroker {
+    let link = RemoteBroker::connect(
+        addr.to_string(),
+        RemoteBrokerConfig { client_name: name.into(), ..Default::default() },
+    );
+    assert!(link.wait_connected(Duration::from_secs(5)));
+    link
+}
+
+fn main() {
+    let rounds = (300.0 * invalidb_bench::scale()).max(20.0) as usize;
+    table::banner(
+        "Transport",
+        "Notification latency (save -> push notification), in-process vs. TCP loopback",
+    );
+
+    let mut rows = Vec::new();
+
+    // (a) Everything in-process: the repo's default deployment.
+    let broker = Broker::new();
+    let s = measure(broker.clone(), broker, "bench-inproc", rounds);
+    rows.push(row("in-process broker", &s));
+
+    // (b) Cluster local to the broker; app server over TCP loopback —
+    // the `examples/distributed.rs` topology (2 TCP hops per round trip:
+    // write envelope in, notification out).
+    let broker = Broker::new();
+    let server =
+        BrokerServer::bind("127.0.0.1:0", broker.clone(), BrokerServerConfig::default()).expect("bind");
+    let app_link = remote(server.local_addr(), "bench-app");
+    let s = measure(broker, app_link.clone(), "bench-tcp-app", rounds);
+    app_link.shutdown();
+    rows.push(row("TCP loopback (app server remote)", &s));
+
+    // (c) Cluster *and* app server both remote — every envelope crosses
+    // the wire twice (publish up, deliver down): 4 TCP hops per round.
+    let broker = Broker::new();
+    let server = BrokerServer::bind("127.0.0.1:0", broker, BrokerServerConfig::default()).expect("bind");
+    let cluster_link = remote(server.local_addr(), "bench-cluster");
+    let app_link = remote(server.local_addr(), "bench-app2");
+    let s = measure(cluster_link.clone(), app_link.clone(), "bench-tcp-both", rounds);
+    cluster_link.shutdown();
+    app_link.shutdown();
+    rows.push(row("TCP loopback (cluster + app server remote)", &s));
+
+    table::table(&["deployment", "avg (us)", "p99 (us)", "max (us)"], &rows);
+    println!("rounds per row: {rounds} (scale with INVALIDB_BENCH_SCALE)");
+    println!("paper: ~9 ms end-to-end average through Redis + Storm (Table 3)");
+}
+
+fn row(label: &str, s: &Stats) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.0}", s.mean_us),
+        format!("{:.0}", s.p99_us),
+        format!("{:.0}", s.max_us),
+    ]
+}

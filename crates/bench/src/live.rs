@@ -136,11 +136,8 @@ pub fn run_live_on(cfg: &LiveConfig, broker: Broker) -> LiveRun {
     cluster_cfg.retention = cfg.retention;
     cluster_cfg.synthetic_match_cost = cfg.synthetic_match_cost;
     let cluster = Cluster::start(broker.clone(), cluster_cfg);
-    let mut result = if cfg.via_app_server {
-        run_via_app_server(cfg, &broker)
-    } else {
-        run_standalone(cfg, &broker)
-    };
+    let mut result =
+        if cfg.via_app_server { run_via_app_server(cfg, &broker) } else { run_standalone(cfg, &broker) };
     result.matching_processed = cluster.metrics().component("matching").snapshot().0;
     result.matching_nodes = cluster.grid().nodes();
     cluster.shutdown();
@@ -265,18 +262,19 @@ fn run_via_app_server(cfg: &LiveConfig, broker: &Broker) -> LiveRun {
     let mut matched_issued = 0usize;
     let mut hist = Histogram::new();
     let mut count = 0u64;
-    let drain = |subs: &mut Vec<invalidb_client::Subscription>, hist: &mut Histogram, count: &mut u64| {
-        for sub in subs.iter_mut() {
-            while let Some(ev) = sub.try_next_event() {
-                if let ClientEvent::Change(c) = ev {
-                    if let Some(lat) = c.item.doc.as_ref().and_then(latency_from_doc) {
-                        hist.record(lat);
-                        *count += 1;
+    let drain =
+        |subs: &mut Vec<invalidb_client::Subscription>, hist: &mut Histogram, count: &mut u64| {
+            for sub in subs.iter_mut() {
+                while let Some(ev) = sub.try_next_event() {
+                    if let ClientEvent::Change(c) = ev {
+                        if let Some(lat) = c.item.doc.as_ref().and_then(latency_from_doc) {
+                            hist.record(lat);
+                            *count += 1;
+                        }
                     }
                 }
             }
-        }
-    };
+        };
     for i in 0..cfg.writes {
         let target = start + interval.mul_f64(i as f64);
         while Instant::now() < target {

@@ -48,7 +48,11 @@ pub fn series(title: &str, points: &[(String, f64)], unit: &str) {
     let max = points.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max).max(1e-9);
     for (label, value) in points {
         let bar_len = ((value / max) * 50.0).round() as usize;
-        println!("  {label:>16} | {}{} {value:.1} {unit}", "#".repeat(bar_len), " ".repeat(50 - bar_len.min(50)));
+        println!(
+            "  {label:>16} | {}{} {value:.1} {unit}",
+            "#".repeat(bar_len),
+            " ".repeat(50 - bar_len.min(50))
+        );
     }
 }
 

@@ -80,7 +80,10 @@ pub(crate) struct DelayScheduler {
 
 impl DelayScheduler {
     pub(crate) fn new() -> Self {
-        Self { state: Arc::new((Mutex::new(SchedulerState::default()), Condvar::new())), started: Mutex::new(false) }
+        Self {
+            state: Arc::new((Mutex::new(SchedulerState::default()), Condvar::new())),
+            started: Mutex::new(false),
+        }
     }
 
     fn ensure_thread(&self) {

@@ -199,6 +199,88 @@ impl Default for Broker {
     }
 }
 
+/// The event-layer abstraction (§5): everything the cluster and the
+/// application servers need from the message broker. The in-process
+/// [`Broker`] implements it directly; `invalidb-net`'s `RemoteBroker`
+/// implements it over TCP — both sides of the system are written against
+/// [`BrokerHandle`] and never notice which transport is underneath.
+pub trait EventLayer: Send + Sync {
+    /// Publishes a payload to all current subscribers of a topic. Returns
+    /// the number of *local* deliveries scheduled (remote transports may
+    /// report 0 even though the server forwards further).
+    fn publish(&self, topic: &str, payload: Bytes) -> usize;
+
+    /// Subscribes to a topic with FIFO delivery from now on.
+    fn subscribe(&self, topic: &str) -> Subscription;
+
+    /// Number of active local subscribers on a topic.
+    fn subscriber_count(&self, topic: &str) -> usize;
+}
+
+impl EventLayer for Broker {
+    fn publish(&self, topic: &str, payload: Bytes) -> usize {
+        Broker::publish(self, topic, payload)
+    }
+
+    fn subscribe(&self, topic: &str) -> Subscription {
+        Broker::subscribe(self, topic)
+    }
+
+    fn subscriber_count(&self, topic: &str) -> usize {
+        Broker::subscriber_count(self, topic)
+    }
+}
+
+/// A cheaply cloneable, type-erased handle to an event layer.
+///
+/// `AppServer::start` and `Cluster::start` accept `impl Into<BrokerHandle>`,
+/// so existing call sites passing a [`Broker`] compile unchanged while a
+/// remote transport plugs in with the same one-liner.
+#[derive(Clone)]
+pub struct BrokerHandle {
+    inner: Arc<dyn EventLayer>,
+}
+
+impl BrokerHandle {
+    /// Wraps any event layer implementation.
+    pub fn new(layer: impl EventLayer + 'static) -> Self {
+        Self { inner: Arc::new(layer) }
+    }
+
+    /// See [`EventLayer::publish`].
+    pub fn publish(&self, topic: &str, payload: Bytes) -> usize {
+        self.inner.publish(topic, payload)
+    }
+
+    /// See [`EventLayer::subscribe`].
+    pub fn subscribe(&self, topic: &str) -> Subscription {
+        self.inner.subscribe(topic)
+    }
+
+    /// See [`EventLayer::subscriber_count`].
+    pub fn subscriber_count(&self, topic: &str) -> usize {
+        self.inner.subscriber_count(topic)
+    }
+}
+
+impl std::fmt::Debug for BrokerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BrokerHandle").finish_non_exhaustive()
+    }
+}
+
+impl From<Broker> for BrokerHandle {
+    fn from(broker: Broker) -> Self {
+        Self::new(broker)
+    }
+}
+
+impl From<Arc<dyn EventLayer>> for BrokerHandle {
+    fn from(inner: Arc<dyn EventLayer>) -> Self {
+        Self { inner }
+    }
+}
+
 enum Delivery {
     Now,
     Delayed(Duration),
@@ -337,8 +419,11 @@ mod tests {
 
     #[test]
     fn chaos_drops_messages() {
-        let broker =
-            Broker::with_chaos(ChaosConfig { seed: 42, drop_probability: 0.5, ..ChaosConfig::default() });
+        let broker = Broker::with_chaos(ChaosConfig {
+            seed: 42,
+            drop_probability: 0.5,
+            ..ChaosConfig::default()
+        });
         let s = broker.subscribe("t");
         for i in 0..200 {
             broker.publish("t", b(&format!("{i}")));

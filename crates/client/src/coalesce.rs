@@ -166,7 +166,9 @@ mod tests {
         let out = collapse(events);
         assert_eq!(kinds(&out), vec![(MatchType::Add, "\"k\"".into())]);
         match &out[0] {
-            ClientEvent::Change(c) => assert_eq!(c.item.doc.as_ref().unwrap().get("n"), Some(&Value::Int(9))),
+            ClientEvent::Change(c) => {
+                assert_eq!(c.item.doc.as_ref().unwrap().get("n"), Some(&Value::Int(9)))
+            }
             _ => unreachable!(),
         }
     }

@@ -72,8 +72,7 @@ impl LiveResult {
         match &notification.kind {
             NotificationKind::InitialResult { items } => {
                 self.entries = items.iter().filter_map(entry_of).collect();
-                self.seen_versions =
-                    items.iter().map(|i| (i.key.clone(), i.version)).collect();
+                self.seen_versions = items.iter().map(|i| (i.key.clone(), i.version)).collect();
                 self.degraded = false;
             }
             NotificationKind::Change(change) => {
@@ -168,7 +167,11 @@ impl LiveResult {
 }
 
 fn entry_of(item: &ResultItem) -> Option<LiveEntry> {
-    item.doc.as_ref().map(|doc| LiveEntry { key: item.key.clone(), version: item.version, doc: doc.clone() })
+    item.doc.as_ref().map(|doc| LiveEntry {
+        key: item.key.clone(),
+        version: item.version,
+        doc: doc.clone(),
+    })
 }
 
 #[cfg(test)]

@@ -2,7 +2,7 @@
 
 use crate::rate::TokenBucket;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use invalidb_broker::{notify_topic, Broker, CLUSTER_TOPIC};
+use invalidb_broker::{notify_topic, BrokerHandle, CLUSTER_TOPIC};
 use invalidb_common::{
     AfterImage, ClusterMessage, Document, Key, Notification, NotificationKind, QueryHash, QuerySpec,
     ResultItem, SubscriptionId, SubscriptionRequest, TenantId,
@@ -102,7 +102,7 @@ struct Shared {
 pub struct AppServer {
     tenant: TenantId,
     store: Arc<Store>,
-    broker: Broker,
+    broker: BrokerHandle,
     config: AppServerConfig,
     shared: Arc<Shared>,
     renewal_bucket: Arc<TokenBucket>,
@@ -110,9 +110,18 @@ pub struct AppServer {
 }
 
 impl AppServer {
-    /// Starts an application server.
-    pub fn start(tenant: impl Into<TenantId>, store: Arc<Store>, broker: Broker, config: AppServerConfig) -> Self {
+    /// Starts an application server attached to an event layer — an
+    /// in-process [`invalidb_broker::Broker`], a [`BrokerHandle`], or any
+    /// other [`invalidb_broker::EventLayer`] implementation (e.g.
+    /// `invalidb-net`'s TCP-backed `RemoteBroker`).
+    pub fn start(
+        tenant: impl Into<TenantId>,
+        store: Arc<Store>,
+        broker: impl Into<BrokerHandle>,
+        config: AppServerConfig,
+    ) -> Self {
         let tenant = tenant.into();
+        let broker: BrokerHandle = broker.into();
         let shared = Arc::new(Shared {
             subs: Mutex::new(HashMap::new()),
             last_heartbeat: Mutex::new(Instant::now()),
@@ -183,7 +192,12 @@ impl AppServer {
     }
 
     /// Applies an update to a record.
-    pub fn update(&self, collection: &str, key: Key, update: &UpdateSpec) -> Result<WriteResult, StoreError> {
+    pub fn update(
+        &self,
+        collection: &str,
+        key: Key,
+        update: &UpdateSpec,
+    ) -> Result<WriteResult, StoreError> {
         let w = self.store.update(collection, key, update)?;
         self.forward(collection, &w);
         Ok(w)
@@ -306,7 +320,9 @@ impl AppServer {
                     let mut subs = shared.subs.lock();
                     if let Some(entry) = subs.get_mut(&n.subscription) {
                         let event = match &n.kind {
-                            NotificationKind::InitialResult { items } => ClientEvent::Initial(items.clone()),
+                            NotificationKind::InitialResult { items } => {
+                                ClientEvent::Initial(items.clone())
+                            }
                             NotificationKind::Change(c) => ClientEvent::Change(c.clone()),
                             NotificationKind::Error(e) => {
                                 entry.needs_renewal = true;
@@ -361,7 +377,12 @@ impl AppServer {
                                     // the database with re-executions.
                                     entry.slack = (entry.slack * 2).clamp(1, config.max_slack);
                                     entry.rewritten = entry.spec.rewrite_for_bootstrap(entry.slack);
-                                    Some((entry.spec.clone(), entry.rewritten.clone(), entry.query_hash, entry.slack))
+                                    Some((
+                                        entry.spec.clone(),
+                                        entry.rewritten.clone(),
+                                        entry.query_hash,
+                                        entry.slack,
+                                    ))
                                 }
                                 None => None,
                             }
@@ -396,8 +417,10 @@ impl AppServer {
                                 query_hash: entry.query_hash,
                                 ttl_micros: config.ttl.as_micros() as u64,
                             };
-                            broker
-                                .publish(CLUSTER_TOPIC, invalidb_json::document_to_payload(&msg.to_document()));
+                            broker.publish(
+                                CLUSTER_TOPIC,
+                                invalidb_json::document_to_payload(&msg.to_document()),
+                            );
                         }
                     }
                     // 3. Heartbeat supervision: terminate on cluster silence.

@@ -67,9 +67,8 @@ fn sorted_subscription_maintains_order() {
     for (id, score) in [("a", 10i64), ("b", 30), ("c", 20)] {
         app.insert("players", Key::of(id), doc! { "score" => score }).unwrap();
     }
-    let spec = QuerySpec::filter("players", doc! {})
-        .sorted_by("score", SortDirection::Desc)
-        .with_limit(2);
+    let spec =
+        QuerySpec::filter("players", doc! {}).sorted_by("score", SortDirection::Desc).with_limit(2);
     let mut sub = app.subscribe(&spec).unwrap();
     sub.next_event(Duration::from_secs(5)).expect("initial");
     assert_eq!(sub.result().keys(), vec![Key::of("b"), Key::of("c")]);
@@ -133,8 +132,7 @@ fn heartbeat_loss_terminates_subscriptions() {
     let broker = Broker::new();
     let store = Arc::new(Store::new());
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(1, 1));
-    let mut config = AppServerConfig::default();
-    config.heartbeat_timeout = Duration::from_millis(300);
+    let config = AppServerConfig { heartbeat_timeout: Duration::from_millis(300), ..Default::default() };
     let app = AppServer::start("app", Arc::clone(&store), broker.clone(), config);
 
     let spec = QuerySpec::filter("t", doc! {});
@@ -178,8 +176,10 @@ fn two_app_servers_share_one_cluster() {
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
     let store_a = Arc::new(Store::new());
     let store_b = Arc::new(Store::new());
-    let app_a = AppServer::start("tenant-a", Arc::clone(&store_a), broker.clone(), AppServerConfig::default());
-    let app_b = AppServer::start("tenant-b", Arc::clone(&store_b), broker.clone(), AppServerConfig::default());
+    let app_a =
+        AppServer::start("tenant-a", Arc::clone(&store_a), broker.clone(), AppServerConfig::default());
+    let app_b =
+        AppServer::start("tenant-b", Arc::clone(&store_b), broker.clone(), AppServerConfig::default());
 
     let spec = QuerySpec::filter("t", doc! {});
     let mut sub_a = app_a.subscribe(&spec).unwrap();
@@ -202,9 +202,7 @@ fn slack_grows_adaptively_with_renewals() {
     let broker = Broker::new();
     let store = Arc::new(Store::new());
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(1, 1));
-    let mut config = AppServerConfig::default();
-    config.default_slack = 1;
-    config.max_slack = 8;
+    let config = AppServerConfig { default_slack: 1, max_slack: 8, ..Default::default() };
     let app = AppServer::start("adapt", Arc::clone(&store), broker.clone(), config);
 
     for i in 0..40i64 {
@@ -243,7 +241,8 @@ fn aggregate_queries_end_to_end() {
         app.insert("orders", Key::of(id), doc! { "price" => price, "open" => true }).unwrap();
     }
     // Live SUM(price) over open orders.
-    let spec = QuerySpec::filter("orders", doc! { "open" => true }).aggregated(AggregateOp::Sum, Some("price"));
+    let spec =
+        QuerySpec::filter("orders", doc! { "open" => true }).aggregated(AggregateOp::Sum, Some("price"));
     let mut sub = app.subscribe(&spec).unwrap();
     match sub.next_event(Duration::from_secs(5)).expect("initial aggregate") {
         ClientEvent::Aggregate { value, count } => {

@@ -143,7 +143,11 @@ impl fmt::Display for PathError {
 
 impl std::error::Error for PathError {}
 
-fn set_path_inner(doc: &mut Document, segments: &[&str], value: Value) -> Result<Option<Value>, PathError> {
+fn set_path_inner(
+    doc: &mut Document,
+    segments: &[&str],
+    value: Value,
+) -> Result<Option<Value>, PathError> {
     let (head, rest) = segments.split_first().expect("path has at least one segment");
     if rest.is_empty() {
         return Ok(doc.insert(*head, value));
@@ -259,12 +263,8 @@ mod tests {
 
     #[test]
     fn from_iterator_dedups_by_insert_semantics() {
-        let d: Document = vec![
-            ("x".to_owned(), Value::Int(1)),
-            ("x".to_owned(), Value::Int(2)),
-        ]
-        .into_iter()
-        .collect();
+        let d: Document =
+            vec![("x".to_owned(), Value::Int(1)), ("x".to_owned(), Value::Int(2))].into_iter().collect();
         assert_eq!(d.len(), 1);
         assert_eq!(d.get("x"), Some(&Value::Int(2)));
     }

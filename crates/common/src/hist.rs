@@ -150,11 +150,7 @@ impl Histogram {
     /// Iterator over `(bucket_upper_bound, count)` for non-empty buckets —
     /// used to print the latency-distribution figures (Fig. 6c/6d).
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(i, &c)| (Self::bucket_value(i), c))
+        self.counts.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (Self::bucket_value(i), c))
     }
 }
 

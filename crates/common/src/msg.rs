@@ -107,7 +107,9 @@ impl ClusterMessage {
                 d.insert("ttl", req.ttl_micros as i64);
                 d.insert(
                     "initial",
-                    Value::Array(req.initial.iter().map(|i| Value::Object(result_item_to_doc(i))).collect()),
+                    Value::Array(
+                        req.initial.iter().map(|i| Value::Object(result_item_to_doc(i))).collect(),
+                    ),
                 );
             }
             ClusterMessage::Unsubscribe { tenant, subscription, query_hash } => {
@@ -143,26 +145,41 @@ impl ClusterMessage {
     pub fn from_document(d: &Document) -> Result<Self, SpecError> {
         let op = d.get("op").and_then(Value::as_str).ok_or_else(|| err("missing `op`"))?;
         let tenant = || -> Result<TenantId, SpecError> {
-            Ok(TenantId(d.get("tenant").and_then(Value::as_str).ok_or_else(|| err("missing `tenant`"))?.to_owned()))
+            Ok(TenantId(
+                d.get("tenant")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| err("missing `tenant`"))?
+                    .to_owned(),
+            ))
         };
         let sub = || -> Result<SubscriptionId, SpecError> {
             Ok(SubscriptionId(
-                d.get("subscription").and_then(Value::as_i64).ok_or_else(|| err("missing `subscription`"))? as u64,
+                d.get("subscription")
+                    .and_then(Value::as_i64)
+                    .ok_or_else(|| err("missing `subscription`"))? as u64,
             ))
         };
         let qhash = || -> Result<QueryHash, SpecError> {
-            Ok(QueryHash(d.get("queryHash").and_then(Value::as_i64).ok_or_else(|| err("missing `queryHash`"))? as u64))
+            Ok(QueryHash(
+                d.get("queryHash").and_then(Value::as_i64).ok_or_else(|| err("missing `queryHash`"))?
+                    as u64,
+            ))
         };
         match op {
             "subscribe" => {
-                let spec_doc = d.get("query").and_then(Value::as_object).ok_or_else(|| err("missing `query`"))?;
+                let spec_doc =
+                    d.get("query").and_then(Value::as_object).ok_or_else(|| err("missing `query`"))?;
                 let spec = QuerySpec::from_document(spec_doc)?;
                 let initial = d
                     .get("initial")
                     .and_then(Value::as_array)
                     .ok_or_else(|| err("missing `initial`"))?
                     .iter()
-                    .map(|v| v.as_object().ok_or_else(|| err("initial item must be object")).and_then(result_item_from_doc))
+                    .map(|v| {
+                        v.as_object()
+                            .ok_or_else(|| err("initial item must be object"))
+                            .and_then(result_item_from_doc)
+                    })
                     .collect::<Result<Vec<_>, _>>()?;
                 Ok(ClusterMessage::Subscribe(SubscriptionRequest {
                     tenant: tenant()?,
@@ -183,7 +200,8 @@ impl ClusterMessage {
                 tenant: tenant()?,
                 subscription: sub()?,
                 query_hash: qhash()?,
-                ttl_micros: d.get("ttl").and_then(Value::as_i64).ok_or_else(|| err("missing `ttl`"))? as u64,
+                ttl_micros: d.get("ttl").and_then(Value::as_i64).ok_or_else(|| err("missing `ttl`"))?
+                    as u64,
             }),
             "write" => {
                 let doc = match d.get("doc") {
@@ -199,7 +217,11 @@ impl ClusterMessage {
                         .ok_or_else(|| err("missing `collection`"))?
                         .to_owned(),
                     key: Key(d.get("key").cloned().ok_or_else(|| err("missing `key`"))?),
-                    version: d.get("version").and_then(Value::as_i64).ok_or_else(|| err("missing `version`"))? as Version,
+                    version: d
+                        .get("version")
+                        .and_then(Value::as_i64)
+                        .ok_or_else(|| err("missing `version`"))?
+                        as Version,
                     doc,
                     written_at: d.get("writtenAt").and_then(Value::as_i64).unwrap_or(0) as u64,
                 }))
@@ -225,7 +247,9 @@ fn result_item_to_doc(item: &ResultItem) -> Document {
 
 fn result_item_from_doc(d: &Document) -> Result<ResultItem, SpecError> {
     let key = Key(d.get("key").cloned().ok_or_else(|| err("result item missing `key`"))?);
-    let version = d.get("version").and_then(Value::as_i64).ok_or_else(|| err("result item missing `version`"))? as Version;
+    let version =
+        d.get("version").and_then(Value::as_i64).ok_or_else(|| err("result item missing `version`"))?
+            as Version;
     let doc = match d.get("doc") {
         Some(Value::Null) | None => None,
         Some(Value::Object(doc)) => Some(doc.clone()),

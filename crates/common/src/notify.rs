@@ -91,10 +91,10 @@ impl ResultItem {
 
     fn from_document(d: &Document) -> Result<Self, SpecError> {
         let key = Key(d.get("key").cloned().ok_or_else(|| decode_err("result item missing `key`"))?);
-        let version = d
-            .get("version")
-            .and_then(Value::as_i64)
-            .ok_or_else(|| decode_err("result item missing `version`"))? as Version;
+        let version =
+            d.get("version")
+                .and_then(Value::as_i64)
+                .ok_or_else(|| decode_err("result item missing `version`"))? as Version;
         let doc = match d.get("doc") {
             Some(Value::Null) | None => None,
             Some(Value::Object(doc)) => Some(doc.clone()),
@@ -208,11 +208,15 @@ impl Notification {
     /// Decodes a notification from its document encoding.
     pub fn from_document(d: &Document) -> Result<Self, SpecError> {
         let tenant = TenantId(
-            d.get("tenant").and_then(Value::as_str).ok_or_else(|| decode_err("missing `tenant`"))?.to_owned(),
+            d.get("tenant")
+                .and_then(Value::as_str)
+                .ok_or_else(|| decode_err("missing `tenant`"))?
+                .to_owned(),
         );
         let subscription = SubscriptionId(
-            d.get("subscription").and_then(Value::as_i64).ok_or_else(|| decode_err("missing `subscription`"))?
-                as u64,
+            d.get("subscription")
+                .and_then(Value::as_i64)
+                .ok_or_else(|| decode_err("missing `subscription`"))? as u64,
         );
         let caused_by_write_at = d.get("writeAt").and_then(Value::as_i64).unwrap_or(0) as u64;
         let ty = d.get("type").and_then(Value::as_str).ok_or_else(|| decode_err("missing `type`"))?;
@@ -224,7 +228,9 @@ impl Notification {
                     .ok_or_else(|| decode_err("missing `items`"))?
                     .iter()
                     .map(|v| {
-                        v.as_object().ok_or_else(|| decode_err("item must be object")).and_then(ResultItem::from_document)
+                        v.as_object()
+                            .ok_or_else(|| decode_err("item must be object"))
+                            .and_then(ResultItem::from_document)
                     })
                     .collect::<Result<Vec<_>, _>>()?;
                 NotificationKind::InitialResult { items }
@@ -237,8 +243,8 @@ impl Notification {
                 count: d.get("count").and_then(Value::as_i64).unwrap_or(0) as u64,
             },
             other => {
-                let match_type =
-                    MatchType::parse_str(other).ok_or_else(|| decode_err("unknown notification type"))?;
+                let match_type = MatchType::parse_str(other)
+                    .ok_or_else(|| decode_err("unknown notification type"))?;
                 let item = d
                     .get("item")
                     .and_then(Value::as_object)
@@ -262,12 +268,7 @@ mod tests {
     use crate::doc;
 
     fn item() -> ResultItem {
-        ResultItem {
-            key: Key::of("k1"),
-            version: 3,
-            doc: Some(doc! { "a" => 1i64 }),
-            index: Some(2),
-        }
+        ResultItem { key: Key::of("k1"), version: 3, doc: Some(doc! { "a" => 1i64 }), index: Some(2) }
     }
 
     #[test]
@@ -283,7 +284,9 @@ mod tests {
         let n = Notification {
             tenant: TenantId::new("app"),
             subscription: SubscriptionId(42),
-            kind: NotificationKind::InitialResult { items: vec![item(), ResultItem::new(Key::of(9i64), 1, doc! {})] },
+            kind: NotificationKind::InitialResult {
+                items: vec![item(), ResultItem::new(Key::of(9i64), 1, doc! {})],
+            },
             caused_by_write_at: 0,
         };
         let back = Notification::from_document(&n.to_document()).unwrap();

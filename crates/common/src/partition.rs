@@ -89,7 +89,10 @@ mod tests {
         let expect = total as usize / n;
         for &c in &counts {
             // Within 5% of perfectly even for 80k keys over 8 partitions.
-            assert!((c as i64 - expect as i64).unsigned_abs() < (expect / 20) as u64, "skewed: {counts:?}");
+            assert!(
+                (c as i64 - expect as i64).unsigned_abs() < (expect / 20) as u64,
+                "skewed: {counts:?}"
+            );
         }
     }
 }

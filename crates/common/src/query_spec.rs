@@ -261,7 +261,8 @@ impl QuerySpec {
             Some(v) => Some(
                 v.as_i64()
                     .filter(|l| *l >= 0)
-                    .ok_or(SpecError::new("`limit` must be a non-negative integer"))? as u64,
+                    .ok_or(SpecError::new("`limit` must be a non-negative integer"))?
+                    as u64,
             ),
         };
         let offset = match d.get("offset") {
@@ -269,7 +270,8 @@ impl QuerySpec {
             Some(v) => v
                 .as_i64()
                 .filter(|o| *o >= 0)
-                .ok_or(SpecError::new("`offset` must be a non-negative integer"))? as u64,
+                .ok_or(SpecError::new("`offset` must be a non-negative integer"))?
+                as u64,
         };
         let aggregate = match d.get("aggregate") {
             None => None,
@@ -391,7 +393,9 @@ mod tests {
     #[test]
     fn needs_sorting_stage_detection() {
         assert!(!QuerySpec::filter("t", Document::new()).needs_sorting_stage());
-        assert!(QuerySpec::filter("t", Document::new()).sorted_by("a", SortDirection::Asc).needs_sorting_stage());
+        assert!(QuerySpec::filter("t", Document::new())
+            .sorted_by("a", SortDirection::Asc)
+            .needs_sorting_stage());
         assert!(QuerySpec::filter("t", Document::new()).with_limit(1).needs_sorting_stage());
         assert!(QuerySpec::filter("t", Document::new()).with_offset(1).needs_sorting_stage());
     }

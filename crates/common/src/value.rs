@@ -380,9 +380,15 @@ mod tests {
     fn large_int_float_comparison_is_exact() {
         // 2^62 + 1 is not representable as f64; naive casting would claim equality.
         let big = (1i64 << 62) + 1;
-        assert_eq!(canonical_cmp(&Value::Int(big), &Value::Float((1i64 << 62) as f64)), Ordering::Greater);
+        assert_eq!(
+            canonical_cmp(&Value::Int(big), &Value::Float((1i64 << 62) as f64)),
+            Ordering::Greater
+        );
         assert_eq!(canonical_cmp(&Value::Int(i64::MAX), &Value::Float(f64::INFINITY)), Ordering::Less);
-        assert_eq!(canonical_cmp(&Value::Int(i64::MIN), &Value::Float(f64::NEG_INFINITY)), Ordering::Greater);
+        assert_eq!(
+            canonical_cmp(&Value::Int(i64::MIN), &Value::Float(f64::NEG_INFINITY)),
+            Ordering::Greater
+        );
     }
 
     #[test]

@@ -78,7 +78,9 @@ proptest! {
         if f.is_finite() && f.abs() <= 4_503_599_627_370_496.0 {
             let expect = (i as f64).partial_cmp(&f);
             // (i as f64) is exact only when |i| <= 2^52 as well.
-            if i.abs() <= 4_503_599_627_370_496 {
+            // (unsigned_abs: `abs` overflows on i64::MIN, which proptest
+            // generates as a boundary value.)
+            if i.unsigned_abs() <= 4_503_599_627_370_496 {
                 prop_assert_eq!(Some(canonical_cmp(&Value::Int(i), &Value::Float(f))), expect);
             }
         }

@@ -218,7 +218,12 @@ impl AggregationNode {
         }
     }
 
-    fn handle_unsubscribe(&mut self, tenant: &TenantId, query_hash: QueryHash, subscription: SubscriptionId) {
+    fn handle_unsubscribe(
+        &mut self,
+        tenant: &TenantId,
+        query_hash: QueryHash,
+        subscription: SubscriptionId,
+    ) {
         if let Some(group) = self.groups.get_mut(&(tenant.clone(), query_hash)) {
             group.subscriptions.remove(&subscription);
             if group.subscriptions.is_empty() {
@@ -312,7 +317,14 @@ mod tests {
             self.drive(Event::Subscribe(Arc::new(req)));
         }
 
-        fn change(&mut self, spec: &QuerySpec, kind: FilterChangeKind, key: i64, version: u64, doc: Option<Document>) {
+        fn change(
+            &mut self,
+            spec: &QuerySpec,
+            kind: FilterChangeKind,
+            key: i64,
+            version: u64,
+            doc: Option<Document>,
+        ) {
             self.drive(Event::FilterChange(Arc::new(FilterChange {
                 tenant: TenantId::new("t"),
                 query_hash: spec.stable_hash(),

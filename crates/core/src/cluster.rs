@@ -7,7 +7,7 @@ use crate::event::Event;
 use crate::matching::MatchingNode;
 use crate::notifier::Notifier;
 use crate::sorting::SortingNode;
-use invalidb_broker::{Broker, CLUSTER_TOPIC};
+use invalidb_broker::{BrokerHandle, CLUSTER_TOPIC};
 use invalidb_common::partition::partition_of;
 use invalidb_common::{ClusterMessage, GridShape, SystemClock};
 use invalidb_stream::{
@@ -32,8 +32,12 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Starts a cluster with the given configuration, attached to a broker.
-    pub fn start(broker: Broker, config: ClusterConfig) -> Cluster {
+    /// Starts a cluster with the given configuration, attached to an event
+    /// layer — an in-process [`invalidb_broker::Broker`], a
+    /// [`BrokerHandle`], or any other [`invalidb_broker::EventLayer`]
+    /// implementation (e.g. `invalidb-net`'s TCP-backed `RemoteBroker`).
+    pub fn start(broker: impl Into<BrokerHandle>, config: ClusterConfig) -> Cluster {
+        let broker: BrokerHandle = broker.into();
         let grid = GridShape::new(config.query_partitions, config.write_partitions);
         let clock = Arc::new(SystemClock::new());
         let decode_errors = Arc::new(AtomicU64::new(0));
@@ -277,15 +281,13 @@ impl Source<Event> for IngressSource {
             None => return Vec::new(),
         };
         let mut out = Vec::with_capacity(8);
-        let mut decode = |payload: bytes::Bytes| {
-            match invalidb_json::payload_to_document(&payload)
-                .ok()
-                .and_then(|d| ClusterMessage::from_document(&d).ok())
-            {
-                Some(msg) => out.push(msg.into()),
-                None => {
-                    self.decode_errors.fetch_add(1, Ordering::Relaxed);
-                }
+        let mut decode = |payload: bytes::Bytes| match invalidb_json::payload_to_document(&payload)
+            .ok()
+            .and_then(|d| ClusterMessage::from_document(&d).ok())
+        {
+            Some(msg) => out.push(msg.into()),
+            None => {
+                self.decode_errors.fetch_add(1, Ordering::Relaxed);
             }
         };
         decode(first);

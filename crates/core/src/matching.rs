@@ -235,13 +235,14 @@ impl MatchingNode {
                 collection: img.collection.clone(),
                 key: img.key.clone(),
             };
-            let mut candidates = match self.indexes.get_mut(&(img.tenant.clone(), img.collection.clone())) {
-                Some(index) => match &img.doc {
-                    Some(doc) => index.candidates(doc),
-                    None => index.scan_candidates(),
-                },
-                None => return,
-            };
+            let mut candidates =
+                match self.indexes.get_mut(&(img.tenant.clone(), img.collection.clone())) {
+                    Some(index) => match &img.doc {
+                        Some(doc) => index.candidates(doc),
+                        None => index.scan_candidates(),
+                    },
+                    None => return,
+                };
             if let Some(holders) = self.containing.get(&record) {
                 candidates.extend(holders.iter().copied());
             }
@@ -345,7 +346,12 @@ impl MatchingNode {
         Some(kind)
     }
 
-    fn handle_unsubscribe(&mut self, tenant: &TenantId, query_hash: QueryHash, subscription: SubscriptionId) {
+    fn handle_unsubscribe(
+        &mut self,
+        tenant: &TenantId,
+        query_hash: QueryHash,
+        subscription: SubscriptionId,
+    ) {
         if let Some(group) = self.queries.get_mut(&(tenant.clone(), query_hash)) {
             group.subscriptions.remove(&subscription);
             if group.subscriptions.is_empty() {
@@ -685,7 +691,7 @@ mod tests {
         let h = harness(ClusterConfig::new(1, 1));
         let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
         h.tx.send(subscribe_event(spec, 1, vec![])).unwrap(); // tenant "app"
-        // Write from another tenant: same collection name, must not match.
+                                                              // Write from another tenant: same collection name, must not match.
         h.tx.send(Event::Write(Arc::new(AfterImage {
             tenant: TenantId::new("other"),
             collection: "t".into(),

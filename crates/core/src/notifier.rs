@@ -10,7 +10,7 @@
 
 use crate::config::ClusterConfig;
 use crate::event::{Event, OutMsg};
-use invalidb_broker::{notify_topic, Broker};
+use invalidb_broker::{notify_topic, BrokerHandle};
 use invalidb_common::{
     doc, Clock, Notification, NotificationKind, SubscriptionRequest, TenantId, Timestamp,
 };
@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 /// The notifier bolt.
 pub struct Notifier {
-    broker: Broker,
+    broker: BrokerHandle,
     config: ClusterConfig,
     clock: Arc<dyn Clock>,
     /// Tenants seen, with the time of their last heartbeat.
@@ -29,7 +29,7 @@ pub struct Notifier {
 
 impl Notifier {
     /// Creates the notifier.
-    pub fn new(broker: Broker, config: ClusterConfig, clock: Arc<dyn Clock>) -> Self {
+    pub fn new(broker: BrokerHandle, config: ClusterConfig, clock: Arc<dyn Clock>) -> Self {
         Self { broker, config, clock, tenants: HashMap::new() }
     }
 

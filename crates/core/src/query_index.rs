@@ -78,11 +78,9 @@ pub fn analyze_filter(filter: &Document) -> Option<IndexableRange> {
             let hi = hi.unwrap_or(bracket_max());
             Some(IndexableRange { attr: attr.to_owned(), lo, hi })
         }
-        literal if scalar(literal) => Some(IndexableRange {
-            attr: attr.to_owned(),
-            lo: literal.clone(),
-            hi: literal.clone(),
-        }),
+        literal if scalar(literal) => {
+            Some(IndexableRange { attr: attr.to_owned(), lo: literal.clone(), hi: literal.clone() })
+        }
         _ => None,
     }
 }

@@ -82,12 +82,16 @@ impl SortingNode {
                     ctx.emit(to_notification_event(&tenant, req.subscription, ev, 0));
                 }
             } else {
-                // Renewal: re-seed from the fresh result and stream the
-                // incremental evolution from the last valid state (§5.2).
-                let events = group.window.reseed(req.slack, &req.initial, &group.client_state);
+                // Renewal: re-seed from the fresh result. On the wire a
+                // renewal is indistinguishable from a fresh subscribe, so
+                // the notifier has already re-sent the initial result and
+                // the client's list is reset wholesale — emitting a delta
+                // from the pre-error state on top of that replacement
+                // would corrupt the client's list.
+                let _ = group.window.reseed(req.slack, &req.initial, &group.client_state);
                 group.active = true;
-                Self::broadcast(group, &events, 0, ctx);
-                apply_events(&mut group.client_state, &events);
+                group.slack = req.slack;
+                group.client_state = group.window.snapshot_visible();
             }
             return;
         }
@@ -101,14 +105,7 @@ impl SortingNode {
         subscriptions.insert(req.subscription, SubState { tenant: req.tenant.clone(), expires_at });
         self.groups.insert(
             group_key,
-            SortGroup {
-                prepared,
-                window,
-                client_state,
-                active: true,
-                slack: req.slack,
-                subscriptions,
-            },
+            SortGroup { prepared, window, client_state, active: true, slack: req.slack, subscriptions },
         );
     }
 
@@ -137,7 +134,12 @@ impl SortingNode {
         apply_events(&mut group.client_state, &outcome.events);
     }
 
-    fn broadcast(group: &SortGroup, events: &[VisibleEvent], written_at: u64, ctx: &mut BoltContext<'_, Event>) {
+    fn broadcast(
+        group: &SortGroup,
+        events: &[VisibleEvent],
+        written_at: u64,
+        ctx: &mut BoltContext<'_, Event>,
+    ) {
         for ev in events {
             for (sub, state) in &group.subscriptions {
                 ctx.emit(to_notification_event(&state.tenant, *sub, ev, written_at));
@@ -146,7 +148,12 @@ impl SortingNode {
         let _ = &group.slack;
     }
 
-    fn handle_unsubscribe(&mut self, tenant: &TenantId, query_hash: QueryHash, subscription: SubscriptionId) {
+    fn handle_unsubscribe(
+        &mut self,
+        tenant: &TenantId,
+        query_hash: QueryHash,
+        subscription: SubscriptionId,
+    ) {
         if let Some(group) = self.groups.get_mut(&(tenant.clone(), query_hash)) {
             group.subscriptions.remove(&subscription);
             if group.subscriptions.is_empty() {

@@ -100,7 +100,11 @@ impl SortedWindow {
         let mut items: Vec<WindowItem> = initial
             .iter()
             .filter_map(|r| {
-                r.doc.as_ref().map(|doc| WindowItem { key: r.key.clone(), version: r.version, doc: doc.clone() })
+                r.doc.as_ref().map(|doc| WindowItem {
+                    key: r.key.clone(),
+                    version: r.version,
+                    doc: doc.clone(),
+                })
             })
             .collect();
         items.sort_by(|a, b| prepared.cmp_items((&a.key, &a.doc), (&b.key, &b.doc)));
@@ -205,7 +209,12 @@ impl SortedWindow {
     /// Replaces the window content from a fresh bootstrap result (query
     /// renewal) and returns the edit script from `last_visible` — the
     /// client's last valid state — to the new visible slice.
-    pub fn reseed(&mut self, slack: u64, initial: &[ResultItem], last_visible: &[WindowItem]) -> Vec<VisibleEvent> {
+    pub fn reseed(
+        &mut self,
+        slack: u64,
+        initial: &[ResultItem],
+        last_visible: &[WindowItem],
+    ) -> Vec<VisibleEvent> {
         let fresh = SortedWindow::new(Arc::clone(&self.prepared), slack, initial);
         self.cap = fresh.cap;
         self.items = fresh.items;
@@ -469,7 +478,11 @@ mod tests {
 
         // Now a move *within* the visible range: swap 3 and 4 by year bump.
         let mut w = figure3_window();
-        let out = w.apply(&Key::of(4i64), 2, Some(&doc! { "title" => "x", "year" => 2017i64, "boost" => 1i64 }));
+        let out = w.apply(
+            &Key::of(4i64),
+            2,
+            Some(&doc! { "title" => "x", "year" => 2017i64, "boost" => 1i64 }),
+        );
         // Same year, key 4 > key 3: no move. Instead bump year to 2017 with
         // key 2 — insert a fresh item that lands between.
         drop(out);
@@ -520,11 +533,8 @@ mod tests {
         assert_eq!(w.len(), 50);
         assert_eq!(w.visible().len(), 50);
         // Ordered ascending by n.
-        let ns: Vec<i64> = w
-            .visible()
-            .iter()
-            .map(|i| i.doc.get("n").unwrap().as_i64().unwrap())
-            .collect();
+        let ns: Vec<i64> =
+            w.visible().iter().map(|i| i.doc.get("n").unwrap().as_i64().unwrap()).collect();
         let mut sorted = ns.clone();
         sorted.sort_unstable();
         assert_eq!(ns, sorted);

@@ -70,7 +70,9 @@ fn unsorted_query_full_roundtrip_on_2x2_grid() {
     let spec = QuerySpec::filter("users", doc! { "age" => doc! { "$gte" => 18i64 } });
     publish(&broker, &subscribe_msg(&spec, 1, vec![], 0));
     let initial = collect(&notify, 1);
-    assert!(matches!(initial[0].kind, NotificationKind::InitialResult { ref items } if items.is_empty()));
+    assert!(
+        matches!(initial[0].kind, NotificationKind::InitialResult { ref items } if items.is_empty())
+    );
 
     // Writes across many keys: all partitions exercised, exactly one
     // notification per matching write (no duplicates from the grid).
@@ -113,10 +115,10 @@ fn sorted_query_roundtrip_with_change_index() {
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
 
     // Top-3 leaderboard by score descending.
-    let spec = QuerySpec::filter("players", doc! {}).sorted_by("score", SortDirection::Desc).with_limit(3);
-    let initial: Vec<ResultItem> = (0..5i64)
-        .map(|i| ResultItem::new(Key::of(i), 1, doc! { "score" => 100 - i * 10 }))
-        .collect();
+    let spec =
+        QuerySpec::filter("players", doc! {}).sorted_by("score", SortDirection::Desc).with_limit(3);
+    let initial: Vec<ResultItem> =
+        (0..5i64).map(|i| ResultItem::new(Key::of(i), 1, doc! { "score" => 100 - i * 10 })).collect();
     publish(&broker, &subscribe_msg(&spec, 9, initial, 2));
     let first = collect(&notify, 1);
     match &first[0].kind {
@@ -271,7 +273,7 @@ fn cluster_death_leaves_publishers_unharmed() {
     let broker = Broker::new();
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(1, 1));
     cluster.shutdown(); // "worst case: the InvaliDB cluster is taken down"
-    // Requests against the event layer remain unanswered, but nothing errors.
+                        // Requests against the event layer remain unanswered, but nothing errors.
     let spec = QuerySpec::filter("t", doc! {});
     publish(&broker, &subscribe_msg(&spec, 1, vec![], 0));
     publish(&broker, &write_msg("t", Key::of(1i64), 1, Some(doc! {})));
@@ -391,7 +393,10 @@ fn query_index_is_transparent() {
                     if let Some(n) = decode(p) {
                         idle = 0;
                         if let NotificationKind::Change(c) = &n.kind {
-                            out.push(format!("{} {} {} v{}", n.subscription.0, c.match_type, c.item.key, c.item.version));
+                            out.push(format!(
+                                "{} {} {} v{}",
+                                n.subscription.0, c.match_type, c.item.key, c.item.version
+                            ));
                         }
                     }
                 }

@@ -75,11 +75,7 @@ impl Db {
         let mut items: Vec<(i64, Version, i64)> =
             self.live.iter().map(|(k, (v, s))| (*k, *v, *s)).collect();
         items.sort_by_key(|(k, _, s)| (*s, *k));
-        items
-            .into_iter()
-            .take(n)
-            .map(|(k, v, s)| ResultItem::new(Key::of(k), v, doc_of(s)))
-            .collect()
+        items.into_iter().take(n).map(|(k, v, s)| ResultItem::new(Key::of(k), v, doc_of(s))).collect()
     }
 
     /// The true visible window `[offset, offset+limit)`.

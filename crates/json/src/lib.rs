@@ -34,8 +34,8 @@ pub fn document_to_payload(doc: &Document) -> Bytes {
 
 /// Parses an event-layer payload back into a document.
 pub fn payload_to_document(payload: &Bytes) -> Result<Document, JsonError> {
-    let text = std::str::from_utf8(payload)
-        .map_err(|_| JsonError::new(JsonErrorKind::InvalidUtf8, 0))?;
+    let text =
+        std::str::from_utf8(payload).map_err(|_| JsonError::new(JsonErrorKind::InvalidUtf8, 0))?;
     parse_document(text)
 }
 

@@ -201,7 +201,9 @@ impl<'a> Parser<'a> {
             }
             if self.pos > start {
                 // Input is known-valid UTF-8 (constructed from &str).
-                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is valid UTF-8"));
+                out.push_str(
+                    std::str::from_utf8(&self.bytes[start..self.pos]).expect("input is valid UTF-8"),
+                );
             }
             match self.bump() {
                 None => return Err(self.err(JsonErrorKind::UnexpectedEof)),

@@ -18,9 +18,8 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     leaf.prop_recursive(4, 32, 8, |inner| {
         prop_oneof![
             prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
-            prop::collection::vec(("[a-zA-Z0-9_.$-]{1,8}", inner), 0..6).prop_map(|pairs| {
-                Value::Object(pairs.into_iter().collect::<Document>())
-            }),
+            prop::collection::vec(("[a-zA-Z0-9_.$-]{1,8}", inner), 0..6)
+                .prop_map(|pairs| { Value::Object(pairs.into_iter().collect::<Document>()) }),
         ]
     })
 }

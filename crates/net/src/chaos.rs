@@ -1,0 +1,235 @@
+//! A chaos proxy: a TCP forwarder between client and server that injects
+//! the failures §6's robustness story promises to survive — added
+//! latency, partitions, truncated frames, and abrupt connection resets.
+//!
+//! Unlike the broker's in-process chaos hooks (which reorder and delay
+//! *messages*), this operates on raw byte chunks, so it exercises the
+//! framing layer itself: a truncated chunk leaves a torn frame tail in
+//! the peer's decoder, and a reset mid-frame must be survived by the
+//! supervisor's reconnect + resubscription replay.
+
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Failure injection knobs. All probabilities are per forwarded chunk.
+#[derive(Debug, Clone)]
+pub struct ChaosProxyConfig {
+    /// RNG seed (deterministic chaos for reproducible tests).
+    pub seed: u64,
+    /// Added delay range per chunk, if any.
+    pub latency: Option<(Duration, Duration)>,
+    /// Probability of forwarding only a prefix of a chunk and then
+    /// killing the connection (torn frame + reset).
+    pub truncate_probability: f64,
+    /// Probability of resetting the connection outright.
+    pub reset_probability: f64,
+}
+
+impl Default for ChaosProxyConfig {
+    fn default() -> Self {
+        ChaosProxyConfig { seed: 2020, latency: None, truncate_probability: 0.0, reset_probability: 0.0 }
+    }
+}
+
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+struct Shared {
+    upstream: String,
+    config: ChaosProxyConfig,
+    running: AtomicBool,
+    /// While set, new connections are refused and existing ones killed.
+    partitioned: AtomicBool,
+    /// Live sockets (both sides of each bridge), for reset/partition.
+    sockets: Mutex<Vec<TcpStream>>,
+    /// Connections accepted during a partition: held open but never
+    /// forwarded, so the peer must detect the dead link via heartbeat
+    /// timeout (a real partition drops packets, it does not refuse
+    /// connections).
+    blackholed: Mutex<Vec<TcpStream>>,
+    conn_counter: AtomicU64,
+}
+
+/// A failure-injecting TCP forwarder. Point clients at
+/// [`local_addr`](ChaosProxy::local_addr); it relays to the upstream
+/// address it was built with.
+pub struct ChaosProxy {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxy {
+    /// Binds an ephemeral loopback port and starts forwarding to
+    /// `upstream`.
+    pub fn start(upstream: impl Into<String>, config: ChaosProxyConfig) -> io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            upstream: upstream.into(),
+            config,
+            running: AtomicBool::new(true),
+            partitioned: AtomicBool::new(false),
+            sockets: Mutex::new(Vec::new()),
+            blackholed: Mutex::new(Vec::new()),
+            conn_counter: AtomicU64::new(0),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("chaos-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn chaos accept thread");
+        Ok(ChaosProxy { shared, local_addr, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address clients should connect to.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Starts or heals a network partition. While partitioned, existing
+    /// bridges are torn down and new connections are accepted but
+    /// blackholed (nothing forwarded), so peers must detect the dead
+    /// link via heartbeat timeout. Healing closes the blackholed
+    /// sockets so peers re-establish real bridges.
+    pub fn partition(&self, active: bool) {
+        self.shared.partitioned.store(active, Ordering::SeqCst);
+        if active {
+            self.kill_all();
+        } else {
+            for sock in self.shared.blackholed.lock().drain(..) {
+                let _ = sock.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Resets every live connection once (they may reconnect).
+    pub fn reset_all(&self) {
+        self.kill_all();
+    }
+
+    /// Stops the proxy and joins its accept thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        self.kill_all();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn kill_all(&self) {
+        for sock in self.shared.sockets.lock().drain(..) {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+        for sock in self.shared.blackholed.lock().drain(..) {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    listener.set_nonblocking(true).expect("set_nonblocking");
+    while shared.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((client, _)) => {
+                if shared.partitioned.load(Ordering::SeqCst) {
+                    shared.blackholed.lock().push(client);
+                    continue;
+                }
+                let upstream = match TcpStream::connect(&shared.upstream) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        let _ = client.shutdown(Shutdown::Both);
+                        continue;
+                    }
+                };
+                client.set_nodelay(true).ok();
+                upstream.set_nodelay(true).ok();
+                bridge(client, upstream, &shared);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+/// Starts the two pump threads for one client↔upstream bridge.
+fn bridge(client: TcpStream, upstream: TcpStream, shared: &Arc<Shared>) {
+    let conn_id = shared.conn_counter.fetch_add(1, Ordering::Relaxed);
+    {
+        let mut socks = shared.sockets.lock();
+        if let Ok(c) = client.try_clone() {
+            socks.push(c);
+        }
+        if let Ok(u) = upstream.try_clone() {
+            socks.push(u);
+        }
+    }
+    for (dir, from, to) in [
+        (0u64, client.try_clone(), upstream.try_clone()),
+        (1u64, upstream.try_clone(), client.try_clone()),
+    ] {
+        let (from, to) = match (from, to) {
+            (Ok(f), Ok(t)) => (f, t),
+            _ => return,
+        };
+        let pump_shared = Arc::clone(shared);
+        let seed = shared.config.seed ^ conn_id.rotate_left(13) ^ dir.rotate_left(37);
+        thread::Builder::new()
+            .name(format!("chaos-pump-{conn_id}-{dir}"))
+            .spawn(move || pump(from, to, pump_shared, seed))
+            .expect("spawn chaos pump thread");
+    }
+}
+
+/// Forwards bytes one chunk at a time, rolling the chaos dice per chunk.
+fn pump(mut from: TcpStream, mut to: TcpStream, shared: Arc<Shared>, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    from.set_read_timeout(Some(POLL_INTERVAL)).ok();
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        if !shared.running.load(Ordering::SeqCst) || shared.partitioned.load(Ordering::SeqCst) {
+            break;
+        }
+        let n = match from.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(_) => break,
+        };
+        let cfg = &shared.config;
+        if let Some((lo, hi)) = cfg.latency {
+            let span = hi.saturating_sub(lo);
+            let extra = span.mul_f64(rng.gen::<f64>());
+            thread::sleep(lo + extra);
+        }
+        if cfg.reset_probability > 0.0 && rng.gen::<f64>() < cfg.reset_probability {
+            break; // abrupt reset, nothing forwarded
+        }
+        if cfg.truncate_probability > 0.0 && rng.gen::<f64>() < cfg.truncate_probability && n > 1 {
+            // Forward a strict prefix, then kill the connection: the
+            // receiver is left holding a torn frame tail.
+            let cut = 1 + rng.gen_range(0..n - 1);
+            let _ = to.write_all(&buf[..cut]);
+            break;
+        }
+        if to.write_all(&buf[..n]).is_err() {
+            break;
+        }
+    }
+    let _ = from.shutdown(Shutdown::Both);
+    let _ = to.shutdown(Shutdown::Both);
+}

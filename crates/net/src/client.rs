@@ -1,0 +1,451 @@
+//! `RemoteBroker`: the broker client — same publish/subscribe surface as
+//! the in-process [`Broker`], delivered over TCP.
+//!
+//! Local delivery goes through a private *mirror broker*: `subscribe`
+//! registers on the mirror and tells the server to start forwarding the
+//! topic; the reader thread pumps incoming `Publish` frames into the
+//! mirror, which fans them out to however many local subscriptions exist.
+//! A janitor notices topics whose local subscriber count has dropped to
+//! zero (subscriptions unsubscribe on drop, exactly like the in-process
+//! broker) and sends `UNSUBSCRIBE` upstream.
+//!
+//! A supervisor thread owns the connection lifecycle: connect with
+//! exponential backoff plus jitter, introduce itself with `HELLO`, replay
+//! every tracked subscription, then serve the session until EOF, error,
+//! or heartbeat timeout — and start over. Replay is what makes a
+//! mid-stream disconnect survivable: the server re-attaches the topics
+//! and the app-server's maintenance-error machinery (paper §5.2) repairs
+//! whatever was missed during the gap, leaning on the cluster's
+//! write-stream retention (§5.1).
+
+use crate::frame::{Decoder, Frame};
+use crate::queue::{Closed, OverflowPolicy, SendQueue};
+use invalidb_broker::{Broker, BrokerHandle, Bytes, EventLayer, Subscription};
+use parking_lot::Mutex;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::collections::HashSet;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Tuning for [`RemoteBroker`].
+#[derive(Debug, Clone)]
+pub struct RemoteBrokerConfig {
+    /// Name sent in the `HELLO` frame (diagnostics only).
+    pub client_name: String,
+    /// Outbound send-queue capacity in frames.
+    pub queue_capacity: usize,
+    /// What to do when the outbound queue overflows.
+    pub overflow_policy: OverflowPolicy,
+    /// How often to send heartbeats on an idle connection.
+    pub heartbeat_interval: Duration,
+    /// How long without *any* inbound frame before the connection is
+    /// declared dead and torn down for reconnect.
+    pub heartbeat_timeout: Duration,
+    /// First reconnect delay; doubles per failed attempt.
+    pub reconnect_base: Duration,
+    /// Reconnect delay ceiling.
+    pub reconnect_max: Duration,
+    /// Seed for backoff jitter (deterministic tests).
+    pub jitter_seed: u64,
+}
+
+impl Default for RemoteBrokerConfig {
+    fn default() -> Self {
+        RemoteBrokerConfig {
+            client_name: "invalidb-client".into(),
+            queue_capacity: 1024,
+            overflow_policy: OverflowPolicy::DropOldest,
+            heartbeat_interval: Duration::from_millis(500),
+            heartbeat_timeout: Duration::from_secs(2),
+            reconnect_base: Duration::from_millis(50),
+            reconnect_max: Duration::from_secs(2),
+            jitter_seed: 0x1DB1,
+        }
+    }
+}
+
+/// How often blocked reads wake up to poll flags.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+struct Inner {
+    addr: String,
+    config: RemoteBrokerConfig,
+    /// Local fan-out: incoming `Publish` frames are republished here.
+    mirror: Broker,
+    /// Topics the server should be forwarding; replayed on reconnect.
+    topics: Mutex<HashSet<String>>,
+    /// Outbound queue of the *current* session, if connected.
+    session: Mutex<Option<SendQueue>>,
+    /// Socket clone of the current session, for shutdown.
+    socket: Mutex<Option<TcpStream>>,
+    connected: AtomicBool,
+    running: AtomicBool,
+    seq: AtomicU64,
+    /// Highest `Ack` sequence seen (observability for tests).
+    acked: AtomicU64,
+    metrics: Arc<invalidb_stream::LinkMetrics>,
+}
+
+/// A connection-supervised broker client. Cloning shares the connection.
+#[derive(Clone)]
+pub struct RemoteBroker {
+    inner: Arc<Inner>,
+    /// Present only on the original handle; joined on explicit shutdown.
+    supervisor: Arc<Mutex<Option<JoinHandle<()>>>>,
+}
+
+impl RemoteBroker {
+    /// Starts a client for the broker server at `addr` (e.g.
+    /// `"127.0.0.1:7473"`). Returns immediately; the supervisor connects
+    /// (and keeps reconnecting) in the background.
+    pub fn connect(addr: impl Into<String>, config: RemoteBrokerConfig) -> RemoteBroker {
+        let inner = Arc::new(Inner {
+            addr: addr.into(),
+            config,
+            mirror: Broker::new(),
+            topics: Mutex::new(HashSet::new()),
+            session: Mutex::new(None),
+            socket: Mutex::new(None),
+            connected: AtomicBool::new(false),
+            running: AtomicBool::new(true),
+            seq: AtomicU64::new(0),
+            acked: AtomicU64::new(0),
+            metrics: Arc::new(invalidb_stream::LinkMetrics::default()),
+        });
+        let sup_inner = Arc::clone(&inner);
+        let supervisor = thread::Builder::new()
+            .name("net-supervisor".into())
+            .spawn(move || supervise(sup_inner))
+            .expect("spawn supervisor thread");
+        let broker = RemoteBroker { inner, supervisor: Arc::new(Mutex::new(Some(supervisor))) };
+        broker.spawn_janitor();
+        broker
+    }
+
+    /// Publishes an envelope to `topic` on the server. Returns 1 if the
+    /// frame was enqueued for transmission, 0 if the client is currently
+    /// disconnected (event-layer delivery is best-effort, like Redis
+    /// pub/sub — see DESIGN.md §2).
+    pub fn publish(&self, topic: &str, payload: Bytes) -> usize {
+        let frame = Frame::Publish { topic: topic.to_owned(), payload };
+        if self.enqueue(&frame) {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Subscribes to `topic`. The returned [`Subscription`] behaves
+    /// exactly like an in-process one; dropping it unsubscribes (the
+    /// janitor propagates the `UNSUBSCRIBE` upstream once the local
+    /// subscriber count reaches zero).
+    pub fn subscribe(&self, topic: &str) -> Subscription {
+        let subscription = self.inner.mirror.subscribe(topic);
+        let newly_tracked = self.inner.topics.lock().insert(topic.to_owned());
+        if newly_tracked {
+            let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            self.enqueue(&Frame::Subscribe { seq, topic: topic.to_owned() });
+        }
+        subscription
+    }
+
+    /// Number of *local* subscriptions on `topic` (the server's global
+    /// count is not visible from here).
+    pub fn subscriber_count(&self, topic: &str) -> usize {
+        self.inner.mirror.subscriber_count(topic)
+    }
+
+    /// Whether a session is currently established.
+    pub fn is_connected(&self) -> bool {
+        self.inner.connected.load(Ordering::SeqCst)
+    }
+
+    /// Link metrics for this client's connection.
+    pub fn metrics(&self) -> Arc<invalidb_stream::LinkMetrics> {
+        Arc::clone(&self.inner.metrics)
+    }
+
+    /// Highest `Ack` sequence number received from the server.
+    pub fn last_acked(&self) -> u64 {
+        self.inner.acked.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a session is established or `timeout` elapses.
+    pub fn wait_connected(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        while Instant::now() < deadline {
+            if self.is_connected() {
+                return true;
+            }
+            thread::sleep(Duration::from_millis(5));
+        }
+        self.is_connected()
+    }
+
+    /// Drops the current connection without stopping the supervisor —
+    /// it will reconnect and replay subscriptions. Test hook for
+    /// mid-stream disconnects.
+    pub fn kick(&self) {
+        if let Some(sock) = self.inner.socket.lock().as_ref() {
+            let _ = sock.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Stops the supervisor, closes the connection, and joins all
+    /// background threads. Idempotent.
+    pub fn shutdown(&self) {
+        self.inner.running.store(false, Ordering::SeqCst);
+        if let Some(q) = self.inner.session.lock().as_ref() {
+            q.close();
+        }
+        self.kick();
+        if let Some(t) = self.supervisor.lock().take() {
+            let _ = t.join();
+        }
+    }
+
+    fn enqueue(&self, frame: &Frame) -> bool {
+        let session = self.inner.session.lock();
+        match session.as_ref() {
+            Some(q) => q.push(frame.encode()),
+            None => false,
+        }
+    }
+
+    /// Watches for topics whose local subscriber count dropped to zero
+    /// and unsubscribes them upstream.
+    fn spawn_janitor(&self) {
+        let inner = Arc::clone(&self.inner);
+        thread::Builder::new()
+            .name("net-janitor".into())
+            .spawn(move || {
+                while inner.running.load(Ordering::SeqCst) {
+                    thread::sleep(POLL_INTERVAL);
+                    let stale: Vec<String> = {
+                        let topics = inner.topics.lock();
+                        topics
+                            .iter()
+                            .filter(|t| inner.mirror.subscriber_count(t) == 0)
+                            .cloned()
+                            .collect()
+                    };
+                    if stale.is_empty() {
+                        continue;
+                    }
+                    let mut topics = inner.topics.lock();
+                    let session = inner.session.lock();
+                    for topic in stale {
+                        // Re-check under the lock: a subscribe may have raced in.
+                        if inner.mirror.subscriber_count(&topic) != 0 {
+                            continue;
+                        }
+                        topics.remove(&topic);
+                        if let Some(q) = session.as_ref() {
+                            let seq = inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+                            q.push(Frame::Unsubscribe { seq, topic }.encode());
+                        }
+                    }
+                }
+            })
+            .expect("spawn janitor thread");
+    }
+}
+
+impl EventLayer for RemoteBroker {
+    fn publish(&self, topic: &str, payload: Bytes) -> usize {
+        RemoteBroker::publish(self, topic, payload)
+    }
+
+    fn subscribe(&self, topic: &str) -> Subscription {
+        RemoteBroker::subscribe(self, topic)
+    }
+
+    fn subscriber_count(&self, topic: &str) -> usize {
+        RemoteBroker::subscriber_count(self, topic)
+    }
+}
+
+impl From<RemoteBroker> for BrokerHandle {
+    fn from(remote: RemoteBroker) -> BrokerHandle {
+        BrokerHandle::new(remote)
+    }
+}
+
+impl std::fmt::Debug for RemoteBroker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RemoteBroker")
+            .field("addr", &self.inner.addr)
+            .field("connected", &self.is_connected())
+            .finish_non_exhaustive()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor: connect → hello → replay → serve → (backoff) → repeat
+// ---------------------------------------------------------------------------
+
+fn supervise(inner: Arc<Inner>) {
+    let mut rng = StdRng::seed_from_u64(inner.config.jitter_seed);
+    let mut backoff = inner.config.reconnect_base;
+    while inner.running.load(Ordering::SeqCst) {
+        let stream = match TcpStream::connect(&inner.addr) {
+            Ok(s) => s,
+            Err(_) => {
+                sleep_with_jitter(&inner, backoff, &mut rng);
+                backoff = (backoff * 2).min(inner.config.reconnect_max);
+                continue;
+            }
+        };
+        stream.set_nodelay(true).ok();
+        backoff = inner.config.reconnect_base;
+        inner.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+        run_session(&inner, stream);
+        inner.connected.store(false, Ordering::SeqCst);
+        *inner.session.lock() = None;
+        *inner.socket.lock() = None;
+    }
+}
+
+/// Sleep for `backoff` scaled by a jitter factor in [0.5, 1.5), waking
+/// early on shutdown.
+fn sleep_with_jitter(inner: &Inner, backoff: Duration, rng: &mut StdRng) {
+    let jitter = 0.5 + rng.gen::<f64>();
+    let mut remaining = backoff.mul_f64(jitter);
+    while remaining > Duration::ZERO && inner.running.load(Ordering::SeqCst) {
+        let step = remaining.min(POLL_INTERVAL);
+        thread::sleep(step);
+        remaining = remaining.saturating_sub(step);
+    }
+}
+
+fn run_session(inner: &Arc<Inner>, stream: TcpStream) {
+    let metrics = Arc::clone(&inner.metrics);
+    let queue =
+        SendQueue::new(inner.config.queue_capacity, inner.config.overflow_policy, Arc::clone(&metrics));
+
+    // Introduce ourselves and replay every tracked topic before the
+    // queue is visible to publishers, so replay frames go out first.
+    queue.push(Frame::Hello { client: inner.config.client_name.clone() }.encode());
+    {
+        let topics = inner.topics.lock();
+        for topic in topics.iter() {
+            let seq = inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
+            queue.push(Frame::Subscribe { seq, topic: topic.clone() }.encode());
+        }
+    }
+    if let Ok(clone) = stream.try_clone() {
+        *inner.socket.lock() = Some(clone);
+    }
+    *inner.session.lock() = Some(queue.clone());
+    inner.connected.store(true, Ordering::SeqCst);
+
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer = spawn_writer(writer_stream, queue.clone(), Arc::clone(&metrics), inner);
+
+    read_session(inner, stream, &queue, &metrics);
+
+    queue.close();
+    let _ = writer.join();
+}
+
+fn read_session(
+    inner: &Arc<Inner>,
+    mut stream: TcpStream,
+    queue: &SendQueue,
+    metrics: &Arc<invalidb_stream::LinkMetrics>,
+) {
+    stream.set_read_timeout(Some(POLL_INTERVAL)).ok();
+    let mut decoder = Decoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    let mut last_rx = Instant::now();
+
+    'outer: loop {
+        if !inner.running.load(Ordering::SeqCst) || queue.is_closed() {
+            break;
+        }
+        if last_rx.elapsed() > inner.config.heartbeat_timeout {
+            break; // dead peer: reconnect
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(_) => break,
+        };
+        last_rx = Instant::now();
+        decoder.feed(&buf[..n]);
+        loop {
+            let frame = match decoder.next() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(_) => {
+                    metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    break 'outer;
+                }
+            };
+            metrics.frames_in.fetch_add(1, Ordering::Relaxed);
+            match frame {
+                Frame::Publish { topic, payload } => {
+                    metrics.bytes_in.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    inner.mirror.publish(&topic, payload);
+                }
+                Frame::Ack { seq } => {
+                    inner.acked.fetch_max(seq, Ordering::SeqCst);
+                }
+                Frame::Heartbeat { .. } => {}
+                // Server-only requests; ignore if echoed at us.
+                Frame::Hello { .. } | Frame::Subscribe { .. } | Frame::Unsubscribe { .. } => {}
+            }
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn spawn_writer(
+    mut stream: TcpStream,
+    queue: SendQueue,
+    metrics: Arc<invalidb_stream::LinkMetrics>,
+    inner: &Arc<Inner>,
+) -> JoinHandle<()> {
+    let heartbeat_interval = inner.config.heartbeat_interval;
+    let inner = Arc::clone(inner);
+    thread::Builder::new()
+        .name("net-client-writer".into())
+        .spawn(move || {
+            let mut nonce = 0u64;
+            loop {
+                if !inner.running.load(Ordering::SeqCst) {
+                    break;
+                }
+                match queue.pop(heartbeat_interval) {
+                    Ok(Some(bytes)) => {
+                        if stream.write_all(&bytes).is_err() {
+                            queue.close();
+                            break;
+                        }
+                        metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(None) => {
+                        nonce = nonce.wrapping_add(1);
+                        if stream.write_all(&Frame::Heartbeat { nonce }.encode()).is_err() {
+                            queue.close();
+                            break;
+                        }
+                        metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(Closed) => break,
+                }
+            }
+            let _ = stream.shutdown(Shutdown::Both);
+        })
+        .expect("spawn client writer thread")
+}

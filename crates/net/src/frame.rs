@@ -1,0 +1,483 @@
+//! The wire format: length-prefixed, version-tagged, CRC-checked frames.
+//!
+//! ```text
+//!  offset  size  field
+//!  0       4     magic  "IDB1"
+//!  4       1     protocol version (currently 1)
+//!  5       1     frame type
+//!  6       2     flags (reserved, must be 0)
+//!  8       4     payload length, big-endian (cap: 64 MiB)
+//!  12      4     CRC-32 (IEEE) of the payload, big-endian
+//!  16      ..    payload
+//! ```
+//!
+//! Frame payloads are a tiny hand-rolled binary encoding (length-prefixed
+//! strings and byte blobs); the *application* envelopes carried inside
+//! `Publish` frames stay exactly what the in-process broker transports —
+//! opaque `Bytes` produced by `invalidb-json`. The decoder is incremental:
+//! feed it arbitrary chunks as they arrive off the socket and it yields
+//! complete frames, holding torn tails until the rest shows up, and
+//! rejecting corruption (bad magic/version/CRC, oversized lengths) with a
+//! hard error so the connection can be dropped instead of silently
+//! desynchronizing.
+
+use bytes::Bytes;
+use std::fmt;
+
+/// Bytes every frame starts with.
+pub const MAGIC: [u8; 4] = *b"IDB1";
+
+/// Current protocol version.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Upper bound on payload size — anything larger is corruption.
+pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Client introduction, first frame on every (re)connection.
+    Hello {
+        /// Client-chosen name (diagnostics only).
+        client: String,
+    },
+    /// Start delivering `topic` to this connection.
+    Subscribe {
+        /// Client-chosen sequence number, echoed in the `Ack`.
+        seq: u64,
+        /// Topic name.
+        topic: String,
+    },
+    /// Stop delivering `topic` to this connection.
+    Unsubscribe {
+        /// Client-chosen sequence number, echoed in the `Ack`.
+        seq: u64,
+        /// Topic name.
+        topic: String,
+    },
+    /// An application envelope, in either direction: client → server to
+    /// publish, server → client to deliver to a subscription.
+    Publish {
+        /// Topic name.
+        topic: String,
+        /// Opaque application payload.
+        payload: Bytes,
+    },
+    /// Server confirmation of a `Subscribe`/`Unsubscribe`.
+    Ack {
+        /// The confirmed request's sequence number.
+        seq: u64,
+    },
+    /// Liveness probe, in either direction.
+    Heartbeat {
+        /// Sender-chosen value, echoed back by the peer.
+        nonce: u64,
+    },
+}
+
+impl Frame {
+    fn type_id(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => 1,
+            Frame::Subscribe { .. } => 2,
+            Frame::Unsubscribe { .. } => 3,
+            Frame::Publish { .. } => 4,
+            Frame::Ack { .. } => 5,
+            Frame::Heartbeat { .. } => 6,
+        }
+    }
+
+    /// Encodes the frame, header included.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        match self {
+            Frame::Hello { client } => put_str(&mut payload, client),
+            Frame::Subscribe { seq, topic } | Frame::Unsubscribe { seq, topic } => {
+                put_u64(&mut payload, *seq);
+                put_str(&mut payload, topic);
+            }
+            Frame::Publish { topic, payload: body } => {
+                put_str(&mut payload, topic);
+                put_blob(&mut payload, body);
+            }
+            Frame::Ack { seq } => put_u64(&mut payload, *seq),
+            Frame::Heartbeat { nonce } => put_u64(&mut payload, *nonce),
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(PROTOCOL_VERSION);
+        out.push(self.type_id());
+        out.extend_from_slice(&[0, 0]); // flags
+        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        out.extend_from_slice(&crc32(&payload).to_be_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    fn decode_payload(type_id: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+        let mut r = Reader { buf: payload, pos: 0 };
+        let frame = match type_id {
+            1 => Frame::Hello { client: r.str()? },
+            2 => Frame::Subscribe { seq: r.u64()?, topic: r.str()? },
+            3 => Frame::Unsubscribe { seq: r.u64()?, topic: r.str()? },
+            4 => Frame::Publish { topic: r.str()?, payload: r.blob()? },
+            5 => Frame::Ack { seq: r.u64()? },
+            6 => Frame::Heartbeat { nonce: r.u64()? },
+            other => return Err(FrameError::UnknownType(other)),
+        };
+        if r.pos != payload.len() {
+            return Err(FrameError::TrailingBytes { extra: payload.len() - r.pos });
+        }
+        Ok(frame)
+    }
+}
+
+/// Why a byte stream could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// First four bytes were not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Unknown frame type byte.
+    UnknownType(u8),
+    /// Payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(usize),
+    /// CRC of the received payload did not match the header.
+    CrcMismatch {
+        /// CRC from the header.
+        expected: u32,
+        /// CRC of the received payload.
+        actual: u32,
+    },
+    /// Payload ended inside a field.
+    Truncated,
+    /// Payload had bytes left over after the last field.
+    TrailingBytes {
+        /// How many bytes were unconsumed.
+        extra: usize,
+    },
+    /// A string field was not valid UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::UnknownType(t) => write!(f, "unknown frame type {t}"),
+            FrameError::Oversized(n) => write!(f, "payload of {n} bytes exceeds cap"),
+            FrameError::CrcMismatch { expected, actual } => {
+                write!(f, "crc mismatch: header {expected:08x}, payload {actual:08x}")
+            }
+            FrameError::Truncated => write!(f, "payload truncated mid-field"),
+            FrameError::TrailingBytes { extra } => write!(f, "{extra} trailing payload bytes"),
+            FrameError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Incremental frame decoder.
+///
+/// Feed raw socket chunks with [`Decoder::feed`], then drain complete
+/// frames with [`Decoder::next`]. `Ok(None)` means "need more bytes"
+/// (including a torn tail mid-frame); an `Err` means the stream is
+/// corrupt and the connection must be torn down — the decoder does not
+/// attempt to resynchronize.
+#[derive(Default)]
+pub struct Decoder {
+    buf: Vec<u8>,
+    /// Set once a hard error is returned; all further reads fail.
+    poisoned: bool,
+}
+
+impl Decoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet consumed (torn tail size).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Tries to decode the next complete frame.
+    // Not `Iterator`: the tri-state (frame / need-more-bytes / corrupt
+    // stream) is the decoder's whole contract.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Frame>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::Truncated);
+        }
+        match self.next_inner() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.poisoned = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn next_inner(&mut self) -> Result<Option<Frame>, FrameError> {
+        if self.buf.len() < HEADER_LEN {
+            // Validate what we can see of the header early, so garbage is
+            // rejected without waiting for 16 bytes that may never come.
+            let seen = self.buf.len().min(4);
+            if self.buf[..seen] != MAGIC[..seen] {
+                let mut m = [0u8; 4];
+                m[..seen].copy_from_slice(&self.buf[..seen]);
+                return Err(FrameError::BadMagic(m));
+            }
+            return Ok(None);
+        }
+        if self.buf[..4] != MAGIC {
+            let mut m = [0u8; 4];
+            m.copy_from_slice(&self.buf[..4]);
+            return Err(FrameError::BadMagic(m));
+        }
+        if self.buf[4] != PROTOCOL_VERSION {
+            return Err(FrameError::BadVersion(self.buf[4]));
+        }
+        let type_id = self.buf[5];
+        let len = u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]]) as usize;
+        if len > MAX_PAYLOAD {
+            return Err(FrameError::Oversized(len));
+        }
+        if self.buf.len() < HEADER_LEN + len {
+            return Ok(None); // torn tail: wait for the rest
+        }
+        let expected = u32::from_be_bytes([self.buf[12], self.buf[13], self.buf[14], self.buf[15]]);
+        let payload = &self.buf[HEADER_LEN..HEADER_LEN + len];
+        let actual = crc32(payload);
+        if actual != expected {
+            return Err(FrameError::CrcMismatch { expected, actual });
+        }
+        let frame = Frame::decode_payload(type_id, payload)?;
+        self.buf.drain(..HEADER_LEN + len);
+        Ok(Some(frame))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload field encoding
+// ---------------------------------------------------------------------------
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    // Topics and client names are short; u16 is plenty and keeps the
+    // header compact. Oversized names are a caller bug.
+    assert!(s.len() <= u16::MAX as usize, "string field too long");
+    out.extend_from_slice(&(s.len() as u16).to_be_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_blob(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_be_bytes());
+    out.extend_from_slice(b);
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], FrameError> {
+        if self.buf.len() - self.pos < n {
+            return Err(FrameError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let b = self.take(8)?;
+        Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn str(&mut self) -> Result<String, FrameError> {
+        let len = {
+            let b = self.take(2)?;
+            u16::from_be_bytes([b[0], b[1]]) as usize
+        };
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| FrameError::BadUtf8)
+    }
+
+    fn blob(&mut self) -> Result<Bytes, FrameError> {
+        let len = {
+            let b = self.take(4)?;
+            u32::from_be_bytes([b[0], b[1], b[2], b[3]]) as usize
+        };
+        Ok(Bytes::copy_from_slice(self.take(len)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3), table-driven, no dependencies
+// ---------------------------------------------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_frames() -> Vec<Frame> {
+        vec![
+            Frame::Hello { client: "app-1".into() },
+            Frame::Subscribe { seq: 7, topic: "invalidb.cluster".into() },
+            Frame::Unsubscribe { seq: 8, topic: "invalidb.notify.t".into() },
+            Frame::Publish { topic: "t".into(), payload: Bytes::from_static(b"{\"n\":1}") },
+            Frame::Publish { topic: String::new(), payload: Bytes::new() },
+            Frame::Ack { seq: u64::MAX },
+            Frame::Heartbeat { nonce: 42 },
+        ]
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_every_type() {
+        for frame in all_frames() {
+            let wire = frame.encode();
+            let mut d = Decoder::new();
+            d.feed(&wire);
+            assert_eq!(d.next().unwrap(), Some(frame.clone()), "frame {frame:?}");
+            assert_eq!(d.next().unwrap(), None);
+            assert_eq!(d.buffered(), 0);
+        }
+    }
+
+    #[test]
+    fn incremental_byte_by_byte() {
+        let frames = all_frames();
+        let wire: Vec<u8> = frames.iter().flat_map(|f| f.encode()).collect();
+        let mut d = Decoder::new();
+        let mut got = Vec::new();
+        for b in wire {
+            d.feed(&[b]);
+            while let Some(f) = d.next().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn torn_tail_waits() {
+        let wire = Frame::Heartbeat { nonce: 9 }.encode();
+        let mut d = Decoder::new();
+        d.feed(&wire[..wire.len() - 1]);
+        assert_eq!(d.next().unwrap(), None, "incomplete frame is not an error");
+        d.feed(&wire[wire.len() - 1..]);
+        assert_eq!(d.next().unwrap(), Some(Frame::Heartbeat { nonce: 9 }));
+    }
+
+    #[test]
+    fn corrupt_payload_is_rejected() {
+        let mut wire =
+            Frame::Publish { topic: "t".into(), payload: Bytes::from_static(b"abc") }.encode();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        let mut d = Decoder::new();
+        d.feed(&wire);
+        assert!(matches!(d.next(), Err(FrameError::CrcMismatch { .. })));
+        // Poisoned: the stream cannot be trusted after corruption.
+        d.feed(&Frame::Ack { seq: 1 }.encode());
+        assert!(d.next().is_err());
+    }
+
+    #[test]
+    fn bad_magic_fails_fast() {
+        let mut d = Decoder::new();
+        d.feed(b"GET "); // e.g. someone pointed an HTTP client at us
+        assert!(matches!(d.next(), Err(FrameError::BadMagic(_))));
+        // Even a partial bad prefix fails without waiting for a full header.
+        let mut d = Decoder::new();
+        d.feed(b"X");
+        assert!(matches!(d.next(), Err(FrameError::BadMagic(_))));
+    }
+
+    #[test]
+    fn wrong_version_rejected() {
+        let mut wire = Frame::Ack { seq: 3 }.encode();
+        wire[4] = 9;
+        let mut d = Decoder::new();
+        d.feed(&wire);
+        assert!(matches!(d.next(), Err(FrameError::BadVersion(9))));
+    }
+
+    #[test]
+    fn oversized_length_rejected() {
+        let mut wire = Frame::Ack { seq: 3 }.encode();
+        wire[8..12].copy_from_slice(&(u32::MAX).to_be_bytes());
+        let mut d = Decoder::new();
+        d.feed(&wire);
+        assert!(matches!(d.next(), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn trailing_payload_bytes_rejected() {
+        // Hand-build an Ack with one extra payload byte and a valid CRC.
+        let mut payload = 5u64.to_be_bytes().to_vec();
+        payload.push(0xEE);
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(PROTOCOL_VERSION);
+        wire.push(5); // Ack
+        wire.extend_from_slice(&[0, 0]);
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&crc32(&payload).to_be_bytes());
+        wire.extend_from_slice(&payload);
+        let mut d = Decoder::new();
+        d.feed(&wire);
+        assert!(matches!(d.next(), Err(FrameError::TrailingBytes { extra: 1 })));
+    }
+}

@@ -1,0 +1,220 @@
+//! Bounded per-connection send queues — the backpressure boundary.
+//!
+//! The in-process broker applies backpressure by blocking the publisher
+//! on a bounded channel. Over TCP that is not acceptable: one slow
+//! subscriber connection must not stall the server's delivery to everyone
+//! else. Instead each connection gets a bounded [`SendQueue`] drained by
+//! its writer thread, with an explicit [`OverflowPolicy`] deciding what
+//! happens when the subscriber can't keep up:
+//!
+//! * [`OverflowPolicy::DropOldest`] — shed load by discarding the oldest
+//!   queued frame (counted in `LinkMetrics::dropped`). Fine for the
+//!   event layer, whose semantics are Redis pub/sub: best-effort,
+//!   at-most-once (DESIGN.md §2). The app-server's maintenance-error
+//!   machinery recovers from the gap.
+//! * [`OverflowPolicy::Disconnect`] — close the queue, which tears down
+//!   the connection. The client's supervisor then reconnects and replays
+//!   its subscriptions, converting a silent gap into an explicit
+//!   connection-level event.
+
+use invalidb_stream::LinkMetrics;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to do when a [`SendQueue`] is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OverflowPolicy {
+    /// Discard the oldest queued frame to make room.
+    DropOldest,
+    /// Close the queue (and thus the connection).
+    Disconnect,
+}
+
+struct State {
+    queue: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+struct Inner {
+    state: Mutex<State>,
+    ready: Condvar,
+    capacity: usize,
+    policy: OverflowPolicy,
+    metrics: Arc<LinkMetrics>,
+}
+
+/// A bounded MPSC queue of encoded frames, one per connection.
+///
+/// Producers call [`push`](SendQueue::push); the connection's writer
+/// thread calls [`pop`](SendQueue::pop). Cloning shares the queue.
+#[derive(Clone)]
+pub struct SendQueue {
+    inner: Arc<Inner>,
+}
+
+impl SendQueue {
+    /// A queue holding at most `capacity` frames.
+    pub fn new(capacity: usize, policy: OverflowPolicy, metrics: Arc<LinkMetrics>) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        SendQueue {
+            inner: Arc::new(Inner {
+                state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
+                ready: Condvar::new(),
+                capacity,
+                policy,
+                metrics,
+            }),
+        }
+    }
+
+    /// Enqueues an encoded frame. Returns `false` if the queue is (or
+    /// just became, per [`OverflowPolicy::Disconnect`]) closed.
+    pub fn push(&self, frame: Vec<u8>) -> bool {
+        let mut state = self.inner.state.lock();
+        if state.closed {
+            return false;
+        }
+        if state.queue.len() >= self.inner.capacity {
+            match self.inner.policy {
+                OverflowPolicy::DropOldest => {
+                    state.queue.pop_front();
+                    self.inner.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+                OverflowPolicy::Disconnect => {
+                    state.closed = true;
+                    state.queue.clear();
+                    self.inner.metrics.queue_depth.store(0, Ordering::Relaxed);
+                    drop(state);
+                    self.inner.ready.notify_all();
+                    return false;
+                }
+            }
+        }
+        state.queue.push_back(frame);
+        self.inner.metrics.queue_depth.store(state.queue.len() as u64, Ordering::Relaxed);
+        drop(state);
+        self.inner.ready.notify_one();
+        true
+    }
+
+    /// Dequeues the next frame, blocking up to `timeout`. `Ok(None)` is a
+    /// timeout (caller may do periodic work and retry); `Err(Closed)`
+    /// means the queue was closed and fully drained.
+    pub fn pop(&self, timeout: Duration) -> Result<Option<Vec<u8>>, Closed> {
+        let mut state = self.inner.state.lock();
+        loop {
+            if let Some(frame) = state.queue.pop_front() {
+                self.inner.metrics.queue_depth.store(state.queue.len() as u64, Ordering::Relaxed);
+                return Ok(Some(frame));
+            }
+            if state.closed {
+                return Err(Closed);
+            }
+            if self.inner.ready.wait_for(&mut state, timeout).timed_out() {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Closes the queue. Queued frames are still drained by `pop`.
+    pub fn close(&self) {
+        let mut state = self.inner.state.lock();
+        state.closed = true;
+        drop(state);
+        self.inner.ready.notify_all();
+    }
+
+    /// Whether the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.state.lock().closed
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.inner.state.lock().queue.len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The queue was closed and drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Closed;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn queue(cap: usize, policy: OverflowPolicy) -> (SendQueue, Arc<LinkMetrics>) {
+        let metrics = Arc::new(LinkMetrics::default());
+        (SendQueue::new(cap, policy, Arc::clone(&metrics)), metrics)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let (q, _) = queue(4, OverflowPolicy::DropOldest);
+        for i in 0..3u8 {
+            assert!(q.push(vec![i]));
+        }
+        for i in 0..3u8 {
+            assert_eq!(q.pop(Duration::from_secs(1)).unwrap(), Some(vec![i]));
+        }
+        assert_eq!(q.pop(Duration::from_millis(10)).unwrap(), None, "timeout, not closed");
+    }
+
+    #[test]
+    fn drop_oldest_sheds_head() {
+        let (q, metrics) = queue(2, OverflowPolicy::DropOldest);
+        assert!(q.push(vec![0]));
+        assert!(q.push(vec![1]));
+        assert!(q.push(vec![2]), "overflow still accepts the new frame");
+        assert_eq!(metrics.dropped.load(Ordering::Relaxed), 1);
+        assert_eq!(q.pop(Duration::from_secs(1)).unwrap(), Some(vec![1]), "oldest was dropped");
+        assert_eq!(q.pop(Duration::from_secs(1)).unwrap(), Some(vec![2]));
+    }
+
+    #[test]
+    fn disconnect_policy_closes_on_overflow() {
+        let (q, _) = queue(1, OverflowPolicy::Disconnect);
+        assert!(q.push(vec![0]));
+        assert!(!q.push(vec![1]), "overflow closes the queue");
+        assert!(q.is_closed());
+        assert!(!q.push(vec![2]), "closed queue rejects pushes");
+        assert_eq!(q.pop(Duration::from_secs(1)), Err(Closed));
+    }
+
+    #[test]
+    fn close_drains_then_errors() {
+        let (q, _) = queue(4, OverflowPolicy::DropOldest);
+        q.push(vec![7]);
+        q.close();
+        assert_eq!(q.pop(Duration::from_secs(1)).unwrap(), Some(vec![7]));
+        assert_eq!(q.pop(Duration::from_secs(1)), Err(Closed));
+    }
+
+    #[test]
+    fn pop_wakes_on_cross_thread_push() {
+        let (q, _) = queue(4, OverflowPolicy::DropOldest);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop(Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(vec![9]);
+        assert_eq!(t.join().unwrap().unwrap(), Some(vec![9]));
+    }
+
+    #[test]
+    fn queue_depth_gauge_tracks() {
+        let (q, metrics) = queue(4, OverflowPolicy::DropOldest);
+        q.push(vec![0]);
+        q.push(vec![1]);
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 2);
+        let _ = q.pop(Duration::from_secs(1));
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,320 @@
+//! `BrokerServer`: the in-process broker's topic API, served over TCP.
+//!
+//! One accept thread; per connection a *reader* thread (decodes frames,
+//! executes SUBSCRIBE/UNSUBSCRIBE/PUBLISH against the backing
+//! [`BrokerHandle`]) and a *writer* thread (drains the connection's
+//! bounded [`SendQueue`], interleaving heartbeats). Each subscribed topic
+//! gets a *pump* thread bridging the broker [`Subscription`] into the
+//! send queue as `Publish` frames — so a slow connection backs up only
+//! its own queue, where the [`OverflowPolicy`] decides between shedding
+//! frames and disconnecting.
+
+use crate::frame::{Decoder, Frame};
+use crate::queue::{Closed, OverflowPolicy, SendQueue};
+use invalidb_broker::BrokerHandle;
+use invalidb_stream::{LinkMetrics, LinkRegistry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning for [`BrokerServer`].
+#[derive(Debug, Clone)]
+pub struct BrokerServerConfig {
+    /// Per-connection send-queue capacity in frames.
+    pub queue_capacity: usize,
+    /// What to do when a connection's send queue overflows.
+    pub overflow_policy: OverflowPolicy,
+    /// How often the server sends heartbeat frames on an idle connection.
+    pub heartbeat_interval: Duration,
+}
+
+impl Default for BrokerServerConfig {
+    fn default() -> Self {
+        BrokerServerConfig {
+            queue_capacity: 1024,
+            overflow_policy: OverflowPolicy::DropOldest,
+            heartbeat_interval: Duration::from_millis(500),
+        }
+    }
+}
+
+/// How often blocked reads/accepts wake up to poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+struct Shared {
+    broker: BrokerHandle,
+    config: BrokerServerConfig,
+    links: Arc<LinkRegistry>,
+    running: Arc<AtomicBool>,
+    /// Clones of live connection sockets, for shutdown().
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A TCP server exposing a broker's publish/subscribe surface.
+pub struct BrokerServer {
+    shared: Arc<Shared>,
+    local_addr: std::net::SocketAddr,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl BrokerServer {
+    /// Binds `addr` and starts serving `broker`.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        broker: impl Into<BrokerHandle>,
+        config: BrokerServerConfig,
+    ) -> io::Result<BrokerServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            broker: broker.into(),
+            config,
+            links: Arc::new(LinkRegistry::default()),
+            running: Arc::new(AtomicBool::new(true)),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let accept_thread = thread::Builder::new()
+            .name("net-accept".into())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .expect("spawn accept thread");
+        Ok(BrokerServer { shared, local_addr, accept_thread: Some(accept_thread) })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Per-connection link metrics, keyed by peer address.
+    pub fn links(&self) -> Arc<LinkRegistry> {
+        Arc::clone(&self.shared.links)
+    }
+
+    /// Stops accepting, closes every connection, and joins the accept
+    /// thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.shared.running.store(false, Ordering::SeqCst);
+        for conn in self.shared.conns.lock().drain(..) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for BrokerServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    // Non-blocking accept + sleep keeps shutdown simple and portable: the
+    // loop notices `running == false` within one poll interval.
+    listener.set_nonblocking(true).expect("set_nonblocking");
+    while shared.running.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                stream.set_nodelay(true).ok();
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().push(clone);
+                }
+                let conn_shared = Arc::clone(&shared);
+                let name = format!("net-conn-{peer}");
+                thread::Builder::new()
+                    .name(name)
+                    .spawn(move || serve_connection(stream, peer, conn_shared))
+                    .expect("spawn connection thread");
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => thread::sleep(POLL_INTERVAL),
+        }
+    }
+}
+
+fn serve_connection(stream: TcpStream, peer: std::net::SocketAddr, shared: Arc<Shared>) {
+    let metrics = shared.links.link(&peer.to_string());
+    let queue = SendQueue::new(
+        shared.config.queue_capacity,
+        shared.config.overflow_policy,
+        Arc::clone(&metrics),
+    );
+    metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+
+    let writer_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let writer = spawn_writer(
+        writer_stream,
+        queue.clone(),
+        Arc::clone(&metrics),
+        shared.config.heartbeat_interval,
+        Arc::clone(&shared.running),
+    );
+
+    read_loop(stream, &queue, &metrics, &shared);
+
+    // Reader is done (EOF, error, or shutdown): close the queue so the
+    // writer drains and exits, then reap it. Pump threads notice the
+    // closed queue on their next delivery and exit on their own.
+    queue.close();
+    let _ = writer.join();
+}
+
+fn read_loop(
+    mut stream: TcpStream,
+    queue: &SendQueue,
+    metrics: &Arc<LinkMetrics>,
+    shared: &Arc<Shared>,
+) {
+    stream.set_read_timeout(Some(POLL_INTERVAL)).ok();
+    let mut decoder = Decoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    // Per-topic stop flags for this connection's pump threads.
+    let mut pumps: HashMap<String, Arc<AtomicBool>> = HashMap::new();
+
+    'outer: loop {
+        if !shared.running.load(Ordering::SeqCst) || queue.is_closed() {
+            break;
+        }
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break, // EOF
+            Ok(n) => n,
+            Err(e) if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) => {
+                continue;
+            }
+            Err(_) => break,
+        };
+        decoder.feed(&buf[..n]);
+        loop {
+            let frame = match decoder.next() {
+                Ok(Some(f)) => f,
+                Ok(None) => break,
+                Err(_) => {
+                    metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    break 'outer; // corrupt stream: drop the connection
+                }
+            };
+            metrics.frames_in.fetch_add(1, Ordering::Relaxed);
+            match frame {
+                Frame::Hello { .. } => {}
+                Frame::Subscribe { seq, topic } => {
+                    pumps
+                        .entry(topic.clone())
+                        .or_insert_with(|| spawn_pump(&topic, queue.clone(), metrics, shared));
+                    send(queue, &Frame::Ack { seq });
+                }
+                Frame::Unsubscribe { seq, topic } => {
+                    if let Some(stop) = pumps.remove(&topic) {
+                        stop.store(true, Ordering::SeqCst);
+                    }
+                    send(queue, &Frame::Ack { seq });
+                }
+                Frame::Publish { topic, payload } => {
+                    metrics.bytes_in.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    shared.broker.publish(&topic, payload);
+                }
+                Frame::Heartbeat { nonce } => {
+                    send(queue, &Frame::Heartbeat { nonce });
+                }
+                Frame::Ack { .. } => {}
+            }
+        }
+    }
+
+    for stop in pumps.values() {
+        stop.store(true, Ordering::SeqCst);
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Bridges one broker subscription into the connection's send queue.
+fn spawn_pump(
+    topic: &str,
+    queue: SendQueue,
+    metrics: &Arc<LinkMetrics>,
+    shared: &Arc<Shared>,
+) -> Arc<AtomicBool> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let pump_stop = Arc::clone(&stop);
+    let metrics = Arc::clone(metrics);
+    let subscription = shared.broker.subscribe(topic);
+    let topic = topic.to_owned();
+    let running = Arc::clone(&shared.running);
+    thread::Builder::new()
+        .name(format!("net-pump-{topic}"))
+        .spawn(move || {
+            while running.load(Ordering::SeqCst) && !pump_stop.load(Ordering::SeqCst) {
+                let payload = match subscription.recv_timeout(POLL_INTERVAL) {
+                    Some(p) => p,
+                    None => {
+                        if queue.is_closed() {
+                            break;
+                        }
+                        continue;
+                    }
+                };
+                metrics.bytes_out.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                let frame = Frame::Publish { topic: topic.clone(), payload };
+                if !queue.push(frame.encode()) {
+                    break; // queue closed (disconnect policy or teardown)
+                }
+                metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+            }
+            // Dropping `subscription` unsubscribes from the broker.
+        })
+        .expect("spawn pump thread");
+    stop
+}
+
+fn send(queue: &SendQueue, frame: &Frame) {
+    queue.push(frame.encode());
+}
+
+fn spawn_writer(
+    mut stream: TcpStream,
+    queue: SendQueue,
+    metrics: Arc<LinkMetrics>,
+    heartbeat_interval: Duration,
+    running: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    thread::Builder::new()
+        .name("net-writer".into())
+        .spawn(move || {
+            let mut nonce = 0u64;
+            loop {
+                if !running.load(Ordering::SeqCst) {
+                    break;
+                }
+                match queue.pop(heartbeat_interval) {
+                    Ok(Some(bytes)) => {
+                        if stream.write_all(&bytes).is_err() {
+                            queue.close();
+                            break;
+                        }
+                    }
+                    Ok(None) => {
+                        // Idle: prove liveness to the peer.
+                        nonce = nonce.wrapping_add(1);
+                        let hb = Frame::Heartbeat { nonce }.encode();
+                        if stream.write_all(&hb).is_err() {
+                            queue.close();
+                            break;
+                        }
+                        metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(Closed) => break,
+                }
+            }
+            let _ = stream.shutdown(Shutdown::Both);
+        })
+        .expect("spawn writer thread")
+}

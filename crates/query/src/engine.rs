@@ -203,7 +203,8 @@ mod tests {
 
     #[test]
     fn engines_are_object_safe() {
-        let engines: Vec<Box<dyn QueryEngine>> = vec![Box::new(MongoQueryEngine), Box::new(KvQueryEngine)];
+        let engines: Vec<Box<dyn QueryEngine>> =
+            vec![Box::new(MongoQueryEngine), Box::new(KvQueryEngine)];
         let spec = QuerySpec::filter("t", doc! { "a" => 1i64 });
         for e in &engines {
             let q = e.prepare(&spec).unwrap();

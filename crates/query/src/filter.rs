@@ -133,9 +133,9 @@ fn pred_holds(pred: &FieldPred, candidates: &[&Value]) -> bool {
         FieldPred::Mod(d, r) => any_scalar(candidates, |v| {
             v.as_i64().is_some_and(|n| *d != 0 && n.rem_euclid(*d) == r.rem_euclid(*d))
         }),
-        FieldPred::Size(n) => candidates
-            .iter()
-            .any(|c| matches!(c, Value::Array(items) if items.len() as i64 == *n)),
+        FieldPred::Size(n) => {
+            candidates.iter().any(|c| matches!(c, Value::Array(items) if items.len() as i64 == *n))
+        }
         FieldPred::All(list) => {
             if list.is_empty() {
                 return false;
@@ -150,9 +150,7 @@ fn pred_holds(pred: &FieldPred, candidates: &[&Value]) -> bool {
             _ => false,
         }),
         FieldPred::ElemMatchPreds(preds) => candidates.iter().any(|c| match c {
-            Value::Array(items) => {
-                items.iter().any(|e| preds.iter().all(|p| pred_holds(p, &[e])))
-            }
+            Value::Array(items) => items.iter().any(|e| preds.iter().all(|p| pred_holds(p, &[e]))),
             _ => false,
         }),
         FieldPred::Regex(r) => any_scalar(candidates, |v| match v {

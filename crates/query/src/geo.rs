@@ -174,7 +174,8 @@ mod tests {
     #[test]
     fn center_sphere_containment() {
         // 300 km radius around Hamburg includes Berlin (~255 km)...
-        let s = GeoShape::CenterSphere { center: pt(9.99, 53.55), radius_rad: 300_000.0 / EARTH_RADIUS_M };
+        let s =
+            GeoShape::CenterSphere { center: pt(9.99, 53.55), radius_rad: 300_000.0 / EARTH_RADIUS_M };
         assert!(s.contains(pt(13.40, 52.52)));
         // ...but not Munich (~610 km).
         assert!(!s.contains(pt(11.58, 48.14)));
@@ -182,9 +183,8 @@ mod tests {
 
     #[test]
     fn polygon_containment() {
-        let square = GeoShape::Polygon {
-            vertices: vec![pt(0.0, 0.0), pt(4.0, 0.0), pt(4.0, 4.0), pt(0.0, 4.0)],
-        };
+        let square =
+            GeoShape::Polygon { vertices: vec![pt(0.0, 0.0), pt(4.0, 0.0), pt(4.0, 4.0), pt(0.0, 4.0)] };
         assert!(square.contains(pt(2.0, 2.0)));
         assert!(!square.contains(pt(5.0, 2.0)));
         assert!(square.contains(pt(0.0, 0.0)), "vertex counts as inside");

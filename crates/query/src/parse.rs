@@ -53,9 +53,8 @@ pub fn parse_filter(doc: &Document) -> Result<Filter> {
 }
 
 fn parse_filter_list(value: &Value, op: &str) -> Result<Vec<Filter>> {
-    let items = value
-        .as_array()
-        .ok_or_else(|| FilterParseError::new(format!("`{op}` expects an array")))?;
+    let items =
+        value.as_array().ok_or_else(|| FilterParseError::new(format!("`{op}` expects an array")))?;
     if items.is_empty() {
         return Err(FilterParseError::new(format!("`{op}` must not be empty")));
     }
@@ -115,17 +114,22 @@ fn parse_pred_object(obj: &Document) -> Result<Vec<FieldPred>> {
                 if arr.len() != 2 {
                     return Err(FilterParseError::new("`$mod` expects [divisor, remainder]"));
                 }
-                let d = arr[0].as_i64().ok_or_else(|| FilterParseError::new("`$mod` divisor must be an integer"))?;
-                let r = arr[1].as_i64().ok_or_else(|| FilterParseError::new("`$mod` remainder must be an integer"))?;
+                let d = arr[0]
+                    .as_i64()
+                    .ok_or_else(|| FilterParseError::new("`$mod` divisor must be an integer"))?;
+                let r = arr[1]
+                    .as_i64()
+                    .ok_or_else(|| FilterParseError::new("`$mod` remainder must be an integer"))?;
                 if d == 0 {
                     return Err(FilterParseError::new("`$mod` divisor must not be zero"));
                 }
                 preds.push(FieldPred::Mod(d, r));
             }
             "$size" => {
-                let n = v.as_i64().filter(|n| *n >= 0).ok_or_else(|| {
-                    FilterParseError::new("`$size` expects a non-negative integer")
-                })?;
+                let n = v
+                    .as_i64()
+                    .filter(|n| *n >= 0)
+                    .ok_or_else(|| FilterParseError::new("`$size` expects a non-negative integer"))?;
                 preds.push(FieldPred::Size(n));
             }
             "$all" => preds.push(FieldPred::All(expect_array(v, "$all")?)),
@@ -179,10 +183,9 @@ fn parse_pred_object(obj: &Document) -> Result<Vec<FieldPred>> {
             "$nearSphere" => {
                 let center = Point::parse(v)
                     .ok_or_else(|| FilterParseError::new("`$nearSphere` expects a point"))?;
-                let max = obj
-                    .get("$maxDistance")
-                    .and_then(Value::as_f64)
-                    .ok_or_else(|| FilterParseError::new("`$nearSphere` requires `$maxDistance` (meters)"))?;
+                let max = obj.get("$maxDistance").and_then(Value::as_f64).ok_or_else(|| {
+                    FilterParseError::new("`$nearSphere` requires `$maxDistance` (meters)")
+                })?;
                 preds.push(FieldPred::NearSphere { center, max_distance_m: max });
             }
             "$maxDistance" => {
@@ -232,16 +235,20 @@ fn parse_points(v: &Value, n: usize, op: &str) -> Result<Vec<Point>> {
         return Err(FilterParseError::new(format!("`{op}` expects {n} points")));
     }
     arr.iter()
-        .map(|v| Point::parse(v).ok_or_else(|| FilterParseError::new(format!("invalid point in `{op}`"))))
+        .map(|v| {
+            Point::parse(v).ok_or_else(|| FilterParseError::new(format!("invalid point in `{op}`")))
+        })
         .collect()
 }
 
 fn parse_circle(v: &Value, op: &str) -> Result<(Point, f64)> {
-    let arr = v.as_array().ok_or_else(|| FilterParseError::new(format!("`{op}` expects [center, radius]")))?;
+    let arr =
+        v.as_array().ok_or_else(|| FilterParseError::new(format!("`{op}` expects [center, radius]")))?;
     if arr.len() != 2 {
         return Err(FilterParseError::new(format!("`{op}` expects [center, radius]")));
     }
-    let center = Point::parse(&arr[0]).ok_or_else(|| FilterParseError::new(format!("invalid center in `{op}`")))?;
+    let center = Point::parse(&arr[0])
+        .ok_or_else(|| FilterParseError::new(format!("invalid center in `{op}`")))?;
     let radius = arr[1]
         .as_f64()
         .filter(|r| *r >= 0.0)
@@ -305,7 +312,10 @@ mod tests {
 
     #[test]
     fn regex_with_options() {
-        assert!(matches(r#"{"name": {"$regex": "^wing", "$options": "i"}}"#, r#"{"name": "Wingerath"}"#));
+        assert!(matches(
+            r#"{"name": {"$regex": "^wing", "$options": "i"}}"#,
+            r#"{"name": "Wingerath"}"#
+        ));
         assert!(!matches(r#"{"name": {"$regex": "^wing"}}"#, r#"{"name": "Wingerath"}"#));
     }
 

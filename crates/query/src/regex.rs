@@ -199,9 +199,7 @@ fn matches_node(
             }
             false
         }
-        Node::Repeat { node, min, max } => {
-            matches_repeat(node, *min, *max, text, pos, ci, fuel, k)
-        }
+        Node::Repeat { node, min, max } => matches_repeat(node, *min, *max, text, pos, ci, fuel, k),
     }
 }
 

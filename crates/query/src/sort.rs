@@ -85,7 +85,8 @@ mod tests {
 
     #[test]
     fn multi_attribute_sort() {
-        let spec: SortSpec = vec![("year".into(), SortDirection::Asc), ("title".into(), SortDirection::Desc)];
+        let spec: SortSpec =
+            vec![("year".into(), SortDirection::Asc), ("title".into(), SortDirection::Desc)];
         let items = vec![item(1, 2018, "A"), item(2, 2017, "B"), item(3, 2017, "C")];
         assert_eq!(sorted(&spec, items), vec![3, 2, 1]);
     }

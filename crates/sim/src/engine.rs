@@ -135,8 +135,9 @@ pub fn simulate(params: &SimParams) -> SimResult {
     }
 
     let queries_per_node = params.queries_per_node();
-    let match_service_us =
-        ((c.base_overhead_s + c.write_overhead_s + queries_per_node * c.match_cost_s) * 1e6).max(1.0) as u64;
+    let match_service_us = ((c.base_overhead_s + c.write_overhead_s + queries_per_node * c.match_cost_s)
+        * 1e6)
+        .max(1.0) as u64;
     let ingest_service_us = (c.ingest_cost_s * 1e6).max(1.0) as u64;
     let notifier_service_us = (c.notifier_cost_s * 1e6).max(1.0) as u64;
     let app_service_us = (c.app_server_cost_s * 1e6).max(1.0) as u64;
@@ -212,10 +213,7 @@ pub fn simulate(params: &SimParams) -> SimResult {
         }
     }
 
-    let max_util = busy_match
-        .iter()
-        .map(|&b| b as f64 / duration_us as f64)
-        .fold(0.0f64, f64::max);
+    let max_util = busy_match.iter().map(|&b| b as f64 / duration_us as f64).fold(0.0f64, f64::max);
     SimResult { latency_us: latency, max_matching_utilization: max_util, notifications, writes }
 }
 

@@ -226,16 +226,13 @@ impl Collection {
 
     /// Snapshot of all records (tests and tooling).
     pub fn scan_all(&self) -> Vec<(Key, Version, Document)> {
-        self.inner
-            .read()
-            .records
-            .iter()
-            .map(|(k, r)| (k.clone(), r.version, r.doc.clone()))
-            .collect()
+        self.inner.read().records.iter().map(|(k, r)| (k.clone(), r.version, r.doc.clone())).collect()
     }
 }
 
-fn as_ref_bound(b: &std::ops::Bound<invalidb_common::Value>) -> std::ops::Bound<&invalidb_common::Value> {
+fn as_ref_bound(
+    b: &std::ops::Bound<invalidb_common::Value>,
+) -> std::ops::Bound<&invalidb_common::Value> {
     match b {
         std::ops::Bound::Included(v) => std::ops::Bound::Included(v),
         std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(v),

@@ -127,7 +127,8 @@ mod tests {
         assert_eq!(idx.lookup_eq(&Value::from("x")).len(), 1);
         assert_eq!(idx.lookup_eq(&Value::from("y")).len(), 1);
         // Range spanning both values must dedupe to a single pk.
-        let pks = idx.lookup_range(Bound::Included(&Value::from("x")), Bound::Included(&Value::from("y")));
+        let pks =
+            idx.lookup_range(Bound::Included(&Value::from("x")), Bound::Included(&Value::from("y")));
         assert_eq!(pks.len(), 1);
         idx.remove("tags", &Key::of(1i64), &d);
         assert!(idx.lookup_eq(&Value::from("x")).is_empty());

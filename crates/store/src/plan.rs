@@ -193,10 +193,8 @@ mod tests {
 
     #[test]
     fn range_operators_combine() {
-        let p = plan_query(
-            &doc! { "n" => doc! { "$gte" => 3i64, "$lt" => 9i64 } },
-            indexed().into_iter(),
-        );
+        let p =
+            plan_query(&doc! { "n" => doc! { "$gte" => 3i64, "$lt" => 9i64 } }, indexed().into_iter());
         assert_eq!(
             p,
             Plan::IndexRange {
@@ -243,7 +241,10 @@ mod tests {
     fn unsupported_operators_fall_back() {
         let p = plan_query(&doc! { "n" => doc! { "$ne" => 5i64 } }, indexed().into_iter());
         assert_eq!(p, Plan::FullScan);
-        let p = plan_query(&doc! { "$or" => vec![Value::Object(doc! { "n" => 1i64 })] }, indexed().into_iter());
+        let p = plan_query(
+            &doc! { "$or" => vec![Value::Object(doc! { "n" => 1i64 })] },
+            indexed().into_iter(),
+        );
         assert_eq!(p, Plan::FullScan);
         let p = plan_query(&doc! { "n" => doc! { "$gt" => true } }, indexed().into_iter());
         assert_eq!(p, Plan::FullScan);

@@ -72,7 +72,12 @@ impl ShardedStore {
     }
 
     /// Updates in the owning shard.
-    pub fn update(&self, collection: &str, key: Key, spec: &UpdateSpec) -> Result<WriteResult, StoreError> {
+    pub fn update(
+        &self,
+        collection: &str,
+        key: Key,
+        spec: &UpdateSpec,
+    ) -> Result<WriteResult, StoreError> {
         self.route(&key).update(collection, key.clone(), spec)
     }
 

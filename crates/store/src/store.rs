@@ -86,7 +86,12 @@ impl Store {
     }
 
     /// Updates an existing record.
-    pub fn update(&self, collection: &str, key: Key, spec: &UpdateSpec) -> Result<WriteResult, StoreError> {
+    pub fn update(
+        &self,
+        collection: &str,
+        key: Key,
+        spec: &UpdateSpec,
+    ) -> Result<WriteResult, StoreError> {
         self.collection(collection).update(key, spec)
     }
 
@@ -153,7 +158,11 @@ mod tests {
         let w = store.save("t", Key::of("a"), doc! { "n" => 2i64 }).unwrap();
         assert_eq!(w.version, 2);
         let w = store
-            .update("t", Key::of("a"), &UpdateSpec::from_document(&doc! { "$inc" => doc! { "n" => 5i64 } }).unwrap())
+            .update(
+                "t",
+                Key::of("a"),
+                &UpdateSpec::from_document(&doc! { "$inc" => doc! { "n" => 5i64 } }).unwrap(),
+            )
             .unwrap();
         assert_eq!(w.version, 3);
         assert_eq!(w.doc.as_ref().unwrap().get("n"), Some(&Value::Int(7)));
@@ -285,7 +294,8 @@ mod tests {
             .map(|_| {
                 let store = Arc::clone(&store);
                 std::thread::spawn(move || {
-                    let inc = UpdateSpec::from_document(&doc! { "$inc" => doc! { "n" => 1i64 } }).unwrap();
+                    let inc =
+                        UpdateSpec::from_document(&doc! { "$inc" => doc! { "n" => 1i64 } }).unwrap();
                     for _ in 0..100 {
                         store.update("t", Key::of("ctr"), &inc).unwrap();
                     }

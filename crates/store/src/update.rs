@@ -102,8 +102,12 @@ fn apply_op(doc: &mut Document, op: &UpdateOp) -> Result<(), StoreError> {
         UpdateOp::Unset(path) => {
             doc.remove_path(path);
         }
-        UpdateOp::Inc(path, delta) => arith(doc, path, delta, "$inc", |a, b| a + b, |a, b| a.checked_add(b))?,
-        UpdateOp::Mul(path, factor) => arith(doc, path, factor, "$mul", |a, b| a * b, |a, b| a.checked_mul(b))?,
+        UpdateOp::Inc(path, delta) => {
+            arith(doc, path, delta, "$inc", |a, b| a + b, |a, b| a.checked_add(b))?
+        }
+        UpdateOp::Mul(path, factor) => {
+            arith(doc, path, factor, "$mul", |a, b| a * b, |a, b| a.checked_mul(b))?
+        }
         UpdateOp::Min(path, v) => {
             let replace = match doc.get_path(path) {
                 None => true,
@@ -122,32 +126,33 @@ fn apply_op(doc: &mut Document, op: &UpdateOp) -> Result<(), StoreError> {
                 doc.set_path(path, v.clone()).map_err(|e| StoreError::BadUpdate(e.to_string()))?;
             }
         }
-        UpdateOp::Push(path, v) => {
-            match doc.get_path(path) {
-                None => {
-                    doc.set_path(path, Value::Array(vec![v.clone()]))
-                        .map_err(|e| StoreError::BadUpdate(e.to_string()))?;
-                }
-                Some(Value::Array(_)) => {
-                    let mut arr = match doc.get_path(path) {
-                        Some(Value::Array(items)) => items.clone(),
-                        _ => unreachable!("checked above"),
-                    };
-                    arr.push(v.clone());
-                    doc.set_path(path, Value::Array(arr)).map_err(|e| StoreError::BadUpdate(e.to_string()))?;
-                }
-                Some(other) => {
-                    return Err(StoreError::BadUpdate(format!(
-                        "`$push` target `{path}` is {}, not an array",
-                        other.type_name()
-                    )))
-                }
+        UpdateOp::Push(path, v) => match doc.get_path(path) {
+            None => {
+                doc.set_path(path, Value::Array(vec![v.clone()]))
+                    .map_err(|e| StoreError::BadUpdate(e.to_string()))?;
             }
-        }
+            Some(Value::Array(_)) => {
+                let mut arr = match doc.get_path(path) {
+                    Some(Value::Array(items)) => items.clone(),
+                    _ => unreachable!("checked above"),
+                };
+                arr.push(v.clone());
+                doc.set_path(path, Value::Array(arr))
+                    .map_err(|e| StoreError::BadUpdate(e.to_string()))?;
+            }
+            Some(other) => {
+                return Err(StoreError::BadUpdate(format!(
+                    "`$push` target `{path}` is {}, not an array",
+                    other.type_name()
+                )))
+            }
+        },
         UpdateOp::Pull(path, v) => {
             if let Some(Value::Array(items)) = doc.get_path(path) {
-                let filtered: Vec<Value> = items.iter().filter(|e| !canonical_eq(e, v)).cloned().collect();
-                doc.set_path(path, Value::Array(filtered)).map_err(|e| StoreError::BadUpdate(e.to_string()))?;
+                let filtered: Vec<Value> =
+                    items.iter().filter(|e| !canonical_eq(e, v)).cloned().collect();
+                doc.set_path(path, Value::Array(filtered))
+                    .map_err(|e| StoreError::BadUpdate(e.to_string()))?;
             }
         }
         UpdateOp::Rename(from, to) => {

@@ -56,11 +56,14 @@ fn io_err(e: std::io::Error) -> StoreError {
 /// Encodes one oplog entry as a WAL line.
 fn encode_entry(entry: &OplogEntry) -> String {
     let mut d = Document::with_capacity(6);
-    d.insert("op", match entry.op {
-        OplogOp::Insert => "i",
-        OplogOp::Update => "u",
-        OplogOp::Delete => "d",
-    });
+    d.insert(
+        "op",
+        match entry.op {
+            OplogOp::Insert => "i",
+            OplogOp::Update => "u",
+            OplogOp::Delete => "d",
+        },
+    );
     d.insert("c", entry.collection.clone());
     d.insert("k", entry.key.0.clone());
     d.insert("v", entry.version as i64);

@@ -26,8 +26,8 @@
 pub mod metrics;
 pub mod topology;
 
-pub use metrics::{ComponentMetrics, TopologyMetrics};
+pub use metrics::{ComponentMetrics, LinkMetrics, LinkRegistry, TopologyMetrics};
 pub use topology::{
-    run_with_collector, Bolt, BoltContext, Grouping, Message, RunningTopology, Source,
-    TopologyBuilder, TopologyConfig,
+    run_with_collector, Bolt, BoltContext, Grouping, Message, RunningTopology, Source, TopologyBuilder,
+    TopologyConfig,
 };

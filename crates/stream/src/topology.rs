@@ -57,6 +57,10 @@ pub trait Bolt<M: Message>: Send {
     fn tick(&mut self, _ctx: &mut BoltContext<'_, M>) {}
 }
 
+/// Routing function of a [`Grouping::Direct`]: message + downstream task
+/// count → target task indices.
+pub type DirectRouter<M> = Box<dyn Fn(&M, usize) -> Vec<usize> + Send + Sync>;
+
 /// How messages are routed to the tasks of a downstream component.
 pub enum Grouping<M> {
     /// Round-robin across tasks.
@@ -66,7 +70,7 @@ pub enum Grouping<M> {
     /// Every task receives every message.
     Broadcast,
     /// Arbitrary task list per message — implements InvaliDB's grid routing.
-    Direct(Box<dyn Fn(&M, usize) -> Vec<usize> + Send + Sync>),
+    Direct(DirectRouter<M>),
 }
 
 impl<M> Grouping<M> {
@@ -156,10 +160,7 @@ impl Default for TopologyConfig {
 
 enum ComponentKind<M: Message> {
     Source(Option<Box<dyn Source<M>>>),
-    Bolt {
-        parallelism: usize,
-        factory: Box<dyn Fn(usize) -> Box<dyn Bolt<M>> + Send>,
-    },
+    Bolt { parallelism: usize, factory: Box<dyn Fn(usize) -> Box<dyn Bolt<M>> + Send> },
 }
 
 struct ComponentDef<M: Message> {
@@ -228,7 +229,10 @@ impl<M: Message> TopologyBuilder<M> {
     pub fn connect(&mut self, from: &str, to: &str, grouping: Grouping<M>) -> &mut Self {
         let from_idx = self.position(from).unwrap_or_else(|| panic!("unknown component `{from}`"));
         let to_idx = self.position(to).unwrap_or_else(|| panic!("unknown component `{to}`"));
-        assert!(to_idx > from_idx, "`{to}` must be declared after `{from}` (acyclic, topological order)");
+        assert!(
+            to_idx > from_idx,
+            "`{to}` must be declared after `{from}` (acyclic, topological order)"
+        );
         assert!(
             matches!(self.components[to_idx].kind, ComponentKind::Bolt { .. }),
             "`{to}` must be a bolt"
@@ -293,7 +297,8 @@ impl<M: Message> TopologyBuilder<M> {
                     let handle = std::thread::Builder::new()
                         .name(format!("src-{name}"))
                         .spawn(move || {
-                            let rr: Vec<AtomicUsize> = outputs.iter().map(|_| AtomicUsize::new(0)).collect();
+                            let rr: Vec<AtomicUsize> =
+                                outputs.iter().map(|_| AtomicUsize::new(0)).collect();
                             while !shutdown.load(Ordering::Relaxed) {
                                 for msg in source.poll(poll_timeout) {
                                     m.processed.fetch_add(1, Ordering::Relaxed);

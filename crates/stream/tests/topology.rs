@@ -39,10 +39,12 @@ impl Bolt<u64> for Recorder {
     }
 }
 
+type Seen = Arc<Mutex<Vec<(usize, u64)>>>;
+
 fn build_pipeline(
     grouping: Grouping<u64>,
     parallelism: usize,
-) -> (Sender<u64>, Arc<Mutex<Vec<(usize, u64)>>>, invalidb_stream::RunningTopology) {
+) -> (Sender<u64>, Seen, invalidb_stream::RunningTopology) {
     let (tx, rx) = unbounded();
     let seen = Arc::new(Mutex::new(Vec::new()));
     let mut b = TopologyBuilder::new().with_config(TopologyConfig {

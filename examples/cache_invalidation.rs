@@ -85,7 +85,12 @@ fn main() {
     let store = Arc::new(Store::new());
     let broker = Broker::new();
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
-    let app = Arc::new(AppServer::start("shop", Arc::clone(&store), broker.clone(), AppServerConfig::default()));
+    let app = Arc::new(AppServer::start(
+        "shop",
+        Arc::clone(&store),
+        broker.clone(),
+        AppServerConfig::default(),
+    ));
     let cache = QueryCache::new(Arc::clone(&app));
 
     for i in 0..20i64 {

@@ -1,0 +1,100 @@
+//! Networked deployment: store + cluster and the application server on
+//! opposite ends of a loopback TCP socket.
+//!
+//! The paper's deployment (§5.3) separates three independently scalable
+//! services — the pull-based store, the InvaliDB cluster, and the event
+//! layer connecting them to application servers. `quickstart.rs` runs all
+//! of them in one process over the in-process broker; this example puts
+//! the event layer on the wire:
+//!
+//! ```text
+//!   "cluster host"                        "app-server host"
+//!   Store + Cluster ── Broker ── BrokerServer ══TCP══ RemoteBroker ── AppServer
+//! ```
+//!
+//! The app server connects through a [`RemoteBroker`], which implements
+//! the same publish/subscribe surface as the in-process broker — neither
+//! `invalidb-client` nor `invalidb-core` changes a line. Along the way the
+//! example drops the connection mid-stream to show the supervisor
+//! reconnecting and replaying subscriptions.
+//!
+//! Run with: `cargo run --release --example distributed`
+
+use invalidb::broker::Broker;
+use invalidb::client::{AppServer, AppServerConfig, ClientEvent};
+use invalidb::core::{Cluster, ClusterConfig};
+use invalidb::net::{BrokerServer, BrokerServerConfig, RemoteBroker, RemoteBrokerConfig};
+use invalidb::store::Store;
+use invalidb::{doc, Key, QuerySpec};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn main() {
+    // ----- "cluster host": store, cluster, and the event-layer server ---
+    let store = Arc::new(Store::new());
+    let broker = Broker::new();
+    let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
+    let server = BrokerServer::bind("127.0.0.1:0", broker, BrokerServerConfig::default())
+        .expect("bind event-layer server");
+    let addr = server.local_addr();
+    println!("event layer listening on {addr}");
+
+    // ----- "app-server host": connect over TCP ------------------------
+    let remote = RemoteBroker::connect(
+        addr.to_string(),
+        RemoteBrokerConfig { client_name: "distributed-example".into(), ..Default::default() },
+    );
+    assert!(remote.wait_connected(Duration::from_secs(5)), "event layer reachable");
+    let app =
+        AppServer::start("distributed", Arc::clone(&store), remote.clone(), AppServerConfig::default());
+
+    for (name, age) in [("ada", 36i64), ("grace", 45), ("edsger", 28)] {
+        app.insert("users", Key::of(name), doc! { "name" => name, "age" => age }).unwrap();
+    }
+
+    let adults = QuerySpec::filter("users", doc! { "age" => doc! { "$gte" => 30i64 } });
+    let mut sub = app.subscribe(&adults).unwrap();
+    match sub.next_event(Duration::from_secs(5)).expect("initial result") {
+        ClientEvent::Initial(items) => println!("initial result over TCP: {} adults", items.len()),
+        other => panic!("unexpected event: {other:?}"),
+    }
+
+    app.insert("users", Key::of("barbara"), doc! { "name" => "barbara", "age" => 33i64 }).unwrap();
+    match sub.next_event(Duration::from_secs(5)).expect("change notification") {
+        ClientEvent::Change(c) => println!("notification over TCP: {} {}", c.match_type, c.item.key),
+        other => println!("event: {other:?}"),
+    }
+
+    // ----- mid-stream disconnect --------------------------------------
+    // Kill the TCP connection out from under the app server. The
+    // supervisor reconnects with backoff and replays its subscriptions;
+    // the app server's maintenance machinery repairs anything missed.
+    let reconnects_before = remote.metrics().reconnects.load(std::sync::atomic::Ordering::Relaxed);
+    remote.kick();
+    while remote.metrics().reconnects.load(std::sync::atomic::Ordering::Relaxed) <= reconnects_before {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    println!("connection dropped and re-established (reconnect + resubscription replay)");
+
+    app.insert("users", Key::of("annie"), doc! { "name" => "annie", "age" => 52i64 }).unwrap();
+    loop {
+        match sub.next_event(Duration::from_secs(10)).expect("notification after reconnect") {
+            ClientEvent::Change(c) if c.item.key == Key::of("annie") => {
+                println!("notification after reconnect: {} {}", c.match_type, c.item.key);
+                break;
+            }
+            other => println!("event: {other:?}"),
+        }
+    }
+
+    let (frames_in, frames_out, _, dropped, reconnects) = remote.metrics().snapshot();
+    println!(
+        "link metrics: {frames_in} frames in, {frames_out} frames out, \
+         {dropped} dropped, {reconnects} (re)connects"
+    );
+
+    drop(sub);
+    cluster.shutdown();
+    remote.shutdown();
+    println!("done");
+}

@@ -28,9 +28,18 @@ fn main() {
     let open = doc! { "status" => "open" };
     let metrics: Vec<(&str, QuerySpec)> = vec![
         ("open orders", QuerySpec::filter("orders", open.clone()).aggregated(AggregateOp::Count, None)),
-        ("open revenue", QuerySpec::filter("orders", open.clone()).aggregated(AggregateOp::Sum, Some("total"))),
-        ("avg basket", QuerySpec::filter("orders", open.clone()).aggregated(AggregateOp::Avg, Some("total"))),
-        ("largest order", QuerySpec::filter("orders", open.clone()).aggregated(AggregateOp::Max, Some("total"))),
+        (
+            "open revenue",
+            QuerySpec::filter("orders", open.clone()).aggregated(AggregateOp::Sum, Some("total")),
+        ),
+        (
+            "avg basket",
+            QuerySpec::filter("orders", open.clone()).aggregated(AggregateOp::Avg, Some("total")),
+        ),
+        (
+            "largest order",
+            QuerySpec::filter("orders", open.clone()).aggregated(AggregateOp::Max, Some("total")),
+        ),
     ];
     let mut subs: Vec<(&str, Subscription)> = metrics
         .iter()

@@ -28,7 +28,8 @@ fn main() {
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
 
     // 4. The application server: unified pull/push interface for clients.
-    let app = AppServer::start("quickstart", Arc::clone(&store), broker.clone(), AppServerConfig::default());
+    let app =
+        AppServer::start("quickstart", Arc::clone(&store), broker.clone(), AppServerConfig::default());
 
     // Seed some data through the app server (writes forward after-images to
     // the cluster automatically).

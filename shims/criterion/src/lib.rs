@@ -1,0 +1,233 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::bench_function`, benchmark groups with throughput
+//! annotations, and `black_box`. No statistical regression analysis or
+//! HTML reports — it times iterations and prints mean/median per benchmark,
+//! which is what EXPERIMENTS.md records.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Harness configuration and entry point.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for measurement.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_bench(self, id, None, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_owned(), throughput: None }
+    }
+
+    /// Final summary hook (no-op; kept for API parity).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A group of related benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the group throughput annotation.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_bench(self.criterion, &full, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    c: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Warm-up: run for the configured duration while estimating cost/iter.
+    let mut per_iter = {
+        let warm_start = Instant::now();
+        let mut iters = 0u64;
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        while warm_start.elapsed() < c.warm_up_time {
+            f(&mut b);
+            iters += b.iters;
+            b.iters = (b.iters * 2).min(1 << 20);
+        }
+        let elapsed = warm_start.elapsed();
+        (elapsed.as_nanos() as f64 / iters.max(1) as f64).max(0.5)
+    };
+
+    // Measurement: `sample_size` samples splitting the time budget.
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(c.sample_size);
+    let budget_per_sample = c.measurement_time.as_nanos() as f64 / c.sample_size as f64;
+    for _ in 0..c.sample_size {
+        let iters = ((budget_per_sample / per_iter).ceil() as u64).clamp(1, 1 << 24);
+        let mut b = Bencher { iters, elapsed: Duration::ZERO };
+        f(&mut b);
+        let ns = b.elapsed.as_nanos() as f64 / iters as f64;
+        per_iter = ns.max(0.5);
+        samples_ns.push(ns);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let median = samples_ns[samples_ns.len() / 2];
+    let _mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:>12}/s", human(n as f64 * 1e9 / median)),
+        Throughput::Bytes(n) => format!("  {:>10}B/s", human(n as f64 * 1e9 / median)),
+    });
+    println!(
+        "{:<55} time: [{} {} {}]{}",
+        id,
+        fmt_ns(samples_ns[0]),
+        fmt_ns(median),
+        fmt_ns(*samples_ns.last().expect("samples")),
+        rate.unwrap_or_default()
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn human(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Declares a group of benchmark functions with an optional shared config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        group.finish();
+        c.bench_function("mul", |b| b.iter(|| black_box(3u64) * black_box(4)));
+    }
+}

@@ -1,0 +1,140 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized + std::fmt::Debug {
+    /// Generates one value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Mix uniform bits with boundary values and small numbers:
+                // uniform alone virtually never exercises edges or the
+                // "small integers" most code paths branch on.
+                match rng.next_u64() % 8 {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 | 4 => (rng.next_u64() % 32) as $t,
+                    _ => rng.next_u64() as $t,
+                }
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        match rng.next_u64() % 16 {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            3 => 0.0,
+            4 => -0.0,
+            5 => f64::MIN_POSITIVE,
+            6 => f64::EPSILON,
+            // Small "friendly" magnitudes.
+            7..=9 => (rng.next_u64() % 2_000) as f64 / 8.0 - 100.0,
+            // Arbitrary finite bit patterns (NaN payloads collapse to NAN
+            // above; exclude them here so the mix stays balanced).
+            _ => {
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_nan() {
+                    1.5e300
+                } else {
+                    v
+                }
+            }
+        }
+    }
+}
+
+impl Arbitrary for f32 {
+    fn arbitrary(rng: &mut TestRng) -> f32 {
+        f64::arbitrary(rng) as f32
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> char {
+        crate::string::any_non_control_char(rng.rng())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_hits_extremes_and_smalls() {
+        let mut rng = TestRng::for_test("arb_i64", 1);
+        let mut saw_min = false;
+        let mut saw_max = false;
+        let mut saw_small = false;
+        for _ in 0..500 {
+            match i64::arbitrary(&mut rng) {
+                i64::MIN => saw_min = true,
+                i64::MAX => saw_max = true,
+                v if (0..32).contains(&v) => saw_small = true,
+                _ => {}
+            }
+        }
+        assert!(saw_min && saw_max && saw_small);
+    }
+
+    #[test]
+    fn f64_hits_specials() {
+        let mut rng = TestRng::for_test("arb_f64", 1);
+        let mut saw_nan = false;
+        let mut saw_inf = false;
+        for _ in 0..500 {
+            let v = f64::arbitrary(&mut rng);
+            saw_nan |= v.is_nan();
+            saw_inf |= v.is_infinite();
+        }
+        assert!(saw_nan && saw_inf);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        let a: Vec<i64> = {
+            let mut rng = TestRng::for_test("det", 1);
+            (0..10).map(|_| i64::arbitrary(&mut rng)).collect()
+        };
+        let b: Vec<i64> = {
+            let mut rng = TestRng::for_test("det", 1);
+            (0..10).map(|_| i64::arbitrary(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the real crate that this workspace's property
+//! tests use: composable generation strategies (`prop_map`, `prop_filter`,
+//! `prop_recursive`, `prop_oneof!`, collections, tuples, ranges, regex-ish
+//! string strategies), the `proptest!` test macro, and `prop_assert*`.
+//!
+//! Deliberate simplifications, safe for how the tests use the API:
+//!
+//! * **No shrinking.** A failing case reports its inputs (and the seed) but
+//!   is not minimized. Failures stay reproducible because generation is
+//!   deterministic: the seed derives from the test name, or from
+//!   `PROPTEST_SEED` when set.
+//! * **Regex strategies** support the subset appearing in this repository:
+//!   literals, classes (`[a-z0-9_.$-]`, negation, embedded literal chars),
+//!   escapes (`\PC`, `\d`, `\w`, `\s`, `\\`, …), quantifiers
+//!   (`{m}`, `{m,n}`, `?`, `*`, `+`), groups, and alternation.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    // The real prelude re-exports the crate root as `prop` so paths like
+    // `prop::collection::vec` work unchanged.
+    pub use crate as prop;
+}
+
+/// Chooses among strategies producing the same value type. Optional
+/// `weight => strategy` arms bias the choice.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::weighted(vec![
+            $( ($weight as u32, $crate::strategy::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Property-test assertion; fails the current case without panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Property-test equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `(left == right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Property-test inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`\n  left: `{:?}`\n right: `{:?}`",
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `(left != right)`: {}\n  left: `{:?}`\n right: `{:?}`",
+            format!($($fmt)+),
+            l,
+            r
+        );
+    }};
+}
+
+/// Declares property tests: each `fn` runs its body for many generated
+/// inputs. Accepts an optional leading `#![proptest_config(..)]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($config:expr); $(
+        $(#[$attr:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $config;
+            let mut __rng =
+                $crate::test_runner::TestRng::for_test(stringify!($name), __config.cases);
+            for __case in 0..__config.cases {
+                // Strategies are rebuilt per case; construction is cheap and
+                // it keeps the macro free of extra bindings.
+                let __vals = ( $( $crate::strategy::Strategy::new_value(&($strat), &mut __rng) ,)+ );
+                let __inputs = format!("{:?}", __vals);
+                let __outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let ( $($pat,)+ ) = __vals;
+                    let __run = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    };
+                    __run()
+                }));
+                match __outcome {
+                    ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                    ::std::result::Result::Ok(::std::result::Result::Err(e)) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}\n  seed: {}",
+                            __case + 1,
+                            __config.cases,
+                            e,
+                            __inputs,
+                            __rng.seed(),
+                        );
+                    }
+                    ::std::result::Result::Err(panic_payload) => {
+                        eprintln!(
+                            "proptest case {}/{} panicked\n  inputs: {}\n  seed: {}",
+                            __case + 1,
+                            __config.cases,
+                            __inputs,
+                            __rng.seed(),
+                        );
+                        ::std::panic::resume_unwind(panic_payload);
+                    }
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,324 @@
+//! Generation strategies: the core trait and its combinators.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// A recipe for generating values of a given type.
+///
+/// Simplified from the real crate: a strategy produces values directly
+/// (there is no `ValueTree` / shrinking layer).
+pub trait Strategy {
+    /// The type of generated values. `Debug` so failing cases can report
+    /// their inputs.
+    type Value: Debug;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred`, retrying. Panics if the
+    /// predicate rejects too consistently (mirrors the real crate giving up).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, whence, pred }
+    }
+
+    /// Lifts this leaf strategy into a recursive one: `f` receives a
+    /// strategy for "values built so far" and wraps it one level deeper.
+    /// `depth` bounds nesting; the size hints are accepted for API parity.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            // Each level may generate from any shallower level, so
+            // containers nest to mixed depths like in the real crate.
+            let inner = OneOf::new(levels.clone()).boxed();
+            levels.push(f(inner).boxed());
+        }
+        Recursive { levels }
+    }
+
+    /// Erases the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy { inner: Arc::new(self) }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Type-erased strategies
+// ---------------------------------------------------------------------------
+
+trait DynStrategy<T> {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_value(&self, rng: &mut TestRng) -> S::Value {
+        self.new_value(rng)
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        Self { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.inner.dyn_new_value(rng)
+    }
+}
+
+impl<T> Debug for BoxedStrategy<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BoxedStrategy")
+    }
+}
+
+/// Uniform (or weighted) choice among strategies of one value type.
+/// Produced by [`prop_oneof!`](crate::prop_oneof).
+#[derive(Clone)]
+pub struct OneOf<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
+}
+
+impl<T: Debug> OneOf<T> {
+    /// Uniform choice.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        Self::weighted(arms.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Weighted choice.
+    pub fn weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total_weight = arms.iter().map(|(w, _)| *w as u64).sum::<u64>().max(1);
+        Self { arms, total_weight }
+    }
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.rng().gen_range(0..self.total_weight);
+        for (weight, strat) in &self.arms {
+            if pick < *weight as u64 {
+                return strat.new_value(rng);
+            }
+            pick -= *weight as u64;
+        }
+        self.arms.last().expect("non-empty").1.new_value(rng)
+    }
+}
+
+/// Result of [`Strategy::prop_recursive`].
+#[derive(Clone)]
+pub struct Recursive<T> {
+    levels: Vec<BoxedStrategy<T>>,
+}
+
+impl<T: Debug> Strategy for Recursive<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let level = rng.rng().gen_range(0..self.levels.len());
+        self.levels[level].new_value(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Combinators
+// ---------------------------------------------------------------------------
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter({:?}) rejected 1000 candidates in a row", self.whence);
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ranges and tuples as strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+/// Regex-subset string strategies (see [`crate::string`]).
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($( self.$idx.new_value(rng), )+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_map() {
+        let mut rng = TestRng::for_test("ranges", 1);
+        let s = ((0..10i64), (5..6u32)).prop_map(|(a, b)| a + b as i64);
+        for _ in 0..100 {
+            let v = s.new_value(&mut rng);
+            assert!((5..15).contains(&v));
+        }
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let mut rng = TestRng::for_test("oneof", 1);
+        let s = OneOf::new(vec![Just(1u8).boxed(), Just(2u8).boxed(), Just(3u8).boxed()]);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[s.new_value(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    #[test]
+    fn filter_retries() {
+        let mut rng = TestRng::for_test("filter", 1);
+        let s = (0..100i64).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(s.new_value(&mut rng) % 2, 0);
+        }
+    }
+
+    #[test]
+    fn recursive_nests_and_terminates() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)] // fields only inspected via Debug
+        enum Tree {
+            Leaf(i64),
+            Node(Vec<Tree>),
+        }
+        let mut rng = TestRng::for_test("recursive", 1);
+        let s = (0..10i64)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| crate::collection::vec(inner, 0..4).prop_map(Tree::Node));
+        let mut saw_node = false;
+        for _ in 0..200 {
+            if matches!(s.new_value(&mut rng), Tree::Node(_)) {
+                saw_node = true;
+            }
+        }
+        assert!(saw_node);
+    }
+}

@@ -1,0 +1,458 @@
+//! String generation from a regex subset.
+//!
+//! Supports what this workspace's strategies use: literal characters,
+//! character classes (`[a-zA-Z0-9_.$-]`, negation, literal control chars,
+//! embedded escapes), the escapes `\PC`/`\pC` (non-control / control
+//! character), `\d`, `\w`, `\s`, `\\` and friends, quantifiers `{m}`,
+//! `{m,n}`, `?`, `*`, `+`, groups, and alternation. Unsupported syntax
+//! panics with the offending pattern, so a typo fails loudly instead of
+//! generating garbage.
+
+use crate::test_runner::TestRng;
+use rand::{Rng, StdRng};
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let ast = Parser { chars: pattern.chars().collect(), pos: 0, pattern }.parse_alternation();
+    let mut out = String::new();
+    emit(&ast, rng.rng(), &mut out);
+    out
+}
+
+/// A char that is not a Unicode control/format character — the generation
+/// side of `\PC`. Mostly printable ASCII, with occasional BMP and astral
+/// characters so UTF-8 handling gets exercised.
+pub fn any_non_control_char(rng: &mut StdRng) -> char {
+    loop {
+        let c = match rng.gen_range(0..10u32) {
+            0..=6 => rng.gen_range(0x20u32..0x7f),
+            7 | 8 => rng.gen_range(0xA0u32..0xD800),
+            _ => rng.gen_range(0x1_0000u32..0x1_1000),
+        };
+        if let Some(c) = char::from_u32(c) {
+            if !is_control(c) {
+                return c;
+            }
+        }
+    }
+}
+
+fn is_control(c: char) -> bool {
+    // Approximates Unicode category C (Cc + the format chars a JSON/string
+    // codec could plausibly mangle).
+    c.is_control() || ('\u{200b}'..='\u{200f}').contains(&c) || ('\u{2028}'..='\u{202e}').contains(&c)
+}
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+enum Node {
+    /// Concatenation of parts.
+    Seq(Vec<Node>),
+    /// One alternative among several.
+    Alt(Vec<Node>),
+    /// A repeated node with inclusive count bounds.
+    Repeat(Box<Node>, u32, u32),
+    /// A single literal char.
+    Literal(char),
+    /// A character class.
+    Class(Class),
+}
+
+struct Class {
+    negated: bool,
+    /// Inclusive char ranges (single chars become degenerate ranges).
+    ranges: Vec<(char, char)>,
+    /// Whether `\PC` (any non-control) is a member.
+    any_non_control: bool,
+    /// Whether `\pC` (control chars) is a member.
+    control: bool,
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    pattern: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek();
+        if c.is_some() {
+            self.pos += 1;
+        }
+        c
+    }
+
+    fn fail(&self, what: &str) -> ! {
+        panic!("unsupported regex strategy {:?}: {} at offset {}", self.pattern, what, self.pos);
+    }
+
+    fn parse_alternation(&mut self) -> Node {
+        let mut alts = vec![self.parse_seq()];
+        while self.peek() == Some('|') {
+            self.bump();
+            alts.push(self.parse_seq());
+        }
+        if alts.len() == 1 {
+            alts.pop().expect("one alt")
+        } else {
+            Node::Alt(alts)
+        }
+    }
+
+    fn parse_seq(&mut self) -> Node {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            let atom = self.parse_atom();
+            parts.push(self.parse_quantifier(atom));
+        }
+        Node::Seq(parts)
+    }
+
+    fn parse_atom(&mut self) -> Node {
+        match self.bump() {
+            Some('(') => {
+                let inner = self.parse_alternation();
+                if self.bump() != Some(')') {
+                    self.fail("unclosed group");
+                }
+                inner
+            }
+            Some('[') => Node::Class(self.parse_class()),
+            Some('\\') => self.parse_escape_atom(),
+            Some('.') => Node::Class(Class {
+                negated: false,
+                ranges: Vec::new(),
+                any_non_control: true,
+                control: false,
+            }),
+            Some('^') | Some('$') => Node::Seq(Vec::new()), // anchors generate nothing
+            Some(c) => Node::Literal(c),
+            None => self.fail("unexpected end"),
+        }
+    }
+
+    fn parse_escape_atom(&mut self) -> Node {
+        match self.bump() {
+            Some('P') | Some('p') => {
+                // `\PC` / `\pC`: only category C is supported.
+                let negated = self.chars[self.pos - 1] == 'P';
+                match self.bump() {
+                    Some('C') => Node::Class(Class {
+                        negated: false,
+                        ranges: Vec::new(),
+                        any_non_control: negated,
+                        control: !negated,
+                    }),
+                    _ => self.fail("only category C is supported after \\P/\\p"),
+                }
+            }
+            Some('d') => Node::Class(class_of_ranges(&[('0', '9')])),
+            Some('w') => Node::Class(class_of_ranges(&[('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')])),
+            Some('s') => Node::Class(class_of_ranges(&[(' ', ' '), ('\t', '\t'), ('\n', '\n')])),
+            Some('n') => Node::Literal('\n'),
+            Some('t') => Node::Literal('\t'),
+            Some('r') => Node::Literal('\r'),
+            Some(
+                c @ ('\\' | '.' | '[' | ']' | '(' | ')' | '{' | '}' | '|' | '?' | '*' | '+' | '-' | '^'
+                | '$' | '"' | '/'),
+            ) => Node::Literal(c),
+            _ => self.fail("unsupported escape"),
+        }
+    }
+
+    fn parse_class(&mut self) -> Class {
+        let mut class =
+            Class { negated: false, ranges: Vec::new(), any_non_control: false, control: false };
+        if self.peek() == Some('^') {
+            self.bump();
+            class.negated = true;
+        }
+        loop {
+            let c = match self.bump() {
+                None => self.fail("unclosed class"),
+                Some(']') => break,
+                Some('\\') => match self.bump() {
+                    Some('P') => match self.bump() {
+                        Some('C') => {
+                            class.any_non_control = true;
+                            continue;
+                        }
+                        _ => self.fail("only \\PC is supported in classes"),
+                    },
+                    Some('p') => match self.bump() {
+                        Some('C') => {
+                            class.control = true;
+                            continue;
+                        }
+                        _ => self.fail("only \\pC is supported in classes"),
+                    },
+                    Some('d') => {
+                        class.ranges.push(('0', '9'));
+                        continue;
+                    }
+                    Some('w') => {
+                        class.ranges.extend([('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]);
+                        continue;
+                    }
+                    Some('s') => {
+                        class.ranges.extend([(' ', ' '), ('\t', '\t'), ('\n', '\n')]);
+                        continue;
+                    }
+                    Some('n') => '\n',
+                    Some('t') => '\t',
+                    Some('r') => '\r',
+                    Some(c) => c, // \\, \-, \], \^, …
+                    None => self.fail("dangling escape in class"),
+                },
+                Some(c) => c,
+            };
+            // Range `a-b` unless `-` is the last char before `]`.
+            if self.peek() == Some('-') && self.chars.get(self.pos + 1).copied() != Some(']') {
+                self.bump(); // `-`
+                let hi = match self.bump() {
+                    Some('\\') => match self.bump() {
+                        Some('n') => '\n',
+                        Some('t') => '\t',
+                        Some(c) => c,
+                        None => self.fail("dangling escape in class range"),
+                    },
+                    Some(hi) => hi,
+                    None => self.fail("unclosed class range"),
+                };
+                if c > hi {
+                    self.fail("descending class range");
+                }
+                class.ranges.push((c, hi));
+            } else {
+                class.ranges.push((c, c));
+            }
+        }
+        if class.ranges.is_empty() && !class.any_non_control && !class.control {
+            self.fail("empty class");
+        }
+        class
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Node {
+        match self.peek() {
+            Some('?') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 1)
+            }
+            Some('*') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 0, 6)
+            }
+            Some('+') => {
+                self.bump();
+                Node::Repeat(Box::new(atom), 1, 7)
+            }
+            Some('{') => {
+                self.bump();
+                let lo = self.parse_number();
+                let hi = match self.peek() {
+                    Some(',') => {
+                        self.bump();
+                        self.parse_number()
+                    }
+                    _ => lo,
+                };
+                if self.bump() != Some('}') {
+                    self.fail("unclosed quantifier");
+                }
+                if hi < lo {
+                    self.fail("descending quantifier");
+                }
+                Node::Repeat(Box::new(atom), lo, hi)
+            }
+            _ => atom,
+        }
+    }
+
+    fn parse_number(&mut self) -> u32 {
+        let start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.bump();
+        }
+        if self.pos == start {
+            self.fail("expected number");
+        }
+        self.chars[start..self.pos].iter().collect::<String>().parse().expect("digits")
+    }
+}
+
+fn class_of_ranges(ranges: &[(char, char)]) -> Class {
+    Class { negated: false, ranges: ranges.to_vec(), any_non_control: false, control: false }
+}
+
+// ---------------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------------
+
+fn emit(node: &Node, rng: &mut StdRng, out: &mut String) {
+    match node {
+        Node::Seq(parts) => {
+            for p in parts {
+                emit(p, rng, out);
+            }
+        }
+        Node::Alt(alts) => {
+            let pick = rng.gen_range(0..alts.len());
+            emit(&alts[pick], rng, out);
+        }
+        Node::Repeat(inner, lo, hi) => {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+        Node::Literal(c) => out.push(*c),
+        Node::Class(class) => out.push(sample_class(class, rng)),
+    }
+}
+
+fn sample_class(class: &Class, rng: &mut StdRng) -> char {
+    if class.negated {
+        // Rejection-sample from the non-control space.
+        for _ in 0..1_000 {
+            let c = any_non_control_char(rng);
+            if !class_contains(class, c) {
+                return c;
+            }
+        }
+        panic!("negated class rejected 1000 candidates in a row");
+    }
+    // Membership choices: each explicit range counts once; the special sets
+    // count once each.
+    let specials = class.any_non_control as usize + class.control as usize;
+    let pick = rng.gen_range(0..class.ranges.len() + specials);
+    if pick < class.ranges.len() {
+        let (lo, hi) = class.ranges[pick];
+        loop {
+            // Some ranges cross the surrogate gap (e.g. `[\u{0}-\u{10FFFF}]`);
+            // resample instead of panicking.
+            if let Some(c) = char::from_u32(rng.gen_range(lo as u32..=hi as u32)) {
+                return c;
+            }
+        }
+    }
+    let want_control = class.control
+        && (pick == class.ranges.len() + class.any_non_control as usize || !class.any_non_control);
+    if want_control {
+        char::from_u32(rng.gen_range(0x00u32..0x20)).expect("ascii control")
+    } else {
+        any_non_control_char(rng)
+    }
+}
+
+fn class_contains(class: &Class, c: char) -> bool {
+    class.ranges.iter().any(|(lo, hi)| (*lo..=*hi).contains(&c))
+        || (class.any_non_control && !is_control(c))
+        || (class.control && is_control(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen(pattern: &str, n: usize) -> Vec<String> {
+        let mut rng = TestRng::for_test(pattern, 1);
+        (0..n).map(|_| generate(pattern, &mut rng)).collect()
+    }
+
+    #[test]
+    fn simple_class_with_count() {
+        for s in gen("[a-d]{0,3}", 200) {
+            assert!(s.len() <= 3);
+            assert!(s.chars().all(|c| ('a'..='d').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn mixed_class() {
+        for s in gen("[a-zA-Z0-9_.$-]{1,8}", 200) {
+            assert!((1..=8).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_alphanumeric() || "_.$-".contains(c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn non_control_escape() {
+        let mut seen_non_ascii = false;
+        for s in gen("\\PC{0,64}", 300) {
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+            seen_non_ascii |= !s.is_ascii();
+        }
+        assert!(seen_non_ascii, "should exercise multi-byte UTF-8");
+    }
+
+    #[test]
+    fn class_with_pc_and_literal_control_range() {
+        // The JSON tests embed literal U+0000–U+007F in a class with \PC.
+        let pattern = "[\\PC\u{0}-\u{7f}]{0,16}";
+        let mut seen_control = false;
+        for s in gen(pattern, 500) {
+            assert!(s.chars().count() <= 16);
+            seen_control |= s.chars().any(|c| c.is_control());
+        }
+        assert!(seen_control, "the literal range includes control chars");
+    }
+
+    #[test]
+    fn alternation_and_groups() {
+        for s in gen("(foo|ba+r){1,2}", 100) {
+            assert!(!s.is_empty());
+            let re_ok = {
+                let mut rest = s.as_str();
+                let mut ok = true;
+                while !rest.is_empty() {
+                    if let Some(r) = rest.strip_prefix("foo") {
+                        rest = r;
+                    } else if rest.starts_with("ba") {
+                        let r = &rest[2..];
+                        let trimmed = r.trim_start_matches('a');
+                        if let Some(r2) = trimmed.strip_prefix('r') {
+                            rest = r2;
+                        } else {
+                            ok = false;
+                            break;
+                        }
+                    } else {
+                        ok = false;
+                        break;
+                    }
+                }
+                ok
+            };
+            assert!(re_ok, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn negated_class() {
+        for s in gen("[^a-z]{1,4}", 100) {
+            assert!(s.chars().all(|c| !c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn unsupported_syntax_fails_loudly() {
+        gen("a\\z", 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Test-runner types: configuration, failure reporting, and the
+//! deterministic RNG driving generation.
+
+use rand::{RngCore, SeedableRng, StdRng};
+use std::fmt;
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+    /// Accepted for API parity; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256, max_shrink_iters: 0 }
+    }
+}
+
+impl ProptestConfig {
+    /// A default configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases, ..Self::default() }
+    }
+}
+
+/// Why a single generated case failed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// An assertion failure with a message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic RNG used for generation.
+///
+/// The seed derives from the test name (so distinct tests explore distinct
+/// sequences) unless `PROPTEST_SEED` overrides it for reproduction.
+pub struct TestRng {
+    rng: StdRng,
+    seed: u64,
+}
+
+impl TestRng {
+    /// The RNG for one named test.
+    pub fn for_test(name: &str, cases: u32) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED").ok().and_then(|s| s.parse().ok()) {
+            Some(seed) => seed,
+            None => fnv1a(name.as_bytes()) ^ (cases as u64).rotate_left(17),
+        };
+        Self { rng: StdRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed in use (reported on failure).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Next 64 random bits (convenience passthrough).
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}

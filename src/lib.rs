@@ -14,6 +14,7 @@
 //! * [`stream`] — mini stream processor hosting the matching topology
 //! * [`core`] — the InvaliDB cluster (2-D partitioned matching)
 //! * [`client`] — the application server / InvaliDB client
+//! * [`net`] — TCP event-layer transport (framing, reconnect, chaos proxy)
 //! * [`baselines`] — poll-and-diff and log-tailing comparators
 //! * [`sim`] — discrete-event simulator for scalability studies
 //!
@@ -29,6 +30,7 @@ pub use invalidb_client as client;
 pub use invalidb_common as common;
 pub use invalidb_core as core;
 pub use invalidb_json as json;
+pub use invalidb_net as net;
 pub use invalidb_query as query;
 pub use invalidb_sim as sim;
 pub use invalidb_store as store;

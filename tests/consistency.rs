@@ -33,7 +33,8 @@ fn unsorted_results_converge_under_reordering() {
         });
         let store = Arc::new(Store::new());
         let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
-        let app = AppServer::start("chaos", Arc::clone(&store), broker.clone(), AppServerConfig::default());
+        let app =
+            AppServer::start("chaos", Arc::clone(&store), broker.clone(), AppServerConfig::default());
 
         let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 50i64 } });
         let mut sub = app.subscribe(&spec).unwrap();

@@ -19,7 +19,8 @@ fn three_providers_converge_to_pull_truth() {
     let store = Arc::new(Store::new());
     let broker = Broker::new();
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
-    let app = Arc::new(AppServer::start("eq", Arc::clone(&store), broker.clone(), AppServerConfig::default()));
+    let app =
+        Arc::new(AppServer::start("eq", Arc::clone(&store), broker.clone(), AppServerConfig::default()));
 
     let poll = PollAndDiff::new(Arc::clone(&store), Duration::from_millis(40));
     let tail = LogTailing::new(Arc::clone(&store));
@@ -51,8 +52,10 @@ fn three_providers_converge_to_pull_truth() {
                 let _ = app.update(
                     "items",
                     key,
-                    &UpdateSpec::from_document(&doc! { "$inc" => doc! { "n" => rng.gen_range(-20..20i64) } })
-                        .unwrap(),
+                    &UpdateSpec::from_document(
+                        &doc! { "$inc" => doc! { "n" => rng.gen_range(-20..20i64) } },
+                    )
+                    .unwrap(),
                 );
             }
             _ => {
@@ -141,7 +144,12 @@ fn concurrent_writers_with_live_subscription() {
     let store = Arc::new(Store::new());
     let broker = Broker::new();
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
-    let app = Arc::new(AppServer::start("conc", Arc::clone(&store), broker.clone(), AppServerConfig::default()));
+    let app = Arc::new(AppServer::start(
+        "conc",
+        Arc::clone(&store),
+        broker.clone(),
+        AppServerConfig::default(),
+    ));
 
     let spec = QuerySpec::filter("c", doc! { "hot" => true });
     let mut sub = app.subscribe(&spec).unwrap();
@@ -186,7 +194,8 @@ fn durable_store_restart_with_realtime_layer() {
         let store = Arc::new(Store::open(&path).unwrap());
         let broker = Broker::new();
         let cluster = Cluster::start(broker.clone(), ClusterConfig::new(1, 1));
-        let app = AppServer::start("dur", Arc::clone(&store), broker.clone(), AppServerConfig::default());
+        let app =
+            AppServer::start("dur", Arc::clone(&store), broker.clone(), AppServerConfig::default());
         for i in 0..10i64 {
             app.insert("t", Key::of(i), doc! { "n" => i }).unwrap();
         }

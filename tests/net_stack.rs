@@ -1,0 +1,258 @@
+//! Full-stack integration over real TCP: store + cluster behind a
+//! `BrokerServer`, app server connected through a `RemoteBroker` — with a
+//! chaos proxy in the middle.
+//!
+//! The contract being tested mirrors the paper's deployment model: the
+//! event layer is best-effort (Redis pub/sub semantics, §5.3), and the
+//! layers above it — write-stream retention (§5.1), maintenance errors +
+//! renewal (§5.2), heartbeat supervision — turn that into bounded
+//! staleness and eventual convergence.
+
+use invalidb::broker::Broker;
+use invalidb::client::{AppServer, AppServerConfig, ClientEvent, Subscription};
+use invalidb::core::{Cluster, ClusterConfig};
+use invalidb::net::{
+    BrokerServer, BrokerServerConfig, ChaosProxy, ChaosProxyConfig, RemoteBroker, RemoteBrokerConfig,
+};
+use invalidb::store::Store;
+use invalidb::{doc, Key, QuerySpec, SortDirection};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One "cluster host": store, cluster, and the event layer served on TCP.
+struct ClusterHost {
+    store: Arc<Store>,
+    _cluster: invalidb::core::Cluster,
+    server: BrokerServer,
+}
+
+fn cluster_host() -> ClusterHost {
+    let store = Arc::new(Store::new());
+    let broker = Broker::new();
+    let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
+    let server = BrokerServer::bind("127.0.0.1:0", broker, BrokerServerConfig::default())
+        .expect("bind event-layer server");
+    ClusterHost { store, _cluster: cluster, server }
+}
+
+fn remote(addr: &str) -> RemoteBroker {
+    let client = RemoteBroker::connect(
+        addr.to_string(),
+        RemoteBrokerConfig { client_name: "net-stack-test".into(), ..Default::default() },
+    );
+    assert!(client.wait_connected(Duration::from_secs(5)), "event layer reachable");
+    client
+}
+
+/// Drains pending events and compares each live result against the
+/// store's pull truth until they agree (or the deadline passes).
+fn assert_converges(
+    store: &Store,
+    subs: &mut [(Subscription, QuerySpec)],
+    deadline: Duration,
+    context: &str,
+) {
+    let deadline = Instant::now() + deadline;
+    loop {
+        for (sub, _) in subs.iter_mut() {
+            while sub.try_next_event().is_some() {}
+        }
+        let mut divergences = Vec::new();
+        for (sub, spec) in subs.iter_mut() {
+            let mut truth: Vec<Key> = store.execute(spec).unwrap().into_iter().map(|r| r.key).collect();
+            let mut live = sub.result().keys();
+            if spec.sort.is_empty() {
+                live.sort();
+                truth.sort();
+            }
+            if live != truth {
+                divergences.push(format!("{spec}: live {live:?} truth {truth:?}"));
+            }
+        }
+        if divergences.is_empty() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "no convergence ({context}):\n{}", divergences.join("\n"));
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn random_write(app: &AppServer, rng: &mut StdRng) {
+    let key = Key::of(rng.gen_range(0..30i64));
+    match rng.gen_range(0..4) {
+        0..=1 => {
+            let _ = app.save("items", key, doc! { "n" => rng.gen_range(0..100i64) });
+        }
+        2 => {
+            let _ = app.save("items", key, doc! { "n" => rng.gen_range(-50..0i64) });
+        }
+        _ => {
+            let _ = app.delete("items", key);
+        }
+    }
+}
+
+/// Subscribe → write → notify across TCP, through a proxy injecting
+/// per-chunk latency. Latency alone must not cost a single notification.
+#[test]
+fn subscribe_write_notify_across_tcp_with_chaos() {
+    let host = cluster_host();
+    let proxy = ChaosProxy::start(
+        host.server.local_addr().to_string(),
+        ChaosProxyConfig {
+            seed: 7,
+            latency: Some((Duration::from_micros(100), Duration::from_millis(3))),
+            ..ChaosProxyConfig::default()
+        },
+    )
+    .expect("start chaos proxy");
+    let link = remote(&proxy.local_addr().to_string());
+    let app =
+        AppServer::start("netstack", Arc::clone(&host.store), link.clone(), AppServerConfig::default());
+
+    let unsorted = QuerySpec::filter("items", doc! { "n" => doc! { "$gte" => 50i64 } });
+    let sorted = QuerySpec::filter("items", doc! {}).sorted_by("n", SortDirection::Desc).with_limit(5);
+    let mut subs = Vec::new();
+    for spec in [&unsorted, &sorted] {
+        let mut sub = app.subscribe(spec).unwrap();
+        assert!(
+            matches!(sub.next_event(Duration::from_secs(10)), Some(ClientEvent::Initial(_))),
+            "initial result arrives over TCP"
+        );
+        subs.push((sub, spec.clone()));
+    }
+
+    let mut rng = StdRng::seed_from_u64(42);
+    for i in 0..200 {
+        random_write(&app, &mut rng);
+        if i % 40 == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    assert_converges(&host.store, &mut subs, Duration::from_secs(20), "latency chaos");
+    link.shutdown();
+}
+
+/// The acceptance scenario: a forced disconnect mid-stream, recovered by
+/// the supervisor's reconnect + resubscription replay, converging to the
+/// pull truth once the writes lost to the at-most-once gap are re-driven.
+#[test]
+fn forced_disconnect_recovers_via_replay() {
+    let host = cluster_host();
+    let proxy = ChaosProxy::start(
+        host.server.local_addr().to_string(),
+        ChaosProxyConfig {
+            seed: 11,
+            latency: Some((Duration::from_micros(50), Duration::from_millis(1))),
+            ..ChaosProxyConfig::default()
+        },
+    )
+    .expect("start chaos proxy");
+    let link = remote(&proxy.local_addr().to_string());
+    let app = AppServer::start(
+        "netstack-dc",
+        Arc::clone(&host.store),
+        link.clone(),
+        AppServerConfig::default(),
+    );
+
+    let spec = QuerySpec::filter("items", doc! { "n" => doc! { "$gte" => 0i64 } });
+    let mut sub = app.subscribe(&spec).unwrap();
+    assert!(matches!(sub.next_event(Duration::from_secs(10)), Some(ClientEvent::Initial(_))));
+    let mut subs = vec![(sub, spec)];
+
+    let mut rng = StdRng::seed_from_u64(2020);
+    for _ in 0..100 {
+        random_write(&app, &mut rng);
+    }
+
+    // Kill the TCP connection out from under the app server, mid-stream,
+    // and keep writing into the gap. Envelopes published while the link
+    // is down are lost — at-most-once, exactly like Redis pub/sub.
+    let reconnects_before = link.metrics().reconnects.load(Ordering::Relaxed);
+    link.kick();
+    proxy.reset_all();
+    for _ in 0..50 {
+        random_write(&app, &mut rng);
+    }
+
+    // The supervisor reconnects and replays its SUBSCRIBEs; notifications
+    // flow again without the app server doing anything.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while link.metrics().reconnects.load(Ordering::Relaxed) <= reconnects_before {
+        assert!(Instant::now() < deadline, "supervisor should reconnect");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(link.wait_connected(Duration::from_secs(10)));
+
+    for _ in 0..100 {
+        random_write(&app, &mut rng);
+    }
+
+    // Re-drive the current state of every key once over the healthy link:
+    // the after-images carry full documents and fresh versions, so this
+    // repairs whatever the disconnect swallowed (the role the cluster's
+    // write-stream retention plays for short gaps, §5.1).
+    let everything = QuerySpec::filter("items", doc! {});
+    for item in host.store.execute(&everything).unwrap() {
+        if let Some(doc) = item.doc {
+            let _ = app.save("items", item.key, doc);
+        }
+    }
+
+    assert_converges(&host.store, &mut subs, Duration::from_secs(20), "post-disconnect");
+    assert!(link.metrics().reconnects.load(Ordering::Relaxed) >= 2, "metrics record the reconnect");
+    link.shutdown();
+}
+
+/// Truncated frames (a torn tail followed by a reset) are contained: the
+/// decoder holds the partial frame, the supervisor reconnects, and
+/// traffic keeps flowing — no panic, no wedge.
+#[test]
+fn truncated_frames_are_survived() {
+    let host = cluster_host();
+    let proxy = ChaosProxy::start(
+        host.server.local_addr().to_string(),
+        ChaosProxyConfig { seed: 13, truncate_probability: 0.2, ..ChaosProxyConfig::default() },
+    )
+    .expect("start chaos proxy");
+
+    // Subscriber on a clean link; publisher through the truncating proxy.
+    let clean = remote(&host.server.local_addr().to_string());
+    let sub = clean.subscribe("lossy");
+    let ack_deadline = Instant::now() + Duration::from_secs(10);
+    while clean.last_acked() < 1 {
+        assert!(Instant::now() < ack_deadline, "clean subscribe should be acked");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    let lossy = remote(&proxy.local_addr().to_string());
+    let mut received = 0u32;
+    for i in 0..200u32 {
+        lossy.publish("lossy", invalidb::broker::Bytes::from(i.to_be_bytes().to_vec()));
+        std::thread::sleep(Duration::from_millis(2));
+        while sub.try_recv().is_some() {
+            received += 1;
+        }
+    }
+    let settle = Instant::now() + Duration::from_secs(2);
+    while Instant::now() < settle {
+        if sub.try_recv().is_some() {
+            received += 1;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    assert!(received > 0, "some publishes survive the lossy link");
+    assert!(
+        lossy.metrics().reconnects.load(Ordering::Relaxed) >= 2,
+        "truncation forces reconnects (got {})",
+        lossy.metrics().reconnects.load(Ordering::Relaxed)
+    );
+    clean.shutdown();
+    lossy.shutdown();
+}
