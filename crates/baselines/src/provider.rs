@@ -88,11 +88,11 @@ struct InvaliDbLive(Subscription);
 
 impl LiveQuery for InvaliDbLive {
     fn next_event(&mut self, timeout: Duration) -> Option<ClientEvent> {
-        self.0.next_event(timeout)
+        self.0.events().timeout(timeout).next()
     }
 
     fn try_next_event(&mut self) -> Option<ClientEvent> {
-        self.0.try_next_event()
+        self.0.events().non_blocking().next()
     }
 
     fn result(&self) -> &LiveResult {
@@ -125,6 +125,7 @@ impl ChannelLive {
             subscription: SubscriptionId(0),
             kind,
             caused_by_write_at: 0,
+            trace: None,
         });
     }
 }

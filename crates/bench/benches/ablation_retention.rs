@@ -73,6 +73,7 @@ fn run_trials(retention: Duration) -> usize {
                 version: 1,
                 doc: Some(doc! { "n" => 1i64 }),
                 written_at: 1,
+                trace: None,
             }),
         );
         publish(

@@ -12,6 +12,7 @@
 
 use invalidb_bench::table;
 use invalidb_sim::{simulate, SimParams};
+use std::time::Duration;
 
 fn main() {
     let scale = invalidb_bench::scale();
@@ -97,6 +98,77 @@ fn main() {
         }
     }
     println!("\npaper: quaestor's distribution is the standalone one shifted right ~5 ms, longer tail under write pressure, <100 ms near capacity");
+
+    stage_breakdown();
+}
+
+/// (e) Extension beyond the paper: where does the latency go? Runs the
+/// *real* pipeline (store + broker + 2x2 cluster + app server) with
+/// stage tracing on every write and prints the per-stage latency table
+/// aggregated by the shared metrics registry.
+fn stage_breakdown() {
+    use invalidb_broker::Broker;
+    use invalidb_client::{AppServer, AppServerConfig, ClientEvent};
+    use invalidb_common::{doc, Key, QuerySpec};
+    use invalidb_core::{Cluster, ClusterConfig};
+    use invalidb_obs::MetricsRegistry;
+    use invalidb_store::Store;
+    use std::sync::Arc;
+
+    table::banner("Figure 6e", "per-stage latency breakdown, traced live pipeline (2 QP x 2 WP)");
+    let store = Arc::new(Store::new());
+    let broker = Broker::new();
+    let metrics = MetricsRegistry::new();
+    let cluster = Cluster::start(
+        broker.clone(),
+        ClusterConfig::builder(2, 2).metrics(metrics.clone()).build().unwrap(),
+    );
+    let config =
+        AppServerConfig::builder().trace_sample_every(1).metrics(metrics.clone()).build().unwrap();
+    let app = AppServer::start("fig6e", Arc::clone(&store), broker.clone(), config);
+
+    let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
+    let mut sub = app.subscribe(&spec).unwrap();
+    sub.events().timeout(Duration::from_secs(10)).next().expect("initial result");
+
+    let writes = (500.0 * invalidb_bench::scale()).max(100.0) as i64;
+    let mut delivered = 0u64;
+    for i in 0..writes {
+        app.insert("t", Key::of(i), doc! { "n" => i }).unwrap();
+        // Consume as we go so the subscription channel never backs up.
+        for ev in sub.events().non_blocking() {
+            if matches!(ev, ClientEvent::Change(_)) {
+                delivered += 1;
+            }
+        }
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while delivered < writes as u64 && std::time::Instant::now() < deadline {
+        if let Some(ev) = sub.events().timeout(Duration::from_millis(100)).next() {
+            if matches!(ev, ClientEvent::Change(_)) {
+                delivered += 1;
+            }
+        }
+    }
+
+    let snapshot = app.metrics();
+    let rows: Vec<Vec<String>> = snapshot
+        .stage_breakdown()
+        .into_iter()
+        .map(|(stage, h)| {
+            vec![
+                stage,
+                format!("{}", h.count),
+                format!("{}", h.mean),
+                format!("{}", h.p50),
+                format!("{}", h.p99),
+                format!("{}", h.max),
+            ]
+        })
+        .collect();
+    table::table(&["stage (µs)", "count", "mean", "p50", "p99", "max"], &rows);
+    println!("{writes} traced writes, {delivered} notifications delivered; stage.total is the end-to-end write->delivery latency, the stage.* rows its additive decomposition");
+    cluster.shutdown();
 }
 
 /// Prints a coarse latency histogram (2 ms buckets to 40 ms, like Fig 6c/d).

@@ -49,7 +49,10 @@ fn measure(
 
     let spec = QuerySpec::filter("pings", doc! { "n" => doc! { "$gte" => 0i64 } });
     let mut sub = app.subscribe(&spec).unwrap();
-    assert!(matches!(sub.next_event(Duration::from_secs(10)), Some(ClientEvent::Initial(_))));
+    assert!(matches!(
+        sub.events().timeout(Duration::from_secs(10)).next(),
+        Some(ClientEvent::Initial(_))
+    ));
 
     let mut latencies = Vec::with_capacity(rounds);
     for i in 0..rounds as i64 {
@@ -57,7 +60,7 @@ fn measure(
         let start = Instant::now();
         app.save("pings", key.clone(), doc! { "n" => i }).unwrap();
         loop {
-            match sub.next_event(Duration::from_secs(10)).expect("notification") {
+            match sub.events().timeout(Duration::from_secs(10)).next().expect("notification") {
                 ClientEvent::Change(c) if c.item.key == key => {
                     latencies.push(start.elapsed().as_secs_f64() * 1e6);
                     break;

@@ -138,7 +138,7 @@ pub fn run_live_on(cfg: &LiveConfig, broker: Broker) -> LiveRun {
     let cluster = Cluster::start(broker.clone(), cluster_cfg);
     let mut result =
         if cfg.via_app_server { run_via_app_server(cfg, &broker) } else { run_standalone(cfg, &broker) };
-    result.matching_processed = cluster.metrics().component("matching").snapshot().0;
+    result.matching_processed = cluster.topology_metrics().component("matching").snapshot().0;
     result.matching_nodes = cluster.grid().nodes();
     cluster.shutdown();
     result
@@ -220,6 +220,7 @@ fn run_standalone(cfg: &LiveConfig, broker: &Broker) -> LiveRun {
                 version: 1,
                 doc: Some(doc),
                 written_at: now_us(),
+                trace: None,
             }),
         );
         issued += 1;
@@ -252,7 +253,7 @@ fn run_via_app_server(cfg: &LiveConfig, broker: &Broker) -> LiveRun {
     }
     // Drain initial results.
     for sub in subs.iter_mut() {
-        let _ = sub.next_event(Duration::from_secs(10));
+        let _ = sub.events().timeout(Duration::from_secs(10)).next();
     }
 
     let interval = Duration::from_secs_f64(1.0 / cfg.writes_per_sec);
@@ -265,7 +266,7 @@ fn run_via_app_server(cfg: &LiveConfig, broker: &Broker) -> LiveRun {
     let drain =
         |subs: &mut Vec<invalidb_client::Subscription>, hist: &mut Histogram, count: &mut u64| {
             for sub in subs.iter_mut() {
-                while let Some(ev) = sub.try_next_event() {
+                for ev in sub.events().non_blocking() {
                     if let ClientEvent::Change(c) = ev {
                         if let Some(lat) = c.item.doc.as_ref().and_then(latency_from_doc) {
                             hist.record(lat);
@@ -347,6 +348,7 @@ fn probe_until_live(broker: &Broker, _workload: &mut Workload) {
                 version: probe_version,
                 doc: Some(doc),
                 written_at: now_us(),
+                trace: None,
             }),
         );
         probe_version += 1;
@@ -373,6 +375,7 @@ fn probe_until_live(broker: &Broker, _workload: &mut Workload) {
             version: probe_version,
             doc: None,
             written_at: now_us(),
+            trace: None,
         }),
     );
     publish(

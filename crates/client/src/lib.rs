@@ -19,11 +19,15 @@
 //!   stays predictable and configurable (§5.2).
 
 mod coalesce;
+mod error;
 mod rate;
 mod result;
 mod server;
 
 pub use coalesce::collapse;
+pub use error::Error;
 pub use rate::TokenBucket;
 pub use result::LiveResult;
-pub use server::{AppServer, AppServerConfig, ClientEvent, Subscription};
+pub use server::{
+    AppServer, AppServerConfig, AppServerConfigBuilder, ClientEvent, Events, Subscription,
+};

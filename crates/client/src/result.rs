@@ -185,6 +185,7 @@ mod tests {
             subscription: SubscriptionId(1),
             kind,
             caused_by_write_at: 0,
+            trace: None,
         }
     }
 

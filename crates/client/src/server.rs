@@ -1,14 +1,16 @@
 //! The application server.
 
+use crate::error::Error;
 use crate::rate::TokenBucket;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use invalidb_broker::{notify_topic, BrokerHandle, CLUSTER_TOPIC};
 use invalidb_common::{
-    AfterImage, ClusterMessage, Document, Key, Notification, NotificationKind, QueryHash, QuerySpec,
-    ResultItem, SubscriptionId, SubscriptionRequest, TenantId,
+    AfterImage, ClusterMessage, ConfigError, Document, Key, Notification, NotificationKind, QueryHash,
+    QuerySpec, ResultItem, Stage, SubscriptionId, SubscriptionRequest, TenantId, TraceContext,
 };
+use invalidb_obs::{MetricsRegistry, MetricsSnapshot};
 use invalidb_query::normalize_spec;
-use invalidb_store::{Store, StoreError, UpdateSpec, WriteResult};
+use invalidb_store::{Store, UpdateSpec, WriteResult};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -16,6 +18,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Application-server tunables.
+///
+/// Construct with [`AppServerConfig::default`] plus struct update syntax, or
+/// — preferred — through the validating [`AppServerConfig::builder`].
 #[derive(Debug, Clone)]
 pub struct AppServerConfig {
     /// Slack added to sorted bootstrap queries (§5.2).
@@ -36,6 +41,16 @@ pub struct AppServerConfig {
     /// slack value to increase robustness against deletes" on re-execution).
     /// Each renewal doubles the subscription's slack up to this cap.
     pub max_slack: u64,
+    /// Stage-tracing sample rate: every Nth forwarded write carries a
+    /// [`TraceContext`] that is stamped at every pipeline stage. `0`
+    /// (default) disables tracing entirely — the write path then performs no
+    /// atomic increment and no allocation.
+    pub trace_sample_every: u64,
+    /// Registry receiving this app server's counters, gauges and completed
+    /// stage traces. Share one registry between the app server and the
+    /// cluster (`ClusterConfig`'s `metrics` field) to get a single combined
+    /// snapshot.
+    pub metrics: MetricsRegistry,
 }
 
 impl Default for AppServerConfig {
@@ -48,7 +63,113 @@ impl Default for AppServerConfig {
             renewal_burst: 16,
             renewals_per_sec: 20.0,
             max_slack: 64,
+            trace_sample_every: 0,
+            metrics: MetricsRegistry::new(),
         }
+    }
+}
+
+impl AppServerConfig {
+    /// A validating builder seeded with the defaults.
+    pub fn builder() -> AppServerConfigBuilder {
+        AppServerConfigBuilder { config: AppServerConfig::default() }
+    }
+}
+
+/// Builder for [`AppServerConfig`] that rejects inconsistent settings at
+/// [`build`](AppServerConfigBuilder::build) time instead of misbehaving at
+/// runtime (e.g. a default slack above the adaptive-growth cap).
+#[derive(Debug, Clone)]
+pub struct AppServerConfigBuilder {
+    config: AppServerConfig,
+}
+
+impl AppServerConfigBuilder {
+    /// Slack added to sorted bootstrap queries.
+    pub fn slack(mut self, slack: u64) -> Self {
+        self.config.default_slack = slack;
+        self
+    }
+
+    /// Cap for adaptive slack growth.
+    pub fn max_slack(mut self, max_slack: u64) -> Self {
+        self.config.max_slack = max_slack;
+        self
+    }
+
+    /// Subscription TTL granted to the cluster.
+    pub fn ttl(mut self, ttl: Duration) -> Self {
+        self.config.ttl = ttl;
+        self
+    }
+
+    /// How often TTL extensions are sent.
+    pub fn ttl_refresh_interval(mut self, interval: Duration) -> Self {
+        self.config.ttl_refresh_interval = interval;
+        self
+    }
+
+    /// Cluster silence tolerated before termination.
+    pub fn heartbeat_timeout(mut self, timeout: Duration) -> Self {
+        self.config.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Token-bucket capacity for query renewals.
+    pub fn renewal_burst(mut self, burst: u32) -> Self {
+        self.config.renewal_burst = burst;
+        self
+    }
+
+    /// Token-bucket refill rate (renewals per second).
+    pub fn renewals_per_sec(mut self, rate: f64) -> Self {
+        self.config.renewals_per_sec = rate;
+        self
+    }
+
+    /// Trace every Nth forwarded write (`0` disables tracing).
+    pub fn trace_sample_every(mut self, every: u64) -> Self {
+        self.config.trace_sample_every = every;
+        self
+    }
+
+    /// Registry receiving this app server's metrics and traces.
+    pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
+        self.config.metrics = registry;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<AppServerConfig, ConfigError> {
+        let c = self.config;
+        if c.max_slack == 0 {
+            return Err(ConfigError::new("max_slack", "must be at least 1"));
+        }
+        if c.default_slack > c.max_slack {
+            return Err(ConfigError::new(
+                "slack",
+                format!("default slack {} exceeds max_slack {}", c.default_slack, c.max_slack),
+            ));
+        }
+        if c.renewal_burst == 0 {
+            return Err(ConfigError::new("renewal_burst", "must be at least 1"));
+        }
+        if c.renewals_per_sec <= 0.0 || !c.renewals_per_sec.is_finite() {
+            return Err(ConfigError::new("renewals_per_sec", "must be a positive finite rate"));
+        }
+        if c.ttl.is_zero() {
+            return Err(ConfigError::new("ttl", "must be non-zero"));
+        }
+        if c.ttl_refresh_interval >= c.ttl {
+            return Err(ConfigError::new(
+                "ttl_refresh_interval",
+                "must be shorter than the ttl, or subscriptions expire between refreshes",
+            ));
+        }
+        if c.heartbeat_timeout.is_zero() {
+            return Err(ConfigError::new("heartbeat_timeout", "must be non-zero"));
+        }
+        Ok(c)
     }
 }
 
@@ -82,7 +203,7 @@ struct SubEntry {
     /// follow-up request because it cannot be recomputed from those alone.
     query_hash: QueryHash,
     slack: u64,
-    tx: Sender<ClientEvent>,
+    tx: Sender<(ClientEvent, Option<TraceContext>)>,
     needs_renewal: bool,
 }
 
@@ -92,6 +213,8 @@ struct Shared {
     shutdown: AtomicBool,
     renewals_performed: AtomicU64,
     connection_lost: AtomicBool,
+    /// Forwarded-write sequence number, the basis for trace sampling.
+    writes_forwarded: AtomicU64,
 }
 
 /// An application server for one tenant.
@@ -128,6 +251,7 @@ impl AppServer {
             shutdown: AtomicBool::new(false),
             renewals_performed: AtomicU64::new(0),
             connection_lost: AtomicBool::new(false),
+            writes_forwarded: AtomicU64::new(0),
         });
         let renewal_bucket = Arc::new(TokenBucket::new(config.renewal_burst, config.renewals_per_sec));
         let mut server = Self {
@@ -164,13 +288,26 @@ impl AppServer {
         self.shared.subs.lock().get(&subscription.id()).map(|e| e.slack)
     }
 
+    /// A point-in-time snapshot of this app server's metrics: renewal and
+    /// delivery counters, and — when [`AppServerConfig::trace_sample_every`]
+    /// is set — per-stage latency histograms of completed traces. When the
+    /// registry is shared with the cluster, the snapshot covers both sides.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.config.metrics.snapshot()
+    }
+
+    /// The live registry this app server reports into.
+    pub fn registry(&self) -> MetricsRegistry {
+        self.config.metrics.clone()
+    }
+
     // ------------------------------------------------------------------
     // Pull-based interface
     // ------------------------------------------------------------------
 
     /// Executes a pull-based query.
-    pub fn find(&self, spec: &QuerySpec) -> Result<Vec<ResultItem>, StoreError> {
-        self.store.execute(spec)
+    pub fn find(&self, spec: &QuerySpec) -> Result<Vec<ResultItem>, Error> {
+        Ok(self.store.execute(spec)?)
     }
 
     // ------------------------------------------------------------------
@@ -178,33 +315,28 @@ impl AppServer {
     // ------------------------------------------------------------------
 
     /// Inserts a record.
-    pub fn insert(&self, collection: &str, key: Key, doc: Document) -> Result<WriteResult, StoreError> {
+    pub fn insert(&self, collection: &str, key: Key, doc: Document) -> Result<WriteResult, Error> {
         let w = self.store.insert(collection, key, doc)?;
         self.forward(collection, &w);
         Ok(w)
     }
 
     /// Inserts or replaces a record.
-    pub fn save(&self, collection: &str, key: Key, doc: Document) -> Result<WriteResult, StoreError> {
+    pub fn save(&self, collection: &str, key: Key, doc: Document) -> Result<WriteResult, Error> {
         let w = self.store.save(collection, key, doc)?;
         self.forward(collection, &w);
         Ok(w)
     }
 
     /// Applies an update to a record.
-    pub fn update(
-        &self,
-        collection: &str,
-        key: Key,
-        update: &UpdateSpec,
-    ) -> Result<WriteResult, StoreError> {
+    pub fn update(&self, collection: &str, key: Key, update: &UpdateSpec) -> Result<WriteResult, Error> {
         let w = self.store.update(collection, key, update)?;
         self.forward(collection, &w);
         Ok(w)
     }
 
     /// Deletes a record.
-    pub fn delete(&self, collection: &str, key: Key) -> Result<WriteResult, StoreError> {
+    pub fn delete(&self, collection: &str, key: Key) -> Result<WriteResult, Error> {
         let w = self.store.delete(collection, key)?;
         self.forward(collection, &w);
         Ok(w)
@@ -218,8 +350,27 @@ impl AppServer {
             version: w.version,
             doc: w.doc.clone(),
             written_at: now_micros(),
+            trace: self.next_trace(),
         });
         self.publish(&msg);
+    }
+
+    /// Starts a [`TraceContext`] on every Nth write. With sampling disabled
+    /// (the default) this is a single branch: no atomics, no allocation.
+    fn next_trace(&self) -> Option<TraceContext> {
+        let every = self.config.trace_sample_every;
+        if every == 0 {
+            return None;
+        }
+        let seq = self.shared.writes_forwarded.fetch_add(1, Ordering::Relaxed);
+        if !seq.is_multiple_of(every) {
+            return None;
+        }
+        self.config.metrics.inc("appserver.traces_started");
+        // Spread the id bits so concurrent app servers don't collide on the
+        // shared sequence counter.
+        let id = now_micros().wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seq;
+        Some(TraceContext::start(id))
     }
 
     fn publish(&self, msg: &ClusterMessage) {
@@ -232,9 +383,9 @@ impl AppServer {
 
     /// Subscribes to a real-time query. The first event is the initial
     /// result; every subsequent event is an incremental update.
-    pub fn subscribe(&self, spec: &QuerySpec) -> Result<Subscription, StoreError> {
+    pub fn subscribe(&self, spec: &QuerySpec) -> Result<Subscription, Error> {
         if spec.needs_aggregation_stage() && spec.needs_sorting_stage() {
-            return Err(StoreError::BadQuery(
+            return Err(Error::BadQuery(
                 "aggregate queries cannot be combined with sort/limit/offset".into(),
             ));
         }
@@ -271,7 +422,13 @@ impl AppServer {
             slack,
             ttl_micros: self.config.ttl.as_micros() as u64,
         }));
-        Ok(Subscription { id, rx, result: crate::LiveResult::new(), latest_aggregate: None })
+        Ok(Subscription {
+            id,
+            rx,
+            result: crate::LiveResult::new(),
+            latest_aggregate: None,
+            last_trace: None,
+        })
     }
 
     /// Cancels a subscription so it stops consuming cluster resources.
@@ -290,10 +447,13 @@ impl AppServer {
     // ------------------------------------------------------------------
 
     /// Dispatcher: receives notifications/heartbeats from the event layer
-    /// and routes them to subscription channels; flags renewals.
+    /// and routes them to subscription channels; flags renewals. Sampled
+    /// traces get their delivery stamp here and are recorded — complete —
+    /// into the metrics registry.
     fn spawn_dispatcher(&mut self) {
         let sub = self.broker.subscribe(&notify_topic(&self.tenant.0));
         let shared = Arc::clone(&self.shared);
+        let metrics = self.config.metrics.clone();
         let handle = std::thread::Builder::new()
             .name(format!("appserver-dispatch-{}", self.tenant))
             .spawn(move || {
@@ -332,7 +492,13 @@ impl AppServer {
                                 ClientEvent::Aggregate { value: value.clone(), count: *count }
                             }
                         };
-                        let _ = entry.tx.send(event);
+                        metrics.inc("appserver.events_delivered");
+                        let mut trace = n.trace;
+                        if let Some(t) = trace.as_mut() {
+                            t.stamp(Stage::Delivery);
+                            metrics.record_trace(t);
+                        }
+                        let _ = entry.tx.send((event, trace));
                     }
                 }
             })
@@ -390,6 +556,7 @@ impl AppServer {
                         if let Some((spec, rewritten, query_hash, slack)) = request {
                             if let Ok(initial) = store.execute(&rewritten) {
                                 shared.renewals_performed.fetch_add(1, Ordering::Relaxed);
+                                config.metrics.inc("appserver.renewals");
                                 let msg = ClusterMessage::Subscribe(SubscriptionRequest {
                                     tenant: tenant.clone(),
                                     subscription: id,
@@ -423,14 +590,20 @@ impl AppServer {
                             );
                         }
                     }
+                    // Gauges are refreshed once per keeper cycle, never on
+                    // the write or delivery hot paths.
+                    config
+                        .metrics
+                        .set_gauge("appserver.active_subscriptions", shared.subs.lock().len() as u64);
                     // 3. Heartbeat supervision: terminate on cluster silence.
                     let silent_for = shared.last_heartbeat.lock().elapsed();
                     if silent_for > config.heartbeat_timeout
                         && !shared.connection_lost.swap(true, Ordering::Relaxed)
                     {
+                        config.metrics.inc("appserver.connection_lost");
                         let subs = shared.subs.lock();
                         for entry in subs.values() {
-                            let _ = entry.tx.send(ClientEvent::ConnectionLost);
+                            let _ = entry.tx.send((ClientEvent::ConnectionLost, None));
                         }
                     }
                 }
@@ -452,9 +625,10 @@ impl Drop for AppServer {
 /// A live real-time query held by a client.
 pub struct Subscription {
     id: SubscriptionId,
-    rx: Receiver<ClientEvent>,
+    rx: Receiver<(ClientEvent, Option<TraceContext>)>,
     result: crate::LiveResult,
     latest_aggregate: Option<(invalidb_common::Value, u64)>,
+    last_trace: Option<TraceContext>,
 }
 
 impl Subscription {
@@ -463,18 +637,57 @@ impl Subscription {
         self.id
     }
 
-    /// Waits for the next event, applying it to the local result.
-    pub fn next_event(&mut self, timeout: Duration) -> Option<ClientEvent> {
-        let event = self.rx.recv_timeout(timeout).ok()?;
-        self.apply(&event);
-        Some(event)
+    /// An [`Iterator`] over incoming events — the one receive surface. Each
+    /// yielded event is applied to the local [`result`](Subscription::result)
+    /// before it is returned.
+    ///
+    /// By default [`Events::next`] waits up to one second per event and
+    /// yields `None` on timeout; tune with [`Events::timeout`], switch to a
+    /// pure `try_recv` with [`Events::non_blocking`], or enable hot-key
+    /// batching with [`Events::coalesced`].
+    ///
+    /// ```ignore
+    /// for event in subscription.events().timeout(Duration::from_secs(5)) {
+    ///     println!("{event:?}");
+    /// }
+    /// ```
+    pub fn events(&mut self) -> Events<'_> {
+        Events {
+            sub: self,
+            timeout: Duration::from_secs(1),
+            coalesce: None,
+            buffer: std::collections::VecDeque::new(),
+        }
     }
 
-    /// Non-blocking variant of [`Subscription::next_event`].
+    /// Waits for the next event, applying it to the local result.
+    #[deprecated(since = "0.2.0", note = "use `events().timeout(..).next()` instead")]
+    pub fn next_event(&mut self, timeout: Duration) -> Option<ClientEvent> {
+        self.recv_one(timeout)
+    }
+
+    /// Non-blocking variant of the receive path.
+    #[deprecated(since = "0.2.0", note = "use `events().non_blocking().next()` instead")]
     pub fn try_next_event(&mut self) -> Option<ClientEvent> {
-        let event = self.rx.try_recv().ok()?;
+        self.try_recv_one()
+    }
+
+    fn recv_one(&mut self, timeout: Duration) -> Option<ClientEvent> {
+        let (event, trace) = self.rx.recv_timeout(timeout).ok()?;
+        Some(self.absorb(event, trace))
+    }
+
+    fn try_recv_one(&mut self) -> Option<ClientEvent> {
+        let (event, trace) = self.rx.try_recv().ok()?;
+        Some(self.absorb(event, trace))
+    }
+
+    fn absorb(&mut self, event: ClientEvent, trace: Option<TraceContext>) -> ClientEvent {
+        if let Some(t) = trace {
+            self.last_trace = Some(t);
+        }
         self.apply(&event);
-        Some(event)
+        event
     }
 
     fn apply(&mut self, event: &ClientEvent) {
@@ -496,6 +709,7 @@ impl Subscription {
             subscription: self.id,
             kind,
             caused_by_write_at: 0,
+            trace: None,
         });
     }
 
@@ -509,16 +723,29 @@ impl Subscription {
         self.latest_aggregate.as_ref()
     }
 
-    /// Batched receive with notification coalescing (extension, §8.1):
-    /// waits up to `window` for a first event, keeps collecting until the
+    /// The stage trace of the most recent sampled event delivered to this
+    /// subscription, when tracing is enabled
+    /// ([`AppServerConfig::trace_sample_every`]). Its
+    /// [`breakdown`](TraceContext::breakdown) shows where the write→
+    /// notification latency was spent.
+    pub fn last_trace(&self) -> Option<&TraceContext> {
+        self.last_trace.as_ref()
+    }
+
+    /// Batched receive with notification coalescing (extension, §8.1).
+    #[deprecated(since = "0.2.0", note = "use `events().coalesced(window)` instead")]
+    pub fn next_events_coalesced(&mut self, window: Duration) -> Vec<ClientEvent> {
+        self.recv_coalesced(window)
+    }
+
+    /// Waits up to `window` for a first event, keeps collecting until the
     /// window closes, applies everything to the local result, and returns
     /// the batch collapsed to its net effect (hot-key churn disappears).
-    pub fn next_events_coalesced(&mut self, window: Duration) -> Vec<ClientEvent> {
-        let first = match self.rx.recv_timeout(window) {
-            Ok(ev) => ev,
-            Err(_) => return Vec::new(),
+    fn recv_coalesced(&mut self, window: Duration) -> Vec<ClientEvent> {
+        let first = match self.recv_one(window) {
+            Some(ev) => ev,
+            None => return Vec::new(),
         };
-        self.apply(&first);
         let mut batch = vec![first];
         let deadline = Instant::now() + window;
         loop {
@@ -526,15 +753,67 @@ impl Subscription {
             if now >= deadline {
                 break;
             }
-            match self.rx.recv_timeout(deadline - now) {
-                Ok(ev) => {
-                    self.apply(&ev);
-                    batch.push(ev);
-                }
-                Err(_) => break,
+            match self.recv_one(deadline - now) {
+                Some(ev) => batch.push(ev),
+                None => break,
             }
         }
         crate::coalesce::collapse(batch)
+    }
+}
+
+/// Iterator over a subscription's incoming events, created by
+/// [`Subscription::events`]. Every yielded event has already been applied to
+/// the subscription's local result.
+///
+/// `next()` returns `None` when no event arrived within the configured
+/// timeout — the subscription stays usable; call `events()` again (or keep
+/// the iterator) to continue receiving.
+pub struct Events<'a> {
+    sub: &'a mut Subscription,
+    timeout: Duration,
+    coalesce: Option<Duration>,
+    buffer: std::collections::VecDeque<ClientEvent>,
+}
+
+impl Events<'_> {
+    /// Maximum wait per event (default: one second).
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Never block: yield only events that are already queued
+    /// (`try_recv` semantics).
+    pub fn non_blocking(mut self) -> Self {
+        self.timeout = Duration::ZERO;
+        self
+    }
+
+    /// Opt-in coalescing: gather events for `window` per batch and yield the
+    /// batch collapsed to its net effect ([`crate::collapse`]) — hot-key
+    /// churn disappears, add→remove pairs cancel.
+    pub fn coalesced(mut self, window: Duration) -> Self {
+        self.coalesce = Some(window);
+        self
+    }
+}
+
+impl Iterator for Events<'_> {
+    type Item = ClientEvent;
+
+    fn next(&mut self) -> Option<ClientEvent> {
+        if let Some(ev) = self.buffer.pop_front() {
+            return Some(ev);
+        }
+        match self.coalesce {
+            Some(window) => {
+                self.buffer.extend(self.sub.recv_coalesced(window));
+                self.buffer.pop_front()
+            }
+            None if self.timeout.is_zero() => self.sub.try_recv_one(),
+            None => self.sub.recv_one(self.timeout),
+        }
     }
 }
 

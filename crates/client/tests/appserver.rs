@@ -36,7 +36,7 @@ fn push_and_pull_agree() {
     }
     let spec = QuerySpec::filter("nums", doc! { "n" => doc! { "$gte" => 5i64 } });
     let mut sub = app.subscribe(&spec).unwrap();
-    match sub.next_event(Duration::from_secs(5)).expect("initial") {
+    match sub.events().timeout(Duration::from_secs(5)).next().expect("initial") {
         ClientEvent::Initial(items) => assert_eq!(items.len(), 5),
         other => panic!("expected initial, got {other:?}"),
     }
@@ -47,7 +47,7 @@ fn push_and_pull_agree() {
 
     // A write through the app server pushes an incremental update.
     app.insert("nums", Key::of(100i64), doc! { "n" => 100i64 }).unwrap();
-    let ev = sub.next_event(Duration::from_secs(5)).expect("push update");
+    let ev = sub.events().timeout(Duration::from_secs(5)).next().expect("push update");
     match ev {
         ClientEvent::Change(c) => {
             assert_eq!(c.match_type, MatchType::Add);
@@ -70,7 +70,7 @@ fn sorted_subscription_maintains_order() {
     let spec =
         QuerySpec::filter("players", doc! {}).sorted_by("score", SortDirection::Desc).with_limit(2);
     let mut sub = app.subscribe(&spec).unwrap();
-    sub.next_event(Duration::from_secs(5)).expect("initial");
+    sub.events().timeout(Duration::from_secs(5)).next().expect("initial");
     assert_eq!(sub.result().keys(), vec![Key::of("b"), Key::of("c")]);
 
     // "a" overtakes everyone.
@@ -82,7 +82,7 @@ fn sorted_subscription_maintains_order() {
     .unwrap();
     wait_for(
         || {
-            while sub.try_next_event().is_some() {}
+            while sub.events().non_blocking().next().is_some() {}
             (sub.result().keys() == vec![Key::of("a"), Key::of("b")]).then_some(())
         },
         Duration::from_secs(5),
@@ -100,7 +100,7 @@ fn renewal_after_maintenance_error_is_automatic_and_rate_limited() {
     // slack defaults to 3; limit 2 → window of 5.
     let spec = QuerySpec::filter("t", doc! {}).sorted_by("n", SortDirection::Asc).with_limit(2);
     let mut sub = app.subscribe(&spec).unwrap();
-    sub.next_event(Duration::from_secs(5)).expect("initial");
+    sub.events().timeout(Duration::from_secs(5)).next().expect("initial");
     assert_eq!(sub.result().keys(), vec![Key::of(0i64), Key::of(1i64)]);
 
     // Delete enough leading items to exhaust the slack and force a renewal.
@@ -112,7 +112,7 @@ fn renewal_after_maintenance_error_is_automatic_and_rate_limited() {
     let mut saw_error = false;
     wait_for(
         || {
-            while let Some(ev) = sub.try_next_event() {
+            while let Some(ev) = sub.events().non_blocking().next() {
                 if matches!(ev, ClientEvent::MaintenanceError(_)) {
                     saw_error = true;
                 }
@@ -132,17 +132,18 @@ fn heartbeat_loss_terminates_subscriptions() {
     let broker = Broker::new();
     let store = Arc::new(Store::new());
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(1, 1));
-    let config = AppServerConfig { heartbeat_timeout: Duration::from_millis(300), ..Default::default() };
+    let config =
+        AppServerConfig::builder().heartbeat_timeout(Duration::from_millis(300)).build().unwrap();
     let app = AppServer::start("app", Arc::clone(&store), broker.clone(), config);
 
     let spec = QuerySpec::filter("t", doc! {});
     let mut sub = app.subscribe(&spec).unwrap();
-    sub.next_event(Duration::from_secs(5)).expect("initial");
+    sub.events().timeout(Duration::from_secs(5)).next().expect("initial");
 
     // Kill the cluster: heartbeats stop; the app server must signal loss.
     cluster.shutdown();
     let ev = wait_for(
-        || match sub.next_event(Duration::from_millis(100)) {
+        || match sub.events().timeout(Duration::from_millis(100)).next() {
             Some(ClientEvent::ConnectionLost) => Some(()),
             _ => None,
         },
@@ -160,12 +161,12 @@ fn unsubscribe_stops_events() {
     let (_broker, _store, cluster, app) = setup(1, 1);
     let spec = QuerySpec::filter("t", doc! {});
     let mut sub = app.subscribe(&spec).unwrap();
-    sub.next_event(Duration::from_secs(5)).expect("initial");
+    sub.events().timeout(Duration::from_secs(5)).next().expect("initial");
     app.unsubscribe(&sub);
     std::thread::sleep(Duration::from_millis(200));
     app.insert("t", Key::of(1i64), doc! { "x" => 1i64 }).unwrap();
     std::thread::sleep(Duration::from_millis(300));
-    assert!(sub.try_next_event().is_none(), "no events after unsubscribe");
+    assert!(sub.events().non_blocking().next().is_none(), "no events after unsubscribe");
     cluster.shutdown();
 }
 
@@ -184,16 +185,16 @@ fn two_app_servers_share_one_cluster() {
     let spec = QuerySpec::filter("t", doc! {});
     let mut sub_a = app_a.subscribe(&spec).unwrap();
     let mut sub_b = app_b.subscribe(&spec).unwrap();
-    sub_a.next_event(Duration::from_secs(5)).expect("initial a");
-    sub_b.next_event(Duration::from_secs(5)).expect("initial b");
+    sub_a.events().timeout(Duration::from_secs(5)).next().expect("initial a");
+    sub_b.events().timeout(Duration::from_secs(5)).next().expect("initial b");
 
     app_a.insert("t", Key::of(1i64), doc! { "from" => "a" }).unwrap();
-    match sub_a.next_event(Duration::from_secs(5)).expect("a notified") {
+    match sub_a.events().timeout(Duration::from_secs(5)).next().expect("a notified") {
         ClientEvent::Change(c) => assert_eq!(c.match_type, MatchType::Add),
         other => panic!("unexpected {other:?}"),
     }
     std::thread::sleep(Duration::from_millis(300));
-    assert!(sub_b.try_next_event().is_none(), "tenant-b unaffected");
+    assert!(sub_b.events().non_blocking().next().is_none(), "tenant-b unaffected");
     cluster.shutdown();
 }
 
@@ -202,7 +203,7 @@ fn slack_grows_adaptively_with_renewals() {
     let broker = Broker::new();
     let store = Arc::new(Store::new());
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(1, 1));
-    let config = AppServerConfig { default_slack: 1, max_slack: 8, ..Default::default() };
+    let config = AppServerConfig::builder().slack(1).max_slack(8).build().unwrap();
     let app = AppServer::start("adapt", Arc::clone(&store), broker.clone(), config);
 
     for i in 0..40i64 {
@@ -210,7 +211,7 @@ fn slack_grows_adaptively_with_renewals() {
     }
     let spec = QuerySpec::filter("t", doc! {}).sorted_by("n", SortDirection::Asc).with_limit(2);
     let mut sub = app.subscribe(&spec).unwrap();
-    sub.next_event(Duration::from_secs(5)).expect("initial");
+    sub.events().timeout(Duration::from_secs(5)).next().expect("initial");
     assert_eq!(app.current_slack(&sub), Some(1));
 
     // Delete-heavy churn forces renewals; each renewal doubles the slack.
@@ -219,7 +220,7 @@ fn slack_grows_adaptively_with_renewals() {
     }
     wait_for(
         || {
-            while sub.try_next_event().is_some() {}
+            while sub.events().non_blocking().next().is_some() {}
             (sub.result().keys() == vec![Key::of(30i64), Key::of(31i64)]).then_some(())
         },
         Duration::from_secs(10),
@@ -244,7 +245,7 @@ fn aggregate_queries_end_to_end() {
     let spec =
         QuerySpec::filter("orders", doc! { "open" => true }).aggregated(AggregateOp::Sum, Some("price"));
     let mut sub = app.subscribe(&spec).unwrap();
-    match sub.next_event(Duration::from_secs(5)).expect("initial aggregate") {
+    match sub.events().timeout(Duration::from_secs(5)).next().expect("initial aggregate") {
         ClientEvent::Aggregate { value, count } => {
             assert_eq!(value, Value::Int(60));
             assert_eq!(count, 3);
@@ -253,7 +254,7 @@ fn aggregate_queries_end_to_end() {
     }
     // New matching order raises the sum.
     app.insert("orders", Key::of(4i64), doc! { "price" => 40i64, "open" => true }).unwrap();
-    match sub.next_event(Duration::from_secs(5)).expect("sum update") {
+    match sub.events().timeout(Duration::from_secs(5)).next().expect("sum update") {
         ClientEvent::Aggregate { value, count } => {
             assert_eq!(value, Value::Int(100));
             assert_eq!(count, 4);
@@ -267,7 +268,7 @@ fn aggregate_queries_end_to_end() {
         &UpdateSpec::from_document(&doc! { "$set" => doc! { "open" => false } }).unwrap(),
     )
     .unwrap();
-    match sub.next_event(Duration::from_secs(5)).expect("sum drop") {
+    match sub.events().timeout(Duration::from_secs(5)).next().expect("sum drop") {
         ClientEvent::Aggregate { value, count } => {
             assert_eq!(value, Value::Int(70));
             assert_eq!(count, 3);
@@ -279,7 +280,7 @@ fn aggregate_queries_end_to_end() {
     // Irrelevant writes do not notify.
     app.insert("other", Key::of(1i64), doc! { "x" => 1i64 }).unwrap();
     std::thread::sleep(Duration::from_millis(300));
-    assert!(sub.try_next_event().is_none());
+    assert!(sub.events().non_blocking().next().is_none());
 
     // Combining aggregate with sort is rejected at subscribe.
     let bad = QuerySpec::filter("orders", doc! {})
@@ -289,12 +290,29 @@ fn aggregate_queries_end_to_end() {
     cluster.shutdown();
 }
 
+/// The pre-`events()` receive surface must keep working for existing
+/// applications: deprecated, not removed.
+#[test]
+#[allow(deprecated)]
+fn deprecated_receive_surface_still_compiles_and_works() {
+    let (_broker, _store, cluster, app) = setup(1, 1);
+    let spec = QuerySpec::filter("t", doc! {});
+    let mut sub = app.subscribe(&spec).unwrap();
+    assert!(matches!(sub.next_event(Duration::from_secs(5)), Some(ClientEvent::Initial(_))));
+    app.insert("t", Key::of(1i64), doc! { "x" => 1i64 }).unwrap();
+    let ev = wait_for(|| sub.try_next_event(), Duration::from_secs(5)).expect("push update");
+    assert!(matches!(ev, ClientEvent::Change(_)));
+    let batch = sub.next_events_coalesced(Duration::from_millis(50));
+    assert!(batch.is_empty(), "no further events: {batch:?}");
+    cluster.shutdown();
+}
+
 #[test]
 fn coalesced_receive_collapses_hot_key_churn() {
     let (_broker, _store, cluster, app) = setup(1, 1);
     let spec = QuerySpec::filter("hot", doc! { "n" => doc! { "$gte" => 0i64 } });
     let mut sub = app.subscribe(&spec).unwrap();
-    sub.next_event(Duration::from_secs(5)).expect("initial");
+    sub.events().timeout(Duration::from_secs(5)).next().expect("initial");
 
     // A hot key updated 20 times plus one cold key.
     app.insert("hot", Key::of("hk"), doc! { "n" => 0i64 }).unwrap();
@@ -304,7 +322,7 @@ fn coalesced_receive_collapses_hot_key_churn() {
     app.insert("hot", Key::of("cold"), doc! { "n" => 100i64 }).unwrap();
     std::thread::sleep(Duration::from_millis(400));
 
-    let batch = sub.next_events_coalesced(Duration::from_millis(300));
+    let batch: Vec<ClientEvent> = sub.events().coalesced(Duration::from_millis(300)).collect();
     // 21 raw notifications collapse to two net events (hk add, cold add).
     assert_eq!(batch.len(), 2, "collapsed batch: {batch:?}");
     let hot = batch

@@ -14,6 +14,7 @@
 //! database-agnostic design (§5.3).
 
 pub mod clock;
+pub mod config;
 pub mod document;
 pub mod grid;
 pub mod hist;
@@ -22,9 +23,11 @@ pub mod msg;
 pub mod notify;
 pub mod partition;
 pub mod query_spec;
+pub mod trace;
 pub mod value;
 
 pub use clock::{Clock, MockClock, SystemClock, Timestamp};
+pub use config::ConfigError;
 pub use document::Document;
 pub use grid::{GridCoord, GridShape};
 pub use hist::Histogram;
@@ -33,6 +36,7 @@ pub use msg::{AfterImage, ClusterMessage, SubscriptionRequest};
 pub use notify::{ChangeItem, MaintenanceError, MatchType, Notification, NotificationKind, ResultItem};
 pub use partition::{fnv1a64, stable_hash64};
 pub use query_spec::{AggregateOp, AggregateSpec, QuerySpec, SortDirection, SortSpec};
+pub use trace::{Stage, StageStamp, TraceContext, ALL_STAGES};
 pub use value::{canonical_cmp, canonical_eq, Value};
 
 /// Version number of a stored record. The application server initializes

@@ -7,6 +7,7 @@ use crate::document::Document;
 use crate::id::{Key, QueryHash, SubscriptionId, TenantId};
 use crate::notify::ResultItem;
 use crate::query_spec::{QuerySpec, SpecError};
+use crate::trace::TraceContext;
 use crate::value::Value;
 use crate::Version;
 
@@ -29,6 +30,8 @@ pub struct AfterImage {
     /// Microsecond timestamp (app-server clock) taken right before the
     /// write was issued; used for end-to-end latency measurement.
     pub written_at: u64,
+    /// Sampled stage trace; `None` for untraced writes (the common case).
+    pub trace: Option<TraceContext>,
 }
 
 impl AfterImage {
@@ -136,6 +139,9 @@ impl ClusterMessage {
                     Some(doc) => d.insert("doc", doc.clone()),
                     None => d.insert("doc", Value::Null),
                 };
+                if let Some(trace) = &img.trace {
+                    d.insert("trace", trace.to_document());
+                }
             }
         }
         d
@@ -224,6 +230,10 @@ impl ClusterMessage {
                         as Version,
                     doc,
                     written_at: d.get("writtenAt").and_then(Value::as_i64).unwrap_or(0) as u64,
+                    trace: match d.get("trace").and_then(Value::as_object) {
+                        Some(td) => Some(TraceContext::from_document(td)?),
+                        None => None,
+                    },
                 }))
             }
             _ => Err(err("unknown `op`")),
@@ -277,6 +287,24 @@ mod tests {
             version: 2,
             doc: Some(doc! { "name" => "ada" }),
             written_at: 777,
+            trace: None,
+        });
+        assert_eq!(ClusterMessage::from_document(&m.to_document()).unwrap(), m);
+    }
+
+    #[test]
+    fn traced_write_roundtrip() {
+        let mut trace = crate::trace::TraceContext { trace_id: 9, stamps: Vec::new() };
+        trace.stamp_at(crate::trace::Stage::AppServer, 500);
+        trace.stamp_at(crate::trace::Stage::Ingestion, 540);
+        let m = ClusterMessage::Write(AfterImage {
+            tenant: TenantId::new("app"),
+            collection: "users".into(),
+            key: Key::of("u1"),
+            version: 2,
+            doc: Some(doc! { "name" => "ada" }),
+            written_at: 500,
+            trace: Some(trace),
         });
         assert_eq!(ClusterMessage::from_document(&m.to_document()).unwrap(), m);
     }
@@ -290,6 +318,7 @@ mod tests {
             version: 4,
             doc: None,
             written_at: 0,
+            trace: None,
         });
         let decoded = ClusterMessage::from_document(&m.to_document()).unwrap();
         assert_eq!(decoded, m);

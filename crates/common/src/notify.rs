@@ -9,6 +9,7 @@
 use crate::document::Document;
 use crate::id::{Key, SubscriptionId, TenantId};
 use crate::query_spec::SpecError;
+use crate::trace::TraceContext;
 use crate::value::Value;
 use crate::Version;
 use std::fmt;
@@ -168,6 +169,9 @@ pub struct Notification {
     /// benchmark harness can measure end-to-end notification latency the
     /// way the paper does (time from before insert until notification).
     pub caused_by_write_at: u64,
+    /// Stage trace inherited from the causing write when that write was
+    /// sampled for tracing; `None` otherwise (the common case).
+    pub trace: Option<TraceContext>,
 }
 
 impl Notification {
@@ -201,6 +205,9 @@ impl Notification {
                 d.insert("value", value.clone());
                 d.insert("count", *count as i64);
             }
+        }
+        if let Some(trace) = &self.trace {
+            d.insert("trace", trace.to_document());
         }
         d
     }
@@ -254,7 +261,11 @@ impl Notification {
                 NotificationKind::Change(ChangeItem { match_type, item, old_index })
             }
         };
-        Ok(Self { tenant, subscription, kind, caused_by_write_at })
+        let trace = match d.get("trace").and_then(Value::as_object) {
+            Some(td) => Some(TraceContext::from_document(td)?),
+            None => None,
+        };
+        Ok(Self { tenant, subscription, kind, caused_by_write_at, trace })
     }
 }
 
@@ -288,6 +299,7 @@ mod tests {
                 items: vec![item(), ResultItem::new(Key::of(9i64), 1, doc! {})],
             },
             caused_by_write_at: 0,
+            trace: None,
         };
         let back = Notification::from_document(&n.to_document()).unwrap();
         assert_eq!(n, back);
@@ -304,6 +316,7 @@ mod tests {
                 old_index: Some(5),
             }),
             caused_by_write_at: 123_456,
+            trace: None,
         };
         let back = Notification::from_document(&n.to_document()).unwrap();
         assert_eq!(n, back);
@@ -320,6 +333,7 @@ mod tests {
                 old_index: Some(0),
             }),
             caused_by_write_at: 1,
+            trace: None,
         };
         let back = Notification::from_document(&n.to_document()).unwrap();
         assert_eq!(n, back);
@@ -332,6 +346,7 @@ mod tests {
             subscription: SubscriptionId(7),
             kind: NotificationKind::Error(MaintenanceError { reason: "slack exhausted".into() }),
             caused_by_write_at: 0,
+            trace: None,
         };
         let back = Notification::from_document(&n.to_document()).unwrap();
         assert_eq!(n, back);
@@ -344,6 +359,28 @@ mod tests {
             subscription: SubscriptionId(3),
             kind: NotificationKind::Aggregate { value: Value::Float(4.5), count: 12 },
             caused_by_write_at: 9,
+            trace: None,
+        };
+        let back = Notification::from_document(&n.to_document()).unwrap();
+        assert_eq!(n, back);
+    }
+
+    #[test]
+    fn traced_notification_roundtrip() {
+        let mut trace = TraceContext { trace_id: 11, stamps: Vec::new() };
+        trace.stamp_at(crate::trace::Stage::AppServer, 10);
+        trace.stamp_at(crate::trace::Stage::Matching, 25);
+        trace.stamp_at(crate::trace::Stage::Notifier, 40);
+        let n = Notification {
+            tenant: TenantId::new("app"),
+            subscription: SubscriptionId(7),
+            kind: NotificationKind::Change(ChangeItem {
+                match_type: MatchType::Add,
+                item: item(),
+                old_index: None,
+            }),
+            caused_by_write_at: 10,
+            trace: Some(trace),
         };
         let back = Notification::from_document(&n.to_document()).unwrap();
         assert_eq!(n, back);

@@ -21,8 +21,8 @@
 use crate::config::ClusterConfig;
 use crate::event::{Event, FilterChange, FilterChangeKind, OutMsg};
 use invalidb_common::{
-    canonical_eq, AggregateOp, Clock, Key, Notification, NotificationKind, QueryHash, SubscriptionId,
-    SubscriptionRequest, TenantId, Timestamp, Value, Version,
+    canonical_eq, AggregateOp, Clock, Key, Notification, NotificationKind, QueryHash, Stage,
+    SubscriptionId, SubscriptionRequest, TenantId, Timestamp, TraceContext, Value, Version,
 };
 use invalidb_stream::{Bolt, BoltContext};
 use std::collections::{BTreeMap, HashMap};
@@ -159,6 +159,7 @@ impl AggregationNode {
             subscription: req.subscription,
             kind: NotificationKind::Aggregate { value, count },
             caused_by_write_at: 0,
+            trace: None,
         }))));
         let _ = &self.config;
     }
@@ -207,12 +208,18 @@ impl AggregationNode {
         };
         if changed {
             group.last_emitted = Some((value.clone(), count));
+            // Stamp the aggregation stage once on sampled traces.
+            let trace: Option<TraceContext> = fc.trace.clone().map(|mut t| {
+                t.stamp(Stage::Aggregation);
+                t
+            });
             for (sub, state) in &group.subscriptions {
                 ctx.emit(Event::Out(Arc::new(OutMsg::Notify(Notification {
                     tenant: state.tenant.clone(),
                     subscription: *sub,
                     kind: NotificationKind::Aggregate { value: value.clone(), count },
                     caused_by_write_at: fc.written_at,
+                    trace: trace.clone(),
                 }))));
             }
         }
@@ -333,6 +340,7 @@ mod tests {
                 version,
                 doc,
                 written_at: 0,
+                trace: None,
             })));
         }
 

@@ -9,7 +9,8 @@ use crate::notifier::Notifier;
 use crate::sorting::SortingNode;
 use invalidb_broker::{BrokerHandle, CLUSTER_TOPIC};
 use invalidb_common::partition::partition_of;
-use invalidb_common::{ClusterMessage, GridShape, SystemClock};
+use invalidb_common::{ClusterMessage, GridShape, Stage, SystemClock};
+use invalidb_obs::{MetricsRegistry, MetricsSnapshot};
 use invalidb_stream::{
     Bolt, BoltContext, Grouping, RunningTopology, Source, TopologyBuilder, TopologyConfig,
     TopologyMetrics,
@@ -29,6 +30,7 @@ pub struct Cluster {
     topology: Option<RunningTopology>,
     grid: GridShape,
     decode_errors: Arc<AtomicU64>,
+    registry: MetricsRegistry,
 }
 
 impl Cluster {
@@ -54,6 +56,7 @@ impl Cluster {
             IngressSource {
                 subscription: broker.subscribe(CLUSTER_TOPIC),
                 decode_errors: Arc::clone(&decode_errors),
+                metrics: config.metrics.clone(),
             },
         );
 
@@ -234,7 +237,10 @@ impl Cluster {
             }),
         );
 
-        Cluster { topology: Some(b.start()), grid, decode_errors }
+        let registry = config.metrics.clone();
+        let topology = b.start();
+        registry.attach_topology("cluster", Arc::clone(topology.metrics()));
+        Cluster { topology: Some(topology), grid, decode_errors, registry }
     }
 
     /// The grid shape this cluster runs.
@@ -242,8 +248,22 @@ impl Cluster {
         self.grid
     }
 
-    /// Topology metrics (per-component processed/emitted counters).
-    pub fn metrics(&self) -> Arc<TopologyMetrics> {
+    /// A point-in-time snapshot of every cluster metric: per-stage latency
+    /// histograms (when tracing is enabled), matched/filtered/dropped
+    /// counters, per-partition gauges, and the topology's per-component
+    /// processed/emitted counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.registry.snapshot()
+    }
+
+    /// The live registry this cluster reports into (shared with whatever
+    /// was passed via [`ClusterConfig::builder`]'s `metrics` setter).
+    pub fn registry(&self) -> MetricsRegistry {
+        self.registry.clone()
+    }
+
+    /// Raw topology metrics (per-component processed/emitted counters).
+    pub fn topology_metrics(&self) -> Arc<TopologyMetrics> {
         Arc::clone(self.topology.as_ref().expect("running").metrics())
     }
 
@@ -272,6 +292,7 @@ impl Drop for Cluster {
 struct IngressSource {
     subscription: invalidb_broker::Subscription,
     decode_errors: Arc<AtomicU64>,
+    metrics: MetricsRegistry,
 }
 
 impl Source<Event> for IngressSource {
@@ -285,9 +306,20 @@ impl Source<Event> for IngressSource {
             .ok()
             .and_then(|d| ClusterMessage::from_document(&d).ok())
         {
-            Some(msg) => out.push(msg.into()),
+            Some(mut msg) => {
+                // Sampled traces get their ingestion stamp the moment the
+                // envelope is decoded off the event layer.
+                if let ClusterMessage::Write(img) = &mut msg {
+                    if let Some(trace) = img.trace.as_mut() {
+                        trace.stamp(Stage::Ingestion);
+                        self.metrics.inc("ingress.traced_writes");
+                    }
+                }
+                out.push(msg.into());
+            }
             None => {
                 self.decode_errors.fetch_add(1, Ordering::Relaxed);
+                self.metrics.inc("ingress.decode_errors");
             }
         };
         decode(first);

@@ -1,5 +1,7 @@
 //! Cluster configuration.
 
+use invalidb_common::ConfigError;
+use invalidb_obs::MetricsRegistry;
 use invalidb_query::{MongoQueryEngine, QueryEngine};
 use std::sync::Arc;
 use std::time::Duration;
@@ -42,6 +44,10 @@ pub struct ClusterConfig {
     /// benchmark harness to emulate the paper's per-node throttling (§6.1)
     /// so saturation knees appear at laptop-friendly workload sizes.
     pub synthetic_match_cost: Option<Duration>,
+    /// The metrics registry the cluster reports into. Defaults to a fresh
+    /// registry; pass a shared one to aggregate several components (e.g.
+    /// cluster + app server) into a single snapshot.
+    pub metrics: MetricsRegistry,
 }
 
 impl ClusterConfig {
@@ -62,7 +68,15 @@ impl ClusterConfig {
             tick_interval: Duration::from_millis(50),
             multi_query_index: true,
             synthetic_match_cost: None,
+            metrics: MetricsRegistry::new(),
         }
+    }
+
+    /// A validating builder for the same settings; rejects inconsistent
+    /// combinations (zero partitions, zero queue capacity, …) at
+    /// construction time instead of panicking deep inside `Cluster::start`.
+    pub fn builder(query_partitions: usize, write_partitions: usize) -> ClusterConfigBuilder {
+        ClusterConfigBuilder { config: ClusterConfig::new(query_partitions, write_partitions) }
     }
 
     /// Overrides the query engine.
@@ -78,6 +92,117 @@ impl ClusterConfig {
     }
 }
 
+/// Builder returned by [`ClusterConfig::builder`]. Each setter overrides
+/// one field; [`ClusterConfigBuilder::build`] validates the combination.
+#[derive(Debug, Clone)]
+pub struct ClusterConfigBuilder {
+    config: ClusterConfig,
+}
+
+impl ClusterConfigBuilder {
+    /// Sets the sorting-stage parallelism.
+    pub fn sorting_tasks(mut self, n: usize) -> Self {
+        self.config.sorting_tasks = n;
+        self
+    }
+
+    /// Sets the aggregation-stage parallelism.
+    pub fn aggregation_tasks(mut self, n: usize) -> Self {
+        self.config.aggregation_tasks = n;
+        self
+    }
+
+    /// Sets the number of query-ingestion nodes.
+    pub fn query_ingest_nodes(mut self, n: usize) -> Self {
+        self.config.query_ingest_nodes = n;
+        self
+    }
+
+    /// Sets the number of write-ingestion nodes.
+    pub fn write_ingest_nodes(mut self, n: usize) -> Self {
+        self.config.write_ingest_nodes = n;
+        self
+    }
+
+    /// Sets the write-stream retention window.
+    pub fn retention(mut self, retention: Duration) -> Self {
+        self.config.retention = retention;
+        self
+    }
+
+    /// Sets the heartbeat interval.
+    pub fn heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.config.heartbeat_interval = interval;
+        self
+    }
+
+    /// Sets the pluggable query engine.
+    pub fn engine(mut self, engine: Arc<dyn QueryEngine>) -> Self {
+        self.config.engine = engine;
+        self
+    }
+
+    /// Sets the per-task input queue capacity.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the topology tick interval.
+    pub fn tick_interval(mut self, interval: Duration) -> Self {
+        self.config.tick_interval = interval;
+        self
+    }
+
+    /// Enables or disables the multi-query index.
+    pub fn multi_query_index(mut self, enabled: bool) -> Self {
+        self.config.multi_query_index = enabled;
+        self
+    }
+
+    /// Sets the synthetic per-evaluation CPU cost (benchmarking).
+    pub fn synthetic_match_cost(mut self, cost: Option<Duration>) -> Self {
+        self.config.synthetic_match_cost = cost;
+        self
+    }
+
+    /// Uses a shared metrics registry instead of a fresh one.
+    pub fn metrics(mut self, metrics: MetricsRegistry) -> Self {
+        self.config.metrics = metrics;
+        self
+    }
+
+    /// Validates the settings and returns the config.
+    pub fn build(self) -> Result<ClusterConfig, ConfigError> {
+        let c = &self.config;
+        if c.query_partitions == 0 {
+            return Err(ConfigError::new("query_partitions", "must be at least 1"));
+        }
+        if c.write_partitions == 0 {
+            return Err(ConfigError::new("write_partitions", "must be at least 1"));
+        }
+        if c.sorting_tasks == 0 {
+            return Err(ConfigError::new("sorting_tasks", "must be at least 1"));
+        }
+        if c.aggregation_tasks == 0 {
+            return Err(ConfigError::new("aggregation_tasks", "must be at least 1"));
+        }
+        if c.query_ingest_nodes == 0 {
+            return Err(ConfigError::new("query_ingest_nodes", "must be at least 1"));
+        }
+        if c.write_ingest_nodes == 0 {
+            return Err(ConfigError::new("write_ingest_nodes", "must be at least 1"));
+        }
+        if c.queue_capacity == 0 {
+            return Err(ConfigError::new("queue_capacity", "must be at least 1"));
+        }
+        if c.tick_interval.is_zero() {
+            return Err(ConfigError::new("tick_interval", "must be non-zero"));
+        }
+        Ok(self.config)
+    }
+}
+
 impl std::fmt::Debug for ClusterConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ClusterConfig")
@@ -87,5 +212,54 @@ impl std::fmt::Debug for ClusterConfig {
             .field("retention", &self.retention)
             .field("engine", &self.engine.name())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_defaults_match_new() {
+        let built = ClusterConfig::builder(2, 3).build().unwrap();
+        let plain = ClusterConfig::new(2, 3);
+        assert_eq!(built.query_partitions, plain.query_partitions);
+        assert_eq!(built.write_partitions, plain.write_partitions);
+        assert_eq!(built.sorting_tasks, plain.sorting_tasks);
+        assert_eq!(built.retention, plain.retention);
+        assert_eq!(built.queue_capacity, plain.queue_capacity);
+    }
+
+    #[test]
+    fn builder_rejects_zero_partitions() {
+        let err = ClusterConfig::builder(0, 2).build().unwrap_err();
+        assert_eq!(err.field, "query_partitions");
+        let err = ClusterConfig::builder(2, 0).build().unwrap_err();
+        assert_eq!(err.field, "write_partitions");
+    }
+
+    #[test]
+    fn builder_rejects_zero_parallelism_and_capacity() {
+        assert!(ClusterConfig::builder(1, 1).sorting_tasks(0).build().is_err());
+        assert!(ClusterConfig::builder(1, 1).aggregation_tasks(0).build().is_err());
+        assert!(ClusterConfig::builder(1, 1).query_ingest_nodes(0).build().is_err());
+        assert!(ClusterConfig::builder(1, 1).write_ingest_nodes(0).build().is_err());
+        assert!(ClusterConfig::builder(1, 1).queue_capacity(0).build().is_err());
+        assert!(ClusterConfig::builder(1, 1).tick_interval(Duration::ZERO).build().is_err());
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let cfg = ClusterConfig::builder(1, 1)
+            .sorting_tasks(5)
+            .retention(Duration::from_secs(9))
+            .queue_capacity(64)
+            .multi_query_index(false)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.sorting_tasks, 5);
+        assert_eq!(cfg.retention, Duration::from_secs(9));
+        assert_eq!(cfg.queue_capacity, 64);
+        assert!(!cfg.multi_query_index);
     }
 }

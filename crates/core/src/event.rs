@@ -2,7 +2,7 @@
 
 use invalidb_common::{
     AfterImage, Document, Key, Notification, QueryHash, SubscriptionId, SubscriptionRequest, TenantId,
-    Version,
+    TraceContext, Version,
 };
 use std::sync::Arc;
 
@@ -70,6 +70,8 @@ pub struct FilterChange {
     pub doc: Option<Document>,
     /// Origin-write timestamp for latency accounting.
     pub written_at: u64,
+    /// Stage trace inherited from the causing write, if it was sampled.
+    pub trace: Option<TraceContext>,
 }
 
 /// Message leaving the cluster through the notifier.

@@ -43,6 +43,6 @@ pub mod sorting;
 pub mod window;
 
 pub use cluster::Cluster;
-pub use config::ClusterConfig;
+pub use config::{ClusterConfig, ClusterConfigBuilder};
 pub use event::{Event, FilterChange, FilterChangeKind, OutMsg};
 pub use window::{SortedWindow, VisibleEvent, WindowOutcome};

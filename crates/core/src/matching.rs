@@ -22,8 +22,10 @@ use crate::event::{Event, FilterChange, FilterChangeKind, OutMsg};
 use crate::query_index::QueryIndex;
 use invalidb_common::{
     AfterImage, ChangeItem, Clock, GridCoord, GridShape, Key, MatchType, Notification, NotificationKind,
-    QueryHash, ResultItem, SubscriptionId, SubscriptionRequest, TenantId, Timestamp, Version,
+    QueryHash, ResultItem, Stage, SubscriptionId, SubscriptionRequest, TenantId, Timestamp,
+    TraceContext, Version,
 };
+use invalidb_obs::MetricsRegistry;
 use invalidb_query::PreparedQuery;
 use invalidb_stream::{Bolt, BoltContext};
 use std::collections::{HashMap, VecDeque};
@@ -119,6 +121,7 @@ impl MatchingNode {
                         reason: format!("query rejected: {e}"),
                     }),
                     caused_by_write_at: 0,
+                    trace: None,
                 }))));
                 return;
             }
@@ -167,7 +170,7 @@ impl MatchingNode {
             }
         }
         for img in retained {
-            let transition = Self::match_against(&mut group, hash, &img, ctx);
+            let transition = Self::match_against(&mut group, hash, &img, &self.config.metrics, ctx);
             self.note_transition(&img, hash, transition);
         }
         self.queries.insert(group_key, group);
@@ -212,6 +215,7 @@ impl MatchingNode {
         match self.latest_versions.get(&record) {
             Some(&seen) if img.version <= seen => {
                 self.stale_dropped += 1;
+                self.config.metrics.inc("matching.dropped_stale");
                 return;
             }
             _ => {}
@@ -251,7 +255,7 @@ impl MatchingNode {
             let mut dead: Vec<QueryHash> = Vec::new();
             for hash in candidates {
                 let transition = match self.queries.get_mut(&(img.tenant.clone(), hash)) {
-                    Some(group) => Self::match_against(group, hash, img, ctx),
+                    Some(group) => Self::match_against(group, hash, img, &self.config.metrics, ctx),
                     None => {
                         // The query was cancelled/expired; lazily purge its
                         // membership entry so `containing` does not leak.
@@ -272,7 +276,7 @@ impl MatchingNode {
         } else {
             for ((_, hash), group) in self.queries.iter_mut() {
                 if group.tenant == img.tenant && group.collection == img.collection {
-                    Self::match_against(group, *hash, img, ctx);
+                    Self::match_against(group, *hash, img, &self.config.metrics, ctx);
                 }
             }
         }
@@ -284,6 +288,7 @@ impl MatchingNode {
         group: &mut QueryGroup,
         hash: QueryHash,
         img: &AfterImage,
+        metrics: &MetricsRegistry,
         ctx: &mut BoltContext<'_, Event>,
     ) -> Option<FilterChangeKind> {
         let old = group.result.get(&img.key).copied();
@@ -297,8 +302,12 @@ impl MatchingNode {
             (false, true) => FilterChangeKind::Add,
             (true, true) => FilterChangeKind::Change,
             (true, false) => FilterChangeKind::Remove,
-            (false, false) => return None, // irrelevant write: filtered out
+            (false, false) => {
+                metrics.inc("matching.filtered");
+                return None; // irrelevant write: filtered out
+            }
         };
+        metrics.inc("matching.matched");
         match kind {
             FilterChangeKind::Remove => {
                 group.result.remove(&img.key);
@@ -307,6 +316,13 @@ impl MatchingNode {
                 group.result.insert(img.key.clone(), img.version);
             }
         }
+        // Stamp the filtering stage on sampled traces; the clone touches
+        // only traced writes, so the unsampled fast path stays allocation
+        // free.
+        let trace: Option<TraceContext> = img.trace.clone().map(|mut t| {
+            t.stamp(Stage::Matching);
+            t
+        });
         if group.staged {
             // Sorted/aggregate queries: pass the transition downstream.
             ctx.emit(Event::FilterChange(Arc::new(FilterChange {
@@ -317,6 +333,7 @@ impl MatchingNode {
                 version: img.version,
                 doc: img.doc.clone(),
                 written_at: img.written_at,
+                trace,
             })));
         } else {
             // Self-maintainable queries: emit finished notifications.
@@ -340,6 +357,7 @@ impl MatchingNode {
                         old_index: None,
                     }),
                     caused_by_write_at: img.written_at,
+                    trace: trace.clone(),
                 }))));
             }
         }
@@ -449,6 +467,11 @@ impl Bolt<Event> for MatchingNode {
 
     fn tick(&mut self, _ctx: &mut BoltContext<'_, Event>) {
         self.expire();
+        // Per-partition gauges, refreshed once per tick so the hot write
+        // path never touches the registry maps.
+        let cell = format!("matching.{}x{}", self.coord.qp, self.coord.wp);
+        self.config.metrics.set_gauge(&format!("{cell}.active_queries"), self.queries.len() as u64);
+        self.config.metrics.set_gauge(&format!("{cell}.retained_writes"), self.retention.len() as u64);
     }
 }
 
@@ -529,6 +552,7 @@ mod tests {
             version,
             doc,
             written_at: 42,
+            trace: None,
         }))
     }
 
@@ -699,6 +723,7 @@ mod tests {
             version: 1,
             doc: Some(doc! { "n" => 5i64 }),
             written_at: 0,
+            trace: None,
         })))
         .unwrap();
         std::thread::sleep(Duration::from_millis(100));
@@ -717,6 +742,7 @@ mod tests {
             version: 1,
             doc: Some(doc! { "n" => 5i64 }),
             written_at: 0,
+            trace: None,
         })))
         .unwrap();
         std::thread::sleep(Duration::from_millis(100));

@@ -12,7 +12,7 @@ use crate::config::ClusterConfig;
 use crate::event::{Event, OutMsg};
 use invalidb_broker::{notify_topic, BrokerHandle};
 use invalidb_common::{
-    doc, Clock, Notification, NotificationKind, SubscriptionRequest, TenantId, Timestamp,
+    doc, Clock, Notification, NotificationKind, Stage, SubscriptionRequest, TenantId, Timestamp,
 };
 use invalidb_stream::{Bolt, BoltContext};
 use std::collections::HashMap;
@@ -34,6 +34,19 @@ impl Notifier {
     }
 
     fn publish(&self, notification: &Notification) {
+        self.config.metrics.inc("notifier.published");
+        // Traced notifications get the notifier stamp right before they are
+        // serialized onto the event layer; the clone only happens for
+        // sampled traces.
+        if notification.trace.is_some() {
+            let mut stamped = notification.clone();
+            if let Some(trace) = stamped.trace.as_mut() {
+                trace.stamp(Stage::Notifier);
+            }
+            let payload = invalidb_json::document_to_payload(&stamped.to_document());
+            self.broker.publish(&notify_topic(&stamped.tenant.0), payload);
+            return;
+        }
         let payload = invalidb_json::document_to_payload(&notification.to_document());
         self.broker.publish(&notify_topic(&notification.tenant.0), payload);
     }
@@ -66,6 +79,7 @@ impl Notifier {
             subscription: req.subscription,
             kind: NotificationKind::InitialResult { items },
             caused_by_write_at: 0,
+            trace: None,
         });
     }
 

@@ -11,7 +11,7 @@ use crate::event::{Event, FilterChange, OutMsg};
 use crate::window::{apply_events, SortedWindow, VisibleEvent, WindowItem};
 use invalidb_common::{
     ChangeItem, Clock, MaintenanceError, MatchType, Notification, NotificationKind, QueryHash,
-    ResultItem, SubscriptionId, SubscriptionRequest, TenantId, Timestamp,
+    ResultItem, Stage, SubscriptionId, SubscriptionRequest, TenantId, Timestamp, TraceContext,
 };
 use invalidb_query::PreparedQuery;
 use invalidb_stream::{Bolt, BoltContext};
@@ -79,7 +79,7 @@ impl SortingNode {
                 let delta = crate::window::diff_visible(fresh.visible(), &group.client_state);
                 let tenant = req.tenant.clone();
                 for ev in &delta {
-                    ctx.emit(to_notification_event(&tenant, req.subscription, ev, 0));
+                    ctx.emit(to_notification_event(&tenant, req.subscription, ev, 0, None));
                 }
             } else {
                 // Renewal: re-seed from the fresh result. On the wire a
@@ -115,22 +115,29 @@ impl SortingNode {
             _ => return, // inactive (awaiting renewal) or unknown
         };
         let outcome = group.window.apply(&fc.key, fc.version, fc.doc.as_ref());
+        // Stamp the sorting stage once per filter change on sampled traces.
+        let trace: Option<TraceContext> = fc.trace.clone().map(|mut t| {
+            t.stamp(Stage::Sorting);
+            t
+        });
         if let Some(reason) = outcome.error {
             // Query maintenance error: deactivate and ask for renewal. The
             // client's list stays at the last valid state (client_state).
             group.active = false;
             self.maintenance_errors += 1;
+            self.config.metrics.inc("sorting.maintenance_errors");
             for (sub, state) in &group.subscriptions {
                 ctx.emit(Event::Out(Arc::new(OutMsg::Notify(Notification {
                     tenant: state.tenant.clone(),
                     subscription: *sub,
                     kind: NotificationKind::Error(MaintenanceError { reason: reason.clone() }),
                     caused_by_write_at: fc.written_at,
+                    trace: trace.clone(),
                 }))));
             }
             return;
         }
-        Self::broadcast(group, &outcome.events, fc.written_at, ctx);
+        Self::broadcast(group, &outcome.events, fc.written_at, trace.as_ref(), ctx);
         apply_events(&mut group.client_state, &outcome.events);
     }
 
@@ -138,11 +145,12 @@ impl SortingNode {
         group: &SortGroup,
         events: &[VisibleEvent],
         written_at: u64,
+        trace: Option<&TraceContext>,
         ctx: &mut BoltContext<'_, Event>,
     ) {
         for ev in events {
             for (sub, state) in &group.subscriptions {
-                ctx.emit(to_notification_event(&state.tenant, *sub, ev, written_at));
+                ctx.emit(to_notification_event(&state.tenant, *sub, ev, written_at, trace));
             }
         }
         let _ = &group.slack;
@@ -192,6 +200,7 @@ fn to_notification_event(
     subscription: SubscriptionId,
     ev: &VisibleEvent,
     written_at: u64,
+    trace: Option<&TraceContext>,
 ) -> Event {
     let kind = match ev {
         VisibleEvent::Add { item, index } => NotificationKind::Change(ChangeItem {
@@ -235,6 +244,7 @@ fn to_notification_event(
         subscription,
         kind,
         caused_by_write_at: written_at,
+        trace: trace.cloned(),
     })))
 }
 

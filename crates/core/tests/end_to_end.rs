@@ -36,6 +36,7 @@ fn write_msg(collection: &str, key: Key, version: u64, doc: Option<Document>) ->
         version,
         doc,
         written_at: 7,
+        trace: None,
     })
 }
 
@@ -325,6 +326,7 @@ fn multi_tenant_topics_are_isolated() {
         version: 1,
         doc: Some(doc! { "n" => 5i64 }),
         written_at: 0,
+        trace: None,
     });
     publish(&broker, &msg);
     let a = collect(&notify_a, 1);

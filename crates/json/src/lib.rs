@@ -11,9 +11,9 @@
 //! Deviations from strict JSON (both documented and round-trip safe):
 //!
 //! * `NaN`, `Infinity` and `-Infinity` are accepted and produced as bare
-//!   tokens so that the full [`Value`] float domain round-trips;
+//!   tokens so that the full [`Value`](invalidb_common::Value) float domain round-trips;
 //! * integers and floats are distinct: a number without `.`/`e`/`E` that
-//!   fits `i64` parses as [`Value::Int`], anything else as [`Value::Float`];
+//!   fits `i64` parses as [`Value::Int`](invalidb_common::Value::Int), anything else as [`Value::Float`](invalidb_common::Value::Float);
 //!   the serializer always prints floats with a fractional part or exponent.
 
 mod error;

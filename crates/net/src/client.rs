@@ -18,7 +18,7 @@
 //! whatever was missed during the gap, leaning on the cluster's
 //! write-stream retention (§5.1).
 
-use crate::frame::{Decoder, Frame};
+use crate::frame::{Decoder, Frame, TraceInfo};
 use crate::queue::{Closed, OverflowPolicy, SendQueue};
 use invalidb_broker::{Broker, BrokerHandle, Bytes, EventLayer, Subscription};
 use parking_lot::Mutex;
@@ -131,7 +131,8 @@ impl RemoteBroker {
     /// disconnected (event-layer delivery is best-effort, like Redis
     /// pub/sub — see DESIGN.md §2).
     pub fn publish(&self, topic: &str, payload: Bytes) -> usize {
-        let frame = Frame::Publish { topic: topic.to_owned(), payload };
+        let trace = sniff_trace(&payload);
+        let frame = Frame::Publish { topic: topic.to_owned(), payload, trace };
         if self.enqueue(&frame) {
             1
         } else {
@@ -253,6 +254,40 @@ impl RemoteBroker {
             })
             .expect("spawn janitor thread");
     }
+}
+
+/// Byte pattern a traced envelope is guaranteed to contain: the compact
+/// serializer in `invalidb-json` emits insertion-ordered keys with no
+/// whitespace, and `TraceContext::to_document` puts `id` first.
+const TRACE_NEEDLE: &[u8] = b"\"trace\":{\"id\":";
+
+/// Detects an embedded [`TraceContext`](invalidb_common::TraceContext) in
+/// an opaque envelope payload without parsing JSON: scans for
+/// [`TRACE_NEEDLE`] and reads the integer that follows. Only *sampled*
+/// envelopes carry the pattern, so the common case is one memmem miss.
+///
+/// The resulting [`TraceInfo`] sidecar travels in the frame header
+/// extension ([`crate::frame::FLAG_TRACE`]) so the broker server can stamp
+/// the broker hop without ever deserializing unsampled traffic.
+fn sniff_trace(payload: &Bytes) -> Option<TraceInfo> {
+    let hit = payload.windows(TRACE_NEEDLE.len()).position(|w| w == TRACE_NEEDLE)?;
+    let rest = &payload[hit + TRACE_NEEDLE.len()..];
+    let (negative, digits) = match rest.first() {
+        Some(b'-') => (true, &rest[1..]),
+        _ => (false, rest),
+    };
+    let end = digits.iter().position(|b| !b.is_ascii_digit()).unwrap_or(digits.len());
+    if end == 0 {
+        return None;
+    }
+    let mut value: i64 = 0;
+    for &b in &digits[..end] {
+        value = value.wrapping_mul(10).wrapping_add((b - b'0') as i64);
+    }
+    if negative {
+        value = value.wrapping_neg();
+    }
+    Some(TraceInfo { trace_id: value as u64, sent_at_micros: invalidb_common::trace::now_micros() })
 }
 
 impl EventLayer for RemoteBroker {
@@ -394,7 +429,7 @@ fn read_session(
             };
             metrics.frames_in.fetch_add(1, Ordering::Relaxed);
             match frame {
-                Frame::Publish { topic, payload } => {
+                Frame::Publish { topic, payload, .. } => {
                     metrics.bytes_in.fetch_add(payload.len() as u64, Ordering::Relaxed);
                     inner.mirror.publish(&topic, payload);
                 }

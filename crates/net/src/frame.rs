@@ -5,11 +5,18 @@
 //!  0       4     magic  "IDB1"
 //!  4       1     protocol version (currently 1)
 //!  5       1     frame type
-//!  6       2     flags (reserved, must be 0)
+//!  6       2     flags, big-endian (bit 0 = [`FLAG_TRACE`]; others reserved)
 //!  8       4     payload length, big-endian (cap: 64 MiB)
 //!  12      4     CRC-32 (IEEE) of the payload, big-endian
 //!  16      ..    payload
 //! ```
+//!
+//! [`FLAG_TRACE`] is the framing extension for pipeline observability: a
+//! `Publish` frame with bit 0 set carries 16 extra payload bytes
+//! ([`TraceInfo`]: trace id + send timestamp) after the opaque envelope
+//! blob, letting the receiving broker server stamp the broker stage into a
+//! sampled trace and measure the client→server hop without parsing
+//! untraced payloads.
 //!
 //! Frame payloads are a tiny hand-rolled binary encoding (length-prefixed
 //! strings and byte blobs); the *application* envelopes carried inside
@@ -35,6 +42,21 @@ pub const HEADER_LEN: usize = 16;
 
 /// Upper bound on payload size — anything larger is corruption.
 pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
+
+/// Header flag bit 0: the `Publish` payload is followed by [`TraceInfo`].
+pub const FLAG_TRACE: u16 = 0x0001;
+
+/// Stage-tracing sidecar of a `Publish` frame (present iff [`FLAG_TRACE`]
+/// is set): identifies the sampled trace inside the opaque envelope and
+/// carries the sender's transmit timestamp, so the server can attribute
+/// client→server latency to the broker stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceInfo {
+    /// Trace id, mirroring the `trace.id` field inside the JSON envelope.
+    pub trace_id: u64,
+    /// Sender wall clock at transmit, unix-epoch microseconds.
+    pub sent_at_micros: u64,
+}
 
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -65,6 +87,8 @@ pub enum Frame {
         topic: String,
         /// Opaque application payload.
         payload: Bytes,
+        /// Stage-tracing sidecar ([`FLAG_TRACE`] extension).
+        trace: Option<TraceInfo>,
     },
     /// Server confirmation of a `Subscribe`/`Unsubscribe`.
     Ack {
@@ -90,6 +114,13 @@ impl Frame {
         }
     }
 
+    fn flags(&self) -> u16 {
+        match self {
+            Frame::Publish { trace: Some(_), .. } => FLAG_TRACE,
+            _ => 0,
+        }
+    }
+
     /// Encodes the frame, header included.
     pub fn encode(&self) -> Vec<u8> {
         let mut payload = Vec::new();
@@ -99,9 +130,13 @@ impl Frame {
                 put_u64(&mut payload, *seq);
                 put_str(&mut payload, topic);
             }
-            Frame::Publish { topic, payload: body } => {
+            Frame::Publish { topic, payload: body, trace } => {
                 put_str(&mut payload, topic);
                 put_blob(&mut payload, body);
+                if let Some(info) = trace {
+                    put_u64(&mut payload, info.trace_id);
+                    put_u64(&mut payload, info.sent_at_micros);
+                }
             }
             Frame::Ack { seq } => put_u64(&mut payload, *seq),
             Frame::Heartbeat { nonce } => put_u64(&mut payload, *nonce),
@@ -110,20 +145,32 @@ impl Frame {
         out.extend_from_slice(&MAGIC);
         out.push(PROTOCOL_VERSION);
         out.push(self.type_id());
-        out.extend_from_slice(&[0, 0]); // flags
+        out.extend_from_slice(&self.flags().to_be_bytes());
         out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
         out.extend_from_slice(&crc32(&payload).to_be_bytes());
         out.extend_from_slice(&payload);
         out
     }
 
-    fn decode_payload(type_id: u8, payload: &[u8]) -> Result<Frame, FrameError> {
+    fn decode_payload(type_id: u8, flags: u16, payload: &[u8]) -> Result<Frame, FrameError> {
+        if flags & !FLAG_TRACE != 0 || (flags & FLAG_TRACE != 0 && type_id != 4) {
+            return Err(FrameError::UnknownFlags(flags));
+        }
         let mut r = Reader { buf: payload, pos: 0 };
         let frame = match type_id {
             1 => Frame::Hello { client: r.str()? },
             2 => Frame::Subscribe { seq: r.u64()?, topic: r.str()? },
             3 => Frame::Unsubscribe { seq: r.u64()?, topic: r.str()? },
-            4 => Frame::Publish { topic: r.str()?, payload: r.blob()? },
+            4 => {
+                let topic = r.str()?;
+                let payload = r.blob()?;
+                let trace = if flags & FLAG_TRACE != 0 {
+                    Some(TraceInfo { trace_id: r.u64()?, sent_at_micros: r.u64()? })
+                } else {
+                    None
+                };
+                Frame::Publish { topic, payload, trace }
+            }
             5 => Frame::Ack { seq: r.u64()? },
             6 => Frame::Heartbeat { nonce: r.u64()? },
             other => return Err(FrameError::UnknownType(other)),
@@ -162,6 +209,9 @@ pub enum FrameError {
     },
     /// A string field was not valid UTF-8.
     BadUtf8,
+    /// Header flags contain unsupported bits (or a flag invalid for the
+    /// frame type).
+    UnknownFlags(u16),
 }
 
 impl fmt::Display for FrameError {
@@ -177,6 +227,7 @@ impl fmt::Display for FrameError {
             FrameError::Truncated => write!(f, "payload truncated mid-field"),
             FrameError::TrailingBytes { extra } => write!(f, "{extra} trailing payload bytes"),
             FrameError::BadUtf8 => write!(f, "string field is not valid UTF-8"),
+            FrameError::UnknownFlags(flags) => write!(f, "unsupported header flags {flags:#06x}"),
         }
     }
 }
@@ -251,6 +302,7 @@ impl Decoder {
             return Err(FrameError::BadVersion(self.buf[4]));
         }
         let type_id = self.buf[5];
+        let flags = u16::from_be_bytes([self.buf[6], self.buf[7]]);
         let len = u32::from_be_bytes([self.buf[8], self.buf[9], self.buf[10], self.buf[11]]) as usize;
         if len > MAX_PAYLOAD {
             return Err(FrameError::Oversized(len));
@@ -264,7 +316,7 @@ impl Decoder {
         if actual != expected {
             return Err(FrameError::CrcMismatch { expected, actual });
         }
-        let frame = Frame::decode_payload(type_id, payload)?;
+        let frame = Frame::decode_payload(type_id, flags, payload)?;
         self.buf.drain(..HEADER_LEN + len);
         Ok(Some(frame))
     }
@@ -369,8 +421,13 @@ mod tests {
             Frame::Hello { client: "app-1".into() },
             Frame::Subscribe { seq: 7, topic: "invalidb.cluster".into() },
             Frame::Unsubscribe { seq: 8, topic: "invalidb.notify.t".into() },
-            Frame::Publish { topic: "t".into(), payload: Bytes::from_static(b"{\"n\":1}") },
-            Frame::Publish { topic: String::new(), payload: Bytes::new() },
+            Frame::Publish { topic: "t".into(), payload: Bytes::from_static(b"{\"n\":1}"), trace: None },
+            Frame::Publish { topic: String::new(), payload: Bytes::new(), trace: None },
+            Frame::Publish {
+                topic: "traced".into(),
+                payload: Bytes::from_static(b"{\"trace\":{\"id\":9}}"),
+                trace: Some(TraceInfo { trace_id: 9, sent_at_micros: 1_700_000_000_000_000 }),
+            },
             Frame::Ack { seq: u64::MAX },
             Frame::Heartbeat { nonce: 42 },
         ]
@@ -423,7 +480,8 @@ mod tests {
     #[test]
     fn corrupt_payload_is_rejected() {
         let mut wire =
-            Frame::Publish { topic: "t".into(), payload: Bytes::from_static(b"abc") }.encode();
+            Frame::Publish { topic: "t".into(), payload: Bytes::from_static(b"abc"), trace: None }
+                .encode();
         let last = wire.len() - 1;
         wire[last] ^= 0xFF;
         let mut d = Decoder::new();
@@ -461,6 +519,49 @@ mod tests {
         let mut d = Decoder::new();
         d.feed(&wire);
         assert!(matches!(d.next(), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    fn traced_publish_roundtrips_and_sets_flag() {
+        let frame = Frame::Publish {
+            topic: "invalidb.cluster".into(),
+            payload: Bytes::from_static(b"{\"type\":\"write\"}"),
+            trace: Some(TraceInfo { trace_id: u64::MAX, sent_at_micros: 123 }),
+        };
+        let wire = frame.encode();
+        assert_eq!(u16::from_be_bytes([wire[6], wire[7]]), FLAG_TRACE);
+        let mut d = Decoder::new();
+        d.feed(&wire);
+        assert_eq!(d.next().unwrap(), Some(frame));
+    }
+
+    #[test]
+    fn unknown_flag_bits_rejected() {
+        let mut wire = Frame::Ack { seq: 3 }.encode();
+        wire[7] = 0x02; // reserved bit
+        let mut d = Decoder::new();
+        d.feed(&wire);
+        assert!(matches!(d.next(), Err(FrameError::UnknownFlags(0x0002))));
+        // FLAG_TRACE is Publish-only.
+        let mut wire = Frame::Ack { seq: 3 }.encode();
+        wire[7] = 0x01;
+        let mut d = Decoder::new();
+        d.feed(&wire);
+        assert!(matches!(d.next(), Err(FrameError::UnknownFlags(FLAG_TRACE))));
+    }
+
+    #[test]
+    fn trace_flag_without_trace_bytes_is_truncated() {
+        // Set FLAG_TRACE on an untraced publish: the 16 sidecar bytes are
+        // missing, so the decoder must report truncation, not garbage.
+        let frame = Frame::Publish { topic: "t".into(), payload: Bytes::from_static(b"x"), trace: None };
+        let mut wire = frame.encode();
+        wire[7] = 0x01;
+        // Fix the CRC? No — flags are outside the CRC'd payload, so the
+        // frame still passes the CRC check and fails in field decoding.
+        let mut d = Decoder::new();
+        d.feed(&wire);
+        assert!(matches!(d.next(), Err(FrameError::Truncated)));
     }
 
     #[test]

@@ -4,14 +4,18 @@
 //! executes SUBSCRIBE/UNSUBSCRIBE/PUBLISH against the backing
 //! [`BrokerHandle`]) and a *writer* thread (drains the connection's
 //! bounded [`SendQueue`], interleaving heartbeats). Each subscribed topic
-//! gets a *pump* thread bridging the broker [`Subscription`] into the
+//! gets a *pump* thread bridging the broker
+//! [`Subscription`](invalidb_broker::Subscription) into the
 //! send queue as `Publish` frames — so a slow connection backs up only
 //! its own queue, where the [`OverflowPolicy`] decides between shedding
 //! frames and disconnecting.
 
-use crate::frame::{Decoder, Frame};
+use crate::frame::{Decoder, Frame, TraceInfo};
 use crate::queue::{Closed, OverflowPolicy, SendQueue};
-use invalidb_broker::BrokerHandle;
+use invalidb_broker::{BrokerHandle, Bytes};
+use invalidb_common::trace::{now_micros, Stage, TraceContext};
+use invalidb_common::Value;
+use invalidb_obs::MetricsRegistry;
 use invalidb_stream::{LinkMetrics, LinkRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -31,6 +35,10 @@ pub struct BrokerServerConfig {
     pub overflow_policy: OverflowPolicy,
     /// How often the server sends heartbeat frames on an idle connection.
     pub heartbeat_interval: Duration,
+    /// Registry the server reports into: traced-publish counters and the
+    /// client→broker hop histogram (`net.broker_hop_us`). Share one
+    /// registry across components to get a single unified snapshot.
+    pub metrics: MetricsRegistry,
 }
 
 impl Default for BrokerServerConfig {
@@ -39,6 +47,7 @@ impl Default for BrokerServerConfig {
             queue_capacity: 1024,
             overflow_policy: OverflowPolicy::DropOldest,
             heartbeat_interval: Duration::from_millis(500),
+            metrics: MetricsRegistry::new(),
         }
     }
 }
@@ -94,6 +103,11 @@ impl BrokerServer {
     /// Per-connection link metrics, keyed by peer address.
     pub fn links(&self) -> Arc<LinkRegistry> {
         Arc::clone(&self.shared.links)
+    }
+
+    /// The metrics registry this server reports into (a shared handle).
+    pub fn registry(&self) -> MetricsRegistry {
+        self.shared.config.metrics.clone()
     }
 
     /// Stops accepting, closes every connection, and joins the accept
@@ -218,8 +232,12 @@ fn read_loop(
                     }
                     send(queue, &Frame::Ack { seq });
                 }
-                Frame::Publish { topic, payload } => {
+                Frame::Publish { topic, payload, trace } => {
                     metrics.bytes_in.fetch_add(payload.len() as u64, Ordering::Relaxed);
+                    let payload = match trace {
+                        Some(info) => stamp_broker(payload, info, &shared.config.metrics),
+                        None => payload,
+                    };
                     shared.broker.publish(&topic, payload);
                 }
                 Frame::Heartbeat { nonce } => {
@@ -263,7 +281,9 @@ fn spawn_pump(
                     }
                 };
                 metrics.bytes_out.fetch_add(payload.len() as u64, Ordering::Relaxed);
-                let frame = Frame::Publish { topic: topic.clone(), payload };
+                // Delivery-side stamping happens at the app server's
+                // dispatcher; the outbound hop carries no sidecar.
+                let frame = Frame::Publish { topic: topic.clone(), payload, trace: None };
                 if !queue.push(frame.encode()) {
                     break; // queue closed (disconnect policy or teardown)
                 }
@@ -277,6 +297,28 @@ fn spawn_pump(
 
 fn send(queue: &SendQueue, frame: &Frame) {
     queue.push(frame.encode());
+}
+
+/// Stamps [`Stage::Broker`] into a traced envelope and records the
+/// client→server hop latency. The [`TraceInfo`] sidecar (frame-header
+/// extension, see [`crate::frame::FLAG_TRACE`]) is what lets the server
+/// touch *only* sampled envelopes: unflagged publishes stay opaque bytes.
+/// Any parse failure passes the payload through unchanged — observability
+/// must never drop traffic.
+fn stamp_broker(payload: Bytes, info: TraceInfo, registry: &MetricsRegistry) -> Bytes {
+    registry.inc("net.traced_publishes");
+    registry.record("net.broker_hop_us", now_micros().saturating_sub(info.sent_at_micros));
+    let mut doc = match invalidb_json::payload_to_document(&payload) {
+        Ok(d) => d,
+        Err(_) => return payload,
+    };
+    let mut trace = match doc.get("trace").and_then(Value::as_object).map(TraceContext::from_document) {
+        Some(Ok(t)) if t.trace_id == info.trace_id => t,
+        _ => return payload, // sniff mismatch or malformed trace
+    };
+    trace.stamp(Stage::Broker);
+    doc.insert("trace", trace.to_document());
+    invalidb_json::document_to_payload(&doc)
 }
 
 fn spawn_writer(

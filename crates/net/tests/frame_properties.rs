@@ -3,7 +3,7 @@
 //! torn or corrupted streams must be rejected without producing a frame.
 
 use bytes::Bytes;
-use invalidb_net::frame::{Decoder, Frame, FrameError, HEADER_LEN};
+use invalidb_net::frame::{Decoder, Frame, FrameError, TraceInfo, HEADER_LEN};
 use proptest::prelude::*;
 
 fn topic_strategy() -> impl Strategy<Value = String> {
@@ -11,13 +11,20 @@ fn topic_strategy() -> impl Strategy<Value = String> {
     "[a-zA-Z0-9_.$-]{0,24}"
 }
 
+fn trace_strategy() -> impl Strategy<Value = Option<TraceInfo>> {
+    (any::<bool>(), any::<u64>(), any::<u64>()).prop_map(|(traced, trace_id, sent_at_micros)| {
+        traced.then_some(TraceInfo { trace_id, sent_at_micros })
+    })
+}
+
 fn frame_strategy() -> impl Strategy<Value = Frame> {
     prop_oneof![
         "[a-z0-9-]{0,16}".prop_map(|client| Frame::Hello { client }),
         (any::<u64>(), topic_strategy()).prop_map(|(seq, topic)| Frame::Subscribe { seq, topic }),
         (any::<u64>(), topic_strategy()).prop_map(|(seq, topic)| Frame::Unsubscribe { seq, topic }),
-        (topic_strategy(), prop::collection::vec(any::<u8>(), 0..256))
-            .prop_map(|(topic, payload)| Frame::Publish { topic, payload: Bytes::from(payload) }),
+        (topic_strategy(), prop::collection::vec(any::<u8>(), 0..256), trace_strategy()).prop_map(
+            |(topic, payload, trace)| Frame::Publish { topic, payload: Bytes::from(payload), trace }
+        ),
         any::<u64>().prop_map(|seq| Frame::Ack { seq }),
         any::<u64>().prop_map(|nonce| Frame::Heartbeat { nonce }),
     ]

@@ -1,0 +1,30 @@
+//! Observability for the InvaliDB notification pipeline.
+//!
+//! The paper's evaluation (§6, Fig. 6) is about *where latency lives*:
+//! how much of a notification's end-to-end time is spent in the app
+//! server, the event layer, ingestion, matching, sorting, and delivery.
+//! This crate provides the machinery to answer that for a running system
+//! without external dependencies:
+//!
+//! * **Stage tracing** — `invalidb_common::TraceContext` rides in message
+//!   envelopes; [`MetricsRegistry::record_trace`] folds completed traces
+//!   into per-stage latency histograms.
+//! * **Metrics registry** — one [`MetricsRegistry`] unifies named counters,
+//!   gauges, and log-bucket histograms with the topology/link metrics that
+//!   previously lived scattered in `crates/stream`
+//!   ([`ComponentMetrics`], [`LinkMetrics`], [`LinkRegistry`],
+//!   [`TopologyMetrics`] are now hosted here; `invalidb-stream` re-exports
+//!   them for back-compat).
+//! * **Export** — [`MetricsSnapshot`] renders as an aligned text table or
+//!   as JSON, and both renderers carry exactly the same numbers (the JSON
+//!   round-trips losslessly).
+
+#![deny(missing_docs)]
+
+mod link;
+mod registry;
+mod snapshot;
+
+pub use link::{ComponentMetrics, LinkMetrics, LinkRegistry, TopologyMetrics};
+pub use registry::MetricsRegistry;
+pub use snapshot::{HistogramSummary, MetricsSnapshot};

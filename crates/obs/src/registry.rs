@@ -1,0 +1,220 @@
+//! The unified metrics registry.
+
+use crate::link::{LinkRegistry, TopologyMetrics};
+use crate::snapshot::{HistogramSummary, MetricsSnapshot};
+use invalidb_common::{Histogram, TraceContext};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Prefix for per-stage latency histograms fed by [`MetricsRegistry::record_trace`].
+pub(crate) const STAGE_PREFIX: &str = "stage.";
+/// Name of the end-to-end latency histogram fed by `record_trace`.
+pub(crate) const E2E_HIST: &str = "stage.total";
+
+#[derive(Default)]
+struct Inner {
+    counters: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: RwLock<BTreeMap<String, Arc<AtomicU64>>>,
+    hists: RwLock<BTreeMap<String, Arc<Mutex<Histogram>>>>,
+    topologies: RwLock<Vec<(String, Arc<TopologyMetrics>)>>,
+    links: RwLock<Vec<(String, Arc<LinkRegistry>)>>,
+}
+
+/// One registry unifying every metric of a deployment: named counters,
+/// gauges, log-bucket latency histograms, plus attached topology and
+/// network-link metric families. Cheap to clone (all clones share state);
+/// every accessor creates the metric on first use, so instrumentation
+/// sites never need registration boilerplate.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Inner>,
+}
+
+impl MetricsRegistry {
+    /// A fresh, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Gets (or creates) the monotonic counter `name`.
+    pub fn counter(&self, name: &str) -> Arc<AtomicU64> {
+        get_or_insert(&self.inner.counters, name, Arc::default)
+    }
+
+    /// Gets (or creates) the gauge `name` (a settable level, not a rate).
+    pub fn gauge(&self, name: &str) -> Arc<AtomicU64> {
+        get_or_insert(&self.inner.gauges, name, Arc::default)
+    }
+
+    /// Gets (or creates) the log-bucket histogram `name`.
+    pub fn histogram(&self, name: &str) -> Arc<Mutex<Histogram>> {
+        get_or_insert(&self.inner.hists, name, || Arc::new(Mutex::new(Histogram::new())))
+    }
+
+    /// Adds `delta` to counter `name`.
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets gauge `name` to `value`.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        self.gauge(name).store(value, Ordering::Relaxed);
+    }
+
+    /// Records `value` into histogram `name`.
+    pub fn record(&self, name: &str, value: u64) {
+        self.histogram(name).lock().record(value);
+    }
+
+    /// Folds a completed trace into the per-stage latency histograms:
+    /// each hop's delta goes into `stage.<destination>` and the full
+    /// first-to-last span into `stage.total`.
+    pub fn record_trace(&self, trace: &TraceContext) {
+        for (_, to, delta) in trace.breakdown() {
+            self.record(&format!("{STAGE_PREFIX}{to}"), delta);
+        }
+        self.record(E2E_HIST, trace.elapsed_micros());
+        self.inc("traces.recorded");
+    }
+
+    /// Attaches a topology's component metrics; its counters appear in
+    /// snapshots as `<label>.<component>.{processed,emitted,ticks}`.
+    pub fn attach_topology(&self, label: &str, metrics: Arc<TopologyMetrics>) {
+        self.inner.topologies.write().push((label.to_owned(), metrics));
+    }
+
+    /// Attaches a link registry; its counters appear in snapshots as
+    /// `<label>.<link>.{frames_in,frames_out,...}` and its queue depths as
+    /// gauges.
+    pub fn attach_links(&self, label: &str, links: Arc<LinkRegistry>) {
+        self.inner.links.write().push((label.to_owned(), links));
+    }
+
+    /// A point-in-time copy of every metric this registry can see.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        for (name, c) in self.inner.counters.read().iter() {
+            snap.counters.insert(name.clone(), c.load(Ordering::Relaxed));
+        }
+        for (name, g) in self.inner.gauges.read().iter() {
+            snap.gauges.insert(name.clone(), g.load(Ordering::Relaxed));
+        }
+        for (name, h) in self.inner.hists.read().iter() {
+            snap.hists.insert(name.clone(), HistogramSummary::of(&h.lock()));
+        }
+        for (label, topo) in self.inner.topologies.read().iter() {
+            let mut names = topo.component_names();
+            names.sort();
+            for comp in names {
+                let (processed, emitted, ticks) = topo.component(&comp).snapshot();
+                snap.counters.insert(format!("{label}.{comp}.processed"), processed);
+                snap.counters.insert(format!("{label}.{comp}.emitted"), emitted);
+                snap.counters.insert(format!("{label}.{comp}.ticks"), ticks);
+            }
+        }
+        for (label, links) in self.inner.links.read().iter() {
+            let mut names = links.link_names();
+            names.sort();
+            for link in names {
+                let m = links.link(&link);
+                let base = format!("{label}.{link}");
+                snap.counters.insert(format!("{base}.frames_in"), m.frames_in.load(Ordering::Relaxed));
+                snap.counters.insert(format!("{base}.frames_out"), m.frames_out.load(Ordering::Relaxed));
+                snap.counters.insert(format!("{base}.bytes_in"), m.bytes_in.load(Ordering::Relaxed));
+                snap.counters.insert(format!("{base}.bytes_out"), m.bytes_out.load(Ordering::Relaxed));
+                snap.counters.insert(format!("{base}.dropped"), m.dropped.load(Ordering::Relaxed));
+                snap.counters.insert(format!("{base}.reconnects"), m.reconnects.load(Ordering::Relaxed));
+                snap.counters
+                    .insert(format!("{base}.decode_errors"), m.decode_errors.load(Ordering::Relaxed));
+                snap.gauges.insert(format!("{base}.queue_depth"), m.queue_depth.load(Ordering::Relaxed));
+            }
+        }
+        snap
+    }
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry")
+            .field("counters", &self.inner.counters.read().len())
+            .field("gauges", &self.inner.gauges.read().len())
+            .field("hists", &self.inner.hists.read().len())
+            .finish()
+    }
+}
+
+fn get_or_insert<T: Clone>(map: &RwLock<BTreeMap<String, T>>, name: &str, mk: impl FnOnce() -> T) -> T {
+    if let Some(v) = map.read().get(name) {
+        return v.clone();
+    }
+    let mut w = map.write();
+    w.entry(name.to_owned()).or_insert_with(mk).clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_common::Stage;
+
+    #[test]
+    fn counters_gauges_histograms() {
+        let reg = MetricsRegistry::new();
+        reg.inc("writes");
+        reg.add("writes", 2);
+        reg.set_gauge("depth", 7);
+        reg.record("lat", 100);
+        reg.record("lat", 300);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["writes"], 3);
+        assert_eq!(snap.gauges["depth"], 7);
+        assert_eq!(snap.hists["lat"].count, 2);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let reg = MetricsRegistry::new();
+        let clone = reg.clone();
+        clone.inc("shared");
+        assert_eq!(reg.snapshot().counters["shared"], 1);
+    }
+
+    #[test]
+    fn record_trace_feeds_stage_histograms() {
+        let reg = MetricsRegistry::new();
+        let mut t = TraceContext { trace_id: 1, stamps: Vec::new() };
+        t.stamp_at(Stage::AppServer, 1_000);
+        t.stamp_at(Stage::Ingestion, 1_040);
+        t.stamp_at(Stage::Matching, 1_100);
+        t.stamp_at(Stage::Delivery, 1_150);
+        reg.record_trace(&t);
+        let snap = reg.snapshot();
+        assert_eq!(snap.hists["stage.ingestion"].count, 1);
+        assert_eq!(snap.hists["stage.matching"].count, 1);
+        assert_eq!(snap.hists["stage.delivery"].count, 1);
+        assert_eq!(snap.hists["stage.total"].count, 1);
+        assert_eq!(snap.counters["traces.recorded"], 1);
+    }
+
+    #[test]
+    fn attached_topology_and_links_appear_in_snapshot() {
+        let reg = MetricsRegistry::new();
+        let topo = Arc::new(crate::TopologyMetrics::default());
+        topo.component("matching").processed.fetch_add(5, Ordering::Relaxed);
+        reg.attach_topology("cluster", Arc::clone(&topo));
+        let links = Arc::new(crate::LinkRegistry::default());
+        links.link("peer").frames_in.fetch_add(9, Ordering::Relaxed);
+        links.link("peer").queue_depth.store(4, Ordering::Relaxed);
+        reg.attach_links("net", Arc::clone(&links));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["cluster.matching.processed"], 5);
+        assert_eq!(snap.counters["net.peer.frames_in"], 9);
+        assert_eq!(snap.gauges["net.peer.queue_depth"], 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! Point-in-time metric snapshots and their renderers.
+
+use invalidb_common::{Document, Histogram, Value};
+use std::collections::BTreeMap;
+
+/// Summary statistics of one histogram, in whole microseconds.
+///
+/// All fields are integers so the JSON and text renderers carry exactly
+/// the same numbers and the JSON round-trips losslessly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HistogramSummary {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Mean, rounded to the nearest integer.
+    pub mean: u64,
+    /// Median (p50).
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Smallest recorded sample (0 when empty).
+    pub min: u64,
+    /// Largest recorded sample (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSummary {
+    /// Summarizes a histogram.
+    pub fn of(h: &Histogram) -> HistogramSummary {
+        HistogramSummary {
+            count: h.count(),
+            mean: h.mean().round() as u64,
+            p50: h.quantile(0.50),
+            p99: h.quantile(0.99),
+            min: if h.count() == 0 { 0 } else { h.min() },
+            max: h.max(),
+        }
+    }
+}
+
+/// A point-in-time copy of every metric a [`crate::MetricsRegistry`] can
+/// see: counters, gauges, and histogram summaries, each keyed by name.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauges (levels).
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram summaries.
+    pub hists: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// The per-stage latency breakdown recorded via
+    /// [`crate::MetricsRegistry::record_trace`], as
+    /// `(stage name, summary)` rows in pipeline order, ending with the
+    /// `total` row. Empty when no traces were recorded.
+    pub fn stage_breakdown(&self) -> Vec<(String, HistogramSummary)> {
+        use crate::registry::{E2E_HIST, STAGE_PREFIX};
+        let mut rows: Vec<(String, HistogramSummary)> = invalidb_common::ALL_STAGES
+            .iter()
+            .filter_map(|stage| {
+                let key = format!("{STAGE_PREFIX}{stage}");
+                self.hists.get(&key).map(|s| (stage.to_string(), *s))
+            })
+            .collect();
+        if let Some(total) = self.hists.get(E2E_HIST) {
+            rows.push(("total".to_owned(), *total));
+        }
+        rows
+    }
+
+    /// Renders the snapshot as an aligned, human-readable text table.
+    pub fn to_text_table(&self) -> String {
+        let mut out = String::new();
+        let name_width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.hists.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(4)
+            .max("metric".len());
+        if !self.counters.is_empty() || !self.gauges.is_empty() {
+            out.push_str(&format!("{:<name_width$}  {:>12}  kind\n", "metric", "value"));
+            for (name, v) in &self.counters {
+                out.push_str(&format!("{name:<name_width$}  {v:>12}  counter\n"));
+            }
+            for (name, v) in &self.gauges {
+                out.push_str(&format!("{name:<name_width$}  {v:>12}  gauge\n"));
+            }
+        }
+        if !self.hists.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!(
+                "{:<name_width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+                "histogram (µs)", "count", "mean", "p50", "p99", "min", "max"
+            ));
+            for (name, h) in &self.hists {
+                out.push_str(&format!(
+                    "{:<name_width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+                    name, h.count, h.mean, h.p50, h.p99, h.min, h.max
+                ));
+            }
+        }
+        out
+    }
+
+    /// Encodes the snapshot as a document (the JSON object model).
+    pub fn to_document(&self) -> Document {
+        let mut d = Document::with_capacity(3);
+        let mut counters = Document::with_capacity(self.counters.len());
+        for (name, v) in &self.counters {
+            counters.insert(name.as_str(), *v as i64);
+        }
+        d.insert("counters", counters);
+        let mut gauges = Document::with_capacity(self.gauges.len());
+        for (name, v) in &self.gauges {
+            gauges.insert(name.as_str(), *v as i64);
+        }
+        d.insert("gauges", gauges);
+        let mut hists = Document::with_capacity(self.hists.len());
+        for (name, h) in &self.hists {
+            let mut hd = Document::with_capacity(6);
+            hd.insert("count", h.count as i64);
+            hd.insert("mean", h.mean as i64);
+            hd.insert("p50", h.p50 as i64);
+            hd.insert("p99", h.p99 as i64);
+            hd.insert("min", h.min as i64);
+            hd.insert("max", h.max as i64);
+            hists.insert(name.as_str(), hd);
+        }
+        d.insert("hists", hists);
+        d
+    }
+
+    /// Decodes a snapshot from its document encoding.
+    pub fn from_document(d: &Document) -> Option<MetricsSnapshot> {
+        let mut snap = MetricsSnapshot::default();
+        for (name, v) in d.get("counters")?.as_object()?.iter() {
+            snap.counters.insert(name.to_owned(), v.as_i64()? as u64);
+        }
+        for (name, v) in d.get("gauges")?.as_object()?.iter() {
+            snap.gauges.insert(name.to_owned(), v.as_i64()? as u64);
+        }
+        for (name, v) in d.get("hists")?.as_object()?.iter() {
+            let hd = v.as_object()?;
+            let field = |k: &str| hd.get(k).and_then(Value::as_i64).map(|x| x as u64);
+            snap.hists.insert(
+                name.to_owned(),
+                HistogramSummary {
+                    count: field("count")?,
+                    mean: field("mean")?,
+                    p50: field("p50")?,
+                    p99: field("p99")?,
+                    min: field("min")?,
+                    max: field("max")?,
+                },
+            );
+        }
+        Some(snap)
+    }
+
+    /// Renders the snapshot as a JSON string.
+    pub fn to_json(&self) -> String {
+        invalidb_json::to_string(&self.to_document())
+    }
+
+    /// Parses a snapshot from the JSON produced by [`MetricsSnapshot::to_json`].
+    pub fn from_json(json: &str) -> Option<MetricsSnapshot> {
+        let doc = invalidb_json::parse_document(json).ok()?;
+        MetricsSnapshot::from_document(&doc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("writes".into(), 12);
+        snap.counters.insert("matched".into(), 7);
+        snap.gauges.insert("queue_depth".into(), 3);
+        snap.hists.insert(
+            "stage.matching".into(),
+            HistogramSummary { count: 5, mean: 40, p50: 32, p99: 130, min: 10, max: 130 },
+        );
+        snap
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let snap = sample();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn text_and_json_carry_the_same_numbers() {
+        let snap = sample();
+        let text = snap.to_text_table();
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        // Every number in the JSON round-trip also appears in the table.
+        for (name, v) in &back.counters {
+            assert!(text.contains(name));
+            assert!(text.contains(&v.to_string()), "{v} missing from table");
+        }
+        for (name, h) in &back.hists {
+            assert!(text.contains(name));
+            for v in [h.count, h.mean, h.p50, h.p99, h.min, h.max] {
+                assert!(text.contains(&v.to_string()), "{v} missing from table");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_breakdown_orders_rows_and_appends_total() {
+        let mut snap = MetricsSnapshot::default();
+        snap.hists.insert("stage.matching".into(), HistogramSummary::default());
+        snap.hists.insert("stage.ingestion".into(), HistogramSummary::default());
+        snap.hists.insert("stage.total".into(), HistogramSummary::default());
+        snap.hists.insert("unrelated".into(), HistogramSummary::default());
+        let rows: Vec<String> = snap.stage_breakdown().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(rows, vec!["ingestion", "matching", "total"]);
+    }
+
+    #[test]
+    fn empty_snapshot_renders() {
+        let snap = MetricsSnapshot::default();
+        assert!(snap.to_text_table().is_empty());
+        let back = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(snap, back);
+    }
+}

@@ -53,7 +53,7 @@ impl QueryCache {
         // the entry stale (a production cache would do this asynchronously).
         if let Some(entry) = entries.get_mut(&key) {
             let mut stale = false;
-            while let Some(ev) = entry.subscription.try_next_event() {
+            while let Some(ev) = entry.subscription.events().non_blocking().next() {
                 if matches!(ev, ClientEvent::Change(_) | ClientEvent::MaintenanceError(_)) {
                     stale = true;
                 }
@@ -71,7 +71,7 @@ impl QueryCache {
         let result = self.app.find(spec).expect("query");
         let mut subscription = self.app.subscribe(spec).expect("subscribe");
         // Consume the initial result so only *changes* invalidate.
-        let _ = subscription.next_event(Duration::from_secs(5));
+        let _ = subscription.events().timeout(Duration::from_secs(5)).next();
         entries.insert(key, CacheEntry { result: result.clone(), subscription });
         result
     }
@@ -89,7 +89,7 @@ fn main() {
         "shop",
         Arc::clone(&store),
         broker.clone(),
-        AppServerConfig::default(),
+        AppServerConfig::builder().build().expect("valid config"),
     ));
     let cache = QueryCache::new(Arc::clone(&app));
 

@@ -45,8 +45,12 @@ fn main() {
         RemoteBrokerConfig { client_name: "distributed-example".into(), ..Default::default() },
     );
     assert!(remote.wait_connected(Duration::from_secs(5)), "event layer reachable");
-    let app =
-        AppServer::start("distributed", Arc::clone(&store), remote.clone(), AppServerConfig::default());
+    let app = AppServer::start(
+        "distributed",
+        Arc::clone(&store),
+        remote.clone(),
+        AppServerConfig::builder().build().expect("valid config"),
+    );
 
     for (name, age) in [("ada", 36i64), ("grace", 45), ("edsger", 28)] {
         app.insert("users", Key::of(name), doc! { "name" => name, "age" => age }).unwrap();
@@ -54,13 +58,13 @@ fn main() {
 
     let adults = QuerySpec::filter("users", doc! { "age" => doc! { "$gte" => 30i64 } });
     let mut sub = app.subscribe(&adults).unwrap();
-    match sub.next_event(Duration::from_secs(5)).expect("initial result") {
+    match sub.events().timeout(Duration::from_secs(5)).next().expect("initial result") {
         ClientEvent::Initial(items) => println!("initial result over TCP: {} adults", items.len()),
         other => panic!("unexpected event: {other:?}"),
     }
 
     app.insert("users", Key::of("barbara"), doc! { "name" => "barbara", "age" => 33i64 }).unwrap();
-    match sub.next_event(Duration::from_secs(5)).expect("change notification") {
+    match sub.events().timeout(Duration::from_secs(5)).next().expect("change notification") {
         ClientEvent::Change(c) => println!("notification over TCP: {} {}", c.match_type, c.item.key),
         other => println!("event: {other:?}"),
     }
@@ -78,7 +82,8 @@ fn main() {
 
     app.insert("users", Key::of("annie"), doc! { "name" => "annie", "age" => 52i64 }).unwrap();
     loop {
-        match sub.next_event(Duration::from_secs(10)).expect("notification after reconnect") {
+        match sub.events().timeout(Duration::from_secs(10)).next().expect("notification after reconnect")
+        {
             ClientEvent::Change(c) if c.item.key == Key::of("annie") => {
                 println!("notification after reconnect: {} {}", c.match_type, c.item.key);
                 break;

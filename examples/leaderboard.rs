@@ -24,7 +24,12 @@ fn main() {
     let store = Arc::new(Store::new());
     let broker = Broker::new();
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
-    let app = AppServer::start("game", Arc::clone(&store), broker.clone(), AppServerConfig::default());
+    let app = AppServer::start(
+        "game",
+        Arc::clone(&store),
+        broker.clone(),
+        AppServerConfig::builder().build().expect("valid config"),
+    );
 
     let mut rng = StdRng::seed_from_u64(42);
     let players = ["ada", "bob", "cyd", "dee", "eli", "fay", "gus", "hal", "ivy", "joe"];
@@ -40,7 +45,7 @@ fn main() {
         .with_limit(5);
     println!("subscribing: {spec}");
     let mut sub = app.subscribe(&spec).unwrap();
-    sub.next_event(Duration::from_secs(5)).expect("initial");
+    sub.events().timeout(Duration::from_secs(5)).next().expect("initial");
     print_board(&sub);
 
     // Churn scores and show the incremental notifications.
@@ -57,7 +62,7 @@ fn main() {
         let mut events = Vec::new();
         let deadline = std::time::Instant::now() + Duration::from_millis(400);
         while std::time::Instant::now() < deadline {
-            if let Some(ev) = sub.next_event(Duration::from_millis(50)) {
+            if let Some(ev) = sub.events().timeout(Duration::from_millis(50)).next() {
                 events.push(ev);
             }
         }

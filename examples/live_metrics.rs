@@ -23,7 +23,12 @@ fn main() {
     let store = Arc::new(Store::new());
     let broker = Broker::new();
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
-    let app = AppServer::start("shop", Arc::clone(&store), broker.clone(), AppServerConfig::default());
+    let app = AppServer::start(
+        "shop",
+        Arc::clone(&store),
+        broker.clone(),
+        AppServerConfig::builder().build().expect("valid config"),
+    );
 
     let open = doc! { "status" => "open" };
     let metrics: Vec<(&str, QuerySpec)> = vec![
@@ -45,7 +50,7 @@ fn main() {
         .iter()
         .map(|(name, spec)| {
             let mut sub = app.subscribe(spec).expect("subscribe");
-            match sub.next_event(Duration::from_secs(5)) {
+            match sub.events().timeout(Duration::from_secs(5)).next() {
                 Some(ClientEvent::Aggregate { .. }) => {}
                 other => panic!("expected initial aggregate, got {other:?}"),
             }
@@ -55,7 +60,7 @@ fn main() {
 
     let dashboard = |subs: &mut Vec<(&str, Subscription)>, label: &str| {
         for (_, sub) in subs.iter_mut() {
-            while sub.try_next_event().is_some() {}
+            while sub.events().non_blocking().next().is_some() {}
         }
         println!("\n== {label} ==");
         for (name, sub) in subs.iter() {

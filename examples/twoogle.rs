@@ -18,8 +18,12 @@ fn main() {
     let store = Arc::new(Store::new());
     let broker = Broker::new();
     let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
-    let app =
-        AppServer::start("twoogle", Arc::clone(&store), broker.clone(), AppServerConfig::default());
+    let app = AppServer::start(
+        "twoogle",
+        Arc::clone(&store),
+        broker.clone(),
+        AppServerConfig::builder().build().expect("valid config"),
+    );
 
     // Three live searches, each far beyond Firebase/Firestore expressiveness.
     let searches: Vec<(&str, QuerySpec)> = vec![
@@ -59,7 +63,7 @@ fn main() {
         .iter()
         .map(|(name, spec)| {
             let mut s = app.subscribe(spec).expect("subscribe");
-            s.next_event(Duration::from_secs(5)).expect("initial");
+            s.events().timeout(Duration::from_secs(5)).next().expect("initial");
             (*name, s)
         })
         .collect();
@@ -113,7 +117,7 @@ fn main() {
     let mut matched = Vec::new();
     for (name, sub) in subs.iter_mut() {
         let mut hits = Vec::new();
-        while let Some(ev) = sub.try_next_event() {
+        while let Some(ev) = sub.events().non_blocking().next() {
             if let ClientEvent::Change(c) = ev {
                 hits.push(c.item.key.to_string());
             }

@@ -15,6 +15,7 @@
 //! * [`core`] — the InvaliDB cluster (2-D partitioned matching)
 //! * [`client`] — the application server / InvaliDB client
 //! * [`net`] — TCP event-layer transport (framing, reconnect, chaos proxy)
+//! * [`obs`] — pipeline observability: stage tracing + metrics registry
 //! * [`baselines`] — poll-and-diff and log-tailing comparators
 //! * [`sim`] — discrete-event simulator for scalability studies
 //!
@@ -23,6 +24,37 @@
 //! See `examples/quickstart.rs` for an end-to-end walkthrough: start a
 //! store, broker and cluster; subscribe to a real-time query through an
 //! application server; perform writes and receive push notifications.
+//!
+//! ## The layered client API
+//!
+//! The recommended surface, re-exported here at the top level:
+//!
+//! * Configuration through validating builders —
+//!   [`AppServerConfig::builder`](client::AppServerConfig::builder) and
+//!   [`ClusterConfig::builder`](core::ClusterConfig::builder) — which
+//!   reject inconsistent settings at construction time instead of
+//!   panicking deep inside the pipeline.
+//! * One [`Error`] type for every client-facing operation
+//!   (`subscribe`, `find`, the write methods), with [`From`] conversions
+//!   so `?` works across the store/config boundary.
+//! * Event consumption through the [`Events`] iterator
+//!   ([`Subscription::events`](client::Subscription::events)) — blocking,
+//!   non-blocking, and coalescing modes behind one interface.
+//!
+//! ## Observability
+//!
+//! The [`obs`] crate threads a sampled [`TraceContext`]
+//! through every pipeline stage (app server → broker → ingestion →
+//! matching → sorting → notifier → delivery) and aggregates per-stage
+//! latency histograms, counters, and gauges in one
+//! [`MetricsRegistry`]. Snapshots render as a text
+//! table or JSON via [`MetricsSnapshot`]. Enable
+//! tracing by setting
+//! [`trace_sample_every`](client::AppServerConfig::trace_sample_every) and
+//! read a delivered notification's breakdown from
+//! [`Subscription::last_trace`](client::Subscription::last_trace).
+
+#![deny(missing_docs)]
 
 pub use invalidb_baselines as baselines;
 pub use invalidb_broker as broker;
@@ -31,12 +63,18 @@ pub use invalidb_common as common;
 pub use invalidb_core as core;
 pub use invalidb_json as json;
 pub use invalidb_net as net;
+pub use invalidb_obs as obs;
 pub use invalidb_query as query;
 pub use invalidb_sim as sim;
 pub use invalidb_store as store;
 pub use invalidb_stream as stream;
 
+pub use invalidb_client::{
+    AppServer, AppServerConfig, AppServerConfigBuilder, ClientEvent, Error, Events, Subscription,
+};
 pub use invalidb_common::{
     doc, AfterImage, ChangeItem, Document, Key, MatchType, Notification, NotificationKind, QueryHash,
-    QuerySpec, ResultItem, SortDirection, SubscriptionId, TenantId, Value, Version,
+    QuerySpec, ResultItem, SortDirection, Stage, SubscriptionId, TenantId, TraceContext, Value, Version,
 };
+pub use invalidb_core::{Cluster, ClusterConfig, ClusterConfigBuilder};
+pub use invalidb_obs::{MetricsRegistry, MetricsSnapshot};

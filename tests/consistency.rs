@@ -38,7 +38,10 @@ fn unsorted_results_converge_under_reordering() {
 
         let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 50i64 } });
         let mut sub = app.subscribe(&spec).unwrap();
-        assert!(matches!(sub.next_event(Duration::from_secs(5)), Some(ClientEvent::Initial(_))));
+        assert!(matches!(
+            sub.events().timeout(Duration::from_secs(5)).next(),
+            Some(ClientEvent::Initial(_))
+        ));
 
         let mut rng = StdRng::seed_from_u64(seed);
         for _ in 0..200 {
@@ -53,7 +56,7 @@ fn unsorted_results_converge_under_reordering() {
         // Convergence: live result (as a set) equals the pull truth.
         let deadline = std::time::Instant::now() + Duration::from_secs(15);
         loop {
-            while sub.try_next_event().is_some() {}
+            while sub.events().non_blocking().next().is_some() {}
             let mut live = sub.result().keys();
             live.sort();
             let mut truth: Vec<Key> = store.execute(&spec).unwrap().into_iter().map(|r| r.key).collect();
@@ -94,7 +97,7 @@ fn sorted_results_converge_under_reordering() {
     }
     let spec = QuerySpec::filter("s", doc! {}).sorted_by("rank", SortDirection::Asc).with_limit(5);
     let mut sub = app.subscribe(&spec).unwrap();
-    sub.next_event(Duration::from_secs(5)).unwrap();
+    sub.events().timeout(Duration::from_secs(5)).next().unwrap();
 
     let mut rng = StdRng::seed_from_u64(4);
     for _ in 0..150 {
@@ -108,7 +111,7 @@ fn sorted_results_converge_under_reordering() {
 
     let deadline = std::time::Instant::now() + Duration::from_secs(20);
     loop {
-        while sub.try_next_event().is_some() {}
+        while sub.events().non_blocking().next().is_some() {}
         let live = sub.result().keys();
         let truth: Vec<Key> = store.execute(&spec).unwrap().into_iter().map(|r| r.key).collect();
         if live == truth {
@@ -155,6 +158,7 @@ fn stale_after_images_never_resurrect_deleted_records() {
             version,
             doc,
             written_at: 0,
+            trace: None,
         }));
     };
     // v1 insert, v2 delete arrive in order; then the v1 after-image is

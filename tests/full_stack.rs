@@ -124,10 +124,13 @@ fn pluggable_kv_engine_end_to_end() {
 
     let spec = QuerySpec::filter("kvdata", doc! { "color" => "green" });
     let mut sub = app.subscribe(&spec).unwrap();
-    assert!(matches!(sub.next_event(Duration::from_secs(5)), Some(ClientEvent::Initial(_))));
+    assert!(matches!(
+        sub.events().timeout(Duration::from_secs(5)).next(),
+        Some(ClientEvent::Initial(_))
+    ));
     app.insert("kvdata", Key::of(1i64), doc! { "color" => "green" }).unwrap();
     app.insert("kvdata", Key::of(2i64), doc! { "color" => "red" }).unwrap();
-    match sub.next_event(Duration::from_secs(5)).expect("kv engine matches") {
+    match sub.events().timeout(Duration::from_secs(5)).next().expect("kv engine matches") {
         ClientEvent::Change(c) => assert_eq!(c.item.key, Key::of(1i64)),
         other => panic!("unexpected {other:?}"),
     }
@@ -153,7 +156,7 @@ fn concurrent_writers_with_live_subscription() {
 
     let spec = QuerySpec::filter("c", doc! { "hot" => true });
     let mut sub = app.subscribe(&spec).unwrap();
-    sub.next_event(Duration::from_secs(5)).unwrap();
+    sub.events().timeout(Duration::from_secs(5)).next().unwrap();
 
     let threads: Vec<_> = (0..4)
         .map(|t| {
@@ -172,7 +175,7 @@ fn concurrent_writers_with_live_subscription() {
     // 4 threads x 25 matching inserts.
     let deadline = std::time::Instant::now() + Duration::from_secs(10);
     while sub.result().len() < 100 && std::time::Instant::now() < deadline {
-        while sub.try_next_event().is_some() {}
+        while sub.events().non_blocking().next().is_some() {}
         std::thread::sleep(Duration::from_millis(20));
     }
     assert_eq!(sub.result().len(), 100);
@@ -211,7 +214,7 @@ fn durable_store_restart_with_realtime_layer() {
     let app = AppServer::start("dur", Arc::clone(&store), broker.clone(), AppServerConfig::default());
     let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
     let mut sub = app.subscribe(&spec).unwrap();
-    match sub.next_event(Duration::from_secs(5)).expect("initial") {
+    match sub.events().timeout(Duration::from_secs(5)).next().expect("initial") {
         ClientEvent::Initial(items) => assert_eq!(items.len(), 9, "9 records survived"),
         other => panic!("unexpected {other:?}"),
     }
@@ -219,7 +222,7 @@ fn durable_store_restart_with_realtime_layer() {
     // the matching node never confuses the new record with the old one.
     let w = app.insert("t", Key::of(3i64), doc! { "n" => 3i64 }).unwrap();
     assert_eq!(w.version, 3, "tombstone version survived the restart");
-    match sub.next_event(Duration::from_secs(5)).expect("add") {
+    match sub.events().timeout(Duration::from_secs(5)).next().expect("add") {
         ClientEvent::Change(c) => {
             assert_eq!(c.match_type, invalidb::MatchType::Add);
             assert_eq!(c.item.version, 3);

@@ -58,7 +58,7 @@ fn assert_converges(
     let deadline = Instant::now() + deadline;
     loop {
         for (sub, _) in subs.iter_mut() {
-            while sub.try_next_event().is_some() {}
+            while sub.events().non_blocking().next().is_some() {}
         }
         let mut divergences = Vec::new();
         for (sub, spec) in subs.iter_mut() {
@@ -119,7 +119,10 @@ fn subscribe_write_notify_across_tcp_with_chaos() {
     for spec in [&unsorted, &sorted] {
         let mut sub = app.subscribe(spec).unwrap();
         assert!(
-            matches!(sub.next_event(Duration::from_secs(10)), Some(ClientEvent::Initial(_))),
+            matches!(
+                sub.events().timeout(Duration::from_secs(10)).next(),
+                Some(ClientEvent::Initial(_))
+            ),
             "initial result arrives over TCP"
         );
         subs.push((sub, spec.clone()));
@@ -162,7 +165,10 @@ fn forced_disconnect_recovers_via_replay() {
 
     let spec = QuerySpec::filter("items", doc! { "n" => doc! { "$gte" => 0i64 } });
     let mut sub = app.subscribe(&spec).unwrap();
-    assert!(matches!(sub.next_event(Duration::from_secs(10)), Some(ClientEvent::Initial(_))));
+    assert!(matches!(
+        sub.events().timeout(Duration::from_secs(10)).next(),
+        Some(ClientEvent::Initial(_))
+    ));
     let mut subs = vec![(sub, spec)];
 
     let mut rng = StdRng::seed_from_u64(2020);
