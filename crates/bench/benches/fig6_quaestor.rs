@@ -9,18 +9,28 @@
 //!   Firestore's/Firebase's documented per-collection write limits);
 //! * (c) latency distribution snapshot, read-heavy (24 000 queries);
 //! * (d) latency distribution snapshot, write-heavy (5 000 ops/s).
+//!
+//! Besides the text tables, every number is also written to
+//! `BENCH_fig6.json` so plots and regression tooling can consume the run
+//! without scraping stdout.
 
 use invalidb_bench::table;
+use invalidb_common::{Document, Value};
 use invalidb_sim::{simulate, SimParams};
 use std::time::Duration;
 
 fn main() {
     let scale = invalidb_bench::scale();
     let duration = 20.0 * scale;
+    let mut out = Document::with_capacity(8);
+    out.insert("benchmark", "fig6_quaestor");
+    out.insert("scale", scale);
+    out.insert("sim_duration_s", duration);
 
     // (a) read side: 16 QP x 1 WP, like the paper's read-heavy deployment.
     table::banner("Figure 6a", "p99 latency vs. query load @ 1k ops/s (16 QP, 1 WP)");
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for queries in [500u64, 1_000, 2_000, 4_000, 8_000, 12_000, 16_000, 24_000, 28_000] {
         let mut standalone = SimParams::new(16, 1);
         standalone.queries = queries;
@@ -35,13 +45,21 @@ fn main() {
             format!("{:.1}", q.p99_ms()),
             format!("{:+.1}", q.p99_ms() - s.p99_ms()),
         ]);
+        let mut row = Document::with_capacity(4);
+        row.insert("queries", queries as i64);
+        row.insert("standalone_p99_ms", s.p99_ms());
+        row.insert("quaestor_p99_ms", q.p99_ms());
+        row.insert("overhead_ms", q.p99_ms() - s.p99_ms());
+        json_rows.push(Value::from(row));
     }
+    out.insert("fig6a", Value::Array(json_rows));
     table::table(&["queries", "standalone p99 (ms)", "quaestor p99 (ms)", "overhead"], &rows);
     println!("paper: constant ~5 ms offset; app server not a bottleneck on the read side");
 
     // (b) write side: 1 QP x 16 WP.
     table::banner("Figure 6b", "p99 latency vs. write load @ 1k queries (1 QP, 16 WP)");
     let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
     for writes in [500.0f64, 1_000.0, 2_000.0, 4_000.0, 5_000.0, 6_000.0, 8_000.0, 12_000.0] {
         let mut standalone = SimParams::new(1, 16);
         standalone.writes_per_sec = writes;
@@ -55,14 +73,21 @@ fn main() {
             format!("{:.1}", s.p99_ms()),
             format!("{:.1}", q.p99_ms()),
         ]);
+        let mut row = Document::with_capacity(3);
+        row.insert("ops_per_sec", writes);
+        row.insert("standalone_p99_ms", s.p99_ms());
+        row.insert("quaestor_p99_ms", q.p99_ms());
+        json_rows.push(Value::from(row));
     }
+    out.insert("fig6b", Value::Array(json_rows));
     table::table(&["ops/s", "standalone p99 (ms)", "quaestor p99 (ms)"], &rows);
     println!("paper: quaestor knee at ~6k ops/s (single app server); standalone keeps going");
 
     // (c) + (d): latency distributions at the paper's snapshot points.
-    for (id, title, qp, wp, queries, writes) in [
+    for (id, key, title, qp, wp, queries, writes) in [
         (
             "Figure 6c",
+            "fig6c",
             "latency distribution, read-heavy (24k queries @ 1k ops/s)",
             16usize,
             1usize,
@@ -71,6 +96,7 @@ fn main() {
         ),
         (
             "Figure 6d",
+            "fig6d",
             "latency distribution, write-heavy (1k queries @ 5k ops/s)",
             1,
             16,
@@ -79,6 +105,7 @@ fn main() {
         ),
     ] {
         table::banner(id, title);
+        let mut json_rows = Vec::new();
         for with_app in [false, true] {
             let mut p = SimParams::new(qp, wp);
             p.queries = queries;
@@ -95,18 +122,33 @@ fn main() {
                 r.notifications
             );
             print_distribution(&r.latency_us);
+            let mut row = Document::with_capacity(5);
+            row.insert("mode", label);
+            row.insert("mean_ms", r.mean_ms());
+            row.insert("p50_ms", r.latency_us.quantile(0.5) as f64 / 1_000.0);
+            row.insert("p99_ms", r.p99_ms());
+            row.insert("notifications", r.notifications as i64);
+            json_rows.push(Value::from(row));
         }
+        out.insert(key, Value::Array(json_rows));
     }
     println!("\npaper: quaestor's distribution is the standalone one shifted right ~5 ms, longer tail under write pressure, <100 ms near capacity");
 
-    stage_breakdown();
+    out.insert("fig6e", stage_breakdown());
+
+    let json = invalidb_json::to_string(&out);
+    match std::fs::write("BENCH_fig6.json", &json) {
+        Ok(()) => println!("\nmachine-readable results written to BENCH_fig6.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_fig6.json: {e}"),
+    }
 }
 
 /// (e) Extension beyond the paper: where does the latency go? Runs the
 /// *real* pipeline (store + broker + 2x2 cluster + app server) with
 /// stage tracing on every write and prints the per-stage latency table
-/// aggregated by the shared metrics registry.
-fn stage_breakdown() {
+/// aggregated by the shared metrics registry. Returns the same numbers as
+/// a JSON value for `BENCH_fig6.json`.
+fn stage_breakdown() -> Value {
     use invalidb_broker::Broker;
     use invalidb_client::{AppServer, AppServerConfig, ClientEvent};
     use invalidb_common::{doc, Key, QuerySpec};
@@ -152,23 +194,34 @@ fn stage_breakdown() {
     }
 
     let snapshot = app.metrics();
-    let rows: Vec<Vec<String>> = snapshot
-        .stage_breakdown()
-        .into_iter()
-        .map(|(stage, h)| {
-            vec![
-                stage,
-                format!("{}", h.count),
-                format!("{}", h.mean),
-                format!("{}", h.p50),
-                format!("{}", h.p99),
-                format!("{}", h.max),
-            ]
-        })
-        .collect();
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut stages = Vec::new();
+    for (stage, h) in snapshot.stage_breakdown() {
+        rows.push(vec![
+            stage.clone(),
+            format!("{}", h.count),
+            format!("{}", h.mean),
+            format!("{}", h.p50),
+            format!("{}", h.p99),
+            format!("{}", h.max),
+        ]);
+        let mut row = Document::with_capacity(6);
+        row.insert("stage", stage);
+        row.insert("count", h.count as i64);
+        row.insert("mean_us", h.mean as i64);
+        row.insert("p50_us", h.p50 as i64);
+        row.insert("p99_us", h.p99 as i64);
+        row.insert("max_us", h.max as i64);
+        stages.push(Value::from(row));
+    }
     table::table(&["stage (µs)", "count", "mean", "p50", "p99", "max"], &rows);
     println!("{writes} traced writes, {delivered} notifications delivered; stage.total is the end-to-end write->delivery latency, the stage.* rows its additive decomposition");
     cluster.shutdown();
+    let mut fig6e = Document::with_capacity(3);
+    fig6e.insert("traced_writes", writes);
+    fig6e.insert("delivered", delivered as i64);
+    fig6e.insert("stages", Value::Array(stages));
+    Value::from(fig6e)
 }
 
 /// Prints a coarse latency histogram (2 ms buckets to 40 ms, like Fig 6c/d).

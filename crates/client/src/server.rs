@@ -8,7 +8,7 @@ use invalidb_common::{
     AfterImage, ClusterMessage, ConfigError, Document, Key, Notification, NotificationKind, QueryHash,
     QuerySpec, ResultItem, Stage, SubscriptionId, SubscriptionRequest, TenantId, TraceContext,
 };
-use invalidb_obs::{MetricsRegistry, MetricsSnapshot};
+use invalidb_obs::{AdminConfig, AdminServer, FlightEventKind, MetricsRegistry, MetricsSnapshot};
 use invalidb_query::normalize_spec;
 use invalidb_store::{Store, UpdateSpec, WriteResult};
 use parking_lot::Mutex;
@@ -51,6 +51,10 @@ pub struct AppServerConfig {
     /// cluster (`ClusterConfig`'s `metrics` field) to get a single combined
     /// snapshot.
     pub metrics: MetricsRegistry,
+    /// Optional bind address (e.g. `"127.0.0.1:9464"`) for an admin
+    /// endpoint serving `/metrics`, `/healthz`, `/queries` and `/flight`
+    /// over HTTP. `None` (the default) disables the endpoint.
+    pub admin_addr: Option<String>,
 }
 
 impl Default for AppServerConfig {
@@ -65,6 +69,7 @@ impl Default for AppServerConfig {
             max_slack: 64,
             trace_sample_every: 0,
             metrics: MetricsRegistry::new(),
+            admin_addr: None,
         }
     }
 }
@@ -136,6 +141,13 @@ impl AppServerConfigBuilder {
     /// Registry receiving this app server's metrics and traces.
     pub fn metrics(mut self, registry: MetricsRegistry) -> Self {
         self.config.metrics = registry;
+        self
+    }
+
+    /// Binds an admin endpoint (`/metrics`, `/healthz`, `/queries`,
+    /// `/flight`) to the given address, e.g. `"127.0.0.1:0"`.
+    pub fn admin_addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.admin_addr = Some(addr.into());
         self
     }
 
@@ -230,6 +242,7 @@ pub struct AppServer {
     shared: Arc<Shared>,
     renewal_bucket: Arc<TokenBucket>,
     threads: Vec<std::thread::JoinHandle<()>>,
+    admin: Option<AdminServer>,
 }
 
 impl AppServer {
@@ -254,6 +267,17 @@ impl AppServer {
             writes_forwarded: AtomicU64::new(0),
         });
         let renewal_bucket = Arc::new(TokenBucket::new(config.renewal_burst, config.renewals_per_sec));
+        // Optional admin plane. A failed bind does not abort the server but
+        // is counted so it cannot go unnoticed.
+        let admin = config.admin_addr.as_deref().and_then(|addr| {
+            match AdminServer::bind(addr, config.metrics.clone(), AdminConfig::default()) {
+                Ok(server) => Some(server),
+                Err(_) => {
+                    config.metrics.inc("admin.bind_errors");
+                    None
+                }
+            }
+        });
         let mut server = Self {
             tenant: tenant.clone(),
             store,
@@ -262,6 +286,7 @@ impl AppServer {
             shared,
             renewal_bucket,
             threads: Vec::new(),
+            admin,
         };
         server.spawn_dispatcher();
         server.spawn_keeper();
@@ -299,6 +324,18 @@ impl AppServer {
     /// The live registry this app server reports into.
     pub fn registry(&self) -> MetricsRegistry {
         self.config.metrics.clone()
+    }
+
+    /// Where the admin endpoint actually listens (useful with a `:0` bind),
+    /// or `None` when [`AppServerConfig::admin_addr`] was unset or the bind
+    /// failed (counted as `admin.bind_errors`).
+    pub fn admin_addr(&self) -> Option<std::net::SocketAddr> {
+        self.admin.as_ref().map(|a| a.local_addr())
+    }
+
+    /// The hosted admin server, when one is running.
+    pub fn admin(&self) -> Option<&AdminServer> {
+        self.admin.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -422,6 +459,10 @@ impl AppServer {
             slack,
             ttl_micros: self.config.ttl.as_micros() as u64,
         }));
+        self.config.metrics.flight().record(
+            FlightEventKind::Subscribe,
+            format!("{} sub={} {}", self.tenant, id.0, spec.collection),
+        );
         Ok(Subscription {
             id,
             rx,
@@ -439,6 +480,10 @@ impl AppServer {
                 subscription: subscription.id,
                 query_hash: entry.query_hash,
             });
+            self.config.metrics.flight().record(
+                FlightEventKind::Unsubscribe,
+                format!("{} sub={} {}", self.tenant, subscription.id.0, entry.spec.collection),
+            );
         }
     }
 
@@ -597,10 +642,17 @@ impl AppServer {
                         .set_gauge("appserver.active_subscriptions", shared.subs.lock().len() as u64);
                     // 3. Heartbeat supervision: terminate on cluster silence.
                     let silent_for = shared.last_heartbeat.lock().elapsed();
+                    config
+                        .metrics
+                        .set_gauge("appserver.heartbeat_stale_ms", silent_for.as_millis() as u64);
                     if silent_for > config.heartbeat_timeout
                         && !shared.connection_lost.swap(true, Ordering::Relaxed)
                     {
                         config.metrics.inc("appserver.connection_lost");
+                        config.metrics.flight().record(
+                            FlightEventKind::Disconnect,
+                            format!("{tenant}: cluster heartbeats stopped"),
+                        );
                         let subs = shared.subs.lock();
                         for entry in subs.values() {
                             let _ = entry.tx.send((ClientEvent::ConnectionLost, None));

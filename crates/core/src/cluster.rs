@@ -10,7 +10,9 @@ use crate::sorting::SortingNode;
 use invalidb_broker::{BrokerHandle, CLUSTER_TOPIC};
 use invalidb_common::partition::partition_of;
 use invalidb_common::{ClusterMessage, GridShape, Stage, SystemClock};
-use invalidb_obs::{MetricsRegistry, MetricsSnapshot};
+use invalidb_obs::{
+    AdminConfig, AdminServer, FlightRecorder, MetricsRegistry, MetricsSnapshot, SlowQueryLog,
+};
 use invalidb_stream::{
     Bolt, BoltContext, Grouping, RunningTopology, Source, TopologyBuilder, TopologyConfig,
     TopologyMetrics,
@@ -31,6 +33,7 @@ pub struct Cluster {
     grid: GridShape,
     decode_errors: Arc<AtomicU64>,
     registry: MetricsRegistry,
+    admin: Option<AdminServer>,
 }
 
 impl Cluster {
@@ -80,8 +83,8 @@ impl Cluster {
         {
             let config = config.clone();
             let clock = clock.clone();
-            b.add_bolt("sorting", config.sorting_tasks.max(1), move |_| {
-                Box::new(SortingNode::new(config.clone(), clock.clone() as _))
+            b.add_bolt("sorting", config.sorting_tasks.max(1), move |task| {
+                Box::new(SortingNode::new(task, config.clone(), clock.clone() as _))
             });
         }
 
@@ -240,7 +243,19 @@ impl Cluster {
         let registry = config.metrics.clone();
         let topology = b.start();
         registry.attach_topology("cluster", Arc::clone(topology.metrics()));
-        Cluster { topology: Some(topology), grid, decode_errors, registry }
+        // Optional admin plane. A failed bind does not abort the cluster
+        // (the pipeline is the product; the admin endpoint is a window into
+        // it) but is recorded so it cannot go unnoticed.
+        let admin = config.admin_addr.as_deref().and_then(|addr| {
+            match AdminServer::bind(addr, registry.clone(), AdminConfig::default()) {
+                Ok(server) => Some(server),
+                Err(_) => {
+                    registry.inc("admin.bind_errors");
+                    None
+                }
+            }
+        });
+        Cluster { topology: Some(topology), grid, decode_errors, registry, admin }
     }
 
     /// The grid shape this cluster runs.
@@ -272,8 +287,35 @@ impl Cluster {
         self.decode_errors.load(Ordering::Relaxed)
     }
 
+    /// The slow-query log: per-query cost accounting fed by the matching
+    /// and sorting stages. `top(k)` returns the heaviest queries.
+    pub fn slow_queries(&self) -> SlowQueryLog {
+        self.registry.slow_queries()
+    }
+
+    /// The flight recorder: a bounded ring of recent structured pipeline
+    /// events (reconnects, drops, decode errors, health transitions).
+    pub fn flight(&self) -> FlightRecorder {
+        self.registry.flight()
+    }
+
+    /// Where the admin endpoint actually listens (useful with a `:0` bind),
+    /// or `None` when [`ClusterConfig::admin_addr`] was unset or the bind
+    /// failed (counted as `admin.bind_errors`).
+    pub fn admin_addr(&self) -> Option<std::net::SocketAddr> {
+        self.admin.as_ref().map(|a| a.local_addr())
+    }
+
+    /// The hosted admin server, when one is running.
+    pub fn admin(&self) -> Option<&AdminServer> {
+        self.admin.as_ref()
+    }
+
     /// Stops the cluster, draining in-flight work.
     pub fn shutdown(mut self) {
+        if let Some(mut admin) = self.admin.take() {
+            admin.shutdown();
+        }
         if let Some(t) = self.topology.take() {
             t.shutdown();
         }

@@ -48,6 +48,10 @@ pub struct ClusterConfig {
     /// registry; pass a shared one to aggregate several components (e.g.
     /// cluster + app server) into a single snapshot.
     pub metrics: MetricsRegistry,
+    /// Optional bind address (e.g. `"127.0.0.1:9464"`) for the admin
+    /// endpoint serving `/metrics`, `/healthz`, `/queries` and `/flight`
+    /// over HTTP. `None` (the default) disables the endpoint.
+    pub admin_addr: Option<String>,
 }
 
 impl ClusterConfig {
@@ -69,6 +73,7 @@ impl ClusterConfig {
             multi_query_index: true,
             synthetic_match_cost: None,
             metrics: MetricsRegistry::new(),
+            admin_addr: None,
         }
     }
 
@@ -172,6 +177,13 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Binds the admin endpoint (`/metrics`, `/healthz`, `/queries`,
+    /// `/flight`) to the given address, e.g. `"127.0.0.1:0"`.
+    pub fn admin_addr(mut self, addr: impl Into<String>) -> Self {
+        self.config.admin_addr = Some(addr.into());
+        self
+    }
+
     /// Validates the settings and returns the config.
     pub fn build(self) -> Result<ClusterConfig, ConfigError> {
         let c = &self.config;
@@ -255,11 +267,13 @@ mod tests {
             .retention(Duration::from_secs(9))
             .queue_capacity(64)
             .multi_query_index(false)
+            .admin_addr("127.0.0.1:0")
             .build()
             .unwrap();
         assert_eq!(cfg.sorting_tasks, 5);
         assert_eq!(cfg.retention, Duration::from_secs(9));
         assert_eq!(cfg.queue_capacity, 64);
         assert!(!cfg.multi_query_index);
+        assert_eq!(cfg.admin_addr.as_deref(), Some("127.0.0.1:0"));
     }
 }

@@ -20,6 +20,7 @@
 use crate::config::ClusterConfig;
 use crate::event::{Event, FilterChange, FilterChangeKind, OutMsg};
 use crate::query_index::QueryIndex;
+use invalidb_common::trace::now_micros;
 use invalidb_common::{
     AfterImage, ChangeItem, Clock, GridCoord, GridShape, Key, MatchType, Notification, NotificationKind,
     QueryHash, ResultItem, Stage, SubscriptionId, SubscriptionRequest, TenantId, Timestamp,
@@ -48,6 +49,9 @@ struct SubState {
 struct QueryGroup {
     tenant: TenantId,
     collection: String,
+    /// Human-readable rendering of the query spec, captured at subscribe
+    /// time for the slow-query log.
+    spec_display: String,
     prepared: Arc<dyn PreparedQuery>,
     /// True when downstream stages (sorting/aggregation) consume this
     /// query's transitions; false for self-maintainable filter queries.
@@ -80,6 +84,9 @@ pub struct MatchingNode {
     latest_versions: HashMap<RecordId, Version>,
     /// Observability: dropped stale writes.
     stale_dropped: u64,
+    /// Peak ingestion lag (write origin timestamp to matching evaluation)
+    /// since the last tick, microseconds. Published as a gauge on tick.
+    ingest_lag_us: u64,
 }
 
 impl MatchingNode {
@@ -96,6 +103,7 @@ impl MatchingNode {
             retention: VecDeque::new(),
             latest_versions: HashMap::new(),
             stale_dropped: 0,
+            ingest_lag_us: 0,
         }
     }
 
@@ -137,6 +145,7 @@ impl MatchingNode {
         let mut group = QueryGroup {
             tenant: req.tenant.clone(),
             collection: req.spec.collection.clone(),
+            spec_display: req.spec.to_string(),
             prepared,
             staged: req.spec.needs_sorting_stage() || req.spec.needs_aggregation_stage(),
             result,
@@ -222,6 +231,10 @@ impl MatchingNode {
         }
         self.latest_versions.insert(record, img.version);
         self.retention.push_back((self.clock.now(), Arc::clone(img)));
+        // Ingestion lag: how far behind the write's origin timestamp this
+        // cell is running. Tracked as a peak here, published on tick.
+        let lag = now_micros().saturating_sub(img.written_at);
+        self.ingest_lag_us = self.ingest_lag_us.max(lag);
         if let Some(cost) = self.config.synthetic_match_cost {
             // Emulates the paper's CPU throttling so saturation appears at
             // laptop-scale workloads; busy-wait to consume executor time.
@@ -282,9 +295,29 @@ impl MatchingNode {
         }
     }
 
+    /// Evaluates one write against one query, charging the wall-clock cost
+    /// to the slow-query log so operators can see which query eats the grid.
+    fn match_against(
+        group: &mut QueryGroup,
+        hash: QueryHash,
+        img: &AfterImage,
+        metrics: &MetricsRegistry,
+        ctx: &mut BoltContext<'_, Event>,
+    ) -> Option<FilterChangeKind> {
+        let started = std::time::Instant::now();
+        let kind = Self::evaluate(group, hash, img, metrics, ctx);
+        metrics.slow_queries().charge(
+            &group.tenant.0,
+            hash.0,
+            || group.spec_display.clone(),
+            started.elapsed().as_micros() as u64,
+        );
+        kind
+    }
+
     /// Core filtering-stage transition logic. Returns the transition kind
     /// (None when the write was irrelevant or stale for this query).
-    fn match_against(
+    fn evaluate(
         group: &mut QueryGroup,
         hash: QueryHash,
         img: &AfterImage,
@@ -472,6 +505,8 @@ impl Bolt<Event> for MatchingNode {
         let cell = format!("matching.{}x{}", self.coord.qp, self.coord.wp);
         self.config.metrics.set_gauge(&format!("{cell}.active_queries"), self.queries.len() as u64);
         self.config.metrics.set_gauge(&format!("{cell}.retained_writes"), self.retention.len() as u64);
+        self.config.metrics.set_gauge(&format!("{cell}.ingest_lag_us"), self.ingest_lag_us);
+        self.ingest_lag_us = 0;
     }
 }
 
@@ -765,6 +800,22 @@ mod tests {
             }
             other => panic!("expected remove, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn slow_query_log_charges_evaluations() {
+        let cfg = ClusterConfig::new(1, 1);
+        let metrics = cfg.metrics.clone();
+        let h = harness(cfg);
+        let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
+        h.tx.send(subscribe_event(spec, 1, vec![])).unwrap();
+        h.tx.send(write_event(Key::of("a"), 1, Some(doc! { "n" => 1i64 }))).unwrap();
+        wait_events(&h, 1);
+        let top = metrics.slow_queries().top(4);
+        assert_eq!(top.len(), 1, "one query charged");
+        assert!(top[0].evals >= 1);
+        assert_eq!(top[0].tenant, "app");
+        assert!(!top[0].label.is_empty(), "label captured from the query spec");
     }
 
     #[test]

@@ -24,6 +24,9 @@ struct SubState {
 }
 
 struct SortGroup {
+    /// Human-readable rendering of the query spec, captured at subscribe
+    /// time for the slow-query log.
+    spec_display: String,
     prepared: Arc<dyn PreparedQuery>,
     window: SortedWindow,
     /// What subscribed clients currently hold (maintained by applying the
@@ -37,6 +40,7 @@ struct SortGroup {
 
 /// The sorting-stage bolt.
 pub struct SortingNode {
+    task: usize,
     config: ClusterConfig,
     clock: Arc<dyn Clock>,
     groups: HashMap<(TenantId, QueryHash), SortGroup>,
@@ -45,9 +49,9 @@ pub struct SortingNode {
 }
 
 impl SortingNode {
-    /// Creates a sorting node.
-    pub fn new(config: ClusterConfig, clock: Arc<dyn Clock>) -> Self {
-        Self { config, clock, groups: HashMap::new(), maintenance_errors: 0 }
+    /// Creates the sorting node for task index `task`.
+    pub fn new(task: usize, config: ClusterConfig, clock: Arc<dyn Clock>) -> Self {
+        Self { task, config, clock, groups: HashMap::new(), maintenance_errors: 0 }
     }
 
     /// Number of sorted queries owned by this node.
@@ -105,7 +109,15 @@ impl SortingNode {
         subscriptions.insert(req.subscription, SubState { tenant: req.tenant.clone(), expires_at });
         self.groups.insert(
             group_key,
-            SortGroup { prepared, window, client_state, active: true, slack: req.slack, subscriptions },
+            SortGroup {
+                spec_display: req.spec.to_string(),
+                prepared,
+                window,
+                client_state,
+                active: true,
+                slack: req.slack,
+                subscriptions,
+            },
         );
     }
 
@@ -114,6 +126,9 @@ impl SortingNode {
             Some(g) if g.active => g,
             _ => return, // inactive (awaiting renewal) or unknown
         };
+        // Slow-query accounting: the window maintenance below is the
+        // sorting stage's per-query cost.
+        let started = std::time::Instant::now();
         let outcome = group.window.apply(&fc.key, fc.version, fc.doc.as_ref());
         // Stamp the sorting stage once per filter change on sampled traces.
         let trace: Option<TraceContext> = fc.trace.clone().map(|mut t| {
@@ -135,10 +150,22 @@ impl SortingNode {
                     trace: trace.clone(),
                 }))));
             }
+            self.config.metrics.slow_queries().charge(
+                &fc.tenant.0,
+                fc.query_hash.0,
+                || group.spec_display.clone(),
+                started.elapsed().as_micros() as u64,
+            );
             return;
         }
         Self::broadcast(group, &outcome.events, fc.written_at, trace.as_ref(), ctx);
         apply_events(&mut group.client_state, &outcome.events);
+        self.config.metrics.slow_queries().charge(
+            &fc.tenant.0,
+            fc.query_hash.0,
+            || group.spec_display.clone(),
+            started.elapsed().as_micros() as u64,
+        );
     }
 
     fn broadcast(
@@ -265,5 +292,9 @@ impl Bolt<Event> for SortingNode {
 
     fn tick(&mut self, _ctx: &mut BoltContext<'_, Event>) {
         self.expire();
+        // Per-task gauge, refreshed once per tick like the matching grid's.
+        self.config
+            .metrics
+            .set_gauge(&format!("sorting.{}.active_queries", self.task), self.groups.len() as u64);
     }
 }

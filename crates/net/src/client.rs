@@ -21,6 +21,9 @@
 use crate::frame::{Decoder, Frame, TraceInfo};
 use crate::queue::{Closed, OverflowPolicy, SendQueue};
 use invalidb_broker::{Broker, BrokerHandle, Bytes, EventLayer, Subscription};
+use invalidb_common::trace::now_micros;
+use invalidb_obs::{FlightEventKind, MetricsRegistry};
+use invalidb_stream::LinkRegistry;
 use parking_lot::Mutex;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashSet;
@@ -51,6 +54,13 @@ pub struct RemoteBrokerConfig {
     pub reconnect_max: Duration,
     /// Seed for backoff jitter (deterministic tests).
     pub jitter_seed: u64,
+    /// Registry the client reports into: its link metrics attach under
+    /// `net.client.<client_name>.*`, connection state and heartbeat
+    /// staleness publish as gauges (`…connected`, `…heartbeat_stale_ms`),
+    /// and reconnects/disconnects/decode errors land in the registry's
+    /// flight recorder. Share one registry across components to get a
+    /// single unified snapshot and health evaluation.
+    pub metrics: MetricsRegistry,
 }
 
 impl Default for RemoteBrokerConfig {
@@ -64,6 +74,7 @@ impl Default for RemoteBrokerConfig {
             reconnect_base: Duration::from_millis(50),
             reconnect_max: Duration::from_secs(2),
             jitter_seed: 0x1DB1,
+            metrics: MetricsRegistry::new(),
         }
     }
 }
@@ -88,6 +99,21 @@ struct Inner {
     /// Highest `Ack` sequence seen (observability for tests).
     acked: AtomicU64,
     metrics: Arc<invalidb_stream::LinkMetrics>,
+    /// Wall-clock micros of the last inbound frame; survives sessions so
+    /// heartbeat staleness keeps climbing while disconnected.
+    last_rx_micros: AtomicU64,
+    /// Gauge `net.client.<name>.heartbeat_stale_ms` in the shared registry.
+    stale_gauge: Arc<AtomicU64>,
+    /// Gauge `net.client.<name>.connected` (0/1) in the shared registry.
+    connected_gauge: Arc<AtomicU64>,
+}
+
+impl Inner {
+    /// Publishes the current heartbeat staleness to its gauge.
+    fn refresh_staleness(&self) {
+        let stale_us = now_micros().saturating_sub(self.last_rx_micros.load(Ordering::Relaxed));
+        self.stale_gauge.store(stale_us / 1_000, Ordering::Relaxed);
+    }
 }
 
 /// A connection-supervised broker client. Cloning shares the connection.
@@ -103,6 +129,15 @@ impl RemoteBroker {
     /// `"127.0.0.1:7473"`). Returns immediately; the supervisor connects
     /// (and keeps reconnecting) in the background.
     pub fn connect(addr: impl Into<String>, config: RemoteBrokerConfig) -> RemoteBroker {
+        // The link registry holds this client's one link, named after the
+        // client; attaching it puts `net.client.<name>.*` counters and the
+        // send-queue depth gauge into every registry snapshot.
+        let links = Arc::new(LinkRegistry::default());
+        let metrics = links.link(&config.client_name);
+        config.metrics.attach_links("net.client", links);
+        let gauge_base = format!("net.client.{}", config.client_name);
+        let stale_gauge = config.metrics.gauge(&format!("{gauge_base}.heartbeat_stale_ms"));
+        let connected_gauge = config.metrics.gauge(&format!("{gauge_base}.connected"));
         let inner = Arc::new(Inner {
             addr: addr.into(),
             config,
@@ -114,7 +149,10 @@ impl RemoteBroker {
             running: AtomicBool::new(true),
             seq: AtomicU64::new(0),
             acked: AtomicU64::new(0),
-            metrics: Arc::new(invalidb_stream::LinkMetrics::default()),
+            metrics,
+            last_rx_micros: AtomicU64::new(now_micros()),
+            stale_gauge,
+            connected_gauge,
         });
         let sup_inner = Arc::clone(&inner);
         let supervisor = thread::Builder::new()
@@ -173,6 +211,16 @@ impl RemoteBroker {
     /// Highest `Ack` sequence number received from the server.
     pub fn last_acked(&self) -> u64 {
         self.inner.acked.load(Ordering::SeqCst)
+    }
+
+    /// Time since the last inbound frame from the server (any frame
+    /// proves liveness — the server heartbeats idle connections). Keeps
+    /// climbing across disconnects, so it is the health model's primary
+    /// partition signal; also published continuously as the gauge
+    /// `net.client.<client_name>.heartbeat_stale_ms`.
+    pub fn heartbeat_staleness(&self) -> Duration {
+        let last = self.inner.last_rx_micros.load(Ordering::Relaxed);
+        Duration::from_micros(now_micros().saturating_sub(last))
     }
 
     /// Blocks until a session is established or `timeout` elapses.
@@ -326,6 +374,8 @@ impl std::fmt::Debug for RemoteBroker {
 fn supervise(inner: Arc<Inner>) {
     let mut rng = StdRng::seed_from_u64(inner.config.jitter_seed);
     let mut backoff = inner.config.reconnect_base;
+    let flight = inner.config.metrics.flight();
+    let name = inner.config.client_name.clone();
     while inner.running.load(Ordering::SeqCst) {
         let stream = match TcpStream::connect(&inner.addr) {
             Ok(s) => s,
@@ -338,19 +388,28 @@ fn supervise(inner: Arc<Inner>) {
         stream.set_nodelay(true).ok();
         backoff = inner.config.reconnect_base;
         inner.metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+        flight.record(FlightEventKind::Reconnect, format!("{name} -> {}", inner.addr));
+        inner.connected_gauge.store(1, Ordering::Relaxed);
         run_session(&inner, stream);
         inner.connected.store(false, Ordering::SeqCst);
+        inner.connected_gauge.store(0, Ordering::Relaxed);
         *inner.session.lock() = None;
         *inner.socket.lock() = None;
+        if inner.running.load(Ordering::SeqCst) {
+            flight.record(FlightEventKind::Disconnect, format!("{name} -> {}", inner.addr));
+        }
     }
+    inner.connected_gauge.store(0, Ordering::Relaxed);
 }
 
 /// Sleep for `backoff` scaled by a jitter factor in [0.5, 1.5), waking
-/// early on shutdown.
+/// early on shutdown. Keeps the staleness gauge fresh while disconnected
+/// so the health model sees the partition widen in real time.
 fn sleep_with_jitter(inner: &Inner, backoff: Duration, rng: &mut StdRng) {
     let jitter = 0.5 + rng.gen::<f64>();
     let mut remaining = backoff.mul_f64(jitter);
     while remaining > Duration::ZERO && inner.running.load(Ordering::SeqCst) {
+        inner.refresh_staleness();
         let step = remaining.min(POLL_INTERVAL);
         thread::sleep(step);
         remaining = remaining.saturating_sub(step);
@@ -359,8 +418,15 @@ fn sleep_with_jitter(inner: &Inner, backoff: Duration, rng: &mut StdRng) {
 
 fn run_session(inner: &Arc<Inner>, stream: TcpStream) {
     let metrics = Arc::clone(&inner.metrics);
-    let queue =
-        SendQueue::new(inner.config.queue_capacity, inner.config.overflow_policy, Arc::clone(&metrics));
+    let queue = SendQueue::with_recorder(
+        inner.config.queue_capacity,
+        inner.config.overflow_policy,
+        Arc::clone(&metrics),
+        Some((
+            inner.config.metrics.flight(),
+            format!("client {} -> {}", inner.config.client_name, inner.addr),
+        )),
+    );
 
     // Introduce ourselves and replay every tracked topic before the
     // queue is visible to publishers, so replay frames go out first.
@@ -405,6 +471,7 @@ fn read_session(
         if !inner.running.load(Ordering::SeqCst) || queue.is_closed() {
             break;
         }
+        inner.refresh_staleness();
         if last_rx.elapsed() > inner.config.heartbeat_timeout {
             break; // dead peer: reconnect
         }
@@ -417,6 +484,8 @@ fn read_session(
             Err(_) => break,
         };
         last_rx = Instant::now();
+        inner.last_rx_micros.store(now_micros(), Ordering::Relaxed);
+        inner.refresh_staleness();
         decoder.feed(&buf[..n]);
         loop {
             let frame = match decoder.next() {
@@ -424,6 +493,10 @@ fn read_session(
                 Ok(None) => break,
                 Err(_) => {
                     metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    inner.config.metrics.flight().record(
+                        FlightEventKind::DecodeError,
+                        format!("{} <- {}", inner.config.client_name, inner.addr),
+                    );
                     break 'outer;
                 }
             };

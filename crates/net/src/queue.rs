@@ -17,12 +17,13 @@
 //!   its subscriptions, converting a silent gap into an explicit
 //!   connection-level event.
 
+use invalidb_obs::{FlightEventKind, FlightRecorder};
 use invalidb_stream::LinkMetrics;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// What to do when a [`SendQueue`] is full.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +37,9 @@ pub enum OverflowPolicy {
 struct State {
     queue: VecDeque<Vec<u8>>,
     closed: bool,
+    /// When the last drop was logged to the flight recorder; drop storms
+    /// are coalesced to one event per second so they cannot wipe the ring.
+    last_drop_logged: Option<Instant>,
 }
 
 struct Inner {
@@ -44,6 +48,8 @@ struct Inner {
     capacity: usize,
     policy: OverflowPolicy,
     metrics: Arc<LinkMetrics>,
+    /// Flight recorder plus the link label used in event details.
+    recorder: Option<(FlightRecorder, String)>,
 }
 
 /// A bounded MPSC queue of encoded frames, one per connection.
@@ -58,15 +64,51 @@ pub struct SendQueue {
 impl SendQueue {
     /// A queue holding at most `capacity` frames.
     pub fn new(capacity: usize, policy: OverflowPolicy, metrics: Arc<LinkMetrics>) -> Self {
+        SendQueue::with_recorder(capacity, policy, metrics, None)
+    }
+
+    /// Like [`SendQueue::new`], additionally logging overflow drops to a
+    /// flight recorder (at most one coalesced event per second), labelled
+    /// with `link` in the event detail.
+    pub fn with_recorder(
+        capacity: usize,
+        policy: OverflowPolicy,
+        metrics: Arc<LinkMetrics>,
+        recorder: Option<(FlightRecorder, String)>,
+    ) -> Self {
         assert!(capacity > 0, "queue capacity must be positive");
         SendQueue {
             inner: Arc::new(Inner {
-                state: Mutex::new(State { queue: VecDeque::new(), closed: false }),
+                state: Mutex::new(State {
+                    queue: VecDeque::new(),
+                    closed: false,
+                    last_drop_logged: None,
+                }),
                 ready: Condvar::new(),
                 capacity,
                 policy,
                 metrics,
+                recorder,
             }),
+        }
+    }
+
+    /// Logs an overflow to the flight recorder, coalescing storms.
+    fn log_drop(&self, state: &mut State, what: &str) {
+        if let Some((flight, link)) = &self.inner.recorder {
+            let now = Instant::now();
+            let due = state
+                .last_drop_logged
+                .map(|at| now.duration_since(at) >= Duration::from_secs(1))
+                .unwrap_or(true);
+            if due {
+                state.last_drop_logged = Some(now);
+                let total = self.inner.metrics.dropped.load(Ordering::Relaxed);
+                flight.record(
+                    FlightEventKind::QueueDrop,
+                    format!("{link}: {what} ({total} dropped total)"),
+                );
+            }
         }
     }
 
@@ -82,11 +124,13 @@ impl SendQueue {
                 OverflowPolicy::DropOldest => {
                     state.queue.pop_front();
                     self.inner.metrics.dropped.fetch_add(1, Ordering::Relaxed);
+                    self.log_drop(&mut state, "overflow, shed oldest frame");
                 }
                 OverflowPolicy::Disconnect => {
                     state.closed = true;
                     state.queue.clear();
                     self.inner.metrics.queue_depth.store(0, Ordering::Relaxed);
+                    self.log_drop(&mut state, "overflow, disconnecting");
                     drop(state);
                     self.inner.ready.notify_all();
                     return false;
@@ -206,6 +250,26 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         q.push(vec![9]);
         assert_eq!(t.join().unwrap().unwrap(), Some(vec![9]));
+    }
+
+    #[test]
+    fn overflow_drops_land_in_flight_recorder() {
+        let metrics = Arc::new(LinkMetrics::default());
+        let flight = FlightRecorder::with_capacity(8);
+        let q = SendQueue::with_recorder(
+            1,
+            OverflowPolicy::DropOldest,
+            Arc::clone(&metrics),
+            Some((flight.clone(), "peer-x".into())),
+        );
+        assert!(q.push(vec![0]));
+        assert!(q.push(vec![1]));
+        assert!(q.push(vec![2]));
+        // Storm coalescing: two drops inside one second, one event.
+        let dump = flight.dump();
+        assert_eq!(dump.len(), 1);
+        assert_eq!(dump[0].kind, FlightEventKind::QueueDrop);
+        assert!(dump[0].detail.contains("peer-x"));
     }
 
     #[test]

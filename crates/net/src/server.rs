@@ -15,7 +15,7 @@ use crate::queue::{Closed, OverflowPolicy, SendQueue};
 use invalidb_broker::{BrokerHandle, Bytes};
 use invalidb_common::trace::{now_micros, Stage, TraceContext};
 use invalidb_common::Value;
-use invalidb_obs::MetricsRegistry;
+use invalidb_obs::{AdminConfig, AdminServer, FlightEventKind, MetricsRegistry};
 use invalidb_stream::{LinkMetrics, LinkRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -35,10 +35,17 @@ pub struct BrokerServerConfig {
     pub overflow_policy: OverflowPolicy,
     /// How often the server sends heartbeat frames on an idle connection.
     pub heartbeat_interval: Duration,
-    /// Registry the server reports into: traced-publish counters and the
-    /// client→broker hop histogram (`net.broker_hop_us`). Share one
-    /// registry across components to get a single unified snapshot.
+    /// Registry the server reports into: traced-publish counters, the
+    /// client→broker hop histogram (`net.broker_hop_us`), per-connection
+    /// link metrics (attached as `net.server.<peer>.*`), and flight-
+    /// recorder events (connects, drops, decode errors, subscription
+    /// churn). Share one registry across components to get a single
+    /// unified snapshot.
     pub metrics: MetricsRegistry,
+    /// When set, the server hosts an [`AdminServer`] on this address
+    /// (e.g. `"127.0.0.1:9464"`), exposing `metrics` via `/metrics`,
+    /// `/healthz`, `/queries`, and `/flight`.
+    pub admin_addr: Option<String>,
 }
 
 impl Default for BrokerServerConfig {
@@ -48,6 +55,7 @@ impl Default for BrokerServerConfig {
             overflow_policy: OverflowPolicy::DropOldest,
             heartbeat_interval: Duration::from_millis(500),
             metrics: MetricsRegistry::new(),
+            admin_addr: None,
         }
     }
 }
@@ -69,6 +77,7 @@ pub struct BrokerServer {
     shared: Arc<Shared>,
     local_addr: std::net::SocketAddr,
     accept_thread: Option<JoinHandle<()>>,
+    admin: Option<AdminServer>,
 }
 
 impl BrokerServer {
@@ -80,10 +89,21 @@ impl BrokerServer {
     ) -> io::Result<BrokerServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let links = Arc::new(LinkRegistry::default());
+        // Per-connection link metrics become part of every registry
+        // snapshot (`net.server.<peer>.*`), feeding the health model's
+        // queue-depth and drop signals.
+        config.metrics.attach_links("net.server", Arc::clone(&links));
+        let admin = match &config.admin_addr {
+            Some(addr) => {
+                Some(AdminServer::bind(addr.as_str(), config.metrics.clone(), AdminConfig::default())?)
+            }
+            None => None,
+        };
         let shared = Arc::new(Shared {
             broker: broker.into(),
             config,
-            links: Arc::new(LinkRegistry::default()),
+            links,
             running: Arc::new(AtomicBool::new(true)),
             conns: Mutex::new(Vec::new()),
         });
@@ -92,7 +112,7 @@ impl BrokerServer {
             .name("net-accept".into())
             .spawn(move || accept_loop(listener, accept_shared))
             .expect("spawn accept thread");
-        Ok(BrokerServer { shared, local_addr, accept_thread: Some(accept_thread) })
+        Ok(BrokerServer { shared, local_addr, accept_thread: Some(accept_thread), admin })
     }
 
     /// The address the server is listening on.
@@ -110,8 +130,14 @@ impl BrokerServer {
         self.shared.config.metrics.clone()
     }
 
+    /// The admin endpoint's address, when one was configured via
+    /// [`BrokerServerConfig::admin_addr`].
+    pub fn admin_addr(&self) -> Option<std::net::SocketAddr> {
+        self.admin.as_ref().map(|a| a.local_addr())
+    }
+
     /// Stops accepting, closes every connection, and joins the accept
-    /// thread. Idempotent.
+    /// thread (and the admin endpoint, if hosted). Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.running.store(false, Ordering::SeqCst);
         for conn in self.shared.conns.lock().drain(..) {
@@ -119,6 +145,9 @@ impl BrokerServer {
         }
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
+        }
+        if let Some(mut admin) = self.admin.take() {
+            admin.shutdown();
         }
     }
 }
@@ -155,12 +184,15 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
 
 fn serve_connection(stream: TcpStream, peer: std::net::SocketAddr, shared: Arc<Shared>) {
     let metrics = shared.links.link(&peer.to_string());
-    let queue = SendQueue::new(
+    let flight = shared.config.metrics.flight();
+    let queue = SendQueue::with_recorder(
         shared.config.queue_capacity,
         shared.config.overflow_policy,
         Arc::clone(&metrics),
+        Some((flight.clone(), format!("server conn {peer}"))),
     );
     metrics.reconnects.fetch_add(1, Ordering::Relaxed);
+    flight.record(FlightEventKind::Reconnect, format!("server accepted {peer}"));
 
     let writer_stream = match stream.try_clone() {
         Ok(s) => s,
@@ -174,17 +206,24 @@ fn serve_connection(stream: TcpStream, peer: std::net::SocketAddr, shared: Arc<S
         Arc::clone(&shared.running),
     );
 
-    read_loop(stream, &queue, &metrics, &shared);
+    read_loop(stream, peer, &queue, &metrics, &shared);
 
     // Reader is done (EOF, error, or shutdown): close the queue so the
     // writer drains and exits, then reap it. Pump threads notice the
     // closed queue on their next delivery and exit on their own.
     queue.close();
     let _ = writer.join();
+    if shared.running.load(Ordering::SeqCst) {
+        flight.record(FlightEventKind::Disconnect, format!("server lost {peer}"));
+    }
+    // Peer addresses are ephemeral; keeping dead links would grow every
+    // snapshot forever.
+    shared.links.forget(&peer.to_string());
 }
 
 fn read_loop(
     mut stream: TcpStream,
+    peer: std::net::SocketAddr,
     queue: &SendQueue,
     metrics: &Arc<LinkMetrics>,
     shared: &Arc<Shared>,
@@ -214,6 +253,11 @@ fn read_loop(
                 Ok(None) => break,
                 Err(_) => {
                     metrics.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .config
+                        .metrics
+                        .flight()
+                        .record(FlightEventKind::DecodeError, format!("server <- {peer}"));
                     break 'outer; // corrupt stream: drop the connection
                 }
             };
@@ -221,14 +265,24 @@ fn read_loop(
             match frame {
                 Frame::Hello { .. } => {}
                 Frame::Subscribe { seq, topic } => {
-                    pumps
-                        .entry(topic.clone())
-                        .or_insert_with(|| spawn_pump(&topic, queue.clone(), metrics, shared));
+                    pumps.entry(topic.clone()).or_insert_with(|| {
+                        shared
+                            .config
+                            .metrics
+                            .flight()
+                            .record(FlightEventKind::Subscribe, format!("{peer} {topic}"));
+                        spawn_pump(&topic, queue.clone(), metrics, shared)
+                    });
                     send(queue, &Frame::Ack { seq });
                 }
                 Frame::Unsubscribe { seq, topic } => {
                     if let Some(stop) = pumps.remove(&topic) {
                         stop.store(true, Ordering::SeqCst);
+                        shared
+                            .config
+                            .metrics
+                            .flight()
+                            .record(FlightEventKind::Unsubscribe, format!("{peer} {topic}"));
                     }
                     send(queue, &Frame::Ack { seq });
                 }

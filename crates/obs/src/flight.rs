@@ -1,0 +1,273 @@
+//! The flight recorder: a fixed-size ring buffer of structured pipeline
+//! events (reconnects, queue drops, decode errors, subscription churn,
+//! health transitions) kept for post-mortem analysis.
+//!
+//! Recording is designed for hot paths: a single atomic `fetch_add`
+//! reserves a slot (no global lock, writers never contend on a shared
+//! mutex), then the event is stored under that slot's own uncontended
+//! lock. When the ring wraps, the oldest events are overwritten — the
+//! recorder always holds the most recent `capacity` events, in order.
+
+use invalidb_common::trace::now_micros;
+use invalidb_common::Document;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Default ring capacity of a [`FlightRecorder`].
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// What kind of pipeline event a [`FlightEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEventKind {
+    /// A transport link (re)connected. The first connect counts too.
+    Reconnect,
+    /// A transport link disconnected (session ended, peer gone).
+    Disconnect,
+    /// A frame was dropped by backpressure policy (queue overflow).
+    QueueDrop,
+    /// A frame failed to decode (bad magic/version/CRC/truncation).
+    DecodeError,
+    /// A subscription was registered.
+    Subscribe,
+    /// A subscription was cancelled.
+    Unsubscribe,
+    /// The cluster health status changed.
+    HealthTransition,
+}
+
+impl FlightEventKind {
+    /// Stable wire name of the kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FlightEventKind::Reconnect => "reconnect",
+            FlightEventKind::Disconnect => "disconnect",
+            FlightEventKind::QueueDrop => "queue_drop",
+            FlightEventKind::DecodeError => "decode_error",
+            FlightEventKind::Subscribe => "subscribe",
+            FlightEventKind::Unsubscribe => "unsubscribe",
+            FlightEventKind::HealthTransition => "health_transition",
+        }
+    }
+
+    /// Parses a kind from its wire name.
+    pub fn parse(s: &str) -> Option<FlightEventKind> {
+        Some(match s {
+            "reconnect" => FlightEventKind::Reconnect,
+            "disconnect" => FlightEventKind::Disconnect,
+            "queue_drop" => FlightEventKind::QueueDrop,
+            "decode_error" => FlightEventKind::DecodeError,
+            "subscribe" => FlightEventKind::Subscribe,
+            "unsubscribe" => FlightEventKind::Unsubscribe,
+            "health_transition" => FlightEventKind::HealthTransition,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for FlightEventKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded pipeline event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Global sequence number (monotonic across wraparound; earlier events
+    /// have smaller numbers, so dumps are totally ordered).
+    pub seq: u64,
+    /// Wall-clock microseconds when the event was recorded.
+    pub at_micros: u64,
+    /// What happened.
+    pub kind: FlightEventKind,
+    /// Free-form detail: the subject (peer address, topic, tenant) and any
+    /// event-specific context.
+    pub detail: String,
+}
+
+impl FlightEvent {
+    /// Encodes the event as a document (the JSON object model).
+    pub fn to_document(&self) -> Document {
+        let mut d = Document::with_capacity(4);
+        d.insert("seq", self.seq as i64);
+        d.insert("at_micros", self.at_micros as i64);
+        d.insert("kind", self.kind.as_str());
+        d.insert("detail", self.detail.as_str());
+        d
+    }
+
+    /// Decodes an event from its document encoding.
+    pub fn from_document(d: &Document) -> Option<FlightEvent> {
+        Some(FlightEvent {
+            seq: d.get("seq")?.as_i64()? as u64,
+            at_micros: d.get("at_micros")?.as_i64()? as u64,
+            kind: FlightEventKind::parse(d.get("kind")?.as_str()?)?,
+            detail: d.get("detail")?.as_str()?.to_owned(),
+        })
+    }
+}
+
+struct FlightInner {
+    slots: Vec<Mutex<Option<FlightEvent>>>,
+    head: AtomicU64,
+}
+
+/// Fixed-size ring buffer of [`FlightEvent`]s.
+///
+/// Cheap to clone (all clones share the ring). Recording reserves a slot
+/// with one `fetch_add` and overwrites the oldest event on wraparound;
+/// [`FlightRecorder::dump`] returns the surviving events oldest-first.
+#[derive(Clone)]
+pub struct FlightRecorder {
+    inner: Arc<FlightInner>,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `capacity` events (minimum 1).
+    pub fn with_capacity(capacity: usize) -> FlightRecorder {
+        let capacity = capacity.max(1);
+        let slots = (0..capacity).map(|_| Mutex::new(None)).collect();
+        FlightRecorder { inner: Arc::new(FlightInner { slots, head: AtomicU64::new(0) }) }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.inner.slots.len()
+    }
+
+    /// Total number of events ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.head.load(Ordering::Relaxed)
+    }
+
+    /// Records an event, timestamped now.
+    pub fn record(&self, kind: FlightEventKind, detail: impl Into<String>) {
+        self.record_at(now_micros(), kind, detail);
+    }
+
+    /// Records an event with an explicit timestamp.
+    pub fn record_at(&self, at_micros: u64, kind: FlightEventKind, detail: impl Into<String>) {
+        let seq = self.inner.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (seq % self.inner.slots.len() as u64) as usize;
+        let event = FlightEvent { seq, at_micros, kind, detail: detail.into() };
+        *self.inner.slots[slot].lock() = Some(event);
+    }
+
+    /// All surviving events, oldest first. At most `capacity` entries;
+    /// after wraparound the oldest events are gone and the dump starts at
+    /// the earliest survivor.
+    pub fn dump(&self) -> Vec<FlightEvent> {
+        let mut events: Vec<FlightEvent> =
+            self.inner.slots.iter().filter_map(|slot| slot.lock().clone()).collect();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Renders [`FlightRecorder::dump`] as a JSON array string.
+    pub fn dump_json(&self) -> String {
+        events_to_json(&self.dump())
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> FlightRecorder {
+        FlightRecorder::with_capacity(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.capacity())
+            .field("recorded", &self.recorded())
+            .finish()
+    }
+}
+
+/// Renders a slice of events as a JSON array string.
+pub fn events_to_json(events: &[FlightEvent]) -> String {
+    let docs: Vec<String> = events.iter().map(|e| invalidb_json::to_string(&e.to_document())).collect();
+    format!("[{}]", docs.join(","))
+}
+
+/// Parses a JSON array produced by [`events_to_json`] /
+/// [`FlightRecorder::dump_json`].
+pub fn events_from_json(json: &str) -> Option<Vec<FlightEvent>> {
+    let value = invalidb_json::parse_value(json).ok()?;
+    value
+        .as_array()?
+        .iter()
+        .map(|v| v.as_object().and_then(FlightEvent::from_document))
+        .collect::<Option<Vec<_>>>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let rec = FlightRecorder::with_capacity(8);
+        rec.record(FlightEventKind::Reconnect, "a");
+        rec.record(FlightEventKind::QueueDrop, "b");
+        rec.record(FlightEventKind::Disconnect, "c");
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 3);
+        assert_eq!(dump[0].detail, "a");
+        assert_eq!(dump[1].detail, "b");
+        assert_eq!(dump[2].detail, "c");
+        assert!(dump.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+
+    #[test]
+    fn wraparound_evicts_oldest_and_preserves_order() {
+        let capacity = 16usize;
+        let extra = 5usize;
+        let rec = FlightRecorder::with_capacity(capacity);
+        for i in 0..(capacity + extra) {
+            rec.record(FlightEventKind::Subscribe, format!("e{i}"));
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.len(), capacity);
+        // Oldest `extra` events evicted: dump starts at e{extra}.
+        assert_eq!(dump[0].detail, format!("e{extra}"));
+        assert_eq!(dump.last().unwrap().detail, format!("e{}", capacity + extra - 1));
+        // Order preserved: seq strictly increasing and contiguous.
+        for (i, e) in dump.iter().enumerate() {
+            assert_eq!(e.seq, (extra + i) as u64);
+        }
+        assert_eq!(rec.recorded(), (capacity + extra) as u64);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let rec = FlightRecorder::with_capacity(4);
+        rec.record(FlightEventKind::HealthTransition, "healthy -> degraded");
+        rec.record(FlightEventKind::DecodeError, "peer 127.0.0.1:1: bad crc");
+        let back = events_from_json(&rec.dump_json()).unwrap();
+        assert_eq!(back, rec.dump());
+    }
+
+    #[test]
+    fn concurrent_recording_keeps_every_slot_valid() {
+        let rec = FlightRecorder::with_capacity(64);
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    for i in 0..100 {
+                        rec.record(FlightEventKind::QueueDrop, format!("t{t}.{i}"));
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(rec.recorded(), 800);
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 64);
+        assert!(dump.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

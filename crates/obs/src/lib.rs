@@ -18,13 +18,48 @@
 //! * **Export** — [`MetricsSnapshot`] renders as an aligned text table or
 //!   as JSON, and both renderers carry exactly the same numbers (the JSON
 //!   round-trips losslessly).
+//!
+//! And, on top of those, the **operational plane** for a running cluster:
+//!
+//! * **Admin endpoint** — [`AdminServer`], a dependency-free HTTP/1.0
+//!   server exposing `/metrics` (Prometheus text exposition via
+//!   [`to_prometheus`], same numbers as the JSON), `/metrics.json`,
+//!   `/healthz`, `/queries`, and `/flight`.
+//! * **Health model** — [`HealthMonitor`] derives
+//!   Healthy/Degraded/Unavailable (with machine-readable
+//!   [`HealthCause`]s) from heartbeat staleness, queue saturation,
+//!   ingestion lag, and drop/decode-error deltas in metric snapshots.
+//! * **Flight recorder** — [`FlightRecorder`], a fixed-size ring of
+//!   structured pipeline events (reconnects, drops, decode errors,
+//!   subscription churn, health transitions), auto-snapshotted when the
+//!   cluster becomes Unavailable. Every [`MetricsRegistry`] hosts one
+//!   ([`MetricsRegistry::flight`]), so components that already share a
+//!   registry feed the same ring.
+//! * **Slow-query log** — [`SlowQueryLog`]
+//!   ([`MetricsRegistry::slow_queries`]): per-query match/sort cost
+//!   accounting, top-K by cumulative cost.
 
 #![deny(missing_docs)]
 
+mod admin;
+mod flight;
+mod health;
 mod link;
+mod prom;
 mod registry;
+mod slow;
 mod snapshot;
 
+pub use admin::{AdminConfig, AdminServer};
+pub use flight::{
+    events_from_json, events_to_json, FlightEvent, FlightEventKind, FlightRecorder,
+    DEFAULT_FLIGHT_CAPACITY,
+};
+pub use health::{
+    HealthCause, HealthCauseKind, HealthMonitor, HealthPolicy, HealthReport, HealthStatus,
+};
 pub use link::{ComponentMetrics, LinkMetrics, LinkRegistry, TopologyMetrics};
+pub use prom::{from_prometheus, to_prometheus, COUNTER_FAMILY, GAUGE_FAMILY, HISTOGRAM_FAMILY};
 pub use registry::MetricsRegistry;
+pub use slow::{SlowQueryEntry, SlowQueryLog, DEFAULT_SLOW_LOG_CAPACITY};
 pub use snapshot::{HistogramSummary, MetricsSnapshot};

@@ -18,6 +18,10 @@ pub struct ComponentMetrics {
     pub emitted: AtomicU64,
     /// Ticks delivered.
     pub ticks: AtomicU64,
+    /// Recent peak depth of the component's input queues (gauge): tasks
+    /// raise it while draining messages and reset it on idle ticks, so a
+    /// persistently high value means the stage is saturated.
+    pub queue_depth: AtomicU64,
 }
 
 impl ComponentMetrics {

@@ -1,0 +1,209 @@
+//! Prometheus text exposition (format 0.0.4) for [`MetricsSnapshot`].
+//!
+//! InvaliDB metric names are dotted paths (`appserver.renewals`,
+//! `stage.matching`), which are not legal Prometheus metric names. Rather
+//! than mangle dots into underscores (lossy: `a.b_c` and `a.b.c` would
+//! collide), the exposition uses three fixed metric families with the
+//! original name carried as a label:
+//!
+//! ```text
+//! invalidb_counter_total{name="appserver.renewals"} 3
+//! invalidb_gauge{name="net.client.heartbeat_stale_ms"} 12
+//! invalidb_histogram_us{name="stage.matching",stat="p99"} 130
+//! ```
+//!
+//! Every number is the same `u64` the JSON renderer emits, so the
+//! exposition parses back into a [`MetricsSnapshot`] that is equal to the
+//! one `to_json` serializes — the admin endpoint's golden-file test relies
+//! on this round-trip.
+
+use crate::snapshot::MetricsSnapshot;
+
+/// Metric family carrying counters.
+pub const COUNTER_FAMILY: &str = "invalidb_counter_total";
+/// Metric family carrying gauges.
+pub const GAUGE_FAMILY: &str = "invalidb_gauge";
+/// Metric family carrying histogram summary statistics (microseconds).
+pub const HISTOGRAM_FAMILY: &str = "invalidb_histogram_us";
+
+const HIST_STATS: [&str; 6] = ["count", "mean", "p50", "p99", "min", "max"];
+
+/// Renders a snapshot in Prometheus text exposition format 0.0.4.
+pub fn to_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# HELP {COUNTER_FAMILY} InvaliDB monotonic counters, keyed by dotted metric name.\n"
+    ));
+    out.push_str(&format!("# TYPE {COUNTER_FAMILY} counter\n"));
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("{COUNTER_FAMILY}{{name=\"{}\"}} {v}\n", escape_label(name)));
+    }
+    out.push_str(&format!(
+        "# HELP {GAUGE_FAMILY} InvaliDB gauges (levels), keyed by dotted metric name.\n"
+    ));
+    out.push_str(&format!("# TYPE {GAUGE_FAMILY} gauge\n"));
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("{GAUGE_FAMILY}{{name=\"{}\"}} {v}\n", escape_label(name)));
+    }
+    out.push_str(&format!(
+        "# HELP {HISTOGRAM_FAMILY} InvaliDB latency histogram summaries in microseconds.\n"
+    ));
+    out.push_str(&format!("# TYPE {HISTOGRAM_FAMILY} gauge\n"));
+    for (name, h) in &snap.hists {
+        let name = escape_label(name);
+        for (stat, v) in HIST_STATS.iter().zip([h.count, h.mean, h.p50, h.p99, h.min, h.max]) {
+            out.push_str(&format!("{HISTOGRAM_FAMILY}{{name=\"{name}\",stat=\"{stat}\"}} {v}\n"));
+        }
+    }
+    out
+}
+
+/// Parses text produced by [`to_prometheus`] back into a snapshot.
+///
+/// Returns `None` on any malformed sample line; unknown families and
+/// comment lines are ignored (so the parser tolerates future additions).
+pub fn from_prometheus(text: &str) -> Option<MetricsSnapshot> {
+    let mut snap = MetricsSnapshot::default();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (family, rest) = line.split_once('{')?;
+        let (labels, value) = rest.split_once('}')?;
+        let value: u64 = value.trim().parse().ok()?;
+        let labels = parse_labels(labels)?;
+        let name = labels.iter().find(|(k, _)| k == "name").map(|(_, v)| v.clone())?;
+        match family {
+            COUNTER_FAMILY => {
+                snap.counters.insert(name, value);
+            }
+            GAUGE_FAMILY => {
+                snap.gauges.insert(name, value);
+            }
+            HISTOGRAM_FAMILY => {
+                let stat = labels.iter().find(|(k, _)| k == "stat").map(|(_, v)| v.clone())?;
+                let h = snap.hists.entry(name).or_default();
+                match stat.as_str() {
+                    "count" => h.count = value,
+                    "mean" => h.mean = value,
+                    "p50" => h.p50 = value,
+                    "p99" => h.p99 = value,
+                    "min" => h.min = value,
+                    "max" => h.max = value,
+                    _ => return None,
+                }
+            }
+            _ => {}
+        }
+    }
+    Some(snap)
+}
+
+/// Escapes a label value per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Parses `k="v",k2="v2"` into pairs, unescaping label values.
+fn parse_labels(s: &str) -> Option<Vec<(String, String)>> {
+    let mut pairs = Vec::new();
+    let mut rest = s;
+    while !rest.is_empty() {
+        let (key, after_key) = rest.split_once("=\"")?;
+        let mut value = String::new();
+        let mut chars = after_key.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, 'n')) => value.push('\n'),
+                    Some((_, c2)) => value.push(c2),
+                    None => return None,
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end?;
+        pairs.push((key.trim_start_matches(',').to_owned(), value));
+        rest = &after_key[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    Some(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::HistogramSummary;
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("appserver.renewals".into(), 3);
+        snap.counters.insert("matching.matched".into(), 70);
+        snap.gauges.insert("net.client.heartbeat_stale_ms".into(), 12);
+        snap.hists.insert(
+            "stage.matching".into(),
+            HistogramSummary { count: 5, mean: 40, p50: 32, p99: 130, min: 10, max: 130 },
+        );
+        snap.hists.insert(
+            "stage.total".into(),
+            HistogramSummary { count: 5, mean: 900, p50: 800, p99: 2100, min: 300, max: 2100 },
+        );
+        snap
+    }
+
+    #[test]
+    fn roundtrip_is_lossless() {
+        let snap = sample();
+        let text = to_prometheus(&snap);
+        let back = from_prometheus(&text).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn same_numbers_as_json() {
+        let snap = sample();
+        let via_prom = from_prometheus(&to_prometheus(&snap)).unwrap();
+        let via_json = MetricsSnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(via_prom, via_json);
+    }
+
+    #[test]
+    fn label_escaping_survives() {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("weird\"name\\with\nstuff".into(), 1);
+        let back = from_prometheus(&to_prometheus(&snap)).unwrap();
+        assert_eq!(snap, back);
+    }
+
+    #[test]
+    fn families_are_typed() {
+        let text = to_prometheus(&sample());
+        assert!(text.contains("# TYPE invalidb_counter_total counter"));
+        assert!(text.contains("# TYPE invalidb_gauge gauge"));
+        assert!(text.contains("invalidb_counter_total{name=\"appserver.renewals\"} 3"));
+        assert!(text.contains("invalidb_histogram_us{name=\"stage.matching\",stat=\"p99\"} 130"));
+    }
+
+    #[test]
+    fn empty_snapshot_roundtrips() {
+        let snap = MetricsSnapshot::default();
+        let back = from_prometheus(&to_prometheus(&snap)).unwrap();
+        assert_eq!(snap, back);
+    }
+}

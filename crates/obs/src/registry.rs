@@ -1,6 +1,8 @@
 //! The unified metrics registry.
 
+use crate::flight::FlightRecorder;
 use crate::link::{LinkRegistry, TopologyMetrics};
+use crate::slow::SlowQueryLog;
 use crate::snapshot::{HistogramSummary, MetricsSnapshot};
 use invalidb_common::{Histogram, TraceContext};
 use parking_lot::{Mutex, RwLock};
@@ -20,6 +22,8 @@ struct Inner {
     hists: RwLock<BTreeMap<String, Arc<Mutex<Histogram>>>>,
     topologies: RwLock<Vec<(String, Arc<TopologyMetrics>)>>,
     links: RwLock<Vec<(String, Arc<LinkRegistry>)>>,
+    flight: FlightRecorder,
+    slow: SlowQueryLog,
 }
 
 /// One registry unifying every metric of a deployment: named counters,
@@ -84,6 +88,19 @@ impl MetricsRegistry {
         self.inc("traces.recorded");
     }
 
+    /// The registry's flight recorder: every component sharing this
+    /// registry records its structured pipeline events (reconnects, queue
+    /// drops, decode errors, churn, health transitions) into one ring.
+    pub fn flight(&self) -> FlightRecorder {
+        self.inner.flight.clone()
+    }
+
+    /// The registry's slow-query log: the matching and sorting stages
+    /// charge per-query evaluation costs here.
+    pub fn slow_queries(&self) -> SlowQueryLog {
+        self.inner.slow.clone()
+    }
+
     /// Attaches a topology's component metrics; its counters appear in
     /// snapshots as `<label>.<component>.{processed,emitted,ticks}`.
     pub fn attach_topology(&self, label: &str, metrics: Arc<TopologyMetrics>) {
@@ -113,10 +130,15 @@ impl MetricsRegistry {
             let mut names = topo.component_names();
             names.sort();
             for comp in names {
-                let (processed, emitted, ticks) = topo.component(&comp).snapshot();
+                let m = topo.component(&comp);
+                let (processed, emitted, ticks) = m.snapshot();
                 snap.counters.insert(format!("{label}.{comp}.processed"), processed);
                 snap.counters.insert(format!("{label}.{comp}.emitted"), emitted);
                 snap.counters.insert(format!("{label}.{comp}.ticks"), ticks);
+                snap.gauges.insert(
+                    format!("{label}.{comp}.queue_depth"),
+                    m.queue_depth.load(Ordering::Relaxed),
+                );
             }
         }
         for (label, links) in self.inner.links.read().iter() {
@@ -200,6 +222,46 @@ mod tests {
         assert_eq!(snap.hists["stage.delivery"].count, 1);
         assert_eq!(snap.hists["stage.total"].count, 1);
         assert_eq!(snap.counters["traces.recorded"], 1);
+    }
+
+    #[test]
+    fn concurrent_writers_lose_nothing() {
+        let reg = MetricsRegistry::new();
+        let threads = 8u64;
+        let per_thread = 2_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        reg.inc("hammered.counter");
+                        reg.add("hammered.bulk", 3);
+                        reg.record("hammered.hist", i % 97 + 1);
+                        reg.set_gauge(&format!("hammered.gauge.{t}"), i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["hammered.counter"], threads * per_thread);
+        assert_eq!(snap.counters["hammered.bulk"], threads * per_thread * 3);
+        assert_eq!(snap.hists["hammered.hist"].count, threads * per_thread);
+        for t in 0..threads {
+            assert_eq!(snap.gauges[&format!("hammered.gauge.{t}")], per_thread - 1);
+        }
+    }
+
+    #[test]
+    fn flight_and_slow_log_are_shared_across_clones() {
+        let reg = MetricsRegistry::new();
+        let clone = reg.clone();
+        clone.flight().record(crate::FlightEventKind::Reconnect, "peer");
+        clone.slow_queries().charge("t", 1, || "q".into(), 10);
+        assert_eq!(reg.flight().dump().len(), 1);
+        assert_eq!(reg.slow_queries().len(), 1);
     }
 
     #[test]

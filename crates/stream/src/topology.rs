@@ -329,6 +329,11 @@ impl<M: Message> TopologyBuilder<M> {
                                     match rx.recv_timeout(tick_interval) {
                                         Ok(Input::Msg(msg)) => {
                                             m.processed.fetch_add(1, Ordering::Relaxed);
+                                            // Saturation gauge: peak input
+                                            // backlog (incl. the message in
+                                            // hand) while the task is busy.
+                                            m.queue_depth
+                                                .fetch_max(rx.len() as u64 + 1, Ordering::Relaxed);
                                             let mut ctx = BoltContext {
                                                 outputs: &outputs,
                                                 rr_counters: &rr,
@@ -338,6 +343,10 @@ impl<M: Message> TopologyBuilder<M> {
                                         }
                                         Err(RecvTimeoutError::Timeout) => {
                                             m.ticks.fetch_add(1, Ordering::Relaxed);
+                                            // Idle: the backlog drained, so
+                                            // the gauge decays to the live
+                                            // queue length.
+                                            m.queue_depth.store(rx.len() as u64, Ordering::Relaxed);
                                             let mut ctx = BoltContext {
                                                 outputs: &outputs,
                                                 rr_counters: &rr,

@@ -53,6 +53,26 @@
 //! [`trace_sample_every`](client::AppServerConfig::trace_sample_every) and
 //! read a delivered notification's breakdown from
 //! [`Subscription::last_trace`](client::Subscription::last_trace).
+//!
+//! ## The operational plane
+//!
+//! Every long-running component — [`Cluster`], [`AppServer`], and
+//! `net`'s `BrokerServer` — can host an [`AdminServer`]: a dependency-free
+//! HTTP endpoint serving
+//!
+//! * `/metrics` — Prometheus text exposition of the registry snapshot
+//!   (and `/metrics.json` for the JSON rendering of the same numbers),
+//! * `/healthz` — the [`HealthReport`] of a [`HealthMonitor`]-derived
+//!   cluster health state (`healthy`/`degraded`/`unavailable`, with
+//!   machine-readable causes; HTTP 503 when unavailable),
+//! * `/queries` — the [`SlowQueryLog`]'s heaviest continuous queries,
+//! * `/flight` — the [`FlightRecorder`]'s ring of recent pipeline events
+//!   (reconnects, queue drops, decode errors, health transitions).
+//!
+//! Bind it with `ClusterConfig::builder(..).admin_addr("127.0.0.1:9464")`
+//! (and the analogous `AppServerConfig` / `BrokerServerConfig` settings);
+//! see `examples/invalidb_top.rs` for a live terminal dashboard built on
+//! `/metrics` and the README's "Operations" runbook for the full tour.
 
 #![deny(missing_docs)]
 
@@ -77,4 +97,7 @@ pub use invalidb_common::{
     QuerySpec, ResultItem, SortDirection, Stage, SubscriptionId, TenantId, TraceContext, Value, Version,
 };
 pub use invalidb_core::{Cluster, ClusterConfig, ClusterConfigBuilder};
-pub use invalidb_obs::{MetricsRegistry, MetricsSnapshot};
+pub use invalidb_obs::{
+    AdminConfig, AdminServer, FlightEvent, FlightEventKind, FlightRecorder, HealthMonitor, HealthPolicy,
+    HealthReport, HealthStatus, MetricsRegistry, MetricsSnapshot, SlowQueryEntry, SlowQueryLog,
+};

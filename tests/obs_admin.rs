@@ -1,0 +1,230 @@
+//! The operational plane over a real socket: golden round-trip of the
+//! Prometheus exposition against the JSON snapshot, and the cluster
+//! health model reacting to an induced network partition.
+//!
+//! Everything here observes the system the way an external operator
+//! would — `GET` requests against the admin endpoint — never by poking
+//! in-process state. The health scenario is the runbook's promised arc:
+//! Healthy → Degraded (chaos proxy partitions the broker link) →
+//! Healthy (partition heals, supervisor reconnects), with the flight
+//! recorder holding the transitions and the reconnect in order.
+
+use invalidb::broker::Broker;
+use invalidb::net::{
+    BrokerServer, BrokerServerConfig, ChaosProxy, ChaosProxyConfig, RemoteBroker, RemoteBrokerConfig,
+};
+use invalidb::obs::from_prometheus;
+use invalidb::{
+    AdminConfig, AdminServer, FlightEvent, FlightEventKind, HealthPolicy, MetricsRegistry,
+    MetricsSnapshot,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+/// Minimal HTTP/1.0 GET; returns (status code, body).
+fn http_get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to admin endpoint");
+    stream
+        .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let body = response.split_once("\r\n\r\n").map(|(_, b)| b.to_owned()).unwrap_or_default();
+    (status, body)
+}
+
+/// Polls `/healthz` until the report's status matches `want` (the body is
+/// the `HealthReport` JSON, so the status string appears verbatim).
+fn await_health(addr: SocketAddr, want: &str, deadline: Duration) -> (u16, String) {
+    let needle = format!("\"status\":\"{want}\"");
+    let deadline = Instant::now() + deadline;
+    loop {
+        let (status, body) = http_get(addr, "/healthz");
+        if body.contains(&needle) {
+            return (status, body);
+        }
+        assert!(Instant::now() < deadline, "health never reached {want}; last report: {body}");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Golden round-trip: the Prometheus text served on `/metrics` must parse
+/// back into exactly the snapshot served on `/metrics.json` — and both
+/// must equal the in-process registry snapshot and survive a JSON
+/// round-trip. One set of numbers, four renderings, zero drift.
+#[test]
+fn metrics_exposition_round_trips_over_socket() {
+    let registry = MetricsRegistry::new();
+    registry.add("matching.matched", 1_234);
+    registry.inc("appserver.events_delivered");
+    registry.set_gauge("appserver.active_subscriptions", 17);
+    registry.set_gauge("matching.0x0.ingest_lag_us", 905);
+    for v in [12u64, 120, 1_200, 95_000] {
+        registry.record("stage.matching", v);
+    }
+    registry.record("net.broker_hop_us", 333);
+    registry.slow_queries().charge("tenant-a", 42, || "SELECT * FROM t".into(), 1_500);
+
+    let mut admin = AdminServer::bind("127.0.0.1:0", registry.clone(), AdminConfig::default())
+        .expect("bind admin endpoint");
+    let addr = admin.local_addr();
+
+    // The health evaluator publishes `health.status` asynchronously; wait
+    // for it so both scrapes see the same, settled registry.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let (status, text) = http_get(addr, "/metrics");
+        assert_eq!(status, 200, "/metrics must answer 200");
+        if text.contains("health.status") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "health.status gauge never published");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let (status, prom_text) = http_get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let from_prom = from_prometheus(&prom_text).expect("parse Prometheus exposition");
+
+    let (status, json_text) = http_get(addr, "/metrics.json");
+    assert_eq!(status, 200);
+    let from_json = MetricsSnapshot::from_json(&json_text).expect("parse snapshot JSON");
+
+    assert_eq!(from_prom, from_json, "text and JSON expositions must carry the same numbers");
+    let live = registry.snapshot();
+    assert_eq!(from_prom, live, "the wire exposition must equal the in-process snapshot");
+    assert_eq!(
+        MetricsSnapshot::from_json(&live.to_json()),
+        Some(live),
+        "snapshot JSON must round-trip losslessly"
+    );
+
+    let (status, queries) = http_get(addr, "/queries");
+    assert_eq!(status, 200);
+    assert!(queries.contains("SELECT * FROM t"), "slow-query log reaches /queries: {queries}");
+
+    admin.shutdown();
+}
+
+/// The acceptance arc for the health model: partitioning the broker link
+/// with the chaos proxy flips `/healthz` Healthy → Degraded; healing it
+/// flips it back; and `/flight` holds the degraded transition, the
+/// supervisor's reconnect, and the recovery transition in seq order.
+#[test]
+fn healthz_degrades_and_recovers_under_partition() {
+    let registry = MetricsRegistry::new();
+    let broker = Broker::new();
+    let server = BrokerServer::bind(
+        "127.0.0.1:0",
+        broker,
+        BrokerServerConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            ..BrokerServerConfig::default()
+        },
+    )
+    .expect("bind event-layer server");
+    let proxy = ChaosProxy::start(
+        server.local_addr().to_string(),
+        ChaosProxyConfig { seed: 3, ..ChaosProxyConfig::default() },
+    )
+    .expect("start chaos proxy");
+    let link = RemoteBroker::connect(
+        proxy.local_addr().to_string(),
+        RemoteBrokerConfig {
+            client_name: "obs-admin-test".into(),
+            heartbeat_interval: Duration::from_millis(100),
+            heartbeat_timeout: Duration::from_millis(400),
+            reconnect_base: Duration::from_millis(50),
+            reconnect_max: Duration::from_millis(200),
+            metrics: registry.clone(),
+            ..RemoteBrokerConfig::default()
+        },
+    );
+    assert!(link.wait_connected(Duration::from_secs(5)), "initial connect through proxy");
+
+    // Tight thresholds so the test resolves in wall-clock seconds; the
+    // unavailable bar stays far away — the promised arc is via Degraded.
+    let mut admin = AdminServer::bind(
+        "127.0.0.1:0",
+        registry.clone(),
+        AdminConfig {
+            health: HealthPolicy {
+                heartbeat_degraded: Duration::from_millis(500),
+                heartbeat_unavailable: Duration::from_secs(120),
+                ..HealthPolicy::default()
+            },
+            eval_interval: Duration::from_millis(25),
+            ..AdminConfig::default()
+        },
+    )
+    .expect("bind admin endpoint");
+    let addr = admin.local_addr();
+
+    let (status, _) = await_health(addr, "healthy", Duration::from_secs(5));
+    assert_eq!(status, 200, "healthy must be HTTP 200");
+
+    proxy.partition(true);
+    let (status, degraded) = await_health(addr, "degraded", Duration::from_secs(10));
+    assert_eq!(status, 200, "degraded still serves (only unavailable is 503): {degraded}");
+    assert!(
+        degraded.contains("heartbeat_stale") || degraded.contains("disconnected"),
+        "degraded report names a partition cause: {degraded}"
+    );
+
+    proxy.partition(false);
+    let (status, _) = await_health(addr, "healthy", Duration::from_secs(10));
+    assert_eq!(status, 200);
+    assert!(link.wait_connected(Duration::from_secs(5)), "link back up after heal");
+
+    // The flight recorder must tell the story in order: the degraded
+    // transition happened before the reconnect that fixed it, which
+    // happened before the recovery transition.
+    let (status, flight_json) = http_get(addr, "/flight");
+    assert_eq!(status, 200);
+    let events = parse_flight(&flight_json);
+    let degraded_seq = events
+        .iter()
+        .find(|e| e.kind == FlightEventKind::HealthTransition && e.detail.contains("-> degraded"))
+        .map(|e| e.seq)
+        .unwrap_or_else(|| panic!("no degraded transition in flight dump: {flight_json}"));
+    let reconnect_seq = events
+        .iter()
+        .find(|e| e.kind == FlightEventKind::Reconnect && e.seq > degraded_seq)
+        .map(|e| e.seq)
+        .unwrap_or_else(|| panic!("no reconnect after the degraded transition: {flight_json}"));
+    let recovered_seq = events
+        .iter()
+        .find(|e| {
+            e.kind == FlightEventKind::HealthTransition
+                && e.detail.contains("-> healthy")
+                && e.seq > reconnect_seq
+        })
+        .map(|e| e.seq)
+        .unwrap_or_else(|| panic!("no recovery transition after the reconnect: {flight_json}"));
+    assert!(
+        degraded_seq < reconnect_seq && reconnect_seq < recovered_seq,
+        "flight order must be degrade ({degraded_seq}) -> reconnect ({reconnect_seq}) -> recover ({recovered_seq})"
+    );
+
+    admin.shutdown();
+    link.shutdown();
+}
+
+/// Decodes the `/flight` JSON array back into events.
+fn parse_flight(json: &str) -> Vec<FlightEvent> {
+    let value = invalidb::json::parse_value(json).expect("flight dump is valid JSON");
+    value
+        .as_array()
+        .expect("flight dump is a JSON array")
+        .iter()
+        .map(|v| {
+            let doc = match v {
+                invalidb::Value::Object(d) => d,
+                other => panic!("flight entry is not an object: {other:?}"),
+            };
+            FlightEvent::from_document(doc).expect("flight entry decodes")
+        })
+        .collect()
+}
