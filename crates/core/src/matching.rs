@@ -26,7 +26,7 @@ use invalidb_common::{
     QueryHash, ResultItem, Stage, SubscriptionId, SubscriptionRequest, TenantId, Timestamp,
     TraceContext, Version,
 };
-use invalidb_obs::MetricsRegistry;
+use invalidb_obs::{MetricsRegistry, SlowQueryScratch};
 use invalidb_query::PreparedQuery;
 use invalidb_stream::{Bolt, BoltContext};
 use std::collections::{HashMap, VecDeque};
@@ -87,6 +87,9 @@ pub struct MatchingNode {
     /// Peak ingestion lag (write origin timestamp to matching evaluation)
     /// since the last tick, microseconds. Published as a gauge on tick.
     ingest_lag_us: u64,
+    /// Locally accumulated slow-query charges, flushed to the shared log
+    /// on tick so the per-evaluation hot path never takes its lock.
+    slow_scratch: SlowQueryScratch,
 }
 
 impl MatchingNode {
@@ -104,6 +107,7 @@ impl MatchingNode {
             latest_versions: HashMap::new(),
             stale_dropped: 0,
             ingest_lag_us: 0,
+            slow_scratch: SlowQueryScratch::new(),
         }
     }
 
@@ -179,7 +183,14 @@ impl MatchingNode {
             }
         }
         for img in retained {
-            let transition = Self::match_against(&mut group, hash, &img, &self.config.metrics, ctx);
+            let transition = Self::match_against(
+                &mut group,
+                hash,
+                &img,
+                &self.config.metrics,
+                &mut self.slow_scratch,
+                ctx,
+            );
             self.note_transition(&img, hash, transition);
         }
         self.queries.insert(group_key, group);
@@ -268,7 +279,14 @@ impl MatchingNode {
             let mut dead: Vec<QueryHash> = Vec::new();
             for hash in candidates {
                 let transition = match self.queries.get_mut(&(img.tenant.clone(), hash)) {
-                    Some(group) => Self::match_against(group, hash, img, &self.config.metrics, ctx),
+                    Some(group) => Self::match_against(
+                        group,
+                        hash,
+                        img,
+                        &self.config.metrics,
+                        &mut self.slow_scratch,
+                        ctx,
+                    ),
                     None => {
                         // The query was cancelled/expired; lazily purge its
                         // membership entry so `containing` does not leak.
@@ -289,24 +307,33 @@ impl MatchingNode {
         } else {
             for ((_, hash), group) in self.queries.iter_mut() {
                 if group.tenant == img.tenant && group.collection == img.collection {
-                    Self::match_against(group, *hash, img, &self.config.metrics, ctx);
+                    Self::match_against(
+                        group,
+                        *hash,
+                        img,
+                        &self.config.metrics,
+                        &mut self.slow_scratch,
+                        ctx,
+                    );
                 }
             }
         }
     }
 
     /// Evaluates one write against one query, charging the wall-clock cost
-    /// to the slow-query log so operators can see which query eats the grid.
+    /// to this node's local slow-query scratch (flushed to the shared log
+    /// on tick) so operators can see which query eats the grid.
     fn match_against(
         group: &mut QueryGroup,
         hash: QueryHash,
         img: &AfterImage,
         metrics: &MetricsRegistry,
+        scratch: &mut SlowQueryScratch,
         ctx: &mut BoltContext<'_, Event>,
     ) -> Option<FilterChangeKind> {
         let started = std::time::Instant::now();
         let kind = Self::evaluate(group, hash, img, metrics, ctx);
-        metrics.slow_queries().charge(
+        scratch.charge(
             &group.tenant.0,
             hash.0,
             || group.spec_display.clone(),
@@ -500,6 +527,7 @@ impl Bolt<Event> for MatchingNode {
 
     fn tick(&mut self, _ctx: &mut BoltContext<'_, Event>) {
         self.expire();
+        self.slow_scratch.flush(&self.config.metrics.slow_queries());
         // Per-partition gauges, refreshed once per tick so the hot write
         // path never touches the registry maps.
         let cell = format!("matching.{}x{}", self.coord.qp, self.coord.wp);
@@ -811,7 +839,17 @@ mod tests {
         h.tx.send(subscribe_event(spec, 1, vec![])).unwrap();
         h.tx.send(write_event(Key::of("a"), 1, Some(doc! { "n" => 1i64 }))).unwrap();
         wait_events(&h, 1);
-        let top = metrics.slow_queries().top(4);
+        // Charges are accumulated locally and only reach the shared log on
+        // the node's next tick, so poll for the flush.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let top = loop {
+            let top = metrics.slow_queries().top(4);
+            if !top.is_empty() {
+                break top;
+            }
+            assert!(std::time::Instant::now() < deadline, "charges never flushed");
+            std::thread::sleep(Duration::from_millis(10));
+        };
         assert_eq!(top.len(), 1, "one query charged");
         assert!(top[0].evals >= 1);
         assert_eq!(top[0].tenant, "app");

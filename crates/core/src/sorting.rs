@@ -13,6 +13,7 @@ use invalidb_common::{
     ChangeItem, Clock, MaintenanceError, MatchType, Notification, NotificationKind, QueryHash,
     ResultItem, Stage, SubscriptionId, SubscriptionRequest, TenantId, Timestamp, TraceContext,
 };
+use invalidb_obs::SlowQueryScratch;
 use invalidb_query::PreparedQuery;
 use invalidb_stream::{Bolt, BoltContext};
 use std::collections::HashMap;
@@ -46,12 +47,22 @@ pub struct SortingNode {
     groups: HashMap<(TenantId, QueryHash), SortGroup>,
     /// Observability: maintenance errors raised.
     maintenance_errors: u64,
+    /// Locally accumulated slow-query charges, flushed to the shared log
+    /// on tick so the per-filter-change hot path never takes its lock.
+    slow_scratch: SlowQueryScratch,
 }
 
 impl SortingNode {
     /// Creates the sorting node for task index `task`.
     pub fn new(task: usize, config: ClusterConfig, clock: Arc<dyn Clock>) -> Self {
-        Self { task, config, clock, groups: HashMap::new(), maintenance_errors: 0 }
+        Self {
+            task,
+            config,
+            clock,
+            groups: HashMap::new(),
+            maintenance_errors: 0,
+            slow_scratch: SlowQueryScratch::new(),
+        }
     }
 
     /// Number of sorted queries owned by this node.
@@ -150,7 +161,7 @@ impl SortingNode {
                     trace: trace.clone(),
                 }))));
             }
-            self.config.metrics.slow_queries().charge(
+            self.slow_scratch.charge(
                 &fc.tenant.0,
                 fc.query_hash.0,
                 || group.spec_display.clone(),
@@ -160,7 +171,7 @@ impl SortingNode {
         }
         Self::broadcast(group, &outcome.events, fc.written_at, trace.as_ref(), ctx);
         apply_events(&mut group.client_state, &outcome.events);
-        self.config.metrics.slow_queries().charge(
+        self.slow_scratch.charge(
             &fc.tenant.0,
             fc.query_hash.0,
             || group.spec_display.clone(),
@@ -292,6 +303,7 @@ impl Bolt<Event> for SortingNode {
 
     fn tick(&mut self, _ctx: &mut BoltContext<'_, Event>) {
         self.expire();
+        self.slow_scratch.flush(&self.config.metrics.slow_queries());
         // Per-task gauge, refreshed once per tick like the matching grid's.
         self.config
             .metrics

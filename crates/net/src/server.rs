@@ -21,7 +21,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -68,8 +68,11 @@ struct Shared {
     config: BrokerServerConfig,
     links: Arc<LinkRegistry>,
     running: Arc<AtomicBool>,
-    /// Clones of live connection sockets, for shutdown().
-    conns: Mutex<Vec<TcpStream>>,
+    /// Clones of live connection sockets keyed by a per-connection token,
+    /// for shutdown(). Each connection thread removes its own entry when
+    /// it exits, so churned connections don't leak fds here.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
 }
 
 /// A TCP server exposing a broker's publish/subscribe surface.
@@ -94,18 +97,26 @@ impl BrokerServer {
         // snapshot (`net.server.<peer>.*`), feeding the health model's
         // queue-depth and drop signals.
         config.metrics.attach_links("net.server", Arc::clone(&links));
-        let admin = match &config.admin_addr {
-            Some(addr) => {
-                Some(AdminServer::bind(addr.as_str(), config.metrics.clone(), AdminConfig::default())?)
+        // Optional admin plane. Like Cluster and AppServer, a failed admin
+        // bind does not abort the broker (serving the event layer is the
+        // product; the admin endpoint is a window into it) but is recorded
+        // so it cannot go unnoticed.
+        let admin = config.admin_addr.as_deref().and_then(|addr| {
+            match AdminServer::bind(addr, config.metrics.clone(), AdminConfig::default()) {
+                Ok(server) => Some(server),
+                Err(_) => {
+                    config.metrics.inc("admin.bind_errors");
+                    None
+                }
             }
-            None => None,
-        };
+        });
         let shared = Arc::new(Shared {
             broker: broker.into(),
             config,
             links,
             running: Arc::new(AtomicBool::new(true)),
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = thread::Builder::new()
@@ -131,7 +142,8 @@ impl BrokerServer {
     }
 
     /// The admin endpoint's address, when one was configured via
-    /// [`BrokerServerConfig::admin_addr`].
+    /// [`BrokerServerConfig::admin_addr`]. `None` when no address was
+    /// configured or the bind failed (counted as `admin.bind_errors`).
     pub fn admin_addr(&self) -> Option<std::net::SocketAddr> {
         self.admin.as_ref().map(|a| a.local_addr())
     }
@@ -140,7 +152,7 @@ impl BrokerServer {
     /// thread (and the admin endpoint, if hosted). Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.running.store(false, Ordering::SeqCst);
-        for conn in self.shared.conns.lock().drain(..) {
+        for (_, conn) in self.shared.conns.lock().drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         if let Some(t) = self.accept_thread.take() {
@@ -166,14 +178,18 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
         match listener.accept() {
             Ok((stream, peer)) => {
                 stream.set_nodelay(true).ok();
+                let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                 if let Ok(clone) = stream.try_clone() {
-                    shared.conns.lock().push(clone);
+                    shared.conns.lock().insert(id, clone);
                 }
                 let conn_shared = Arc::clone(&shared);
                 let name = format!("net-conn-{peer}");
                 thread::Builder::new()
                     .name(name)
-                    .spawn(move || serve_connection(stream, peer, conn_shared))
+                    .spawn(move || {
+                        serve_connection(stream, peer, &conn_shared);
+                        conn_shared.conns.lock().remove(&id);
+                    })
                     .expect("spawn connection thread");
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
@@ -182,7 +198,7 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-fn serve_connection(stream: TcpStream, peer: std::net::SocketAddr, shared: Arc<Shared>) {
+fn serve_connection(stream: TcpStream, peer: std::net::SocketAddr, shared: &Arc<Shared>) {
     let metrics = shared.links.link(&peer.to_string());
     let flight = shared.config.metrics.flight();
     let queue = SendQueue::with_recorder(
@@ -206,7 +222,7 @@ fn serve_connection(stream: TcpStream, peer: std::net::SocketAddr, shared: Arc<S
         Arc::clone(&shared.running),
     );
 
-    read_loop(stream, peer, &queue, &metrics, &shared);
+    read_loop(stream, peer, &queue, &metrics, shared);
 
     // Reader is done (EOF, error, or shutdown): close the queue so the
     // writer drains and exits, then reap it. Pump threads notice the

@@ -26,9 +26,10 @@ use crate::health::{HealthMonitor, HealthPolicy, HealthReport, HealthStatus};
 use crate::prom::to_prometheus;
 use crate::registry::MetricsRegistry;
 use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -63,7 +64,12 @@ struct Shared {
     monitor: Mutex<HealthMonitor>,
     latest: Mutex<HealthReport>,
     running: Arc<AtomicBool>,
-    conns: Mutex<Vec<TcpStream>>,
+    /// Live connection sockets keyed by a per-connection token, for
+    /// shutdown(). Admin connections are one-per-request, so each handler
+    /// removes its own entry when it finishes — otherwise every scrape
+    /// would leak one fd for the life of the server.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+    next_conn: AtomicU64,
 }
 
 /// The admin HTTP server. Binds a listener, spawns an accept thread and
@@ -92,7 +98,8 @@ impl AdminServer {
             monitor: Mutex::new(monitor),
             latest: Mutex::new(HealthReport::default()),
             running: Arc::new(AtomicBool::new(true)),
-            conns: Mutex::new(Vec::new()),
+            conns: Mutex::new(HashMap::new()),
+            next_conn: AtomicU64::new(0),
         });
 
         let accept_shared = Arc::clone(&shared);
@@ -140,7 +147,7 @@ impl AdminServer {
     /// background threads. Idempotent.
     pub fn shutdown(&mut self) {
         self.shared.running.store(false, Ordering::SeqCst);
-        for conn in self.shared.conns.lock().drain(..) {
+        for (_, conn) in self.shared.conns.lock().drain() {
             let _ = conn.shutdown(Shutdown::Both);
         }
         if let Some(t) = self.accept_thread.take() {
@@ -189,13 +196,17 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     while shared.running.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, peer)) => {
+                let id = shared.next_conn.fetch_add(1, Ordering::Relaxed);
                 if let Ok(clone) = stream.try_clone() {
-                    shared.conns.lock().push(clone);
+                    shared.conns.lock().insert(id, clone);
                 }
                 let conn_shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("admin-conn-{peer}"))
-                    .spawn(move || serve_connection(stream, conn_shared))
+                    .spawn(move || {
+                        serve_connection(stream, &conn_shared);
+                        conn_shared.conns.lock().remove(&id);
+                    })
                     .expect("spawn admin connection thread");
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
@@ -204,13 +215,13 @@ fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
     }
 }
 
-fn serve_connection(mut stream: TcpStream, shared: Arc<Shared>) {
+fn serve_connection(mut stream: TcpStream, shared: &Shared) {
     stream.set_read_timeout(Some(Duration::from_secs(5))).ok();
     let request = match read_request_head(&mut stream) {
         Some(r) => r,
         None => return,
     };
-    let (status, content_type, body) = match route(&request, &shared) {
+    let (status, content_type, body) = match route(&request, shared) {
         Some(r) => r,
         None => (404, "text/plain; charset=utf-8", "not found\n".to_owned()),
     };
@@ -250,7 +261,7 @@ fn read_request_head(stream: &mut TcpStream) -> Option<String> {
 
 /// Dispatches a request line to its handler. Returns
 /// `(status, content type, body)`; `None` is a 404.
-fn route(request_line: &str, shared: &Arc<Shared>) -> Option<(u16, &'static str, String)> {
+fn route(request_line: &str, shared: &Shared) -> Option<(u16, &'static str, String)> {
     let mut parts = request_line.split_whitespace();
     let method = parts.next()?;
     let path = parts.next()?;
@@ -345,6 +356,30 @@ mod tests {
                 !matches!(s.read(&mut buf), Ok(n) if n > 0)
             }
         }
+    }
+
+    #[test]
+    fn finished_connections_are_pruned() {
+        let registry = MetricsRegistry::new();
+        let mut admin =
+            AdminServer::bind("127.0.0.1:0", registry.clone(), AdminConfig::default()).unwrap();
+        let addr = admin.local_addr();
+        for _ in 0..8 {
+            let (status, _) = get(addr, "/healthz");
+            assert_eq!(status, 200);
+        }
+        // Each handler drops its tracking entry after responding; give the
+        // handler threads a moment to finish.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !admin.shared.conns.lock().is_empty() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "connection handles leaked: {} still tracked",
+                admin.shared.conns.lock().len()
+            );
+            thread::sleep(Duration::from_millis(10));
+        }
+        admin.shutdown();
     }
 
     #[test]

@@ -149,9 +149,20 @@ impl FlightRecorder {
     /// Records an event with an explicit timestamp.
     pub fn record_at(&self, at_micros: u64, kind: FlightEventKind, detail: impl Into<String>) {
         let seq = self.inner.head.fetch_add(1, Ordering::Relaxed);
-        let slot = (seq % self.inner.slots.len() as u64) as usize;
-        let event = FlightEvent { seq, at_micros, kind, detail: detail.into() };
-        *self.inner.slots[slot].lock() = Some(event);
+        self.store(FlightEvent { seq, at_micros, kind, detail: detail.into() });
+    }
+
+    /// Stores an already-sequenced event into its ring slot. Reservation
+    /// (the `fetch_add` above) and the slot write are not atomic together,
+    /// so a writer delayed in between may find that a newer event already
+    /// wrapped into its slot — the stale write must yield, or the ring
+    /// would silently drop its most recent event.
+    fn store(&self, event: FlightEvent) {
+        let slot = (event.seq % self.inner.slots.len() as u64) as usize;
+        let mut slot = self.inner.slots[slot].lock();
+        if slot.as_ref().is_none_or(|existing| existing.seq < event.seq) {
+            *slot = Some(event);
+        }
     }
 
     /// All surviving events, oldest first. At most `capacity` entries;
@@ -238,6 +249,30 @@ mod tests {
             assert_eq!(e.seq, (extra + i) as u64);
         }
         assert_eq!(rec.recorded(), (capacity + extra) as u64);
+    }
+
+    #[test]
+    fn stalled_writer_does_not_clobber_newer_event() {
+        let rec = FlightRecorder::with_capacity(4);
+        // A writer reserves seq 0 but stalls before storing. Meanwhile the
+        // ring wraps: seq 4 lands in slot 0.
+        let stalled_seq = rec.inner.head.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(stalled_seq, 0);
+        for i in 1..=4u64 {
+            rec.record(FlightEventKind::Subscribe, format!("e{i}"));
+        }
+        // The stalled writer finally performs its slot write: it must not
+        // overwrite the newer event that already occupies the slot.
+        rec.store(FlightEvent {
+            seq: stalled_seq,
+            at_micros: 0,
+            kind: FlightEventKind::QueueDrop,
+            detail: "stalled".into(),
+        });
+        let dump = rec.dump();
+        assert_eq!(dump.len(), 4);
+        assert_eq!(dump.last().unwrap().detail, "e4", "newest event survives");
+        assert!(dump.iter().all(|e| e.detail != "stalled"));
     }
 
     #[test]

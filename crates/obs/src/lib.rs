@@ -61,5 +61,5 @@ pub use health::{
 pub use link::{ComponentMetrics, LinkMetrics, LinkRegistry, TopologyMetrics};
 pub use prom::{from_prometheus, to_prometheus, COUNTER_FAMILY, GAUGE_FAMILY, HISTOGRAM_FAMILY};
 pub use registry::MetricsRegistry;
-pub use slow::{SlowQueryEntry, SlowQueryLog, DEFAULT_SLOW_LOG_CAPACITY};
+pub use slow::{SlowQueryEntry, SlowQueryLog, SlowQueryScratch, DEFAULT_SLOW_LOG_CAPACITY};
 pub use snapshot::{HistogramSummary, MetricsSnapshot};

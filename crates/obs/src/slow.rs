@@ -162,6 +162,120 @@ impl Default for SlowQueryLog {
     }
 }
 
+struct PendingCharge {
+    /// Captured on the query's first local sighting since the last flush;
+    /// consumed when the flush creates the shared entry.
+    label: Option<String>,
+    evals: u64,
+    total_us: u64,
+    max_us: u64,
+    last_us: u64,
+}
+
+/// A per-task charge accumulator for pipeline stages.
+///
+/// The matching and sorting bolts evaluate queries on their hot paths;
+/// charging the shared [`SlowQueryLog`] there would serialize every task
+/// on one global lock per evaluation. Instead each bolt charges its own
+/// (unsynchronized) scratch and flushes the batch on tick, so the shared
+/// lock is taken once per tick interval rather than once per write×query.
+#[derive(Default)]
+pub struct SlowQueryScratch {
+    pending: HashMap<(String, u64), PendingCharge>,
+}
+
+impl SlowQueryScratch {
+    /// An empty scratch.
+    pub fn new() -> SlowQueryScratch {
+        SlowQueryScratch::default()
+    }
+
+    /// Charges one evaluation of `cost_us` microseconds locally. `label`
+    /// is called only on the query's first local sighting since the last
+    /// flush.
+    pub fn charge(
+        &mut self,
+        tenant: &str,
+        query_hash: u64,
+        label: impl FnOnce() -> String,
+        cost_us: u64,
+    ) {
+        if let Some(p) = self.pending.get_mut(&(tenant.to_owned(), query_hash)) {
+            p.evals += 1;
+            p.total_us += cost_us;
+            p.max_us = p.max_us.max(cost_us);
+            p.last_us = cost_us;
+            return;
+        }
+        self.pending.insert(
+            (tenant.to_owned(), query_hash),
+            PendingCharge {
+                label: Some(label()),
+                evals: 1,
+                total_us: cost_us,
+                max_us: cost_us,
+                last_us: cost_us,
+            },
+        );
+    }
+
+    /// Number of distinct queries with unflushed charges.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether there is anything to flush.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Drains every accumulated charge into `log` under a single lock
+    /// acquisition. A no-op when nothing was charged.
+    pub fn flush(&mut self, log: &SlowQueryLog) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let now = now_micros();
+        let mut entries = log.inner.entries.lock();
+        for ((tenant, query_hash), p) in self.pending.drain() {
+            if let Some(e) = entries.get_mut(&(tenant.clone(), query_hash)) {
+                e.evals += p.evals;
+                e.total_us += p.total_us;
+                e.max_us = e.max_us.max(p.max_us);
+                e.last_us = p.last_us;
+                e.last_seen_micros = now;
+                continue;
+            }
+            if entries.len() >= log.inner.capacity {
+                if let Some(victim) =
+                    entries.iter().min_by_key(|(_, e)| e.total_us).map(|(k, _)| k.clone())
+                {
+                    entries.remove(&victim);
+                }
+            }
+            entries.insert(
+                (tenant.clone(), query_hash),
+                SlowQueryEntry {
+                    tenant,
+                    query_hash,
+                    label: p.label.unwrap_or_default(),
+                    evals: p.evals,
+                    total_us: p.total_us,
+                    max_us: p.max_us,
+                    last_us: p.last_us,
+                    last_seen_micros: now,
+                },
+            );
+        }
+    }
+}
+
+impl std::fmt::Debug for SlowQueryScratch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SlowQueryScratch").field("pending", &self.pending.len()).finish()
+    }
+}
+
 impl std::fmt::Debug for SlowQueryLog {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SlowQueryLog").field("tracked", &self.len()).finish()
@@ -207,5 +321,44 @@ mod tests {
         log.charge("t", 1, || "q".into(), 10);
         log.forget("t", 1);
         assert!(log.is_empty());
+    }
+
+    #[test]
+    fn scratch_batches_and_flushes() {
+        let log = SlowQueryLog::with_capacity(8);
+        let mut scratch = SlowQueryScratch::new();
+        scratch.charge("t", 1, || "a".into(), 100);
+        scratch.charge("t", 1, || "never".into(), 300);
+        scratch.charge("t", 2, || "b".into(), 50);
+        assert_eq!(scratch.len(), 2);
+        assert!(log.is_empty(), "nothing reaches the shared log before flush");
+        scratch.flush(&log);
+        assert!(scratch.is_empty());
+        let top = log.top(10);
+        assert_eq!(top[0].label, "a");
+        assert_eq!(top[0].evals, 2);
+        assert_eq!(top[0].total_us, 400);
+        assert_eq!(top[0].max_us, 300);
+        assert_eq!(top[0].last_us, 300);
+        assert_eq!(top[1].label, "b");
+        // A second flush accumulates into the existing entries.
+        scratch.charge("t", 1, || "ignored".into(), 50);
+        scratch.flush(&log);
+        let top = log.top(10);
+        assert_eq!(top[0].evals, 3);
+        assert_eq!(top[0].total_us, 450);
+        assert_eq!(top[0].label, "a", "label captured once, kept across flushes");
+    }
+
+    #[test]
+    fn scratch_flush_respects_capacity_eviction() {
+        let log = SlowQueryLog::with_capacity(2);
+        log.charge("t", 1, || "heavy".into(), 10_000);
+        log.charge("t", 2, || "medium".into(), 500);
+        let mut scratch = SlowQueryScratch::new();
+        scratch.charge("t", 3, || "new".into(), 100);
+        scratch.flush(&log);
+        let labels: Vec<String> = log.top(10).into_iter().map(|e| e.label).collect();
+        assert_eq!(labels, vec!["heavy", "new"]);
     }
 }

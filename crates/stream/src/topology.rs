@@ -329,11 +329,12 @@ impl<M: Message> TopologyBuilder<M> {
                                     match rx.recv_timeout(tick_interval) {
                                         Ok(Input::Msg(msg)) => {
                                             m.processed.fetch_add(1, Ordering::Relaxed);
-                                            // Saturation gauge: peak input
+                                            // Saturation gauge: live input
                                             // backlog (incl. the message in
-                                            // hand) while the task is busy.
-                                            m.queue_depth
-                                                .fetch_max(rx.len() as u64 + 1, Ordering::Relaxed);
+                                            // hand), refreshed per message
+                                            // so a drained spike decays
+                                            // even under steady traffic.
+                                            m.queue_depth.store(rx.len() as u64 + 1, Ordering::Relaxed);
                                             let mut ctx = BoltContext {
                                                 outputs: &outputs,
                                                 rr_counters: &rr,
