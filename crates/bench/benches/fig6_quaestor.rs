@@ -137,7 +137,7 @@ fn main() {
     out.insert("fig6e", stage_breakdown());
 
     let json = invalidb_json::to_string(&out);
-    match std::fs::write("BENCH_fig6.json", &json) {
+    match std::fs::write(invalidb_bench::artifact_path("BENCH_fig6.json"), &json) {
         Ok(()) => println!("\nmachine-readable results written to BENCH_fig6.json"),
         Err(e) => eprintln!("\nfailed to write BENCH_fig6.json: {e}"),
     }

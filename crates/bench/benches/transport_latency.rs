@@ -1,21 +1,28 @@
 //! Transport comparison — end-to-end notification latency (app-server
-//! write → push notification at the subscriber) with the event layer
-//! running (a) in-process, (b) with the app server attached over TCP
-//! loopback, and (c) with both the cluster and the app server attached
-//! over TCP loopback.
+//! write → push notification at the subscriber) across deployment,
+//! codec, and batching:
+//!
+//! * event layer in-process vs. over TCP loopback (app server remote,
+//!   and cluster + app server both remote);
+//! * envelope codec: JSON text vs. the binary (`IVBD`) codec;
+//! * write-path batching off (`max_write_batch`/`max_batch` forced to 1,
+//!   one write in flight) vs. on (defaults, pipelined bursts).
 //!
 //! The paper's prototype pays this hop through Redis (§5.3); the
 //! interesting question for the reproduction is how much of the ~9 ms
-//! average (Table 3) is transport. Loopback TCP with the framing codec
-//! adds tens to hundreds of microseconds per hop — small against the
-//! paper's numbers, so the in-process default does not flatter the
-//! matching pipeline by much.
+//! average (Table 3) is transport — and how much of *that* is codec and
+//! syscall overhead the binary codec + frame coalescing win back.
+//!
+//! Writes `BENCH_transport.json` with every row plus the headline
+//! improvement of the binary+batched TCP path over the JSON unbatched
+//! path (the pre-optimization wire configuration).
 
 use invalidb_bench::table;
 use invalidb_broker::{Broker, BrokerHandle};
 use invalidb_client::{AppServer, AppServerConfig, ClientEvent};
-use invalidb_common::{doc, Key, QuerySpec};
+use invalidb_common::{doc, Document, Key, QuerySpec, Value};
 use invalidb_core::{Cluster, ClusterConfig};
+use invalidb_json::WireCodec;
 use invalidb_net::{BrokerServer, BrokerServerConfig, RemoteBroker, RemoteBrokerConfig};
 use invalidb_store::Store;
 use std::sync::Arc;
@@ -35,100 +42,223 @@ fn stats(mut latencies_us: Vec<f64>) -> Stats {
     Stats { mean_us: mean, p99_us: p99, max_us: max }
 }
 
-/// Runs `rounds` write→notification round trips on a freshly started
-/// stack whose cluster and app server sit on the given broker handles.
+/// One measured wire configuration.
+struct Wire {
+    codec: WireCodec,
+    /// `false` pins every batching knob to 1 and keeps a single write in
+    /// flight; `true` uses the batching defaults and pipelines `burst`
+    /// writes per round.
+    batched: bool,
+}
+
+impl Wire {
+    fn burst(&self) -> usize {
+        if self.batched {
+            std::env::var("INVALIDB_BENCH_BURST").ok().and_then(|v| v.parse().ok()).unwrap_or(16)
+        } else {
+            1
+        }
+    }
+
+    fn max_batch(&self) -> usize {
+        if self.batched {
+            ClusterConfig::new(1, 1).max_batch
+        } else {
+            1
+        }
+    }
+
+    fn max_write_batch(&self) -> usize {
+        if self.batched {
+            RemoteBrokerConfig::default().max_write_batch
+        } else {
+            1
+        }
+    }
+}
+
+/// Runs `rounds` write→notification rounds on a freshly started stack
+/// whose cluster and app server sit on the given broker handles. Each
+/// round pipelines `wire.burst()` writes and waits for all of their
+/// notifications; the recorded latency is the per-write share of the
+/// round, so burst-1 degenerates to the plain round-trip time.
 fn measure(
     cluster_link: impl Into<BrokerHandle>,
     app_link: impl Into<BrokerHandle>,
     tenant: &str,
     rounds: usize,
+    wire: &Wire,
 ) -> Stats {
     let store = Arc::new(Store::new());
-    let cluster = Cluster::start(cluster_link, ClusterConfig::new(1, 1));
-    let app = AppServer::start(tenant, Arc::clone(&store), app_link, AppServerConfig::default());
+    let cluster = Cluster::start(
+        cluster_link,
+        ClusterConfig::builder(1, 1).wire_codec(wire.codec).max_batch(wire.max_batch()).build().unwrap(),
+    );
+    let config = AppServerConfig::builder().wire_codec(wire.codec).build().unwrap();
+    let app = AppServer::start(tenant, Arc::clone(&store), app_link, config);
 
+    // When the cluster sits behind a TCP link too, its SUBSCRIBE frames
+    // race the app server's subscribe envelope at the shared broker
+    // (at-most-once pub/sub): retry the subscription until the initial
+    // result proves the cluster saw it.
     let spec = QuerySpec::filter("pings", doc! { "n" => doc! { "$gte" => 0i64 } });
     let mut sub = app.subscribe(&spec).unwrap();
-    assert!(matches!(
-        sub.events().timeout(Duration::from_secs(10)).next(),
-        Some(ClientEvent::Initial(_))
-    ));
-
-    let mut latencies = Vec::with_capacity(rounds);
-    for i in 0..rounds as i64 {
-        let key = Key::of(i);
-        let start = Instant::now();
-        app.save("pings", key.clone(), doc! { "n" => i }).unwrap();
-        loop {
-            match sub.events().timeout(Duration::from_secs(10)).next().expect("notification") {
-                ClientEvent::Change(c) if c.item.key == key => {
-                    latencies.push(start.elapsed().as_secs_f64() * 1e6);
-                    break;
-                }
-                _ => {}
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match sub.events().timeout(Duration::from_millis(500)).next() {
+            Some(ClientEvent::Initial(_)) => break,
+            _ => {
+                assert!(Instant::now() < deadline, "initial result never arrived");
+                drop(sub);
+                sub = app.subscribe(&spec).unwrap();
             }
         }
+    }
+
+    // Keys cycle through a bounded space so the live result reaches the
+    // same steady-state size in every configuration (result maintenance
+    // cost must not scale with the total write count of a row).
+    const KEY_SPACE: i64 = 64;
+    let burst = wire.burst();
+    let mut run_round = |round: usize, latencies: Option<&mut Vec<f64>>| {
+        let start = Instant::now();
+        for j in 0..burst {
+            let i = (round * burst + j) as i64;
+            app.save("pings", Key::of(i % KEY_SPACE), doc! { "n" => i }).unwrap();
+        }
+        let mut pending = burst;
+        while pending > 0 {
+            if let ClientEvent::Change(_) =
+                sub.events().timeout(Duration::from_secs(10)).next().expect("notification")
+            {
+                pending -= 1;
+            }
+        }
+        if let Some(latencies) = latencies {
+            let per_write = start.elapsed().as_secs_f64() * 1e6 / burst as f64;
+            latencies.extend(std::iter::repeat_n(per_write, burst));
+        }
+    };
+    // Warm-up: populate the key space and let every thread/queue go hot.
+    let warmup = (KEY_SPACE as usize).div_ceil(burst).max(4);
+    for round in 0..warmup {
+        run_round(round, None);
+    }
+    let mut latencies = Vec::with_capacity(rounds * burst);
+    for round in warmup..warmup + rounds {
+        run_round(round, Some(&mut latencies));
     }
     drop(sub);
     cluster.shutdown();
     stats(latencies)
 }
 
-fn remote(addr: std::net::SocketAddr, name: &str) -> RemoteBroker {
+fn remote(addr: std::net::SocketAddr, name: &str, wire: &Wire) -> RemoteBroker {
     let link = RemoteBroker::connect(
         addr.to_string(),
-        RemoteBrokerConfig { client_name: name.into(), ..Default::default() },
+        RemoteBrokerConfig {
+            client_name: name.into(),
+            max_write_batch: wire.max_write_batch(),
+            ..Default::default()
+        },
     );
     assert!(link.wait_connected(Duration::from_secs(5)));
     link
+}
+
+fn server_config(wire: &Wire) -> BrokerServerConfig {
+    BrokerServerConfig { max_write_batch: wire.max_write_batch(), ..Default::default() }
+}
+
+/// Measures deployment (b): cluster local to the broker, app server over
+/// TCP loopback — 2 TCP hops per round trip (write in, notification out).
+fn measure_tcp_app(tenant: &str, rounds: usize, wire: &Wire) -> Stats {
+    let broker = Broker::new();
+    let server = BrokerServer::bind("127.0.0.1:0", broker.clone(), server_config(wire)).expect("bind");
+    let app_link = remote(server.local_addr(), tenant, wire);
+    let s = measure(broker, app_link.clone(), tenant, rounds, wire);
+    app_link.shutdown();
+    s
 }
 
 fn main() {
     let rounds = (300.0 * invalidb_bench::scale()).max(20.0) as usize;
     table::banner(
         "Transport",
-        "Notification latency (save -> push notification), in-process vs. TCP loopback",
+        "Notification latency (save -> push notification): deployment x codec x batching",
     );
 
+    let json_unbatched = Wire { codec: WireCodec::Json, batched: false };
+    let json_batched = Wire { codec: WireCodec::Json, batched: true };
+    let bin_unbatched = Wire { codec: WireCodec::Binary, batched: false };
+    let bin_batched = Wire { codec: WireCodec::Binary, batched: true };
+
     let mut rows = Vec::new();
+    let mut json_rows: Vec<Value> = Vec::new();
+    let mut record = |label: &str, transport: &str, wire: &Wire, s: &Stats| {
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}", s.mean_us),
+            format!("{:.0}", s.p99_us),
+            format!("{:.0}", s.max_us),
+        ]);
+        let mut row = Document::with_capacity(7);
+        row.insert("label", label);
+        row.insert("transport", transport);
+        row.insert("codec", if matches!(wire.codec, WireCodec::Binary) { "binary" } else { "json" });
+        row.insert("batched", wire.batched);
+        row.insert("mean_us", s.mean_us);
+        row.insert("p99_us", s.p99_us);
+        row.insert("max_us", s.max_us);
+        json_rows.push(Value::from(row));
+    };
 
     // (a) Everything in-process: the repo's default deployment.
     let broker = Broker::new();
-    let s = measure(broker.clone(), broker, "bench-inproc", rounds);
-    rows.push(row("in-process broker", &s));
+    let s = measure(broker.clone(), broker, "bench-inproc", rounds, &bin_batched);
+    record("in-process broker", "in-process", &bin_batched, &s);
 
-    // (b) Cluster local to the broker; app server over TCP loopback —
-    // the `examples/distributed.rs` topology (2 TCP hops per round trip:
-    // write envelope in, notification out).
-    let broker = Broker::new();
-    let server =
-        BrokerServer::bind("127.0.0.1:0", broker.clone(), BrokerServerConfig::default()).expect("bind");
-    let app_link = remote(server.local_addr(), "bench-app");
-    let s = measure(broker, app_link.clone(), "bench-tcp-app", rounds);
-    app_link.shutdown();
-    rows.push(row("TCP loopback (app server remote)", &s));
+    // (b) App server over TCP loopback, across the codec x batching grid.
+    // "JSON, unbatched" is the wire configuration before this
+    // optimization round — the baseline the improvement is quoted against.
+    let baseline = measure_tcp_app("bench-tcp-ju", rounds, &json_unbatched);
+    record("TCP loopback - JSON, unbatched", "tcp-app", &json_unbatched, &baseline);
+    let s = measure_tcp_app("bench-tcp-jb", rounds, &json_batched);
+    record("TCP loopback - JSON, batched", "tcp-app", &json_batched, &s);
+    let s = measure_tcp_app("bench-tcp-bu", rounds, &bin_unbatched);
+    record("TCP loopback - binary, unbatched", "tcp-app", &bin_unbatched, &s);
+    let improved = measure_tcp_app("bench-tcp-bb", rounds, &bin_batched);
+    record("TCP loopback - binary, batched", "tcp-app", &bin_batched, &improved);
 
     // (c) Cluster *and* app server both remote — every envelope crosses
     // the wire twice (publish up, deliver down): 4 TCP hops per round.
     let broker = Broker::new();
-    let server = BrokerServer::bind("127.0.0.1:0", broker, BrokerServerConfig::default()).expect("bind");
-    let cluster_link = remote(server.local_addr(), "bench-cluster");
-    let app_link = remote(server.local_addr(), "bench-app2");
-    let s = measure(cluster_link.clone(), app_link.clone(), "bench-tcp-both", rounds);
+    let server = BrokerServer::bind("127.0.0.1:0", broker, server_config(&bin_batched)).expect("bind");
+    let cluster_link = remote(server.local_addr(), "bench-cluster", &bin_batched);
+    let app_link = remote(server.local_addr(), "bench-app2", &bin_batched);
+    let s = measure(cluster_link.clone(), app_link.clone(), "bench-tcp-both", rounds, &bin_batched);
     cluster_link.shutdown();
     app_link.shutdown();
-    rows.push(row("TCP loopback (cluster + app server remote)", &s));
+    record("TCP loopback x2 - binary, batched", "tcp-both", &bin_batched, &s);
 
-    table::table(&["deployment", "avg (us)", "p99 (us)", "max (us)"], &rows);
+    table::table(&["deployment / wire", "avg (us)", "p99 (us)", "max (us)"], &rows);
+    let improvement = (baseline.mean_us - improved.mean_us) / baseline.mean_us * 100.0;
     println!("rounds per row: {rounds} (scale with INVALIDB_BENCH_SCALE)");
+    println!(
+        "TCP write path: binary+batched vs JSON+unbatched: {:.0} us -> {:.0} us ({improvement:+.1}%)",
+        baseline.mean_us, improved.mean_us
+    );
     println!("paper: ~9 ms end-to-end average through Redis + Storm (Table 3)");
-}
 
-fn row(label: &str, s: &Stats) -> Vec<String> {
-    vec![
-        label.to_string(),
-        format!("{:.0}", s.mean_us),
-        format!("{:.0}", s.p99_us),
-        format!("{:.0}", s.max_us),
-    ]
+    let mut out = Document::with_capacity(5);
+    out.insert("rounds", rounds as i64);
+    out.insert("burst_batched", bin_batched.burst() as i64);
+    out.insert("rows", Value::Array(json_rows));
+    out.insert("baseline", "TCP loopback - JSON, unbatched");
+    out.insert("improvement_pct", improvement);
+    let json = invalidb_json::to_string(&out);
+    match std::fs::write(invalidb_bench::artifact_path("BENCH_transport.json"), &json) {
+        Ok(()) => println!("\nmachine-readable results written to BENCH_transport.json"),
+        Err(e) => eprintln!("\nfailed to write BENCH_transport.json: {e}"),
+    }
 }

@@ -1,0 +1,125 @@
+//! Wire-codec microbenchmark — encode/decode throughput of the JSON text
+//! codec vs. the binary (`IVBD`) codec over representative envelope
+//! shapes (a small after-image, a notification-sized document, and a
+//! nested/stringy document), plus payload sizes.
+//!
+//! This isolates the pure (de)serialization cost the transport benchmark
+//! pays per hop; §6.3 attributes the paper's slightly sublinear write
+//! scalability to exactly this per-write overhead.
+
+use invalidb_bench::table;
+use invalidb_common::{doc, Document, Value};
+use invalidb_json::WireCodec;
+use std::time::Instant;
+
+/// Builds the workload documents, largest last.
+fn workloads() -> Vec<(&'static str, Document)> {
+    let small = doc! {
+        "op" => "write",
+        "tenant" => "bench",
+        "collection" => "pings",
+        "key" => "k-000017",
+        "version" => 17i64,
+        "doc" => doc! { "n" => 17i64 },
+        "written_at" => 1_700_000_000_000_000i64,
+    };
+    let medium = doc! {
+        "type" => "notification",
+        "tenant" => "bench",
+        "subscription" => 4242i64,
+        "kind" => "change",
+        "match" => "add",
+        "caused_by_write_at" => 1_700_000_000_000_000i64,
+        "item" => doc! {
+            "key" => "user-31337",
+            "index" => 3i64,
+            "doc" => doc! {
+                "name" => "Ada Lovelace",
+                "age" => 36i64,
+                "score" => 98.25f64,
+                "active" => true,
+                "tags" => vec![Value::from("analyst"), Value::from("pioneer")],
+            },
+        },
+    };
+    let mut items = Vec::new();
+    for i in 0..24i64 {
+        items.push(Value::from(doc! {
+            "key" => format!("item-{i:04}"),
+            "index" => i,
+            "doc" => doc! {
+                "title" => format!("Result item number {i} with a medium-length title"),
+                "rank" => (i as f64) * 0.5,
+                "nested" => doc! { "depth" => doc! { "level" => i } },
+            },
+        }));
+    }
+    let large = doc! {
+        "type" => "notification",
+        "tenant" => "bench",
+        "subscription" => 7i64,
+        "kind" => "initial_result",
+        "items" => items,
+    };
+    vec![
+        ("small write (~100 B json)", small),
+        ("change notification", medium),
+        ("initial result (24 items)", large),
+    ]
+}
+
+fn bench_codec(codec: WireCodec, doc: &Document, iters: usize) -> (f64, f64, usize) {
+    // Warm-up + size probe.
+    let payload = codec.encode(doc);
+    let size = payload.len();
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        let p = codec.encode(doc);
+        std::hint::black_box(&p);
+    }
+    let encode_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+
+    let start = Instant::now();
+    for _ in 0..iters {
+        let d = invalidb_json::payload_to_document(&payload).unwrap();
+        std::hint::black_box(&d);
+    }
+    let decode_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    (encode_ns, decode_ns, size)
+}
+
+fn main() {
+    let iters = (20_000.0 * invalidb_bench::scale()).max(100.0) as usize;
+    table::banner("Wire codec", "JSON text vs binary (IVBD): encode/decode cost per envelope");
+
+    let mut rows = Vec::new();
+    for (label, doc) in workloads() {
+        let (json_enc, json_dec, json_size) = bench_codec(WireCodec::Json, &doc, iters);
+        let (bin_enc, bin_dec, bin_size) = bench_codec(WireCodec::Binary, &doc, iters);
+        rows.push(vec![
+            label.to_string(),
+            format!("{json_size}"),
+            format!("{bin_size}"),
+            format!("{json_enc:.0}"),
+            format!("{bin_enc:.0}"),
+            format!("{json_dec:.0}"),
+            format!("{bin_dec:.0}"),
+            format!("{:.1}x", (json_enc + json_dec) / (bin_enc + bin_dec)),
+        ]);
+    }
+    table::table(
+        &[
+            "envelope",
+            "json B",
+            "bin B",
+            "json enc ns",
+            "bin enc ns",
+            "json dec ns",
+            "bin dec ns",
+            "speedup",
+        ],
+        &rows,
+    );
+    println!("iters per cell: {iters} (scale with INVALIDB_BENCH_SCALE)");
+}

@@ -1,0 +1,64 @@
+//! Validates the checked-in machine-readable bench artifacts.
+//!
+//! CI's bench-smoke step runs the transport benches at
+//! `INVALIDB_BENCH_SCALE=0` and then this check: every `BENCH_*.json`
+//! at the workspace root must exist, parse as a JSON document, and
+//! carry the fields downstream tooling (per-PR perf-trajectory diffs)
+//! relies on. Exits non-zero with a description on any violation.
+
+use invalidb_common::{Document, Value};
+
+fn load(name: &str) -> Document {
+    let path = invalidb_bench::artifact_path(name);
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(raw) => raw,
+        Err(e) => fail(name, &format!("missing or unreadable ({e})")),
+    };
+    match invalidb_json::parse_document(&raw) {
+        Ok(doc) => doc,
+        Err(e) => fail(name, &format!("malformed JSON: {e:?}")),
+    }
+}
+
+fn fail(name: &str, why: &str) -> ! {
+    eprintln!("bench-check FAILED: {name}: {why}");
+    std::process::exit(1)
+}
+
+fn require_rows(name: &str, doc: &Document, field: &str) {
+    match doc.get(field) {
+        Some(Value::Array(rows)) if !rows.is_empty() => {}
+        Some(Value::Array(_)) => fail(name, &format!("`{field}` is empty")),
+        _ => fail(name, &format!("`{field}` missing or not an array")),
+    }
+}
+
+fn main() {
+    let transport = load("BENCH_transport.json");
+    require_rows("BENCH_transport.json", &transport, "rows");
+    match transport.get("improvement_pct") {
+        Some(Value::Float(_)) | Some(Value::Int(_)) => {}
+        _ => fail("BENCH_transport.json", "`improvement_pct` missing or not a number"),
+    }
+    if let Some(Value::Array(rows)) = transport.get("rows") {
+        for (i, row) in rows.iter().enumerate() {
+            let Value::Object(row) = row else {
+                fail("BENCH_transport.json", &format!("row {i} is not an object"));
+            };
+            for field in ["label", "transport", "codec", "batched", "mean_us", "p99_us", "max_us"] {
+                if row.get(field).is_none() {
+                    fail("BENCH_transport.json", &format!("row {i} lacks `{field}`"));
+                }
+            }
+        }
+    }
+
+    let fig6 = load("BENCH_fig6.json");
+    for field in ["fig6e"] {
+        if fig6.get(field).is_none() {
+            fail("BENCH_fig6.json", &format!("`{field}` missing"));
+        }
+    }
+
+    println!("bench-check OK: BENCH_transport.json, BENCH_fig6.json");
+}

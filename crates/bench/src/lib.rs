@@ -18,3 +18,10 @@ pub mod workload;
 pub fn scale() -> f64 {
     std::env::var("INVALIDB_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
 }
+
+/// Resolves where a machine-readable `BENCH_*.json` artifact should be
+/// written: the workspace root, so the checked-in perf trajectory is
+/// diffable per PR regardless of the bench binary's working directory.
+pub fn artifact_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join(name)
+}

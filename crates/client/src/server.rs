@@ -55,6 +55,13 @@ pub struct AppServerConfig {
     /// endpoint serving `/metrics`, `/healthz`, `/queries` and `/flight`
     /// over HTTP. `None` (the default) disables the endpoint.
     pub admin_addr: Option<String>,
+    /// Codec for the envelopes this app server produces (forwarded writes,
+    /// subscription control messages). Consumers always sniff the codec
+    /// from the payload, so this is purely a producer-side knob; the
+    /// default is the binary (`IVBD`) codec. Set
+    /// [`WireCodec::Json`](invalidb_json::WireCodec::Json) to interoperate
+    /// with tooling that expects to read envelopes as text.
+    pub wire_codec: invalidb_json::WireCodec,
 }
 
 impl Default for AppServerConfig {
@@ -70,6 +77,7 @@ impl Default for AppServerConfig {
             trace_sample_every: 0,
             metrics: MetricsRegistry::new(),
             admin_addr: None,
+            wire_codec: invalidb_json::WireCodec::default(),
         }
     }
 }
@@ -148,6 +156,12 @@ impl AppServerConfigBuilder {
     /// `/flight`) to the given address, e.g. `"127.0.0.1:0"`.
     pub fn admin_addr(mut self, addr: impl Into<String>) -> Self {
         self.config.admin_addr = Some(addr.into());
+        self
+    }
+
+    /// Codec for produced envelopes (decoding always sniffs).
+    pub fn wire_codec(mut self, codec: invalidb_json::WireCodec) -> Self {
+        self.config.wire_codec = codec;
         self
     }
 
@@ -411,7 +425,7 @@ impl AppServer {
     }
 
     fn publish(&self, msg: &ClusterMessage) {
-        self.broker.publish(CLUSTER_TOPIC, invalidb_json::document_to_payload(&msg.to_document()));
+        self.broker.publish(CLUSTER_TOPIC, self.config.wire_codec.encode(&msg.to_document()));
     }
 
     // ------------------------------------------------------------------
@@ -613,7 +627,7 @@ impl AppServer {
                                 });
                                 broker.publish(
                                     CLUSTER_TOPIC,
-                                    invalidb_json::document_to_payload(&msg.to_document()),
+                                    config.wire_codec.encode(&msg.to_document()),
                                 );
                             }
                         }
@@ -629,10 +643,7 @@ impl AppServer {
                                 query_hash: entry.query_hash,
                                 ttl_micros: config.ttl.as_micros() as u64,
                             };
-                            broker.publish(
-                                CLUSTER_TOPIC,
-                                invalidb_json::document_to_payload(&msg.to_document()),
-                            );
+                            broker.publish(CLUSTER_TOPIC, config.wire_codec.encode(&msg.to_document()));
                         }
                     }
                     // Gauges are refreshed once per keeper cycle, never on

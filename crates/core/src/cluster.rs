@@ -51,6 +51,7 @@ impl Cluster {
             queue_capacity: config.queue_capacity,
             tick_interval: config.tick_interval,
             source_poll_timeout: Duration::from_millis(10),
+            max_batch: config.max_batch,
         });
 
         // Ingress: decode opaque event-layer payloads into cluster events.

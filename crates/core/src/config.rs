@@ -52,6 +52,16 @@ pub struct ClusterConfig {
     /// endpoint serving `/metrics`, `/healthz`, `/queries` and `/flight`
     /// over HTTP. `None` (the default) disables the endpoint.
     pub admin_addr: Option<String>,
+    /// Codec for the envelopes the cluster produces (notifications,
+    /// initial results, heartbeats). Consumers always sniff the codec from
+    /// the payload, so this is purely a producer-side knob; the default is
+    /// the binary (`IVBD`) codec.
+    pub wire_codec: invalidb_json::WireCodec,
+    /// How many buffered messages a topology task drains per scheduling
+    /// turn before it checks the clock again (batch execution). Higher
+    /// values amortize channel wakeups under load; `1` reproduces the old
+    /// one-message-per-turn behavior.
+    pub max_batch: usize,
 }
 
 impl ClusterConfig {
@@ -74,6 +84,8 @@ impl ClusterConfig {
             synthetic_match_cost: None,
             metrics: MetricsRegistry::new(),
             admin_addr: None,
+            wire_codec: invalidb_json::WireCodec::default(),
+            max_batch: 32,
         }
     }
 
@@ -184,6 +196,18 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Codec for produced envelopes (decoding always sniffs).
+    pub fn wire_codec(mut self, codec: invalidb_json::WireCodec) -> Self {
+        self.config.wire_codec = codec;
+        self
+    }
+
+    /// Messages a topology task drains per scheduling turn.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.config.max_batch = max_batch;
+        self
+    }
+
     /// Validates the settings and returns the config.
     pub fn build(self) -> Result<ClusterConfig, ConfigError> {
         let c = &self.config;
@@ -210,6 +234,9 @@ impl ClusterConfigBuilder {
         }
         if c.tick_interval.is_zero() {
             return Err(ConfigError::new("tick_interval", "must be non-zero"));
+        }
+        if c.max_batch == 0 {
+            return Err(ConfigError::new("max_batch", "must be at least 1"));
         }
         Ok(self.config)
     }
@@ -258,6 +285,7 @@ mod tests {
         assert!(ClusterConfig::builder(1, 1).write_ingest_nodes(0).build().is_err());
         assert!(ClusterConfig::builder(1, 1).queue_capacity(0).build().is_err());
         assert!(ClusterConfig::builder(1, 1).tick_interval(Duration::ZERO).build().is_err());
+        assert!(ClusterConfig::builder(1, 1).max_batch(0).build().is_err());
     }
 
     #[test]

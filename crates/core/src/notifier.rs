@@ -43,11 +43,11 @@ impl Notifier {
             if let Some(trace) = stamped.trace.as_mut() {
                 trace.stamp(Stage::Notifier);
             }
-            let payload = invalidb_json::document_to_payload(&stamped.to_document());
+            let payload = self.config.wire_codec.encode(&stamped.to_document());
             self.broker.publish(&notify_topic(&stamped.tenant.0), payload);
             return;
         }
-        let payload = invalidb_json::document_to_payload(&notification.to_document());
+        let payload = self.config.wire_codec.encode(&notification.to_document());
         self.broker.publish(&notify_topic(&notification.tenant.0), payload);
     }
 
@@ -93,7 +93,7 @@ impl Notifier {
         for (tenant, last) in self.tenants.iter_mut() {
             if now.since(*last) >= interval {
                 *last = now;
-                let payload = invalidb_json::document_to_payload(&doc! {
+                let payload = self.config.wire_codec.encode(&doc! {
                     "type" => "heartbeat",
                     "tenant" => tenant.0.clone(),
                 });
@@ -113,7 +113,7 @@ impl Bolt<Event> for Notifier {
                     self.publish(n);
                 }
                 OutMsg::Heartbeat { tenant } => {
-                    let payload = invalidb_json::document_to_payload(&doc! {
+                    let payload = self.config.wire_codec.encode(&doc! {
                         "type" => "heartbeat",
                         "tenant" => tenant.0.clone(),
                     });

@@ -297,6 +297,36 @@ fn malformed_payloads_are_counted_not_fatal() {
 }
 
 #[test]
+fn torn_binary_payloads_are_counted_not_fatal() {
+    let broker = Broker::new();
+    let notify = broker.subscribe(&notify_topic(TENANT));
+    let cluster = Cluster::start(broker.clone(), ClusterConfig::new(1, 1));
+
+    // A valid binary write envelope, torn mid-payload (e.g. a producer
+    // died mid-write): counted as a decode error, never a panic.
+    let msg = write_msg("t", Key::of("torn"), 1, Some(doc! { "n" => 1i64 }));
+    let full = invalidb_json::document_to_binary_payload(&msg.to_document());
+    broker.publish(CLUSTER_TOPIC, Bytes::copy_from_slice(&full[..full.len() / 2]));
+    // Bare magic with nothing behind it is a decode error too.
+    broker.publish(CLUSTER_TOPIC, Bytes::from_static(b"IVBD"));
+
+    // The cluster keeps working, binary and JSON alike.
+    let spec = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 0i64 } });
+    publish(&broker, &subscribe_msg(&spec, 1, vec![], 0));
+    broker.publish(
+        CLUSTER_TOPIC,
+        invalidb_json::document_to_binary_payload(
+            &write_msg("t", Key::of("ok"), 1, Some(doc! { "n" => 5i64 })).to_document(),
+        ),
+    );
+    let notes = collect(&notify, 2); // initial + add
+    assert!(matches!(notes[0].kind, NotificationKind::InitialResult { .. }));
+    assert!(matches!(&notes[1].kind, NotificationKind::Change(c) if c.match_type == MatchType::Add));
+    assert_eq!(cluster.decode_errors(), 2);
+    cluster.shutdown();
+}
+
+#[test]
 fn multi_tenant_topics_are_isolated() {
     let broker = Broker::new();
     let notify_a = broker.subscribe(&notify_topic("tenant-a"));

@@ -1,0 +1,117 @@
+//! Property-based tests for the binary (`IVBD`) codec: round-trip
+//! fidelity, cross-codec equivalence with the JSON text codec, and
+//! torn-payload robustness.
+
+use bytes::Bytes;
+use invalidb_common::{Document, Value};
+use invalidb_json::{bin, document_to_binary_payload, payload_to_document, WireCodec};
+use proptest::prelude::*;
+
+/// Arbitrary values with unicode keys and strings, empty containers
+/// included. Finite floats only: NaN breaks the PartialEq-based
+/// assertions (bit-exact NaN round-trip is covered by unit tests in
+/// `bin.rs`).
+fn value_strategy() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Float),
+        "\\PC{0,16}".prop_map(Value::String),
+    ];
+    leaf.prop_recursive(4, 32, 8, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..6).prop_map(Value::Array),
+            prop::collection::vec((key_strategy(), inner), 0..6)
+                .prop_map(|pairs| Value::Object(pairs.into_iter().collect::<Document>())),
+        ]
+    })
+}
+
+/// Keys exercise the full unicode range (minus unassigned/control), not
+/// just ASCII identifiers.
+fn key_strategy() -> impl Strategy<Value = String> {
+    "\\PC{1,12}"
+}
+
+fn document_strategy() -> impl Strategy<Value = Document> {
+    prop::collection::vec((key_strategy(), value_strategy()), 0..8)
+        .prop_map(|pairs| pairs.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn binary_document_roundtrips(doc in document_strategy()) {
+        let payload = document_to_binary_payload(&doc);
+        prop_assert!(bin::is_binary(&payload));
+        let back = payload_to_document(&payload).unwrap();
+        prop_assert_eq!(back, doc);
+    }
+
+    /// Both codecs must describe the same document: decoding the JSON
+    /// encoding and decoding the binary encoding yield identical results,
+    /// and the binary encoder is deterministic (two encodings of the same
+    /// document are byte-identical — a consumer that re-publishes a
+    /// decoded notification cannot introduce wire-level drift).
+    #[test]
+    fn cross_codec_equivalence(doc in document_strategy()) {
+        let json = WireCodec::Json.encode(&doc);
+        let binary = WireCodec::Binary.encode(&doc);
+        let from_json = payload_to_document(&json).unwrap();
+        let from_binary = payload_to_document(&binary).unwrap();
+        prop_assert_eq!(&from_json, &from_binary);
+        prop_assert_eq!(&from_json, &doc);
+        prop_assert_eq!(
+            document_to_binary_payload(&from_binary),
+            binary,
+            "binary encoding must be deterministic"
+        );
+    }
+
+    /// Every proper prefix of a valid binary payload is an error — never a
+    /// panic, never a silently-wrong document.
+    #[test]
+    fn truncated_binary_payload_errors_never_panics(doc in document_strategy()) {
+        let full = document_to_binary_payload(&doc);
+        for cut in 0..full.len() {
+            let torn = Bytes::copy_from_slice(&full[..cut]);
+            prop_assert!(
+                payload_to_document(&torn).is_err(),
+                "prefix of {} bytes decoded",
+                cut
+            );
+        }
+    }
+
+    /// Arbitrary bytes behind the magic must decode or fail cleanly.
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(body in prop::collection::vec(any::<u8>(), 0..128)) {
+        let mut raw = b"IVBD".to_vec();
+        raw.extend_from_slice(&body);
+        let _ = payload_to_document(&Bytes::from(raw));
+    }
+
+    /// Bit flips inside a valid payload must decode or fail cleanly; if
+    /// they decode, re-encoding must be stable (no amplification of
+    /// corruption into non-canonical states).
+    #[test]
+    fn corrupted_binary_payload_never_panics(
+        doc in document_strategy(),
+        pos_fraction in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut raw = document_to_binary_payload(&doc).to_vec();
+        if raw.len() <= bin::BIN_MAGIC.len() + 1 {
+            return Ok(());
+        }
+        let idx = bin::BIN_MAGIC.len()
+            + ((raw.len() - bin::BIN_MAGIC.len() - 1) as f64 * pos_fraction) as usize;
+        raw[idx] ^= 1 << bit;
+        if let Ok(decoded) = payload_to_document(&Bytes::from(raw)) {
+            let reencoded = document_to_binary_payload(&decoded);
+            prop_assert_eq!(payload_to_document(&reencoded).unwrap(), decoded);
+        }
+    }
+}

@@ -18,7 +18,7 @@
 //! whatever was missed during the gap, leaning on the cluster's
 //! write-stream retention (§5.1).
 
-use crate::frame::{Decoder, Frame, TraceInfo};
+use crate::frame::{Decoder, Frame, TraceInfo, CAP_BINARY};
 use crate::queue::{Closed, OverflowPolicy, SendQueue};
 use invalidb_broker::{Broker, BrokerHandle, Bytes, EventLayer, Subscription};
 use invalidb_common::trace::now_micros;
@@ -29,7 +29,7 @@ use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::HashSet;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -54,6 +54,15 @@ pub struct RemoteBrokerConfig {
     pub reconnect_max: Duration,
     /// Seed for backoff jitter (deterministic tests).
     pub jitter_seed: u64,
+    /// Advertise [`CAP_BINARY`] in the `Hello` frame, i.e. declare that
+    /// this client can decode binary (`IVBD`) envelope payloads. When
+    /// `false` the client behaves like a legacy JSON-only peer: it never
+    /// receives binary payloads (the server transcodes them down) and it
+    /// downgrades any binary payload it is asked to publish.
+    pub binary_payloads: bool,
+    /// Most frames the writer thread coalesces into one buffered
+    /// `write_all`. `1` disables batching (one syscall per frame).
+    pub max_write_batch: usize,
     /// Registry the client reports into: its link metrics attach under
     /// `net.client.<client_name>.*`, connection state and heartbeat
     /// staleness publish as gauges (`…connected`, `…heartbeat_stale_ms`),
@@ -74,6 +83,8 @@ impl Default for RemoteBrokerConfig {
             reconnect_base: Duration::from_millis(50),
             reconnect_max: Duration::from_secs(2),
             jitter_seed: 0x1DB1,
+            binary_payloads: true,
+            max_write_batch: 64,
             metrics: MetricsRegistry::new(),
         }
     }
@@ -90,11 +101,15 @@ struct Inner {
     /// Topics the server should be forwarding; replayed on reconnect.
     topics: Mutex<HashSet<String>>,
     /// Outbound queue of the *current* session, if connected.
-    session: Mutex<Option<SendQueue>>,
+    session: Mutex<Option<SendQueue<Frame>>>,
     /// Socket clone of the current session, for shutdown.
     socket: Mutex<Option<TcpStream>>,
     connected: AtomicBool,
     running: AtomicBool,
+    /// Capability bits from the server's `Hello` reply on the current
+    /// session; `0` until the reply arrives (and on reconnect), which is
+    /// the safe JSON-only assumption.
+    server_caps: AtomicU32,
     seq: AtomicU64,
     /// Highest `Ack` sequence seen (observability for tests).
     acked: AtomicU64,
@@ -147,6 +162,7 @@ impl RemoteBroker {
             socket: Mutex::new(None),
             connected: AtomicBool::new(false),
             running: AtomicBool::new(true),
+            server_caps: AtomicU32::new(0),
             seq: AtomicU64::new(0),
             acked: AtomicU64::new(0),
             metrics,
@@ -169,12 +185,35 @@ impl RemoteBroker {
     /// disconnected (event-layer delivery is best-effort, like Redis
     /// pub/sub — see DESIGN.md §2).
     pub fn publish(&self, topic: &str, payload: Bytes) -> usize {
+        let payload = self.downgrade(payload);
         let trace = sniff_trace(&payload);
         let frame = Frame::Publish { topic: topic.to_owned(), payload, trace };
-        if self.enqueue(&frame) {
+        if self.enqueue(frame) {
             1
         } else {
             0
+        }
+    }
+
+    /// Transcodes a binary payload down to JSON when the peer has not
+    /// (yet) advertised [`CAP_BINARY`] — including the window before the
+    /// server's `Hello` reply lands, when its capabilities are unknown and
+    /// JSON is the only safe assumption. An undecodable binary payload
+    /// passes through opaque: the event layer never drops traffic over a
+    /// codec concern, and the consumer's decode-error accounting is the
+    /// right place for the corruption to surface.
+    fn downgrade(&self, payload: Bytes) -> Bytes {
+        if !invalidb_json::bin::is_binary(&payload) {
+            return payload;
+        }
+        if self.inner.config.binary_payloads
+            && self.inner.server_caps.load(Ordering::Relaxed) & CAP_BINARY != 0
+        {
+            return payload;
+        }
+        match invalidb_json::bin::decode_document(&payload) {
+            Ok(doc) => invalidb_json::document_to_payload(&doc),
+            Err(_) => payload,
         }
     }
 
@@ -187,9 +226,15 @@ impl RemoteBroker {
         let newly_tracked = self.inner.topics.lock().insert(topic.to_owned());
         if newly_tracked {
             let seq = self.inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
-            self.enqueue(&Frame::Subscribe { seq, topic: topic.to_owned() });
+            self.enqueue(Frame::Subscribe { seq, topic: topic.to_owned() });
         }
         subscription
+    }
+
+    /// Capability bits the server advertised in its `Hello` reply on the
+    /// current session (`0` while disconnected or before the reply).
+    pub fn server_capabilities(&self) -> u32 {
+        self.inner.server_caps.load(Ordering::Relaxed)
     }
 
     /// Number of *local* subscriptions on `topic` (the server's global
@@ -257,10 +302,10 @@ impl RemoteBroker {
         }
     }
 
-    fn enqueue(&self, frame: &Frame) -> bool {
+    fn enqueue(&self, frame: Frame) -> bool {
         let session = self.inner.session.lock();
         match session.as_ref() {
-            Some(q) => q.push(frame.encode()),
+            Some(q) => q.push(frame),
             None => false,
         }
     }
@@ -295,7 +340,7 @@ impl RemoteBroker {
                         topics.remove(&topic);
                         if let Some(q) = session.as_ref() {
                             let seq = inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
-                            q.push(Frame::Unsubscribe { seq, topic }.encode());
+                            q.push(Frame::Unsubscribe { seq, topic });
                         }
                     }
                 }
@@ -304,20 +349,28 @@ impl RemoteBroker {
     }
 }
 
-/// Byte pattern a traced envelope is guaranteed to contain: the compact
-/// serializer in `invalidb-json` emits insertion-ordered keys with no
-/// whitespace, and `TraceContext::to_document` puts `id` first.
+/// Byte pattern a traced JSON envelope is guaranteed to contain: the
+/// compact serializer in `invalidb-json` emits insertion-ordered keys with
+/// no whitespace, and `TraceContext::to_document` puts `id` first.
 const TRACE_NEEDLE: &[u8] = b"\"trace\":{\"id\":";
 
 /// Detects an embedded [`TraceContext`](invalidb_common::TraceContext) in
-/// an opaque envelope payload without parsing JSON: scans for
-/// [`TRACE_NEEDLE`] and reads the integer that follows. Only *sampled*
-/// envelopes carry the pattern, so the common case is one memmem miss.
+/// an opaque envelope payload without fully parsing it. Binary payloads go
+/// through `invalidb_json::bin::sniff_trace_id` (the binary twin of this
+/// scan); JSON payloads scan for [`TRACE_NEEDLE`] and read the integer
+/// that follows. Only *sampled* envelopes carry either pattern, so the
+/// common case is one memmem miss.
 ///
 /// The resulting [`TraceInfo`] sidecar travels in the frame header
 /// extension ([`crate::frame::FLAG_TRACE`]) so the broker server can stamp
 /// the broker hop without ever deserializing unsampled traffic.
 fn sniff_trace(payload: &Bytes) -> Option<TraceInfo> {
+    if invalidb_json::bin::is_binary(payload) {
+        return invalidb_json::bin::sniff_trace_id(payload).map(|id| TraceInfo {
+            trace_id: id as u64,
+            sent_at_micros: invalidb_common::trace::now_micros(),
+        });
+    }
     let hit = payload.windows(TRACE_NEEDLE.len()).position(|w| w == TRACE_NEEDLE)?;
     let rest = &payload[hit + TRACE_NEEDLE.len()..];
     let (negative, digits) = match rest.first() {
@@ -428,14 +481,18 @@ fn run_session(inner: &Arc<Inner>, stream: TcpStream) {
         )),
     );
 
+    // Each session renegotiates: the peer may have been replaced by one
+    // with different capabilities, so assume JSON-only until its Hello.
+    inner.server_caps.store(0, Ordering::Relaxed);
     // Introduce ourselves and replay every tracked topic before the
     // queue is visible to publishers, so replay frames go out first.
-    queue.push(Frame::Hello { client: inner.config.client_name.clone() }.encode());
+    let capabilities = if inner.config.binary_payloads { CAP_BINARY } else { 0 };
+    queue.push(Frame::Hello { client: inner.config.client_name.clone(), capabilities });
     {
         let topics = inner.topics.lock();
         for topic in topics.iter() {
             let seq = inner.seq.fetch_add(1, Ordering::Relaxed) + 1;
-            queue.push(Frame::Subscribe { seq, topic: topic.clone() }.encode());
+            queue.push(Frame::Subscribe { seq, topic: topic.clone() });
         }
     }
     if let Ok(clone) = stream.try_clone() {
@@ -459,7 +516,7 @@ fn run_session(inner: &Arc<Inner>, stream: TcpStream) {
 fn read_session(
     inner: &Arc<Inner>,
     mut stream: TcpStream,
-    queue: &SendQueue,
+    queue: &SendQueue<Frame>,
     metrics: &Arc<invalidb_stream::LinkMetrics>,
 ) {
     stream.set_read_timeout(Some(POLL_INTERVAL)).ok();
@@ -510,8 +567,12 @@ fn read_session(
                     inner.acked.fetch_max(seq, Ordering::SeqCst);
                 }
                 Frame::Heartbeat { .. } => {}
+                // The server's half of the capability negotiation.
+                Frame::Hello { capabilities, .. } => {
+                    inner.server_caps.store(capabilities, Ordering::Relaxed);
+                }
                 // Server-only requests; ignore if echoed at us.
-                Frame::Hello { .. } | Frame::Subscribe { .. } | Frame::Unsubscribe { .. } => {}
+                Frame::Subscribe { .. } | Frame::Unsubscribe { .. } => {}
             }
         }
     }
@@ -520,35 +581,44 @@ fn read_session(
 
 fn spawn_writer(
     mut stream: TcpStream,
-    queue: SendQueue,
+    queue: SendQueue<Frame>,
     metrics: Arc<invalidb_stream::LinkMetrics>,
     inner: &Arc<Inner>,
 ) -> JoinHandle<()> {
     let heartbeat_interval = inner.config.heartbeat_interval;
+    let max_batch = inner.config.max_write_batch.max(1);
     let inner = Arc::clone(inner);
     thread::Builder::new()
         .name("net-client-writer".into())
         .spawn(move || {
-            let mut nonce = 0u64;
+            // Heartbeats are identical every beat: encode once per
+            // connection instead of once per beat.
+            let heartbeat = Frame::Heartbeat { nonce: 0 }.encode();
+            let mut batch: Vec<Frame> = Vec::with_capacity(max_batch);
+            let mut scratch: Vec<u8> = Vec::with_capacity(16 * 1024);
             loop {
                 if !inner.running.load(Ordering::SeqCst) {
                     break;
                 }
-                match queue.pop(heartbeat_interval) {
-                    Ok(Some(bytes)) => {
-                        if stream.write_all(&bytes).is_err() {
+                match queue.pop_batch(&mut batch, max_batch, heartbeat_interval) {
+                    Ok(0) => {
+                        // Idle: prove liveness to the peer.
+                        if stream.write_all(&heartbeat).is_err() {
                             queue.close();
                             break;
                         }
                         metrics.frames_out.fetch_add(1, Ordering::Relaxed);
                     }
-                    Ok(None) => {
-                        nonce = nonce.wrapping_add(1);
-                        if stream.write_all(&Frame::Heartbeat { nonce }.encode()).is_err() {
+                    Ok(n) => {
+                        scratch.clear();
+                        for frame in batch.drain(..) {
+                            frame.encode_into(&mut scratch);
+                        }
+                        if stream.write_all(&scratch).is_err() {
                             queue.close();
                             break;
                         }
-                        metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+                        metrics.frames_out.fetch_add(n as u64, Ordering::Relaxed);
                     }
                     Err(Closed) => break,
                 }

@@ -46,6 +46,14 @@ pub const MAX_PAYLOAD: usize = 64 * 1024 * 1024;
 /// Header flag bit 0: the `Publish` payload is followed by [`TraceInfo`].
 pub const FLAG_TRACE: u16 = 0x0001;
 
+/// `Hello` capability bit 0: the sender can decode binary (`IVBD`)
+/// envelope payloads (see `invalidb_json::bin`). A peer that did not
+/// advertise this bit is only ever sent JSON-text payloads — binary ones
+/// are transcoded down before they reach its connection. Unknown
+/// capability bits are ignored (capability sets are additive), so future
+/// bits degrade gracefully against this version.
+pub const CAP_BINARY: u32 = 0x0000_0001;
+
 /// Stage-tracing sidecar of a `Publish` frame (present iff [`FLAG_TRACE`]
 /// is set): identifies the sampled trace inside the opaque envelope and
 /// carries the sender's transmit timestamp, so the server can attribute
@@ -61,10 +69,16 @@ pub struct TraceInfo {
 /// One protocol message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Frame {
-    /// Client introduction, first frame on every (re)connection.
+    /// Peer introduction: the first frame a client sends on every
+    /// (re)connection, answered by the server with a `Hello` of its own so
+    /// both sides learn each other's capabilities.
     Hello {
-        /// Client-chosen name (diagnostics only).
+        /// Peer-chosen name (diagnostics only).
         client: String,
+        /// Capability bits (e.g. [`CAP_BINARY`]). Encoded after the name;
+        /// a legacy `Hello` without the field decodes as `0` — no
+        /// capabilities, JSON-only.
+        capabilities: u32,
     },
     /// Start delivering `topic` to this connection.
     Subscribe {
@@ -121,34 +135,49 @@ impl Frame {
         }
     }
 
-    /// Encodes the frame, header included.
-    pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::new();
-        match self {
-            Frame::Hello { client } => put_str(&mut payload, client),
-            Frame::Subscribe { seq, topic } | Frame::Unsubscribe { seq, topic } => {
-                put_u64(&mut payload, *seq);
-                put_str(&mut payload, topic);
-            }
-            Frame::Publish { topic, payload: body, trace } => {
-                put_str(&mut payload, topic);
-                put_blob(&mut payload, body);
-                if let Some(info) = trace {
-                    put_u64(&mut payload, info.trace_id);
-                    put_u64(&mut payload, info.sent_at_micros);
-                }
-            }
-            Frame::Ack { seq } => put_u64(&mut payload, *seq),
-            Frame::Heartbeat { nonce } => put_u64(&mut payload, *nonce),
-        }
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    /// Encodes the frame, header included, appending to `out` — the
+    /// allocation-free form writer threads use to coalesce a whole batch
+    /// of frames into one reused scratch buffer. The payload is written
+    /// directly after the header; length and CRC are backfilled.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let header = out.len();
         out.extend_from_slice(&MAGIC);
         out.push(PROTOCOL_VERSION);
         out.push(self.type_id());
         out.extend_from_slice(&self.flags().to_be_bytes());
-        out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        out.extend_from_slice(&crc32(&payload).to_be_bytes());
-        out.extend_from_slice(&payload);
+        out.extend_from_slice(&[0u8; 8]); // length + CRC, backfilled below
+        let body = out.len();
+        match self {
+            Frame::Hello { client, capabilities } => {
+                put_str(out, client);
+                out.extend_from_slice(&capabilities.to_be_bytes());
+            }
+            Frame::Subscribe { seq, topic } | Frame::Unsubscribe { seq, topic } => {
+                put_u64(out, *seq);
+                put_str(out, topic);
+            }
+            Frame::Publish { topic, payload: blob, trace } => {
+                put_str(out, topic);
+                put_blob(out, blob);
+                if let Some(info) = trace {
+                    put_u64(out, info.trace_id);
+                    put_u64(out, info.sent_at_micros);
+                }
+            }
+            Frame::Ack { seq } => put_u64(out, *seq),
+            Frame::Heartbeat { nonce } => put_u64(out, *nonce),
+        }
+        let len = (out.len() - body) as u32;
+        let crc = crc32(&out[body..]);
+        out[header + 8..header + 12].copy_from_slice(&len.to_be_bytes());
+        out[header + 12..header + 16].copy_from_slice(&crc.to_be_bytes());
+    }
+
+    /// Encodes the frame into a fresh buffer ([`Frame::encode_into`] with
+    /// a one-off allocation).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + 64);
+        self.encode_into(&mut out);
         out
     }
 
@@ -158,7 +187,14 @@ impl Frame {
         }
         let mut r = Reader { buf: payload, pos: 0 };
         let frame = match type_id {
-            1 => Frame::Hello { client: r.str()? },
+            1 => {
+                let client = r.str()?;
+                // Legacy peers sent only the name; absence of the field
+                // means "no capabilities", which is exactly the safe
+                // JSON-only fallback.
+                let capabilities = if r.pos < payload.len() { r.u32()? } else { 0 };
+                Frame::Hello { client, capabilities }
+            }
             2 => Frame::Subscribe { seq: r.u64()?, topic: r.str()? },
             3 => Frame::Unsubscribe { seq: r.u64()?, topic: r.str()? },
             4 => {
@@ -363,6 +399,11 @@ impl Reader<'_> {
         Ok(u64::from_be_bytes(b.try_into().expect("8 bytes")))
     }
 
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let b = self.take(4)?;
+        Ok(u32::from_be_bytes(b.try_into().expect("4 bytes")))
+    }
+
     fn str(&mut self) -> Result<String, FrameError> {
         let len = {
             let b = self.take(2)?;
@@ -418,7 +459,8 @@ mod tests {
 
     fn all_frames() -> Vec<Frame> {
         vec![
-            Frame::Hello { client: "app-1".into() },
+            Frame::Hello { client: "app-1".into(), capabilities: CAP_BINARY },
+            Frame::Hello { client: "legacy".into(), capabilities: 0 },
             Frame::Subscribe { seq: 7, topic: "invalidb.cluster".into() },
             Frame::Unsubscribe { seq: 8, topic: "invalidb.notify.t".into() },
             Frame::Publish { topic: "t".into(), payload: Bytes::from_static(b"{\"n\":1}"), trace: None },
@@ -562,6 +604,44 @@ mod tests {
         let mut d = Decoder::new();
         d.feed(&wire);
         assert!(matches!(d.next(), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn legacy_hello_without_capabilities_decodes_as_none() {
+        // Hand-build a Hello payload holding only the name, the pre-
+        // capability layout: it must decode with capabilities == 0.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&5u16.to_be_bytes());
+        payload.extend_from_slice(b"app-1");
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(PROTOCOL_VERSION);
+        wire.push(1); // Hello
+        wire.extend_from_slice(&[0, 0]);
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&crc32(&payload).to_be_bytes());
+        wire.extend_from_slice(&payload);
+        let mut d = Decoder::new();
+        d.feed(&wire);
+        assert_eq!(d.next().unwrap(), Some(Frame::Hello { client: "app-1".into(), capabilities: 0 }));
+    }
+
+    #[test]
+    fn encode_into_appends_and_matches_encode() {
+        let frames = all_frames();
+        let mut scratch = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut scratch);
+        }
+        let concat: Vec<u8> = frames.iter().flat_map(|f| f.encode()).collect();
+        assert_eq!(scratch, concat, "batch encoding must equal per-frame encoding");
+        let mut d = Decoder::new();
+        d.feed(&scratch);
+        let mut got = Vec::new();
+        while let Some(f) = d.next().unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, frames);
     }
 
     #[test]

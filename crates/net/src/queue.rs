@@ -34,16 +34,16 @@ pub enum OverflowPolicy {
     Disconnect,
 }
 
-struct State {
-    queue: VecDeque<Vec<u8>>,
+struct State<T> {
+    queue: VecDeque<T>,
     closed: bool,
     /// When the last drop was logged to the flight recorder; drop storms
     /// are coalesced to one event per second so they cannot wipe the ring.
     last_drop_logged: Option<Instant>,
 }
 
-struct Inner {
-    state: Mutex<State>,
+struct Inner<T> {
+    state: Mutex<State<T>>,
     ready: Condvar,
     capacity: usize,
     policy: OverflowPolicy,
@@ -52,16 +52,27 @@ struct Inner {
     recorder: Option<(FlightRecorder, String)>,
 }
 
-/// A bounded MPSC queue of encoded frames, one per connection.
+/// A bounded MPSC queue of outbound frames, one per connection. Generic
+/// over the queued item so the writer path can carry decoded
+/// [`Frame`](crate::frame::Frame)s (encoded in bulk into a reused scratch
+/// buffer) while tests and other users can queue raw bytes.
 ///
 /// Producers call [`push`](SendQueue::push); the connection's writer
-/// thread calls [`pop`](SendQueue::pop). Cloning shares the queue.
-#[derive(Clone)]
-pub struct SendQueue {
-    inner: Arc<Inner>,
+/// thread calls [`pop`](SendQueue::pop) or — to coalesce several frames
+/// into one syscall — [`pop_batch`](SendQueue::pop_batch). Cloning shares
+/// the queue.
+pub struct SendQueue<T> {
+    inner: Arc<Inner<T>>,
 }
 
-impl SendQueue {
+// Derived `Clone` would demand `T: Clone`; sharing the Arc does not.
+impl<T> Clone for SendQueue<T> {
+    fn clone(&self) -> Self {
+        SendQueue { inner: Arc::clone(&self.inner) }
+    }
+}
+
+impl<T> SendQueue<T> {
     /// A queue holding at most `capacity` frames.
     pub fn new(capacity: usize, policy: OverflowPolicy, metrics: Arc<LinkMetrics>) -> Self {
         SendQueue::with_recorder(capacity, policy, metrics, None)
@@ -94,7 +105,7 @@ impl SendQueue {
     }
 
     /// Logs an overflow to the flight recorder, coalescing storms.
-    fn log_drop(&self, state: &mut State, what: &str) {
+    fn log_drop(&self, state: &mut State<T>, what: &str) {
         if let Some((flight, link)) = &self.inner.recorder {
             let now = Instant::now();
             let due = state
@@ -112,9 +123,9 @@ impl SendQueue {
         }
     }
 
-    /// Enqueues an encoded frame. Returns `false` if the queue is (or
+    /// Enqueues a frame. Returns `false` if the queue is (or
     /// just became, per [`OverflowPolicy::Disconnect`]) closed.
-    pub fn push(&self, frame: Vec<u8>) -> bool {
+    pub fn push(&self, frame: T) -> bool {
         let mut state = self.inner.state.lock();
         if state.closed {
             return false;
@@ -147,7 +158,7 @@ impl SendQueue {
     /// Dequeues the next frame, blocking up to `timeout`. `Ok(None)` is a
     /// timeout (caller may do periodic work and retry); `Err(Closed)`
     /// means the queue was closed and fully drained.
-    pub fn pop(&self, timeout: Duration) -> Result<Option<Vec<u8>>, Closed> {
+    pub fn pop(&self, timeout: Duration) -> Result<Option<T>, Closed> {
         let mut state = self.inner.state.lock();
         loop {
             if let Some(frame) = state.queue.pop_front() {
@@ -159,6 +170,33 @@ impl SendQueue {
             }
             if self.inner.ready.wait_for(&mut state, timeout).timed_out() {
                 return Ok(None);
+            }
+        }
+    }
+
+    /// Dequeues up to `max` frames into `out` in one lock acquisition,
+    /// blocking up to `timeout` for the first. Returns how many frames
+    /// were appended: `Ok(0)` is a timeout (caller may do periodic work
+    /// and retry); `Err(Closed)` means closed and fully drained. This is
+    /// the writer thread's batching primitive — everything queued behind
+    /// the first frame rides along without further waits, so a burst of
+    /// frames becomes one buffered `write_all` instead of one syscall (and
+    /// one condvar wakeup) each.
+    pub fn pop_batch(&self, out: &mut Vec<T>, max: usize, timeout: Duration) -> Result<usize, Closed> {
+        assert!(max > 0, "batch size must be positive");
+        let mut state = self.inner.state.lock();
+        loop {
+            if !state.queue.is_empty() {
+                let n = state.queue.len().min(max);
+                out.extend(state.queue.drain(..n));
+                self.inner.metrics.queue_depth.store(state.queue.len() as u64, Ordering::Relaxed);
+                return Ok(n);
+            }
+            if state.closed {
+                return Err(Closed);
+            }
+            if self.inner.ready.wait_for(&mut state, timeout).timed_out() {
+                return Ok(0);
             }
         }
     }
@@ -195,7 +233,7 @@ pub struct Closed;
 mod tests {
     use super::*;
 
-    fn queue(cap: usize, policy: OverflowPolicy) -> (SendQueue, Arc<LinkMetrics>) {
+    fn queue(cap: usize, policy: OverflowPolicy) -> (SendQueue<Vec<u8>>, Arc<LinkMetrics>) {
         let metrics = Arc::new(LinkMetrics::default());
         (SendQueue::new(cap, policy, Arc::clone(&metrics)), metrics)
     }
@@ -270,6 +308,39 @@ mod tests {
         assert_eq!(dump.len(), 1);
         assert_eq!(dump[0].kind, FlightEventKind::QueueDrop);
         assert!(dump[0].detail.contains("peer-x"));
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max() {
+        let (q, metrics) = queue(8, OverflowPolicy::DropOldest);
+        for i in 0..5u8 {
+            q.push(vec![i]);
+        }
+        let mut out = Vec::new();
+        assert_eq!(q.pop_batch(&mut out, 3, Duration::from_secs(1)).unwrap(), 3);
+        assert_eq!(out, vec![vec![0], vec![1], vec![2]]);
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 2);
+        assert_eq!(q.pop_batch(&mut out, 8, Duration::from_secs(1)).unwrap(), 2);
+        assert_eq!(out.len(), 5, "batch appends, it does not clear");
+        assert_eq!(q.pop_batch(&mut out, 8, Duration::from_millis(5)).unwrap(), 0, "timeout");
+        q.close();
+        assert_eq!(q.pop_batch(&mut out, 8, Duration::from_secs(1)), Err(Closed));
+    }
+
+    #[test]
+    fn pop_batch_wakes_on_cross_thread_push() {
+        let (q, _) = queue(4, OverflowPolicy::DropOldest);
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            let n = q2.pop_batch(&mut out, 4, Duration::from_secs(5));
+            (n, out)
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        q.push(vec![9]);
+        let (n, out) = t.join().unwrap();
+        assert_eq!(n.unwrap(), 1);
+        assert_eq!(out, vec![vec![9]]);
     }
 
     #[test]

@@ -10,18 +10,19 @@
 //! its own queue, where the [`OverflowPolicy`] decides between shedding
 //! frames and disconnecting.
 
-use crate::frame::{Decoder, Frame, TraceInfo};
+use crate::frame::{Decoder, Frame, TraceInfo, CAP_BINARY};
 use crate::queue::{Closed, OverflowPolicy, SendQueue};
 use invalidb_broker::{BrokerHandle, Bytes};
 use invalidb_common::trace::{now_micros, Stage, TraceContext};
 use invalidb_common::Value;
+use invalidb_json::bin;
 use invalidb_obs::{AdminConfig, AdminServer, FlightEventKind, MetricsRegistry};
 use invalidb_stream::{LinkMetrics, LinkRegistry};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
@@ -46,6 +47,14 @@ pub struct BrokerServerConfig {
     /// (e.g. `"127.0.0.1:9464"`), exposing `metrics` via `/metrics`,
     /// `/healthz`, `/queries`, and `/flight`.
     pub admin_addr: Option<String>,
+    /// Whether the server advertises [`CAP_BINARY`] in its `Hello` reply
+    /// and delivers binary payloads as-is to capable connections. When
+    /// `false` (a JSON-only deployment) every outbound binary payload is
+    /// transcoded to JSON before delivery.
+    pub binary_payloads: bool,
+    /// Upper bound on how many queued frames the writer thread coalesces
+    /// into one `write_all` syscall.
+    pub max_write_batch: usize,
 }
 
 impl Default for BrokerServerConfig {
@@ -56,6 +65,8 @@ impl Default for BrokerServerConfig {
             heartbeat_interval: Duration::from_millis(500),
             metrics: MetricsRegistry::new(),
             admin_addr: None,
+            binary_payloads: true,
+            max_write_batch: 64,
         }
     }
 }
@@ -219,10 +230,15 @@ fn serve_connection(stream: TcpStream, peer: std::net::SocketAddr, shared: &Arc<
         queue.clone(),
         Arc::clone(&metrics),
         shared.config.heartbeat_interval,
+        shared.config.max_write_batch.max(1),
         Arc::clone(&shared.running),
     );
 
-    read_loop(stream, peer, &queue, &metrics, shared);
+    // Capabilities the peer declared in its Hello. Until one arrives the
+    // connection is treated as JSON-only — the safe floor every peer
+    // understands.
+    let peer_caps = Arc::new(AtomicU32::new(0));
+    read_loop(stream, peer, &queue, &metrics, &peer_caps, shared);
 
     // Reader is done (EOF, error, or shutdown): close the queue so the
     // writer drains and exits, then reap it. Pump threads notice the
@@ -240,8 +256,9 @@ fn serve_connection(stream: TcpStream, peer: std::net::SocketAddr, shared: &Arc<
 fn read_loop(
     mut stream: TcpStream,
     peer: std::net::SocketAddr,
-    queue: &SendQueue,
+    queue: &SendQueue<Frame>,
     metrics: &Arc<LinkMetrics>,
+    peer_caps: &Arc<AtomicU32>,
     shared: &Arc<Shared>,
 ) {
     stream.set_read_timeout(Some(POLL_INTERVAL)).ok();
@@ -279,7 +296,16 @@ fn read_loop(
             };
             metrics.frames_in.fetch_add(1, Ordering::Relaxed);
             match frame {
-                Frame::Hello { .. } => {}
+                Frame::Hello { capabilities, .. } => {
+                    // Remember what the peer can decode and answer with
+                    // our own capabilities, completing the negotiation.
+                    peer_caps.store(capabilities, Ordering::Relaxed);
+                    let server_caps = if shared.config.binary_payloads { CAP_BINARY } else { 0 };
+                    send(
+                        queue,
+                        Frame::Hello { client: "invalidb-server".into(), capabilities: server_caps },
+                    );
+                }
                 Frame::Subscribe { seq, topic } => {
                     pumps.entry(topic.clone()).or_insert_with(|| {
                         shared
@@ -287,9 +313,9 @@ fn read_loop(
                             .metrics
                             .flight()
                             .record(FlightEventKind::Subscribe, format!("{peer} {topic}"));
-                        spawn_pump(&topic, queue.clone(), metrics, shared)
+                        spawn_pump(&topic, queue.clone(), metrics, peer_caps, shared)
                     });
-                    send(queue, &Frame::Ack { seq });
+                    send(queue, Frame::Ack { seq });
                 }
                 Frame::Unsubscribe { seq, topic } => {
                     if let Some(stop) = pumps.remove(&topic) {
@@ -300,7 +326,7 @@ fn read_loop(
                             .flight()
                             .record(FlightEventKind::Unsubscribe, format!("{peer} {topic}"));
                     }
-                    send(queue, &Frame::Ack { seq });
+                    send(queue, Frame::Ack { seq });
                 }
                 Frame::Publish { topic, payload, trace } => {
                     metrics.bytes_in.fetch_add(payload.len() as u64, Ordering::Relaxed);
@@ -311,7 +337,7 @@ fn read_loop(
                     shared.broker.publish(&topic, payload);
                 }
                 Frame::Heartbeat { nonce } => {
-                    send(queue, &Frame::Heartbeat { nonce });
+                    send(queue, Frame::Heartbeat { nonce });
                 }
                 Frame::Ack { .. } => {}
             }
@@ -327,16 +353,19 @@ fn read_loop(
 /// Bridges one broker subscription into the connection's send queue.
 fn spawn_pump(
     topic: &str,
-    queue: SendQueue,
+    queue: SendQueue<Frame>,
     metrics: &Arc<LinkMetrics>,
+    peer_caps: &Arc<AtomicU32>,
     shared: &Arc<Shared>,
 ) -> Arc<AtomicBool> {
     let stop = Arc::new(AtomicBool::new(false));
     let pump_stop = Arc::clone(&stop);
     let metrics = Arc::clone(metrics);
+    let peer_caps = Arc::clone(peer_caps);
     let subscription = shared.broker.subscribe(topic);
     let topic = topic.to_owned();
     let running = Arc::clone(&shared.running);
+    let binary_ok = shared.config.binary_payloads;
     thread::Builder::new()
         .name(format!("net-pump-{topic}"))
         .spawn(move || {
@@ -350,11 +379,20 @@ fn spawn_pump(
                         continue;
                     }
                 };
+                // Binary payloads only flow to connections that declared
+                // CAP_BINARY; everyone else gets a JSON transcode. The
+                // caps flag is re-read per delivery so a late Hello
+                // upgrades the connection in place.
+                let payload = if binary_ok && peer_caps.load(Ordering::Relaxed) & CAP_BINARY != 0 {
+                    payload
+                } else {
+                    downgrade_to_json(payload)
+                };
                 metrics.bytes_out.fetch_add(payload.len() as u64, Ordering::Relaxed);
                 // Delivery-side stamping happens at the app server's
                 // dispatcher; the outbound hop carries no sidecar.
                 let frame = Frame::Publish { topic: topic.clone(), payload, trace: None };
-                if !queue.push(frame.encode()) {
+                if !queue.push(frame) {
                     break; // queue closed (disconnect policy or teardown)
                 }
                 metrics.frames_out.fetch_add(1, Ordering::Relaxed);
@@ -365,8 +403,21 @@ fn spawn_pump(
     stop
 }
 
-fn send(queue: &SendQueue, frame: &Frame) {
-    queue.push(frame.encode());
+/// Transcodes a binary payload to JSON for a peer that can't decode it.
+/// Non-binary payloads — and binary payloads that fail to decode (the
+/// pump must never drop traffic) — pass through untouched.
+fn downgrade_to_json(payload: Bytes) -> Bytes {
+    if !bin::is_binary(&payload) {
+        return payload;
+    }
+    match bin::decode_document(&payload) {
+        Ok(doc) => invalidb_json::document_to_payload(&doc),
+        Err(_) => payload,
+    }
+}
+
+fn send(queue: &SendQueue<Frame>, frame: Frame) {
+    queue.push(frame);
 }
 
 /// Stamps [`Stage::Broker`] into a traced envelope and records the
@@ -378,6 +429,7 @@ fn send(queue: &SendQueue, frame: &Frame) {
 fn stamp_broker(payload: Bytes, info: TraceInfo, registry: &MetricsRegistry) -> Bytes {
     registry.inc("net.traced_publishes");
     registry.record("net.broker_hop_us", now_micros().saturating_sub(info.sent_at_micros));
+    let was_binary = bin::is_binary(&payload);
     let mut doc = match invalidb_json::payload_to_document(&payload) {
         Ok(d) => d,
         Err(_) => return payload,
@@ -388,40 +440,53 @@ fn stamp_broker(payload: Bytes, info: TraceInfo, registry: &MetricsRegistry) -> 
     };
     trace.stamp(Stage::Broker);
     doc.insert("trace", trace.to_document());
-    invalidb_json::document_to_payload(&doc)
+    // Re-encode in the codec the producer chose: stamping must not
+    // silently change what downstream consumers negotiated for.
+    if was_binary {
+        invalidb_json::document_to_binary_payload(&doc)
+    } else {
+        invalidb_json::document_to_payload(&doc)
+    }
 }
 
 fn spawn_writer(
     mut stream: TcpStream,
-    queue: SendQueue,
+    queue: SendQueue<Frame>,
     metrics: Arc<LinkMetrics>,
     heartbeat_interval: Duration,
+    max_batch: usize,
     running: Arc<AtomicBool>,
 ) -> JoinHandle<()> {
     thread::Builder::new()
         .name("net-writer".into())
         .spawn(move || {
-            let mut nonce = 0u64;
+            // Heartbeats are identical every beat: encode once per
+            // connection instead of once per beat.
+            let heartbeat = Frame::Heartbeat { nonce: 0 }.encode();
+            let mut batch: Vec<Frame> = Vec::with_capacity(max_batch);
+            let mut scratch: Vec<u8> = Vec::with_capacity(16 * 1024);
             loop {
                 if !running.load(Ordering::SeqCst) {
                     break;
                 }
-                match queue.pop(heartbeat_interval) {
-                    Ok(Some(bytes)) => {
-                        if stream.write_all(&bytes).is_err() {
-                            queue.close();
-                            break;
-                        }
-                    }
-                    Ok(None) => {
+                match queue.pop_batch(&mut batch, max_batch, heartbeat_interval) {
+                    Ok(0) => {
                         // Idle: prove liveness to the peer.
-                        nonce = nonce.wrapping_add(1);
-                        let hb = Frame::Heartbeat { nonce }.encode();
-                        if stream.write_all(&hb).is_err() {
+                        if stream.write_all(&heartbeat).is_err() {
                             queue.close();
                             break;
                         }
                         metrics.frames_out.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(_) => {
+                        scratch.clear();
+                        for frame in batch.drain(..) {
+                            frame.encode_into(&mut scratch);
+                        }
+                        if stream.write_all(&scratch).is_err() {
+                            queue.close();
+                            break;
+                        }
                     }
                     Err(Closed) => break,
                 }

@@ -102,6 +102,87 @@ fn random_write(app: &AppServer, rng: &mut StdRng) {
     }
 }
 
+/// Mixed-version interop: a peer without [`invalidb::net::CAP_BINARY`] on
+/// one side of a binary-capable deployment. Every payload crossing the
+/// incompatible hop is transcoded to JSON by the capable side, so the full
+/// subscribe → write → notify loop must work under chaos with zero decode
+/// errors anywhere.
+fn mixed_version_roundtrip(client_binary: bool, server_binary: bool, seed: u64) {
+    let store = Arc::new(Store::new());
+    let broker = Broker::new();
+    let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
+    let server = BrokerServer::bind(
+        "127.0.0.1:0",
+        broker,
+        BrokerServerConfig { binary_payloads: server_binary, ..Default::default() },
+    )
+    .expect("bind event-layer server");
+    let proxy = ChaosProxy::start(
+        server.local_addr().to_string(),
+        ChaosProxyConfig {
+            seed,
+            latency: Some((Duration::from_micros(100), Duration::from_millis(2))),
+            ..ChaosProxyConfig::default()
+        },
+    )
+    .expect("start chaos proxy");
+    let link = RemoteBroker::connect(
+        proxy.local_addr().to_string(),
+        RemoteBrokerConfig {
+            client_name: "mixed-version".into(),
+            binary_payloads: client_binary,
+            ..Default::default()
+        },
+    );
+    assert!(link.wait_connected(Duration::from_secs(5)), "event layer reachable");
+    let app = AppServer::start("mixed", Arc::clone(&store), link.clone(), AppServerConfig::default());
+
+    let unsorted = QuerySpec::filter("items", doc! { "n" => doc! { "$gte" => 50i64 } });
+    let sorted = QuerySpec::filter("items", doc! {}).sorted_by("n", SortDirection::Desc).with_limit(5);
+    let mut subs = Vec::new();
+    for spec in [&unsorted, &sorted] {
+        let mut sub = app.subscribe(spec).unwrap();
+        assert!(
+            matches!(
+                sub.events().timeout(Duration::from_secs(10)).next(),
+                Some(ClientEvent::Initial(_))
+            ),
+            "initial result arrives despite the codec mismatch"
+        );
+        subs.push((sub, spec.clone()));
+    }
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in 0..150 {
+        random_write(&app, &mut rng);
+        if i % 30 == 0 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+    assert_converges(&store, &mut subs, Duration::from_secs(20), "mixed-version chaos");
+
+    // The negotiation must have landed where the configs say.
+    let expect_caps = if server_binary { invalidb::net::CAP_BINARY } else { 0 };
+    assert_eq!(link.server_capabilities(), expect_caps, "server Hello reply");
+    // And nothing anywhere failed to decode: the cluster saw only payloads
+    // it could sniff, the client frames all parsed.
+    assert_eq!(cluster.decode_errors(), 0, "cluster envelope decode errors");
+    assert_eq!(link.metrics().decode_errors.load(Ordering::Relaxed), 0, "client frame errors");
+    link.shutdown();
+}
+
+/// A JSON-only (legacy) client against a binary-capable server.
+#[test]
+fn json_only_client_interops_with_binary_server() {
+    mixed_version_roundtrip(false, true, 21);
+}
+
+/// A binary-capable client against a JSON-only (legacy) server.
+#[test]
+fn binary_client_interops_with_json_only_server() {
+    mixed_version_roundtrip(true, false, 23);
+}
+
 /// Subscribe → write → notify across TCP, through a proxy injecting
 /// per-chunk latency. Latency alone must not cost a single notification.
 #[test]
