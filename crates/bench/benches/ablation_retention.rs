@@ -86,6 +86,7 @@ fn run_trials(retention: Duration) -> usize {
                 initial: vec![],
                 slack: 0,
                 ttl_micros: 60_000_000,
+                renewal: false,
             }),
         );
         // Await the add notification (or give up).

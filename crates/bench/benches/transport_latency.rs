@@ -20,6 +20,7 @@
 use invalidb_bench::table;
 use invalidb_broker::{Broker, BrokerHandle};
 use invalidb_client::{AppServer, AppServerConfig, ClientEvent};
+use invalidb_cluster::{Coordinator, CoordinatorConfig, Worker, WorkerConfig};
 use invalidb_common::{doc, Document, Key, QuerySpec, Value};
 use invalidb_core::{Cluster, ClusterConfig};
 use invalidb_json::WireCodec;
@@ -89,11 +90,20 @@ fn measure(
     rounds: usize,
     wire: &Wire,
 ) -> Stats {
-    let store = Arc::new(Store::new());
     let cluster = Cluster::start(
         cluster_link,
         ClusterConfig::builder(1, 1).wire_codec(wire.codec).max_batch(wire.max_batch()).build().unwrap(),
     );
+    let s = run_workload(app_link, tenant, rounds, wire);
+    cluster.shutdown();
+    s
+}
+
+/// The measurement loop alone: assumes a matching grid is already hosted
+/// somewhere (in-process cluster or a remote worker) on the same event
+/// layer as `app_link`.
+fn run_workload(app_link: impl Into<BrokerHandle>, tenant: &str, rounds: usize, wire: &Wire) -> Stats {
+    let store = Arc::new(Store::new());
     let config = AppServerConfig::builder().wire_codec(wire.codec).build().unwrap();
     let app = AppServer::start(tenant, Arc::clone(&store), app_link, config);
 
@@ -149,7 +159,6 @@ fn measure(
         run_round(round, Some(&mut latencies));
     }
     drop(sub);
-    cluster.shutdown();
     stats(latencies)
 }
 
@@ -179,6 +188,79 @@ fn measure_tcp_app(tenant: &str, rounds: usize, wire: &Wire) -> Stats {
     let s = measure(broker, app_link.clone(), tenant, rounds, wire);
     app_link.shutdown();
     s
+}
+
+/// The `invalidb-workerd` binary built alongside this bench, if present
+/// (`target/<profile>/deps/transport_latency-*` -> `target/<profile>/`).
+fn workerd_path() -> Option<std::path::PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let path = exe.parent()?.parent()?.join("invalidb-workerd");
+    path.exists().then_some(path)
+}
+
+/// Measures deployment (d): the matching grid hosted by a coordinator-
+/// assigned worker in a separate OS process (`invalidb-workerd`), app
+/// server over TCP loopback. Falls back to an in-process [`Worker`] when
+/// the daemon binary is not built; returns whether the worker was remote.
+fn measure_multiprocess(tenant: &str, rounds: usize, wire: &Wire) -> (Stats, bool) {
+    let broker = Broker::new();
+    let server = BrokerServer::bind("127.0.0.1:0", broker.clone(), server_config(wire)).expect("bind");
+    let coordinator = Coordinator::bind(
+        "127.0.0.1:0",
+        broker.clone(),
+        CoordinatorConfig::new(invalidb_common::GridShape::new(1, 1)),
+    )
+    .expect("bind coordinator");
+
+    let mut child = None;
+    let mut local_worker = None;
+    let remote_worker = match workerd_path() {
+        Some(path) => {
+            child = Some(
+                std::process::Command::new(path)
+                    .args([
+                        "--coordinator",
+                        &coordinator.local_addr().to_string(),
+                        "--event",
+                        &server.local_addr().to_string(),
+                        "--name",
+                        "bench-worker",
+                    ])
+                    .stdout(std::process::Stdio::null())
+                    .stderr(std::process::Stdio::null())
+                    .spawn()
+                    .expect("spawn invalidb-workerd"),
+            );
+            true
+        }
+        None => {
+            let config = WorkerConfig::new(
+                "bench-worker",
+                ClusterConfig::builder(1, 1)
+                    .wire_codec(wire.codec)
+                    .max_batch(wire.max_batch())
+                    .build()
+                    .unwrap(),
+            );
+            local_worker =
+                Some(Worker::connect(coordinator.local_addr().to_string(), broker.clone(), config));
+            false
+        }
+    };
+    assert!(coordinator.wait_assigned(Duration::from_secs(30)), "worker never got the grid");
+
+    let app_link = remote(server.local_addr(), tenant, wire);
+    let s = run_workload(app_link.clone(), tenant, rounds, wire);
+    app_link.shutdown();
+    if let Some(mut child) = child.take() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    if let Some(worker) = local_worker.take() {
+        worker.shutdown();
+    }
+    coordinator.shutdown();
+    (s, remote_worker)
 }
 
 fn main() {
@@ -240,6 +322,17 @@ fn main() {
     cluster_link.shutdown();
     app_link.shutdown();
     record("TCP loopback x2 - binary, batched", "tcp-both", &bin_batched, &s);
+
+    // (d) The grid in a separate OS process, assigned by a coordinator —
+    // the multi-process cluster deployment.
+    let (s, remote_worker) = measure_multiprocess("bench-multiproc", rounds, &bin_batched);
+    record("multi-process worker - binary, batched", "multiprocess", &bin_batched, &s);
+    if let Some(Value::Object(row)) = json_rows.last_mut() {
+        row.insert("remote_worker", remote_worker);
+    }
+    if !remote_worker {
+        println!("note: invalidb-workerd not built; multiprocess row used an in-process worker");
+    }
 
     table::table(&["deployment / wire", "avg (us)", "p99 (us)", "max (us)"], &rows);
     let improvement = (baseline.mean_us - improved.mean_us) / baseline.mean_us * 100.0;

@@ -41,6 +41,7 @@ fn main() {
         _ => fail("BENCH_transport.json", "`improvement_pct` missing or not a number"),
     }
     if let Some(Value::Array(rows)) = transport.get("rows") {
+        let mut multiprocess = false;
         for (i, row) in rows.iter().enumerate() {
             let Value::Object(row) = row else {
                 fail("BENCH_transport.json", &format!("row {i} is not an object"));
@@ -50,6 +51,15 @@ fn main() {
                     fail("BENCH_transport.json", &format!("row {i} lacks `{field}`"));
                 }
             }
+            if row.get("transport").and_then(|v| v.as_str()) == Some("multiprocess") {
+                multiprocess = true;
+                if row.get("remote_worker").is_none() {
+                    fail("BENCH_transport.json", &format!("row {i} lacks `remote_worker`"));
+                }
+            }
+        }
+        if !multiprocess {
+            fail("BENCH_transport.json", "no `transport = multiprocess` row");
         }
     }
 

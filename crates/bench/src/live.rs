@@ -320,6 +320,7 @@ fn subscribe_msg(spec: &QuerySpec, sub: u64) -> ClusterMessage {
         initial: vec![],
         slack: 0,
         ttl_micros: 600_000_000,
+        renewal: false,
     })
 }
 

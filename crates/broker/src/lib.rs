@@ -43,9 +43,21 @@ use std::time::Duration;
 /// Well-known topic carrying all messages *into* an InvaliDB cluster.
 pub const CLUSTER_TOPIC: &str = "invalidb.cluster";
 
+/// Well-known topic on which the cluster coordinator announces epoch
+/// changes (worker failover / reassignment) to application servers.
+pub const EPOCH_TOPIC: &str = "invalidb.cluster.epoch";
+
 /// Topic carrying notifications for one tenant's application servers.
 pub fn notify_topic(tenant: &str) -> String {
     format!("invalidb.notify.{tenant}")
+}
+
+/// Topic carrying staged (sorted/aggregate) partial results for one query
+/// partition row: matching cells hosted on a worker that does *not* own
+/// the row publish their `FilterChange`s here, and the row owner folds
+/// them into its sorting/aggregation stages.
+pub fn shuffle_topic(query_partition: usize) -> String {
+    format!("invalidb.shuffle.q{query_partition}")
 }
 
 struct TopicState {
@@ -453,5 +465,11 @@ mod tests {
     #[test]
     fn notify_topic_naming() {
         assert_eq!(notify_topic("app1"), "invalidb.notify.app1");
+    }
+
+    #[test]
+    fn shuffle_topic_naming() {
+        assert_eq!(shuffle_topic(0), "invalidb.shuffle.q0");
+        assert_eq!(shuffle_topic(7), "invalidb.shuffle.q7");
     }
 }

@@ -3,7 +3,7 @@
 use crate::error::Error;
 use crate::rate::TokenBucket;
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use invalidb_broker::{notify_topic, BrokerHandle, CLUSTER_TOPIC};
+use invalidb_broker::{notify_topic, BrokerHandle, CLUSTER_TOPIC, EPOCH_TOPIC};
 use invalidb_common::{
     AfterImage, ClusterMessage, ConfigError, Document, Key, Notification, NotificationKind, QueryHash,
     QuerySpec, ResultItem, Stage, SubscriptionId, SubscriptionRequest, TenantId, TraceContext,
@@ -29,6 +29,12 @@ pub struct AppServerConfig {
     pub ttl: Duration,
     /// How often TTL extensions are sent.
     pub ttl_refresh_interval: Duration,
+    /// How long to wait for a subscription's first notification before
+    /// re-publishing its Subscribe envelope. Registration travels over
+    /// pub/sub with no delivery guarantee — a worker whose topology is
+    /// still (re)building silently drops it — so the keeper retries until
+    /// the first event proves the round trip.
+    pub subscribe_retry_interval: Duration,
     /// Cluster silence tolerated before subscriptions are terminated with a
     /// connection error (heartbeat supervision).
     pub heartbeat_timeout: Duration,
@@ -55,6 +61,13 @@ pub struct AppServerConfig {
     /// endpoint serving `/metrics`, `/healthz`, `/queries` and `/flight`
     /// over HTTP. `None` (the default) disables the endpoint.
     pub admin_addr: Option<String>,
+    /// How many recently forwarded write envelopes to keep for epoch
+    /// replay. When the cluster coordinator announces an epoch bump
+    /// (worker failover, cells reassigned), the buffered writes are
+    /// republished so replacement workers rebuild matching state; staleness
+    /// guards on surviving matching nodes drop the duplicates. `0`
+    /// disables buffering (and epoch-triggered replay with it).
+    pub write_replay_buffer: usize,
     /// Codec for the envelopes this app server produces (forwarded writes,
     /// subscription control messages). Consumers always sniff the codec
     /// from the payload, so this is purely a producer-side knob; the
@@ -70,11 +83,13 @@ impl Default for AppServerConfig {
             default_slack: 3,
             ttl: Duration::from_secs(60),
             ttl_refresh_interval: Duration::from_secs(10),
+            subscribe_retry_interval: Duration::from_millis(500),
             heartbeat_timeout: Duration::from_secs(5),
             renewal_burst: 16,
             renewals_per_sec: 20.0,
             max_slack: 64,
             trace_sample_every: 0,
+            write_replay_buffer: 256,
             metrics: MetricsRegistry::new(),
             admin_addr: None,
             wire_codec: invalidb_json::WireCodec::default(),
@@ -122,6 +137,12 @@ impl AppServerConfigBuilder {
         self
     }
 
+    /// Retry cadence for unconfirmed subscription registrations.
+    pub fn subscribe_retry_interval(mut self, interval: Duration) -> Self {
+        self.config.subscribe_retry_interval = interval;
+        self
+    }
+
     /// Cluster silence tolerated before termination.
     pub fn heartbeat_timeout(mut self, timeout: Duration) -> Self {
         self.config.heartbeat_timeout = timeout;
@@ -143,6 +164,12 @@ impl AppServerConfigBuilder {
     /// Trace every Nth forwarded write (`0` disables tracing).
     pub fn trace_sample_every(mut self, every: u64) -> Self {
         self.config.trace_sample_every = every;
+        self
+    }
+
+    /// Recent-write buffer size for epoch replay (`0` disables it).
+    pub fn write_replay_buffer(mut self, capacity: usize) -> Self {
+        self.config.write_replay_buffer = capacity;
         self
     }
 
@@ -231,6 +258,14 @@ struct SubEntry {
     slack: u64,
     tx: Sender<(ClientEvent, Option<TraceContext>)>,
     needs_renewal: bool,
+    /// Whether any notification (normally the initial result) has come back
+    /// for this subscription. Registration is fire-and-forget on a pub/sub
+    /// topic, so until the round trip is proven the keeper re-registers at
+    /// [`AppServerConfig::subscribe_retry_interval`] — at-least-once
+    /// delivery of the subscription itself.
+    confirmed: bool,
+    /// When the Subscribe envelope was last published (initial or renewal).
+    last_register: Instant,
 }
 
 struct Shared {
@@ -241,6 +276,13 @@ struct Shared {
     connection_lost: AtomicBool,
     /// Forwarded-write sequence number, the basis for trace sampling.
     writes_forwarded: AtomicU64,
+    /// Ring of recently forwarded write envelopes, republished on epoch
+    /// bumps so replacement workers catch up.
+    write_ring: Mutex<std::collections::VecDeque<bytes::Bytes>>,
+    /// Highest cluster epoch seen on the epoch topic.
+    last_epoch: AtomicU64,
+    /// Epoch-triggered replays performed (observability).
+    epoch_replays: AtomicU64,
 }
 
 /// An application server for one tenant.
@@ -279,6 +321,9 @@ impl AppServer {
             renewals_performed: AtomicU64::new(0),
             connection_lost: AtomicBool::new(false),
             writes_forwarded: AtomicU64::new(0),
+            write_ring: Mutex::new(std::collections::VecDeque::new()),
+            last_epoch: AtomicU64::new(0),
+            epoch_replays: AtomicU64::new(0),
         });
         let renewal_bucket = Arc::new(TokenBucket::new(config.renewal_burst, config.renewals_per_sec));
         // Optional admin plane. A failed bind does not abort the server but
@@ -304,6 +349,7 @@ impl AppServer {
         };
         server.spawn_dispatcher();
         server.spawn_keeper();
+        server.spawn_epoch_watcher();
         server
     }
 
@@ -320,6 +366,16 @@ impl AppServer {
     /// Number of renewals performed so far (observability).
     pub fn renewals_performed(&self) -> u64 {
         self.shared.renewals_performed.load(Ordering::Relaxed)
+    }
+
+    /// Number of epoch-triggered write replays performed so far.
+    pub fn epoch_replays(&self) -> u64 {
+        self.shared.epoch_replays.load(Ordering::Relaxed)
+    }
+
+    /// Highest cluster epoch observed on the epoch topic.
+    pub fn cluster_epoch(&self) -> u64 {
+        self.shared.last_epoch.load(Ordering::Relaxed)
     }
 
     /// Current slack of a subscription (grows adaptively with renewals).
@@ -403,7 +459,15 @@ impl AppServer {
             written_at: now_micros(),
             trace: self.next_trace(),
         });
-        self.publish(&msg);
+        let payload = self.config.wire_codec.encode(&msg.to_document());
+        if self.config.write_replay_buffer > 0 {
+            let mut ring = self.shared.write_ring.lock();
+            if ring.len() >= self.config.write_replay_buffer {
+                ring.pop_front();
+            }
+            ring.push_back(payload.clone());
+        }
+        self.broker.publish(CLUSTER_TOPIC, payload);
     }
 
     /// Starts a [`TraceContext`] on every Nth write. With sampling disabled
@@ -462,6 +526,8 @@ impl AppServer {
                 slack,
                 tx,
                 needs_renewal: false,
+                confirmed: false,
+                last_register: Instant::now(),
             },
         );
         self.publish(&ClusterMessage::Subscribe(SubscriptionRequest {
@@ -472,6 +538,7 @@ impl AppServer {
             initial,
             slack,
             ttl_micros: self.config.ttl.as_micros() as u64,
+            renewal: false,
         }));
         self.config.metrics.flight().record(
             FlightEventKind::Subscribe,
@@ -551,6 +618,7 @@ impl AppServer {
                                 ClientEvent::Aggregate { value: value.clone(), count: *count }
                             }
                         };
+                        entry.confirmed = true;
                         metrics.inc("appserver.events_delivered");
                         let mut trace = n.trace;
                         if let Some(t) = trace.as_mut() {
@@ -562,6 +630,67 @@ impl AppServer {
                 }
             })
             .expect("spawn dispatcher");
+        self.threads.push(handle);
+    }
+
+    /// Epoch watcher: when the cluster coordinator announces a failover
+    /// (epoch bump with reassigned cells), republish the recent-write ring
+    /// so replacement workers catch up, and mark every subscription for
+    /// renewal so the keeper re-executes bootstrap queries against the
+    /// store (fresh initial results repair client state). Surviving
+    /// matching nodes drop the replayed duplicates via their per-key
+    /// version guards.
+    fn spawn_epoch_watcher(&mut self) {
+        let sub = self.broker.subscribe(EPOCH_TOPIC);
+        let shared = Arc::clone(&self.shared);
+        let broker = self.broker.clone();
+        let config = self.config.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("appserver-epoch-{}", self.tenant))
+            .spawn(move || {
+                while !shared.shutdown.load(Ordering::Relaxed) {
+                    let payload = match sub.recv_timeout(Duration::from_millis(50)) {
+                        Some(p) => p,
+                        None => continue,
+                    };
+                    let Ok(d) = invalidb_json::payload_to_document(&payload) else { continue };
+                    let epoch = d.get("epoch").and_then(|v| v.as_i64()).unwrap_or(0) as u64;
+                    let reassigned = d.get("reassigned").and_then(|v| v.as_i64()).unwrap_or(0) as u64;
+                    let prev = shared.last_epoch.swap(epoch, Ordering::Relaxed);
+                    config.metrics.set_gauge("appserver.cluster_epoch", epoch);
+                    if epoch <= prev || reassigned == 0 {
+                        // First sighting of a table that moved nothing, or
+                        // an out-of-order notice: nothing to repair.
+                        continue;
+                    }
+                    // 1. Replay buffered writes so rebuilt cells see the
+                    //    recent stream (duplicates are version-guarded).
+                    let ring: Vec<bytes::Bytes> = shared.write_ring.lock().iter().cloned().collect();
+                    for payload in &ring {
+                        broker.publish(CLUSTER_TOPIC, payload.clone());
+                    }
+                    // 2. Renew every subscription: the keeper re-executes
+                    //    bootstrap queries and re-registers (rate-limited).
+                    let mut marked = 0usize;
+                    {
+                        let mut subs = shared.subs.lock();
+                        for entry in subs.values_mut() {
+                            entry.needs_renewal = true;
+                            marked += 1;
+                        }
+                    }
+                    shared.epoch_replays.fetch_add(1, Ordering::Relaxed);
+                    config.metrics.inc("appserver.epoch_replays");
+                    config.metrics.flight().record(
+                        FlightEventKind::Failover,
+                        format!(
+                            "epoch {epoch}: replayed {} writes, renewing {marked} subscriptions",
+                            ring.len()
+                        ),
+                    );
+                }
+            })
+            .expect("spawn epoch watcher");
         self.threads.push(handle);
     }
 
@@ -579,6 +708,21 @@ impl AppServer {
                 let mut last_ttl_refresh = Instant::now();
                 while !shared.shutdown.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(20));
+                    // 0. At-least-once registration: a Subscribe that never
+                    //    produced a notification was dropped somewhere (e.g.
+                    //    a worker mid-rebuild) — re-register it.
+                    {
+                        let mut subs = shared.subs.lock();
+                        for entry in subs.values_mut() {
+                            if !entry.confirmed
+                                && !entry.needs_renewal
+                                && entry.last_register.elapsed() >= config.subscribe_retry_interval
+                            {
+                                entry.needs_renewal = true;
+                                config.metrics.inc("appserver.subscribe_retries");
+                            }
+                        }
+                    }
                     // 1. Renewals (poll-frequency rate limited, §5.2).
                     let pending: Vec<SubscriptionId> = shared
                         .subs
@@ -596,6 +740,7 @@ impl AppServer {
                             match subs.get_mut(&id) {
                                 Some(entry) => {
                                     entry.needs_renewal = false;
+                                    entry.last_register = Instant::now();
                                     // Adaptive slack (§5.2 fn. 5): every
                                     // renewal doubles the slack (capped), so
                                     // delete-heavy queries stop thrashing
@@ -624,6 +769,7 @@ impl AppServer {
                                     initial,
                                     slack,
                                     ttl_micros: config.ttl.as_micros() as u64,
+                                    renewal: false,
                                 });
                                 broker.publish(
                                     CLUSTER_TOPIC,

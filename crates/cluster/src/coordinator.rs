@@ -1,0 +1,523 @@
+//! The cluster coordinator: membership, heartbeat supervision, and
+//! epoch-numbered cell assignment.
+//!
+//! Workers dial the coordinator's frame port, negotiate capabilities via
+//! `Hello` (the coordinator requires [`CAP_CLUSTER`]), register with
+//! `JoinCluster`, and prove liveness with `WorkerHeartbeat` frames. Every
+//! membership change — join, leave, missed heartbeats — bumps the epoch,
+//! recomputes the assignment table through the pluggable [`Placement`]
+//! strategy (stable: survivors keep their cells), broadcasts the new
+//! `Assign` frame to every connected worker, announces the epoch on
+//! [`EPOCH_TOPIC`] so application servers can replay buffered writes, and
+//! silently re-registers every cached subscription (`renewal: true`) so
+//! replacement workers rebuild matching state without clients seeing a
+//! stale initial result.
+
+use crate::assignment::{AssignmentTable, Placement, RoundRobin, WorkerInfo};
+use invalidb_broker::{BrokerHandle, CLUSTER_TOPIC, EPOCH_TOPIC};
+use invalidb_common::{doc, ClusterMessage, GridShape};
+use invalidb_net::frame::{Decoder, Frame, CAP_BINARY, CAP_CLUSTER};
+use invalidb_obs::{AdminConfig, AdminServer, FlightEventKind, MetricsRegistry};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Coordinator tuning knobs.
+#[derive(Clone)]
+pub struct CoordinatorConfig {
+    /// Shape of the grid to assign.
+    pub grid: GridShape,
+    /// A worker silent for longer than this is declared dead and its cells
+    /// are reassigned.
+    pub heartbeat_timeout: Duration,
+    /// How often the supervisor scans for missed heartbeats.
+    pub supervise_interval: Duration,
+    /// Placement strategy for orphaned cells.
+    pub placement: Arc<dyn Placement>,
+    /// Metrics registry (gauges `cluster.workers_alive`, `cluster.epoch`,
+    /// `cluster.cells_unassigned` live here, and the hosted admin endpoint
+    /// derives `/healthz` from it).
+    pub metrics: MetricsRegistry,
+    /// Optional admin endpoint bind address (e.g. `127.0.0.1:0`).
+    pub admin_addr: Option<String>,
+    /// Codec for epoch notices and replayed subscription envelopes.
+    pub wire_codec: invalidb_json::WireCodec,
+}
+
+impl CoordinatorConfig {
+    /// Defaults: 2 s heartbeat timeout, 100 ms supervision, weighted
+    /// round-robin placement, no admin endpoint.
+    pub fn new(grid: GridShape) -> CoordinatorConfig {
+        CoordinatorConfig {
+            grid,
+            heartbeat_timeout: Duration::from_secs(2),
+            supervise_interval: Duration::from_millis(100),
+            placement: Arc::new(RoundRobin),
+            metrics: MetricsRegistry::new(),
+            admin_addr: None,
+            wire_codec: invalidb_json::WireCodec::default(),
+        }
+    }
+}
+
+struct WorkerConn {
+    weight: u32,
+    last_heartbeat: Instant,
+    /// Write half of the worker's control connection, for Assign pushes.
+    stream: Arc<Mutex<TcpStream>>,
+    /// Highest epoch this worker has been caught up to with a subscription
+    /// replay *after* it reported hosting cells at that epoch (see the
+    /// `CellState` arm of the connection loop).
+    caught_up_epoch: u64,
+}
+
+struct State {
+    table: AssignmentTable,
+    workers: HashMap<String, WorkerConn>,
+    /// Cached Subscribe envelopes by (tenant, subscription id) — replayed
+    /// with `renewal: true` after every reassignment so replacement workers
+    /// rebuild matching state.
+    subscriptions: HashMap<(String, u64), invalidb_common::SubscriptionRequest>,
+}
+
+struct Inner {
+    config: CoordinatorConfig,
+    broker: BrokerHandle,
+    state: Mutex<State>,
+    running: AtomicBool,
+}
+
+/// A running coordinator. Dropping it stops all supervision threads.
+pub struct Coordinator {
+    inner: Arc<Inner>,
+    local_addr: SocketAddr,
+    admin: Option<AdminServer>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Coordinator {
+    /// Binds the coordinator's frame port and starts the accept,
+    /// supervision, and subscription-cache threads. `broker` is the event
+    /// layer shared with workers and application servers.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        broker: impl Into<BrokerHandle>,
+        config: CoordinatorConfig,
+    ) -> std::io::Result<Coordinator> {
+        let broker: BrokerHandle = broker.into();
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let admin = config.admin_addr.as_deref().and_then(|addr| {
+            match AdminServer::bind(addr, config.metrics.clone(), AdminConfig::default()) {
+                Ok(server) => Some(server),
+                Err(_) => {
+                    config.metrics.inc("admin.bind_errors");
+                    None
+                }
+            }
+        });
+        let inner = Arc::new(Inner {
+            state: Mutex::new(State {
+                table: AssignmentTable::new(config.grid),
+                workers: HashMap::new(),
+                subscriptions: HashMap::new(),
+            }),
+            config,
+            broker,
+            running: AtomicBool::new(true),
+        });
+        publish_gauges(&inner, &inner.state.lock());
+
+        let mut threads = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                thread::Builder::new()
+                    .name("coord-accept".into())
+                    .spawn(move || accept_loop(listener, inner))
+                    .expect("spawn accept thread"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                thread::Builder::new()
+                    .name("coord-supervise".into())
+                    .spawn(move || supervise_loop(inner))
+                    .expect("spawn supervisor thread"),
+            );
+        }
+        {
+            let inner = Arc::clone(&inner);
+            threads.push(
+                thread::Builder::new()
+                    .name("coord-subcache".into())
+                    .spawn(move || subscription_cache_loop(inner))
+                    .expect("spawn subscription cache thread"),
+            );
+        }
+        Ok(Coordinator { inner, local_addr, admin, threads })
+    }
+
+    /// Where the coordinator's frame port listens.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Where the hosted admin endpoint listens, if one is running.
+    pub fn admin_addr(&self) -> Option<SocketAddr> {
+        self.admin.as_ref().map(|a| a.local_addr())
+    }
+
+    /// Current assignment epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.state.lock().table.epoch
+    }
+
+    /// Number of workers currently considered alive.
+    pub fn workers_alive(&self) -> usize {
+        self.inner.state.lock().workers.len()
+    }
+
+    /// A snapshot of the current assignment table.
+    pub fn assignment(&self) -> AssignmentTable {
+        self.inner.state.lock().table.clone()
+    }
+
+    /// Blocks until every cell is assigned (or the timeout passes);
+    /// returns whether the grid is fully assigned.
+    pub fn wait_assigned(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.inner.state.lock().table.unassigned() == 0 {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    /// Stops the coordinator; worker connections are closed.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        if !self.inner.running.swap(false, Ordering::SeqCst) {
+            return;
+        }
+        if let Some(mut admin) = self.admin.take() {
+            admin.shutdown();
+        }
+        // Unblock the accept loop with a dummy connection.
+        let _ = TcpStream::connect(self.local_addr);
+        {
+            let state = self.inner.state.lock();
+            for worker in state.workers.values() {
+                let _ = worker.stream.lock().shutdown(Shutdown::Both);
+            }
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Coordinator {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn publish_gauges(inner: &Inner, state: &State) {
+    let m = &inner.config.metrics;
+    m.set_gauge("cluster.workers_alive", state.workers.len() as u64);
+    m.set_gauge("cluster.epoch", state.table.epoch);
+    m.set_gauge("cluster.cells_unassigned", state.table.unassigned() as u64);
+}
+
+/// Recomputes placement after a membership change, broadcasts the table,
+/// announces the epoch, and replays cached subscriptions. Caller must have
+/// already updated `state.workers` / evicted dead owners.
+fn reassign(inner: &Inner, state: &mut State, cause: &str) {
+    state.table.epoch += 1;
+    let workers: Vec<WorkerInfo> = state
+        .workers
+        .iter()
+        .map(|(name, w)| WorkerInfo { name: name.clone(), weight: w.weight })
+        .collect();
+    let before: Vec<Option<String>> = state.table.cells.clone();
+    inner.config.placement.place(inner.config.grid, &workers, &mut state.table.cells);
+    let moved = before.iter().zip(&state.table.cells).filter(|(a, b)| a != b).count();
+    publish_gauges(inner, state);
+    inner.config.metrics.flight().record(
+        FlightEventKind::Failover,
+        format!(
+            "epoch {} ({cause}): {moved} cells reassigned, {} unassigned",
+            state.table.epoch,
+            state.table.unassigned()
+        ),
+    );
+
+    // Push the new table to every live worker.
+    let assign = Frame::Assign {
+        epoch: state.table.epoch,
+        query_partitions: inner.config.grid.query_partitions as u32,
+        write_partitions: inner.config.grid.write_partitions as u32,
+        cells: state.table.assigned_cells(),
+    };
+    let wire = assign.encode();
+    for worker in state.workers.values() {
+        let _ = worker.stream.lock().write_all(&wire);
+    }
+
+    // Tell application servers the epoch moved so they can replay their
+    // recent-write buffers and renew subscriptions against the store.
+    let notice = doc! {
+        "epoch" => state.table.epoch as i64,
+        "reassigned" => moved as i64,
+    };
+    inner.broker.publish(EPOCH_TOPIC, inner.config.wire_codec.encode(&notice));
+
+    // Silent re-registration: replacement workers rebuild matching state
+    // from the cached subscription (plus retention replay); `renewal: true`
+    // suppresses the stale initial result at the notifier.
+    replay_subscriptions(inner, state);
+}
+
+/// Publishes every cached subscription with `renewal: true`. Called at
+/// reassignment time and again when a worker first reports cells at the
+/// current epoch — the second pass closes the race where a replacement
+/// worker's rebuilt topology subscribes to the cluster topic *after* the
+/// reassignment-time replay was published.
+fn replay_subscriptions(inner: &Inner, state: &State) {
+    let mut replayed = 0usize;
+    for req in state.subscriptions.values() {
+        let mut req = req.clone();
+        req.renewal = true;
+        let payload = inner.config.wire_codec.encode(&ClusterMessage::Subscribe(req).to_document());
+        inner.broker.publish(CLUSTER_TOPIC, payload);
+        replayed += 1;
+    }
+    if replayed > 0 {
+        inner.config.metrics.add("cluster.subscriptions_replayed", replayed as u64);
+    }
+}
+
+fn accept_loop(listener: TcpListener, inner: Arc<Inner>) {
+    while inner.running.load(Ordering::SeqCst) {
+        let (stream, peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(_) => continue,
+        };
+        if !inner.running.load(Ordering::SeqCst) {
+            break;
+        }
+        let inner = Arc::clone(&inner);
+        let _ = thread::Builder::new()
+            .name(format!("coord-conn-{peer}"))
+            .spawn(move || connection_loop(stream, inner));
+    }
+}
+
+/// One worker control connection: Hello negotiation, JoinCluster
+/// registration, heartbeat and cell-state ingestion.
+fn connection_loop(mut stream: TcpStream, inner: Arc<Inner>) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let write_half = match stream.try_clone() {
+        Ok(clone) => Arc::new(Mutex::new(clone)),
+        Err(_) => return,
+    };
+    let mut decoder = Decoder::new();
+    let mut buf = [0u8; 16 * 1024];
+    // The worker this connection registered as, for cleanup on hangup.
+    let mut registered: Option<String> = None;
+
+    'outer: while inner.running.load(Ordering::SeqCst) {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        decoder.feed(&buf[..n]);
+        loop {
+            let frame = match decoder.next() {
+                Ok(Some(frame)) => frame,
+                Ok(None) => break,
+                Err(_) => {
+                    inner.config.metrics.inc("cluster.decode_errors");
+                    break 'outer;
+                }
+            };
+            match frame {
+                Frame::Hello { capabilities, .. } => {
+                    // A legacy peer without CAP_CLUSTER gets a polite Hello
+                    // back and is otherwise ignored — it will never send
+                    // the membership frames this port exists for.
+                    let reply = Frame::Hello {
+                        client: "invalidb-coordinator".into(),
+                        capabilities: CAP_BINARY | CAP_CLUSTER,
+                    };
+                    let _ = write_half.lock().write_all(&reply.encode());
+                    if capabilities & CAP_CLUSTER == 0 {
+                        inner.config.metrics.inc("cluster.legacy_hellos");
+                    }
+                }
+                Frame::JoinCluster { worker, weight } => {
+                    let mut state = inner.state.lock();
+                    state.workers.insert(
+                        worker.clone(),
+                        WorkerConn {
+                            weight,
+                            last_heartbeat: Instant::now(),
+                            stream: Arc::clone(&write_half),
+                            caught_up_epoch: 0,
+                        },
+                    );
+                    registered = Some(worker.clone());
+                    inner
+                        .config
+                        .metrics
+                        .flight()
+                        .record(FlightEventKind::WorkerJoin, format!("{worker} weight={weight}"));
+                    reassign(&inner, &mut state, &format!("join {worker}"));
+                }
+                Frame::WorkerHeartbeat { worker, .. } => {
+                    let mut state = inner.state.lock();
+                    if let Some(w) = state.workers.get_mut(&worker) {
+                        w.last_heartbeat = Instant::now();
+                    }
+                }
+                Frame::CellState { worker, epoch, cell, active_queries, retained_writes } => {
+                    let m = &inner.config.metrics;
+                    m.set_gauge(&format!("cluster.{worker}.cell{cell}.active_queries"), active_queries);
+                    m.set_gauge(
+                        &format!("cluster.{worker}.cell{cell}.retained_writes"),
+                        retained_writes,
+                    );
+                    // First report at the current epoch: the worker's
+                    // rebuilt topology is live, so catch it up with a
+                    // subscription replay (idempotent for everyone else).
+                    let mut state = inner.state.lock();
+                    if epoch == state.table.epoch {
+                        if let Some(w) = state.workers.get_mut(&worker) {
+                            if w.caught_up_epoch < epoch {
+                                w.caught_up_epoch = epoch;
+                                replay_subscriptions(&inner, &state);
+                            }
+                        }
+                    }
+                }
+                Frame::Heartbeat { nonce } => {
+                    let _ = write_half.lock().write_all(&Frame::Heartbeat { nonce }.encode());
+                }
+                // Broker traffic does not belong on the coordinator port.
+                Frame::Subscribe { .. }
+                | Frame::Unsubscribe { .. }
+                | Frame::Publish { .. }
+                | Frame::Ack { .. }
+                | Frame::Assign { .. } => {}
+            }
+        }
+    }
+
+    // Connection gone: treat as an immediate leave (faster than waiting
+    // for the heartbeat timeout).
+    if let Some(worker) = registered {
+        let mut state = inner.state.lock();
+        // Only evict if this connection is still the registered one (the
+        // worker may have reconnected on a fresh socket).
+        let same_conn =
+            state.workers.get(&worker).map(|w| Arc::ptr_eq(&w.stream, &write_half)).unwrap_or(false);
+        if same_conn && inner.running.load(Ordering::SeqCst) {
+            state.workers.remove(&worker);
+            let orphaned = state.table.evict(&worker);
+            inner
+                .config
+                .metrics
+                .flight()
+                .record(FlightEventKind::WorkerLeave, format!("{worker} hangup, {orphaned} cells"));
+            reassign(&inner, &mut state, &format!("hangup {worker}"));
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Declares workers dead after `heartbeat_timeout` of silence.
+fn supervise_loop(inner: Arc<Inner>) {
+    while inner.running.load(Ordering::SeqCst) {
+        thread::sleep(inner.config.supervise_interval);
+        let mut state = inner.state.lock();
+        let timeout = inner.config.heartbeat_timeout;
+        let dead: Vec<String> = state
+            .workers
+            .iter()
+            .filter(|(_, w)| w.last_heartbeat.elapsed() > timeout)
+            .map(|(name, _)| name.clone())
+            .collect();
+        if dead.is_empty() {
+            continue;
+        }
+        for worker in &dead {
+            if let Some(conn) = state.workers.remove(worker) {
+                let _ = conn.stream.lock().shutdown(Shutdown::Both);
+            }
+            let orphaned = state.table.evict(worker);
+            inner.config.metrics.flight().record(
+                FlightEventKind::WorkerLeave,
+                format!("{worker} missed heartbeats ({timeout:?}), {orphaned} cells"),
+            );
+        }
+        reassign(&inner, &mut state, &format!("heartbeat timeout: {}", dead.join(",")));
+    }
+}
+
+/// Caches Subscribe envelopes off the cluster topic for failover replay.
+fn subscription_cache_loop(inner: Arc<Inner>) {
+    let sub = inner.broker.subscribe(CLUSTER_TOPIC);
+    while inner.running.load(Ordering::SeqCst) {
+        let payload = match sub.recv_timeout(Duration::from_millis(250)) {
+            Some(payload) => payload,
+            None => continue,
+        };
+        let Some(msg) = invalidb_json::payload_to_document(&payload)
+            .ok()
+            .and_then(|d| ClusterMessage::from_document(&d).ok())
+        else {
+            continue;
+        };
+        match msg {
+            // Our own renewal replays are skipped (they would only write
+            // back what is already cached); app-server renewals carry
+            // `renewal: false` and a fresh bootstrap result, so they
+            // refresh the cache — last write wins.
+            ClusterMessage::Subscribe(req) if !req.renewal => {
+                let mut state = inner.state.lock();
+                state.subscriptions.insert((req.tenant.0.clone(), req.subscription.0), req);
+                let count = state.subscriptions.len() as u64;
+                inner.config.metrics.set_gauge("cluster.cached_subscriptions", count);
+            }
+            ClusterMessage::Unsubscribe { tenant, subscription, .. } => {
+                let mut state = inner.state.lock();
+                state.subscriptions.remove(&(tenant.0, subscription.0));
+                let count = state.subscriptions.len() as u64;
+                inner.config.metrics.set_gauge("cluster.cached_subscriptions", count);
+            }
+            _ => {}
+        }
+    }
+}

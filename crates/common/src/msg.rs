@@ -63,6 +63,12 @@ pub struct SubscriptionRequest {
     pub slack: u64,
     /// Time-to-live in microseconds; the app server extends it periodically.
     pub ttl_micros: u64,
+    /// `true` when this request re-registers a subscription that is already
+    /// live at the client (failover replay, silent re-registration): the
+    /// cluster restores matching state but suppresses the initial-result
+    /// notification, so clients never see a stale result snapshot. Encoded
+    /// as an optional field — requests from older peers decode as `false`.
+    pub renewal: bool,
 }
 
 /// All message kinds the cluster ingests.
@@ -108,6 +114,9 @@ impl ClusterMessage {
                 d.insert("queryHash", req.query_hash.0 as i64);
                 d.insert("slack", req.slack as i64);
                 d.insert("ttl", req.ttl_micros as i64);
+                if req.renewal {
+                    d.insert("renewal", true);
+                }
                 d.insert(
                     "initial",
                     Value::Array(
@@ -195,6 +204,7 @@ impl ClusterMessage {
                     initial,
                     slack: d.get("slack").and_then(Value::as_i64).unwrap_or(0) as u64,
                     ttl_micros: d.get("ttl").and_then(Value::as_i64).unwrap_or(i64::MAX) as u64,
+                    renewal: d.get("renewal").and_then(Value::as_bool).unwrap_or(false),
                 }))
             }
             "unsubscribe" => Ok(ClusterMessage::Unsubscribe {
@@ -338,6 +348,7 @@ mod tests {
             initial: vec![ResultItem::new(Key::of("u1"), 1, doc! { "age" => 30i64 })],
             slack: 3,
             ttl_micros: 60_000_000,
+            renewal: false,
         });
         assert_eq!(ClusterMessage::from_document(&m.to_document()).unwrap(), m);
     }

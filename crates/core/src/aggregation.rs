@@ -320,6 +320,7 @@ mod tests {
                 initial,
                 slack: 0,
                 ttl_micros: u64::MAX / 2,
+                renewal: false,
             };
             self.drive(Event::Subscribe(Arc::new(req)));
         }

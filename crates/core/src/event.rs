@@ -1,8 +1,8 @@
 //! Events flowing through the cluster topology.
 
 use invalidb_common::{
-    AfterImage, Document, Key, Notification, QueryHash, SubscriptionId, SubscriptionRequest, TenantId,
-    TraceContext, Version,
+    AfterImage, Document, Key, Notification, QueryHash, SpecError, SubscriptionId, SubscriptionRequest,
+    TenantId, TraceContext, Value, Version,
 };
 use std::sync::Arc;
 
@@ -74,6 +74,85 @@ pub struct FilterChange {
     pub trace: Option<TraceContext>,
 }
 
+impl FilterChangeKind {
+    /// Stable wire name of the transition kind.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            FilterChangeKind::Add => "add",
+            FilterChangeKind::Change => "change",
+            FilterChangeKind::Remove => "remove",
+        }
+    }
+
+    /// Parses a wire name produced by [`FilterChangeKind::as_str`].
+    pub fn parse(s: &str) -> Option<FilterChangeKind> {
+        match s {
+            "add" => Some(FilterChangeKind::Add),
+            "change" => Some(FilterChangeKind::Change),
+            "remove" => Some(FilterChangeKind::Remove),
+            _ => None,
+        }
+    }
+}
+
+impl FilterChange {
+    /// Encodes the change as a document for the shuffle topic: matching
+    /// cells hosted off the row owner ship their staged output through the
+    /// event layer instead of an in-process channel.
+    pub fn to_document(&self) -> Document {
+        let mut d = Document::with_capacity(8);
+        d.insert("tenant", self.tenant.0.clone());
+        d.insert("queryHash", self.query_hash.0 as i64);
+        d.insert("kind", self.kind.as_str());
+        d.insert("key", self.key.0.clone());
+        d.insert("version", self.version as i64);
+        match &self.doc {
+            Some(doc) => d.insert("doc", doc.clone()),
+            None => d.insert("doc", Value::Null),
+        };
+        d.insert("writtenAt", self.written_at as i64);
+        if let Some(trace) = &self.trace {
+            d.insert("trace", trace.to_document());
+        }
+        d
+    }
+
+    /// Decodes a change from its document encoding.
+    pub fn from_document(d: &Document) -> Result<FilterChange, SpecError> {
+        let missing = |f: &str| SpecError { message: format!("filter change missing `{f}`") };
+        let kind = d
+            .get("kind")
+            .and_then(Value::as_str)
+            .and_then(FilterChangeKind::parse)
+            .ok_or_else(|| missing("kind"))?;
+        let doc = match d.get("doc") {
+            Some(Value::Null) | None => None,
+            Some(Value::Object(doc)) => Some(doc.clone()),
+            Some(_) => {
+                return Err(SpecError { message: "filter change `doc` must be object or null".into() })
+            }
+        };
+        Ok(FilterChange {
+            tenant: TenantId(
+                d.get("tenant").and_then(Value::as_str).ok_or_else(|| missing("tenant"))?.to_owned(),
+            ),
+            query_hash: QueryHash(
+                d.get("queryHash").and_then(Value::as_i64).ok_or_else(|| missing("queryHash"))? as u64,
+            ),
+            kind,
+            key: Key(d.get("key").cloned().ok_or_else(|| missing("key"))?),
+            version: d.get("version").and_then(Value::as_i64).ok_or_else(|| missing("version"))?
+                as Version,
+            doc,
+            written_at: d.get("writtenAt").and_then(Value::as_i64).unwrap_or(0) as u64,
+            trace: match d.get("trace").and_then(Value::as_object) {
+                Some(td) => Some(TraceContext::from_document(td)?),
+                None => None,
+            },
+        })
+    }
+}
+
 /// Message leaving the cluster through the notifier.
 #[derive(Debug, Clone)]
 pub enum OutMsg {
@@ -84,4 +163,56 @@ pub enum OutMsg {
         /// Tenant whose notify topic receives the heartbeat.
         tenant: TenantId,
     },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use invalidb_common::doc;
+
+    #[test]
+    fn filter_change_roundtrips_through_document() {
+        let change = FilterChange {
+            tenant: TenantId("app1".into()),
+            query_hash: QueryHash(0xdead_beef),
+            kind: FilterChangeKind::Change,
+            key: Key(Value::from("k17")),
+            version: 42,
+            doc: Some(doc! { "rank" => 3i64 }),
+            written_at: 123_456,
+            trace: None,
+        };
+        let decoded = FilterChange::from_document(&change.to_document()).unwrap();
+        assert_eq!(decoded.tenant, change.tenant);
+        assert_eq!(decoded.query_hash, change.query_hash);
+        assert_eq!(decoded.kind, change.kind);
+        assert_eq!(decoded.key, change.key);
+        assert_eq!(decoded.version, change.version);
+        assert_eq!(decoded.doc, change.doc);
+        assert_eq!(decoded.written_at, change.written_at);
+    }
+
+    #[test]
+    fn filter_change_delete_roundtrips() {
+        let change = FilterChange {
+            tenant: TenantId("t".into()),
+            query_hash: QueryHash(1),
+            kind: FilterChangeKind::Remove,
+            key: Key(Value::from("gone")),
+            version: 7,
+            doc: None,
+            written_at: 0,
+            trace: None,
+        };
+        let decoded = FilterChange::from_document(&change.to_document()).unwrap();
+        assert_eq!(decoded.doc, None);
+        assert_eq!(decoded.kind, FilterChangeKind::Remove);
+    }
+
+    #[test]
+    fn filter_change_rejects_bad_kind() {
+        let d = doc! { "tenant" => "t", "queryHash" => 1i64, "kind" => "explode",
+        "key" => "k", "version" => 1i64 };
+        assert!(FilterChange::from_document(&d).is_err());
+    }
 }

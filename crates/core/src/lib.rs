@@ -42,7 +42,7 @@ pub mod query_index;
 pub mod sorting;
 pub mod window;
 
-pub use cluster::Cluster;
+pub use cluster::{CellHost, CellSet, Cluster, FullGrid};
 pub use config::{ClusterConfig, ClusterConfigBuilder};
 pub use event::{Event, FilterChange, FilterChangeKind, OutMsg};
 pub use window::{SortedWindow, VisibleEvent, WindowOutcome};

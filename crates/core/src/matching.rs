@@ -604,6 +604,7 @@ mod tests {
             initial,
             slack: 2,
             ttl_micros: 60_000_000,
+            renewal: false,
         }))
     }
 

@@ -53,6 +53,13 @@ impl Notifier {
 
     fn initial_result(&mut self, req: &SubscriptionRequest) {
         self.remember(req.tenant.clone());
+        if req.renewal {
+            // Silent re-registration (failover replay): the client already
+            // holds a live result, so re-emitting the cached bootstrap
+            // snapshot would clobber it with stale state.
+            self.config.metrics.inc("notifier.silent_renewals");
+            return;
+        }
         if req.spec.needs_aggregation_stage() {
             // Aggregate queries: the aggregation stage emits the initial
             // aggregate value instead of an item list.

@@ -25,6 +25,7 @@ fn subscribe_msg(spec: &QuerySpec, sub: u64, initial: Vec<ResultItem>, slack: u6
         initial,
         slack,
         ttl_micros: 60_000_000,
+        renewal: false,
     })
 }
 
@@ -343,6 +344,7 @@ fn multi_tenant_topics_are_isolated() {
             initial: vec![],
             slack: 0,
             ttl_micros: 60_000_000,
+            renewal: false,
         });
         publish(&broker, &msg);
     }

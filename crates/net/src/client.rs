@@ -571,8 +571,15 @@ fn read_session(
                 Frame::Hello { capabilities, .. } => {
                     inner.server_caps.store(capabilities, Ordering::Relaxed);
                 }
-                // Server-only requests; ignore if echoed at us.
-                Frame::Subscribe { .. } | Frame::Unsubscribe { .. } => {}
+                // Server-only requests; ignore if echoed at us. Cluster
+                // membership frames travel on dedicated coordinator
+                // connections, never through the broker client.
+                Frame::Subscribe { .. }
+                | Frame::Unsubscribe { .. }
+                | Frame::JoinCluster { .. }
+                | Frame::Assign { .. }
+                | Frame::CellState { .. }
+                | Frame::WorkerHeartbeat { .. } => {}
             }
         }
     }

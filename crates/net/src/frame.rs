@@ -54,6 +54,14 @@ pub const FLAG_TRACE: u16 = 0x0001;
 /// bits degrade gracefully against this version.
 pub const CAP_BINARY: u32 = 0x0000_0001;
 
+/// `Hello` capability bit 1: the sender speaks the cluster-membership
+/// protocol (`JoinCluster`, `Assign`, `CellState`, `WorkerHeartbeat`).
+/// A coordinator never sends membership frames to a peer that did not
+/// advertise this bit, so mixed fleets (old app servers, new workers)
+/// stay interoperable: legacy peers only ever see the six original frame
+/// types their decoder understands.
+pub const CAP_CLUSTER: u32 = 0x0000_0002;
+
 /// Stage-tracing sidecar of a `Publish` frame (present iff [`FLAG_TRACE`]
 /// is set): identifies the sampled trace inside the opaque envelope and
 /// carries the sender's transmit timestamp, so the server can attribute
@@ -114,6 +122,53 @@ pub enum Frame {
         /// Sender-chosen value, echoed back by the peer.
         nonce: u64,
     },
+    /// Worker → coordinator: request membership in the matching grid.
+    /// Requires [`CAP_CLUSTER`] on both sides of the `Hello` exchange.
+    JoinCluster {
+        /// Unique worker name (the assignment table keys on it).
+        worker: String,
+        /// Relative placement weight (1 = one share of cells).
+        weight: u32,
+    },
+    /// Coordinator → worker: the authoritative epoch-numbered assignment
+    /// table mapping grid cells to workers. Broadcast to every joined
+    /// worker whenever membership changes.
+    Assign {
+        /// Epoch number; strictly increases on every membership change.
+        epoch: u64,
+        /// Grid rows (query partitions).
+        query_partitions: u32,
+        /// Grid columns (write partitions).
+        write_partitions: u32,
+        /// `(cell index, worker name)` pairs, one per *assigned* cell —
+        /// cells missing from the list are currently unassigned.
+        cells: Vec<(u32, String)>,
+    },
+    /// Worker → coordinator: per-cell load report (feeds placement and
+    /// the coordinator's assignment-table view).
+    CellState {
+        /// Reporting worker.
+        worker: String,
+        /// Epoch the worker is running.
+        epoch: u64,
+        /// Cell index being reported.
+        cell: u32,
+        /// Active query groups hosted in the cell.
+        active_queries: u64,
+        /// After-images currently retained for replay.
+        retained_writes: u64,
+    },
+    /// Worker → coordinator liveness. Unlike the plain [`Frame::Heartbeat`]
+    /// it names the worker and its current epoch, so the coordinator can
+    /// detect members running a stale assignment and re-send it.
+    WorkerHeartbeat {
+        /// Reporting worker.
+        worker: String,
+        /// Epoch the worker is running (0 before the first `Assign`).
+        epoch: u64,
+        /// Sender-chosen value (diagnostics).
+        nonce: u64,
+    },
 }
 
 impl Frame {
@@ -125,6 +180,10 @@ impl Frame {
             Frame::Publish { .. } => 4,
             Frame::Ack { .. } => 5,
             Frame::Heartbeat { .. } => 6,
+            Frame::JoinCluster { .. } => 7,
+            Frame::Assign { .. } => 8,
+            Frame::CellState { .. } => 9,
+            Frame::WorkerHeartbeat { .. } => 10,
         }
     }
 
@@ -166,6 +225,32 @@ impl Frame {
             }
             Frame::Ack { seq } => put_u64(out, *seq),
             Frame::Heartbeat { nonce } => put_u64(out, *nonce),
+            Frame::JoinCluster { worker, weight } => {
+                put_str(out, worker);
+                out.extend_from_slice(&weight.to_be_bytes());
+            }
+            Frame::Assign { epoch, query_partitions, write_partitions, cells } => {
+                put_u64(out, *epoch);
+                out.extend_from_slice(&query_partitions.to_be_bytes());
+                out.extend_from_slice(&write_partitions.to_be_bytes());
+                out.extend_from_slice(&(cells.len() as u32).to_be_bytes());
+                for (cell, worker) in cells {
+                    out.extend_from_slice(&cell.to_be_bytes());
+                    put_str(out, worker);
+                }
+            }
+            Frame::CellState { worker, epoch, cell, active_queries, retained_writes } => {
+                put_str(out, worker);
+                put_u64(out, *epoch);
+                out.extend_from_slice(&cell.to_be_bytes());
+                put_u64(out, *active_queries);
+                put_u64(out, *retained_writes);
+            }
+            Frame::WorkerHeartbeat { worker, epoch, nonce } => {
+                put_str(out, worker);
+                put_u64(out, *epoch);
+                put_u64(out, *nonce);
+            }
         }
         let len = (out.len() - body) as u32;
         let crc = crc32(&out[body..]);
@@ -209,6 +294,29 @@ impl Frame {
             }
             5 => Frame::Ack { seq: r.u64()? },
             6 => Frame::Heartbeat { nonce: r.u64()? },
+            7 => Frame::JoinCluster { worker: r.str()?, weight: r.u32()? },
+            8 => {
+                let epoch = r.u64()?;
+                let query_partitions = r.u32()?;
+                let write_partitions = r.u32()?;
+                let count = r.u32()? as usize;
+                // The count is attacker-controlled until the entries are
+                // actually read; bound the pre-allocation by what the
+                // remaining payload could possibly hold (≥ 4 bytes each).
+                let mut cells = Vec::with_capacity(count.min(payload.len() / 4));
+                for _ in 0..count {
+                    cells.push((r.u32()?, r.str()?));
+                }
+                Frame::Assign { epoch, query_partitions, write_partitions, cells }
+            }
+            9 => Frame::CellState {
+                worker: r.str()?,
+                epoch: r.u64()?,
+                cell: r.u32()?,
+                active_queries: r.u64()?,
+                retained_writes: r.u64()?,
+            },
+            10 => Frame::WorkerHeartbeat { worker: r.str()?, epoch: r.u64()?, nonce: r.u64()? },
             other => return Err(FrameError::UnknownType(other)),
         };
         if r.pos != payload.len() {
@@ -472,6 +580,22 @@ mod tests {
             },
             Frame::Ack { seq: u64::MAX },
             Frame::Heartbeat { nonce: 42 },
+            Frame::JoinCluster { worker: "worker-1".into(), weight: 1 },
+            Frame::Assign {
+                epoch: 3,
+                query_partitions: 2,
+                write_partitions: 2,
+                cells: vec![(0, "worker-1".into()), (1, "worker-1".into()), (2, "worker-2".into())],
+            },
+            Frame::Assign { epoch: 1, query_partitions: 1, write_partitions: 1, cells: Vec::new() },
+            Frame::CellState {
+                worker: "worker-2".into(),
+                epoch: 3,
+                cell: 2,
+                active_queries: 17,
+                retained_writes: 4096,
+            },
+            Frame::WorkerHeartbeat { worker: "worker-1".into(), epoch: 3, nonce: 99 },
         ]
     }
 
@@ -642,6 +766,66 @@ mod tests {
             got.push(f);
         }
         assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn cluster_frames_are_unknown_to_legacy_decoders() {
+        // A peer that predates the membership protocol sees type bytes
+        // 7–10 as UnknownType — a clean connection teardown, not a panic.
+        // (This test pins the type ids so they can never be reused.)
+        for (frame, id) in [
+            (Frame::JoinCluster { worker: "w".into(), weight: 1 }, 7u8),
+            (
+                Frame::Assign {
+                    epoch: 1,
+                    query_partitions: 1,
+                    write_partitions: 1,
+                    cells: vec![(0, "w".into())],
+                },
+                8,
+            ),
+            (
+                Frame::CellState {
+                    worker: "w".into(),
+                    epoch: 1,
+                    cell: 0,
+                    active_queries: 0,
+                    retained_writes: 0,
+                },
+                9,
+            ),
+            (Frame::WorkerHeartbeat { worker: "w".into(), epoch: 1, nonce: 0 }, 10),
+        ] {
+            assert_eq!(frame.encode()[5], id, "type id of {frame:?}");
+        }
+    }
+
+    #[test]
+    fn assign_with_lying_cell_count_is_truncated() {
+        // Hand-build an Assign whose declared entry count exceeds the
+        // entries actually present: the decoder must report truncation
+        // (and must not pre-allocate by the attacker-controlled count).
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1); // epoch
+        payload.extend_from_slice(&1u32.to_be_bytes()); // qp
+        payload.extend_from_slice(&1u32.to_be_bytes()); // wp
+        payload.extend_from_slice(&u32::MAX.to_be_bytes()); // entry count (lie)
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(PROTOCOL_VERSION);
+        wire.push(8); // Assign
+        wire.extend_from_slice(&[0, 0]);
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(&crc32(&payload).to_be_bytes());
+        wire.extend_from_slice(&payload);
+        let mut d = Decoder::new();
+        d.feed(&wire);
+        assert!(matches!(d.next(), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn capability_bits_are_distinct() {
+        assert_eq!(CAP_BINARY & CAP_CLUSTER, 0);
     }
 
     #[test]

@@ -339,7 +339,14 @@ fn read_loop(
                 Frame::Heartbeat { nonce } => {
                     send(queue, Frame::Heartbeat { nonce });
                 }
-                Frame::Ack { .. } => {}
+                // Cluster membership frames belong to the coordinator
+                // protocol; a broker server ignores them so legacy topologies
+                // keep working when a cluster-capable peer dials in.
+                Frame::Ack { .. }
+                | Frame::JoinCluster { .. }
+                | Frame::Assign { .. }
+                | Frame::CellState { .. }
+                | Frame::WorkerHeartbeat { .. } => {}
             }
         }
     }

@@ -17,6 +17,15 @@ fn trace_strategy() -> impl Strategy<Value = Option<TraceInfo>> {
     })
 }
 
+fn worker_strategy() -> impl Strategy<Value = String> {
+    // Worker names, including the empty string the codec must tolerate.
+    "[a-z0-9-]{0,16}"
+}
+
+fn cells_strategy() -> impl Strategy<Value = Vec<(u32, String)>> {
+    prop::collection::vec((any::<u32>(), worker_strategy()), 0..16)
+}
+
 fn frame_strategy() -> impl Strategy<Value = Frame> {
     prop_oneof![
         ("[a-z0-9-]{0,16}", any::<u32>())
@@ -28,6 +37,27 @@ fn frame_strategy() -> impl Strategy<Value = Frame> {
         ),
         any::<u64>().prop_map(|seq| Frame::Ack { seq }),
         any::<u64>().prop_map(|nonce| Frame::Heartbeat { nonce }),
+        (worker_strategy(), any::<u32>())
+            .prop_map(|(worker, weight)| Frame::JoinCluster { worker, weight }),
+        (any::<u64>(), any::<u32>(), any::<u32>(), cells_strategy()).prop_map(
+            |(epoch, query_partitions, write_partitions, cells)| Frame::Assign {
+                epoch,
+                query_partitions,
+                write_partitions,
+                cells
+            }
+        ),
+        (worker_strategy(), any::<u64>(), any::<u32>(), any::<u64>(), any::<u64>()).prop_map(
+            |(worker, epoch, cell, active_queries, retained_writes)| Frame::CellState {
+                worker,
+                epoch,
+                cell,
+                active_queries,
+                retained_writes
+            }
+        ),
+        (worker_strategy(), any::<u64>(), any::<u64>())
+            .prop_map(|(worker, epoch, nonce)| Frame::WorkerHeartbeat { worker, epoch, nonce }),
     ]
 }
 

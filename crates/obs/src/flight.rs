@@ -34,6 +34,12 @@ pub enum FlightEventKind {
     Unsubscribe,
     /// The cluster health status changed.
     HealthTransition,
+    /// A worker process joined the cluster (coordinator membership).
+    WorkerJoin,
+    /// A worker process left the cluster (shutdown or missed heartbeats).
+    WorkerLeave,
+    /// The coordinator bumped the epoch and reassigned cells.
+    Failover,
 }
 
 impl FlightEventKind {
@@ -47,6 +53,9 @@ impl FlightEventKind {
             FlightEventKind::Subscribe => "subscribe",
             FlightEventKind::Unsubscribe => "unsubscribe",
             FlightEventKind::HealthTransition => "health_transition",
+            FlightEventKind::WorkerJoin => "worker_join",
+            FlightEventKind::WorkerLeave => "worker_leave",
+            FlightEventKind::Failover => "failover",
         }
     }
 
@@ -60,6 +69,9 @@ impl FlightEventKind {
             "subscribe" => FlightEventKind::Subscribe,
             "unsubscribe" => FlightEventKind::Unsubscribe,
             "health_transition" => FlightEventKind::HealthTransition,
+            "worker_join" => FlightEventKind::WorkerJoin,
+            "worker_leave" => FlightEventKind::WorkerLeave,
+            "failover" => FlightEventKind::Failover,
             _ => return None,
         })
     }

@@ -83,6 +83,10 @@ pub enum HealthCauseKind {
     /// Frames failed to decode since the last evaluation
     /// (`*.decode_errors` delta).
     DecodeErrors,
+    /// Grid cells are currently not assigned to any live worker
+    /// (`*.cells_unassigned` gauge): writes for those cells are not being
+    /// matched until the coordinator reassigns them.
+    CellsUnassigned,
 }
 
 impl HealthCauseKind {
@@ -95,6 +99,7 @@ impl HealthCauseKind {
             HealthCauseKind::IngestionLag => "ingestion_lag",
             HealthCauseKind::QueueDrops => "queue_drops",
             HealthCauseKind::DecodeErrors => "decode_errors",
+            HealthCauseKind::CellsUnassigned => "cells_unassigned",
         }
     }
 }
@@ -311,6 +316,14 @@ impl HealthMonitor {
                     value: v,
                     threshold: p.queue_depth_degraded,
                 });
+            } else if name.ends_with(".cells_unassigned") && v > 0 {
+                worst = worst.max_with(HealthStatus::Degraded);
+                causes.push(HealthCause {
+                    kind: HealthCauseKind::CellsUnassigned,
+                    subject: name.clone(),
+                    value: v,
+                    threshold: 1,
+                });
             } else if name.ends_with(".ingest_lag_us") && v > p.ingest_lag_degraded.as_micros() as u64 {
                 worst = worst.max_with(HealthStatus::Degraded);
                 causes.push(HealthCause {
@@ -417,6 +430,18 @@ mod tests {
         assert_eq!(kinds.len(), 2);
         assert!(kinds[0].contains("healthy -> unavailable"));
         assert!(kinds[1].contains("unavailable -> healthy"));
+    }
+
+    #[test]
+    fn unassigned_cells_degrade() {
+        let mut m = monitor();
+        let mut snap = MetricsSnapshot::default();
+        snap.gauges.insert("cluster.cells_unassigned".into(), 2);
+        let r = m.evaluate(&snap);
+        assert_eq!(r.status, HealthStatus::Degraded);
+        assert_eq!(r.causes[0].kind, HealthCauseKind::CellsUnassigned);
+        snap.gauges.insert("cluster.cells_unassigned".into(), 0);
+        assert_eq!(m.evaluate(&snap).status, HealthStatus::Healthy);
     }
 
     #[test]

@@ -1,47 +1,112 @@
-//! Networked deployment: store + cluster and the application server on
-//! opposite ends of a loopback TCP socket.
+//! Multi-process deployment: coordinator, two remote matching workers, and
+//! an application server — four OS processes wired over loopback TCP.
 //!
 //! The paper's deployment (§5.3) separates three independently scalable
-//! services — the pull-based store, the InvaliDB cluster, and the event
-//! layer connecting them to application servers. `quickstart.rs` runs all
-//! of them in one process over the in-process broker; this example puts
-//! the event layer on the wire:
+//! services: the pull-based store, the InvaliDB cluster, and the event
+//! layer connecting them to application servers. This example runs that
+//! topology for real, as separate processes:
 //!
 //! ```text
-//!   "cluster host"                        "app-server host"
-//!   Store + Cluster ── Broker ── BrokerServer ══TCP══ RemoteBroker ── AppServer
+//!   invalidb-coordinatord          invalidb-workerd ×2
+//!   ├─ coordinator (membership,    ├─ control conn → coordinator
+//!   │  heartbeats, Assign)         └─ hosts assigned grid cells,
+//!   └─ event layer (BrokerServer)     fed through a RemoteBroker
+//!              ║
+//!         TCP  ║  (event layer)
+//!              ║
+//!   this process: Store + AppServer over a RemoteBroker
 //! ```
 //!
-//! The app server connects through a [`RemoteBroker`], which implements
-//! the same publish/subscribe surface as the in-process broker — neither
-//! `invalidb-client` nor `invalidb-core` changes a line. Along the way the
-//! example drops the connection mid-stream to show the supervisor
-//! reconnecting and replaying subscriptions.
+//! The two workers split the 2×2 matching grid between them; the
+//! coordinator prints the assignment table whenever the epoch changes,
+//! and this example forwards those lines so you can watch placement
+//! happen.
 //!
 //! Run with: `cargo run --release --example distributed`
+//! (builds the daemons first: `cargo build --release --bins`)
 
-use invalidb::broker::Broker;
 use invalidb::client::{AppServer, AppServerConfig, ClientEvent};
-use invalidb::core::{Cluster, ClusterConfig};
-use invalidb::net::{BrokerServer, BrokerServerConfig, RemoteBroker, RemoteBrokerConfig};
+use invalidb::net::{RemoteBroker, RemoteBrokerConfig};
 use invalidb::store::Store;
 use invalidb::{doc, Key, QuerySpec};
+use std::io::BufRead;
+use std::process::{Child, Command, Stdio};
 use std::sync::Arc;
 use std::time::Duration;
 
-fn main() {
-    // ----- "cluster host": store, cluster, and the event-layer server ---
-    let store = Arc::new(Store::new());
-    let broker = Broker::new();
-    let cluster = Cluster::start(broker.clone(), ClusterConfig::new(2, 2));
-    let server = BrokerServer::bind("127.0.0.1:0", broker, BrokerServerConfig::default())
-        .expect("bind event-layer server");
-    let addr = server.local_addr();
-    println!("event layer listening on {addr}");
+/// The sibling daemon binaries live next to this example's own binary:
+/// `target/<profile>/examples/distributed` → `target/<profile>/<name>`.
+fn daemon(name: &str) -> std::path::PathBuf {
+    let exe = std::env::current_exe().expect("own path");
+    let profile_dir =
+        exe.parent().and_then(|examples| examples.parent()).expect("target profile directory");
+    let path = profile_dir.join(name);
+    assert!(
+        path.exists(),
+        "{} not built — run `cargo build --bins` (same profile) first",
+        path.display()
+    );
+    path
+}
 
-    // ----- "app-server host": connect over TCP ------------------------
+struct Reaper(Vec<Child>);
+
+impl Drop for Reaper {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn main() {
+    // ----- process 1: coordinator + event layer -----------------------
+    let mut coordinatord = Command::new(daemon("invalidb-coordinatord"))
+        .args(["--qp", "2", "--wp", "2"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn invalidb-coordinatord");
+    let mut coord_out = std::io::BufReader::new(coordinatord.stdout.take().expect("piped stdout"));
+    let mut read_addr = |prefix: &str| -> String {
+        let mut line = String::new();
+        coord_out.read_line(&mut line).expect("coordinatord output");
+        print!("[coordinatord] {line}");
+        line.strip_prefix(prefix)
+            .unwrap_or_else(|| panic!("expected `{prefix}…`, got `{line}`"))
+            .trim()
+            .to_string()
+    };
+    let coord_addr = read_addr("coordinator listening at ");
+    let event_addr = read_addr("event layer at ");
+    // Forward the coordinator's operator console (assignment tables).
+    std::thread::spawn(move || {
+        let mut line = String::new();
+        while coord_out.read_line(&mut line).is_ok_and(|n| n > 0) {
+            print!("[coordinatord] {line}");
+            line.clear();
+        }
+    });
+
+    // ----- processes 2 and 3: remote matching workers ------------------
+    let workers: Vec<Child> = ["alpha", "beta"]
+        .iter()
+        .map(|name| {
+            Command::new(daemon("invalidb-workerd"))
+                .args(["--coordinator", &coord_addr, "--event", &event_addr, "--name", name])
+                .stdout(Stdio::inherit())
+                .spawn()
+                .expect("spawn invalidb-workerd")
+        })
+        .collect();
+    let mut children = vec![coordinatord];
+    children.extend(workers);
+    let _reaper = Reaper(children);
+
+    // ----- process 4 (this one): store + application server ------------
+    let store = Arc::new(Store::new());
     let remote = RemoteBroker::connect(
-        addr.to_string(),
+        event_addr.clone(),
         RemoteBrokerConfig { client_name: "distributed-example".into(), ..Default::default() },
     );
     assert!(remote.wait_connected(Duration::from_secs(5)), "event layer reachable");
@@ -58,34 +123,18 @@ fn main() {
 
     let adults = QuerySpec::filter("users", doc! { "age" => doc! { "$gte" => 30i64 } });
     let mut sub = app.subscribe(&adults).unwrap();
-    match sub.events().timeout(Duration::from_secs(5)).next().expect("initial result") {
-        ClientEvent::Initial(items) => println!("initial result over TCP: {} adults", items.len()),
+    match sub.events().timeout(Duration::from_secs(10)).next().expect("initial result") {
+        ClientEvent::Initial(items) => {
+            println!("initial result from the remote grid: {} adults", items.len())
+        }
         other => panic!("unexpected event: {other:?}"),
     }
 
     app.insert("users", Key::of("barbara"), doc! { "name" => "barbara", "age" => 33i64 }).unwrap();
-    match sub.events().timeout(Duration::from_secs(5)).next().expect("change notification") {
-        ClientEvent::Change(c) => println!("notification over TCP: {} {}", c.match_type, c.item.key),
-        other => println!("event: {other:?}"),
-    }
-
-    // ----- mid-stream disconnect --------------------------------------
-    // Kill the TCP connection out from under the app server. The
-    // supervisor reconnects with backoff and replays its subscriptions;
-    // the app server's maintenance machinery repairs anything missed.
-    let reconnects_before = remote.metrics().reconnects.load(std::sync::atomic::Ordering::Relaxed);
-    remote.kick();
-    while remote.metrics().reconnects.load(std::sync::atomic::Ordering::Relaxed) <= reconnects_before {
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    println!("connection dropped and re-established (reconnect + resubscription replay)");
-
-    app.insert("users", Key::of("annie"), doc! { "name" => "annie", "age" => 52i64 }).unwrap();
     loop {
-        match sub.events().timeout(Duration::from_secs(10)).next().expect("notification after reconnect")
-        {
-            ClientEvent::Change(c) if c.item.key == Key::of("annie") => {
-                println!("notification after reconnect: {} {}", c.match_type, c.item.key);
+        match sub.events().timeout(Duration::from_secs(10)).next().expect("change notification") {
+            ClientEvent::Change(c) if c.item.key == Key::of("barbara") => {
+                println!("notification matched by a remote worker: {} {}", c.match_type, c.item.key);
                 break;
             }
             other => println!("event: {other:?}"),
@@ -99,7 +148,6 @@ fn main() {
     );
 
     drop(sub);
-    cluster.shutdown();
     remote.shutdown();
     println!("done");
 }

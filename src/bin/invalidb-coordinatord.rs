@@ -1,0 +1,128 @@
+//! `invalidb-coordinatord` — the cluster coordinator daemon.
+//!
+//! Hosts two listeners in one process:
+//!
+//! * the **event layer** (`--event-listen`): a [`BrokerServer`] that
+//!   application servers and workers publish/subscribe through;
+//! * the **coordinator frame port** (`--listen`): where workers register
+//!   (`JoinCluster`), heartbeat, and receive `Assign` tables.
+//!
+//! Prints one parsable line per bound address so wrappers (examples, CI)
+//! can bind to port 0 and discover the real ports:
+//!
+//! ```text
+//! coordinator listening at 127.0.0.1:41233
+//! event layer at 127.0.0.1:41234
+//! admin at 127.0.0.1:41235
+//! ```
+//!
+//! Whenever the epoch changes the current assignment table is printed as
+//! an aligned grid. Runs until killed.
+
+use invalidb::broker::Broker;
+use invalidb::cluster::{Coordinator, CoordinatorConfig, RoundRobin, RowAffinity};
+use invalidb::common::GridShape;
+use invalidb::net::{BrokerServer, BrokerServerConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Options {
+    listen: String,
+    event_listen: String,
+    query_partitions: usize,
+    write_partitions: usize,
+    heartbeat_timeout: Duration,
+    admin: Option<String>,
+    placement: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: invalidb-coordinatord [--listen ADDR] [--event-listen ADDR] \
+         [--qp N] [--wp N] [--heartbeat-timeout-ms MS] [--admin ADDR] \
+         [--placement round-robin|row-affinity]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options {
+        listen: "127.0.0.1:0".into(),
+        event_listen: "127.0.0.1:0".into(),
+        query_partitions: 2,
+        write_partitions: 2,
+        heartbeat_timeout: Duration::from_secs(2),
+        admin: None,
+        placement: "round-robin".into(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {name}");
+                usage()
+            })
+        };
+        match flag.as_str() {
+            "--listen" => opts.listen = value("--listen"),
+            "--event-listen" => opts.event_listen = value("--event-listen"),
+            "--qp" => opts.query_partitions = value("--qp").parse().unwrap_or_else(|_| usage()),
+            "--wp" => opts.write_partitions = value("--wp").parse().unwrap_or_else(|_| usage()),
+            "--heartbeat-timeout-ms" => {
+                opts.heartbeat_timeout = Duration::from_millis(
+                    value("--heartbeat-timeout-ms").parse().unwrap_or_else(|_| usage()),
+                )
+            }
+            "--admin" => opts.admin = Some(value("--admin")),
+            "--placement" => opts.placement = value("--placement"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_options();
+    let broker = Broker::new();
+    let event_server =
+        BrokerServer::bind(opts.event_listen.as_str(), broker.clone(), BrokerServerConfig::default())
+            .expect("bind event layer");
+
+    let mut config = CoordinatorConfig::new(GridShape::new(
+        opts.query_partitions.max(1),
+        opts.write_partitions.max(1),
+    ));
+    config.heartbeat_timeout = opts.heartbeat_timeout;
+    config.admin_addr = opts.admin.clone();
+    config.placement = match opts.placement.as_str() {
+        "round-robin" => Arc::new(RoundRobin),
+        "row-affinity" => Arc::new(RowAffinity),
+        other => {
+            eprintln!("unknown placement strategy: {other}");
+            usage()
+        }
+    };
+    let coordinator = Coordinator::bind(opts.listen.as_str(), broker, config).expect("bind coordinator");
+
+    println!("coordinator listening at {}", coordinator.local_addr());
+    println!("event layer at {}", event_server.local_addr());
+    if let Some(admin) = coordinator.admin_addr() {
+        println!("admin at {admin}");
+    }
+
+    // Operator console: print the assignment table on every epoch change.
+    let mut last_epoch = 0;
+    loop {
+        std::thread::sleep(Duration::from_millis(200));
+        let epoch = coordinator.epoch();
+        if epoch != last_epoch {
+            last_epoch = epoch;
+            print!("{}", coordinator.assignment().render());
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! * [`stream`] — mini stream processor hosting the matching topology
 //! * [`core`] — the InvaliDB cluster (2-D partitioned matching)
 //! * [`client`] — the application server / InvaliDB client
+//! * [`cluster`] — multi-process tier: coordinator, remote workers, failover
 //! * [`net`] — TCP event-layer transport (framing, reconnect, chaos proxy)
 //! * [`obs`] — pipeline observability: stage tracing + metrics registry
 //! * [`baselines`] — poll-and-diff and log-tailing comparators
@@ -79,6 +80,7 @@
 pub use invalidb_baselines as baselines;
 pub use invalidb_broker as broker;
 pub use invalidb_client as client;
+pub use invalidb_cluster as cluster;
 pub use invalidb_common as common;
 pub use invalidb_core as core;
 pub use invalidb_json as json;

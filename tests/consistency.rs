@@ -149,6 +149,7 @@ fn stale_after_images_never_resurrect_deleted_records() {
         initial: vec![],
         slack: 0,
         ttl_micros: 60_000_000,
+        renewal: false,
     }));
     let write = |version: u64, doc: Option<invalidb::Document>| {
         publish(&ClusterMessage::Write(AfterImage {
