@@ -580,6 +580,7 @@ impl AppServer {
         let sub = self.broker.subscribe(&notify_topic(&self.tenant.0));
         let shared = Arc::clone(&self.shared);
         let metrics = self.config.metrics.clone();
+        let tenant = self.tenant.0.clone();
         let handle = std::thread::Builder::new()
             .name(format!("appserver-dispatch-{}", self.tenant))
             .spawn(move || {
@@ -620,6 +621,13 @@ impl AppServer {
                         };
                         entry.confirmed = true;
                         metrics.inc("appserver.events_delivered");
+                        // Notification-staleness SLO: save → notify, per
+                        // tenant, for every delivered change (not just
+                        // sampled traces). Skew-guarded inside the
+                        // registry.
+                        if n.caused_by_write_at > 0 {
+                            metrics.record_staleness(&tenant, n.caused_by_write_at);
+                        }
                         let mut trace = n.trace;
                         if let Some(t) = trace.as_mut() {
                             t.stamp(Stage::Delivery);

@@ -15,11 +15,14 @@
 
 use crate::assignment::{AssignmentTable, Placement, RoundRobin, WorkerInfo};
 use invalidb_broker::{BrokerHandle, CLUSTER_TOPIC, EPOCH_TOPIC};
-use invalidb_common::{doc, ClusterMessage, GridShape};
-use invalidb_net::frame::{Decoder, Frame, CAP_BINARY, CAP_CLUSTER};
-use invalidb_obs::{AdminConfig, AdminServer, FlightEventKind, MetricsRegistry};
+use invalidb_common::{doc, ClusterMessage, Document, GridShape, Value};
+use invalidb_net::frame::{Decoder, Frame, CAP_BINARY, CAP_CLUSTER, CAP_METRICS};
+use invalidb_obs::{
+    to_prometheus_federated, AdminConfig, AdminServer, FlightEventKind, HealthMonitor, HealthPolicy,
+    HealthStatus, MetricsRegistry, MetricsSnapshot,
+};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -74,6 +77,30 @@ struct WorkerConn {
     /// replay *after* it reported hosting cells at that epoch (see the
     /// `CellState` arm of the connection loop).
     caught_up_epoch: u64,
+    /// Epoch the worker last announced in a heartbeat.
+    heartbeat_epoch: u64,
+    /// Latest federated metrics snapshot (`MetricsReport`), with the epoch
+    /// the worker reported it under. `None` until the first report.
+    snapshot: Option<(u64, MetricsSnapshot)>,
+    /// Per-worker health state machine, fed by `MetricsReport` snapshots.
+    health: HealthMonitor,
+    /// Status from the last evaluated snapshot.
+    health_status: HealthStatus,
+}
+
+impl WorkerConn {
+    fn new(weight: u32, stream: Arc<Mutex<TcpStream>>) -> WorkerConn {
+        WorkerConn {
+            weight,
+            last_heartbeat: Instant::now(),
+            stream,
+            caught_up_epoch: 0,
+            heartbeat_epoch: 0,
+            snapshot: None,
+            health: HealthMonitor::new(HealthPolicy::default()),
+            health_status: HealthStatus::default(),
+        }
+    }
 }
 
 struct State {
@@ -83,6 +110,11 @@ struct State {
     /// with `renewal: true` after every reassignment so replacement workers
     /// rebuild matching state.
     subscriptions: HashMap<(String, u64), invalidb_common::SubscriptionRequest>,
+    /// When cells were last orphaned (worker death/hangup) and recovery is
+    /// still incomplete. Cleared — and `cluster.failover_mttr_ms` recorded
+    /// — once every cell is assigned and every owner has been caught up at
+    /// the current epoch.
+    failover_since: Option<Instant>,
 }
 
 struct Inner {
@@ -112,26 +144,53 @@ impl Coordinator {
         let broker: BrokerHandle = broker.into();
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
-        let admin = config.admin_addr.as_deref().and_then(|addr| {
-            match AdminServer::bind(addr, config.metrics.clone(), AdminConfig::default()) {
-                Ok(server) => Some(server),
-                Err(_) => {
-                    config.metrics.inc("admin.bind_errors");
-                    None
-                }
-            }
-        });
         let inner = Arc::new(Inner {
             state: Mutex::new(State {
                 table: AssignmentTable::new(config.grid),
                 workers: HashMap::new(),
                 subscriptions: HashMap::new(),
+                failover_since: None,
             }),
             config,
             broker,
             running: AtomicBool::new(true),
         });
         publish_gauges(&inner, &inner.state.lock());
+        // The coordinator's admin endpoint adds two cluster-wide views on
+        // top of the built-ins: `/cluster` (membership, health, and the
+        // assignment table as JSON) and a federated `/metrics` that shadows
+        // the built-in with per-worker labeled series.
+        let admin = inner.config.admin_addr.as_deref().and_then(|addr| {
+            let cluster_inner = Arc::clone(&inner);
+            let metrics_inner = Arc::clone(&inner);
+            let admin_config = AdminConfig::default()
+                .with_route("/cluster", move || (200, "application/json", cluster_json(&cluster_inner)))
+                .with_route("/metrics", move || {
+                    let local = metrics_inner.config.metrics.snapshot();
+                    let workers: Vec<(String, MetricsSnapshot)> = {
+                        let state = metrics_inner.state.lock();
+                        state
+                            .workers
+                            .iter()
+                            .filter_map(|(name, w)| {
+                                w.snapshot.as_ref().map(|(_, snap)| (name.clone(), snap.clone()))
+                            })
+                            .collect()
+                    };
+                    (
+                        200,
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        to_prometheus_federated(&local, &workers),
+                    )
+                });
+            match AdminServer::bind(addr, inner.config.metrics.clone(), admin_config) {
+                Ok(server) => Some(server),
+                Err(_) => {
+                    inner.config.metrics.inc("admin.bind_errors");
+                    None
+                }
+            }
+        });
 
         let mut threads = Vec::new();
         {
@@ -243,10 +302,96 @@ fn publish_gauges(inner: &Inner, state: &State) {
     m.set_gauge("cluster.cells_unassigned", state.table.unassigned() as u64);
 }
 
+/// Renders the `/cluster` admin document: epoch, grid shape, assignment
+/// table, failover state, and per-worker membership/health rows.
+fn cluster_json(inner: &Inner) -> String {
+    let state = inner.state.lock();
+    // BTreeMap for deterministic row order in the rendered JSON.
+    let rows: BTreeMap<&String, &WorkerConn> = state.workers.iter().collect();
+    let workers: Vec<Value> = rows
+        .into_iter()
+        .map(|(name, w)| {
+            let mut d = Document::with_capacity(8);
+            d.insert("name", name.as_str());
+            d.insert("weight", w.weight as i64);
+            d.insert("heartbeat_epoch", w.heartbeat_epoch as i64);
+            d.insert("caught_up_epoch", w.caught_up_epoch as i64);
+            d.insert("last_heartbeat_ms", w.last_heartbeat.elapsed().as_millis() as i64);
+            d.insert("health", w.health_status.as_str());
+            d.insert(
+                "cells",
+                Value::Array(
+                    state.table.cells_of(name).into_iter().map(|c| (c as i64).into()).collect(),
+                ),
+            );
+            match &w.snapshot {
+                Some((epoch, _)) => d.insert("metrics_epoch", *epoch as i64),
+                None => d.insert("metrics_epoch", Value::Null),
+            };
+            Value::Object(d)
+        })
+        .collect();
+    let assignment: Vec<Value> = state
+        .table
+        .cells
+        .iter()
+        .map(|owner| match owner {
+            Some(w) => Value::String(w.clone()),
+            None => Value::Null,
+        })
+        .collect();
+    let doc = doc! {
+        "epoch" => state.table.epoch as i64,
+        "grid" => Value::Object(doc! {
+            "query_partitions" => state.table.grid.query_partitions as i64,
+            "write_partitions" => state.table.grid.write_partitions as i64,
+        }),
+        "unassigned" => state.table.unassigned() as i64,
+        "cached_subscriptions" => state.subscriptions.len() as i64,
+        "failover_in_progress" => state.failover_since.is_some(),
+        "workers" => Value::Array(workers),
+        "assignment" => Value::Array(assignment),
+    };
+    invalidb_json::to_string(&doc)
+}
+
+/// Closes the failover timeline once the grid has actually recovered:
+/// every cell assigned *and* every owner caught up (subscription replay
+/// delivered after it reported cells) at the current epoch. Records
+/// `cluster.failover_mttr_ms` — SIGKILL-to-recovered as one number — as
+/// both a gauge (last recovery) and a histogram (all recoveries).
+fn maybe_complete_failover(inner: &Inner, state: &mut State) {
+    let Some(since) = state.failover_since else { return };
+    if state.table.unassigned() != 0 {
+        return;
+    }
+    let epoch = state.table.epoch;
+    let caught_up = state
+        .table
+        .cells
+        .iter()
+        .flatten()
+        .all(|owner| state.workers.get(owner).map(|w| w.caught_up_epoch >= epoch).unwrap_or(false));
+    if !caught_up {
+        return;
+    }
+    let mttr_ms = since.elapsed().as_millis() as u64;
+    state.failover_since = None;
+    let m = &inner.config.metrics;
+    m.set_gauge("cluster.failover_mttr_ms", mttr_ms);
+    m.record("cluster.failover_mttr_ms", mttr_ms);
+    m.flight().record_cluster(
+        FlightEventKind::Failover,
+        format!("recovered in {mttr_ms} ms at epoch {epoch}"),
+        "coordinator",
+        epoch,
+    );
+}
+
 /// Recomputes placement after a membership change, broadcasts the table,
 /// announces the epoch, and replays cached subscriptions. Caller must have
 /// already updated `state.workers` / evicted dead owners.
-fn reassign(inner: &Inner, state: &mut State, cause: &str) {
+fn reassign(inner: &Inner, state: &mut State, cause: &str, cause_worker: &str) {
     state.table.epoch += 1;
     let workers: Vec<WorkerInfo> = state
         .workers
@@ -257,13 +402,15 @@ fn reassign(inner: &Inner, state: &mut State, cause: &str) {
     inner.config.placement.place(inner.config.grid, &workers, &mut state.table.cells);
     let moved = before.iter().zip(&state.table.cells).filter(|(a, b)| a != b).count();
     publish_gauges(inner, state);
-    inner.config.metrics.flight().record(
+    inner.config.metrics.flight().record_cluster(
         FlightEventKind::Failover,
         format!(
             "epoch {} ({cause}): {moved} cells reassigned, {} unassigned",
             state.table.epoch,
             state.table.unassigned()
         ),
+        cause_worker,
+        state.table.epoch,
     );
 
     // Push the new table to every live worker.
@@ -368,9 +515,11 @@ fn connection_loop(mut stream: TcpStream, inner: Arc<Inner>) {
                     // A legacy peer without CAP_CLUSTER gets a polite Hello
                     // back and is otherwise ignored — it will never send
                     // the membership frames this port exists for.
+                    // CAP_METRICS invites workers to ship MetricsReport
+                    // snapshots for federation.
                     let reply = Frame::Hello {
                         client: "invalidb-coordinator".into(),
-                        capabilities: CAP_BINARY | CAP_CLUSTER,
+                        capabilities: CAP_BINARY | CAP_CLUSTER | CAP_METRICS,
                     };
                     let _ = write_half.lock().write_all(&reply.encode());
                     if capabilities & CAP_CLUSTER == 0 {
@@ -379,27 +528,23 @@ fn connection_loop(mut stream: TcpStream, inner: Arc<Inner>) {
                 }
                 Frame::JoinCluster { worker, weight } => {
                     let mut state = inner.state.lock();
-                    state.workers.insert(
-                        worker.clone(),
-                        WorkerConn {
-                            weight,
-                            last_heartbeat: Instant::now(),
-                            stream: Arc::clone(&write_half),
-                            caught_up_epoch: 0,
-                        },
-                    );
+                    state
+                        .workers
+                        .insert(worker.clone(), WorkerConn::new(weight, Arc::clone(&write_half)));
                     registered = Some(worker.clone());
-                    inner
-                        .config
-                        .metrics
-                        .flight()
-                        .record(FlightEventKind::WorkerJoin, format!("{worker} weight={weight}"));
-                    reassign(&inner, &mut state, &format!("join {worker}"));
+                    inner.config.metrics.flight().record_cluster(
+                        FlightEventKind::WorkerJoin,
+                        format!("{worker} weight={weight}"),
+                        worker.as_str(),
+                        state.table.epoch,
+                    );
+                    reassign(&inner, &mut state, &format!("join {worker}"), &worker);
                 }
-                Frame::WorkerHeartbeat { worker, .. } => {
+                Frame::WorkerHeartbeat { worker, epoch, .. } => {
                     let mut state = inner.state.lock();
                     if let Some(w) = state.workers.get_mut(&worker) {
                         w.last_heartbeat = Instant::now();
+                        w.heartbeat_epoch = epoch;
                     }
                 }
                 Frame::CellState { worker, epoch, cell, active_queries, retained_writes } => {
@@ -420,6 +565,41 @@ fn connection_loop(mut stream: TcpStream, inner: Arc<Inner>) {
                                 replay_subscriptions(&inner, &state);
                             }
                         }
+                        // A catch-up may be the last step of a failover:
+                        // close the MTTR timeline if everything recovered.
+                        maybe_complete_failover(&inner, &mut state);
+                    }
+                }
+                Frame::MetricsReport { worker, epoch, snapshot } => {
+                    let m = &inner.config.metrics;
+                    m.inc("cluster.metrics_reports");
+                    let parsed =
+                        std::str::from_utf8(&snapshot).ok().and_then(MetricsSnapshot::from_json);
+                    let Some(snap) = parsed else {
+                        m.inc("cluster.metrics_decode_errors");
+                        continue;
+                    };
+                    let mut state = inner.state.lock();
+                    if let Some(w) = state.workers.get_mut(&worker) {
+                        // Per-worker health, derived from the federated
+                        // snapshot with the same policy the worker's own
+                        // admin endpoint would use.
+                        let report = w.health.evaluate(&snap);
+                        if report.status != w.health_status {
+                            m.flight().record_cluster(
+                                FlightEventKind::HealthTransition,
+                                format!(
+                                    "worker {worker}: {} -> {}",
+                                    w.health_status.as_str(),
+                                    report.status.as_str()
+                                ),
+                                worker.as_str(),
+                                epoch,
+                            );
+                            w.health_status = report.status;
+                        }
+                        m.set_gauge(&format!("cluster.{worker}.health"), report.status.as_gauge());
+                        w.snapshot = Some((epoch, snap));
                     }
                 }
                 Frame::Heartbeat { nonce } => {
@@ -446,12 +626,19 @@ fn connection_loop(mut stream: TcpStream, inner: Arc<Inner>) {
         if same_conn && inner.running.load(Ordering::SeqCst) {
             state.workers.remove(&worker);
             let orphaned = state.table.evict(&worker);
-            inner
-                .config
-                .metrics
-                .flight()
-                .record(FlightEventKind::WorkerLeave, format!("{worker} hangup, {orphaned} cells"));
-            reassign(&inner, &mut state, &format!("hangup {worker}"));
+            if orphaned > 0 {
+                // Start (or keep) the failover clock: cells just lost
+                // their host; MTTR runs until the grid is rebuilt.
+                state.failover_since.get_or_insert_with(Instant::now);
+            }
+            inner.config.metrics.flight().record_cluster(
+                FlightEventKind::WorkerLeave,
+                format!("{worker} hangup, {orphaned} cells"),
+                worker.as_str(),
+                state.table.epoch,
+            );
+            reassign(&inner, &mut state, &format!("hangup {worker}"), &worker);
+            maybe_complete_failover(&inner, &mut state);
         }
     }
     let _ = stream.shutdown(Shutdown::Both);
@@ -473,16 +660,27 @@ fn supervise_loop(inner: Arc<Inner>) {
             continue;
         }
         for worker in &dead {
+            // MTTR starts when the worker went silent, not when the
+            // timeout fired — detection latency is part of recovery time.
+            let mut last_seen = Instant::now();
             if let Some(conn) = state.workers.remove(worker) {
+                last_seen = conn.last_heartbeat;
                 let _ = conn.stream.lock().shutdown(Shutdown::Both);
             }
             let orphaned = state.table.evict(worker);
-            inner.config.metrics.flight().record(
+            if orphaned > 0 {
+                let since = state.failover_since.get_or_insert(last_seen);
+                *since = (*since).min(last_seen);
+            }
+            inner.config.metrics.flight().record_cluster(
                 FlightEventKind::WorkerLeave,
                 format!("{worker} missed heartbeats ({timeout:?}), {orphaned} cells"),
+                worker.as_str(),
+                state.table.epoch,
             );
         }
-        reassign(&inner, &mut state, &format!("heartbeat timeout: {}", dead.join(",")));
+        let cause_workers = dead.join(",");
+        reassign(&inner, &mut state, &format!("heartbeat timeout: {cause_workers}"), &cause_workers);
     }
 }
 

@@ -11,8 +11,9 @@
 //! redial and a fresh `JoinCluster` — membership is lease-like, not sticky.
 
 use invalidb_broker::BrokerHandle;
-use invalidb_core::{CellSet, Cluster, ClusterConfig};
-use invalidb_net::frame::{Decoder, Frame, CAP_BINARY, CAP_CLUSTER};
+use invalidb_common::GridShape;
+use invalidb_core::{CellSet, Cluster, ClusterConfig, WorkerIdentity};
+use invalidb_net::frame::{Decoder, Frame, CAP_BINARY, CAP_CLUSTER, CAP_METRICS};
 use invalidb_obs::MetricsRegistry;
 use parking_lot::Mutex;
 use std::collections::BTreeSet;
@@ -62,9 +63,14 @@ struct WorkerInner {
     broker: BrokerHandle,
     coordinator_addr: String,
     running: AtomicBool,
-    epoch: AtomicU64,
+    /// Shared with the hosted topology's [`WorkerIdentity`], so trace
+    /// stamps always carry the epoch in force at match time.
+    epoch: Arc<AtomicU64>,
     /// Owned cells under the current epoch (empty before first Assign).
     cells: Mutex<BTreeSet<usize>>,
+    /// Grid shape of the last accepted Assign (for cell-index → coordinate
+    /// translation when reporting `CellState` load numbers).
+    grid: Mutex<Option<GridShape>>,
     /// The hosted topology, rebuilt whenever the owned set changes.
     hosted: Mutex<Option<Cluster>>,
     assigned: AtomicBool,
@@ -90,8 +96,9 @@ impl Worker {
             broker: broker.into(),
             coordinator_addr: coordinator_addr.into(),
             running: AtomicBool::new(true),
-            epoch: AtomicU64::new(0),
+            epoch: Arc::new(AtomicU64::new(0)),
             cells: Mutex::new(BTreeSet::new()),
+            grid: Mutex::new(None),
             hosted: Mutex::new(None),
             assigned: AtomicBool::new(false),
         });
@@ -180,7 +187,7 @@ fn session(inner: &Arc<WorkerInner>, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
     let hello = Frame::Hello {
         client: format!("invalidb-workerd/{}", inner.config.name),
-        capabilities: CAP_BINARY | CAP_CLUSTER,
+        capabilities: CAP_BINARY | CAP_CLUSTER | CAP_METRICS,
     };
     let join = Frame::JoinCluster { worker: inner.config.name.clone(), weight: inner.config.weight };
     if stream.write_all(&hello.encode()).is_err() || stream.write_all(&join.encode()).is_err() {
@@ -192,6 +199,9 @@ fn session(inner: &Arc<WorkerInner>, mut stream: TcpStream) {
     let mut last_heartbeat = Instant::now() - inner.config.heartbeat_interval;
     let mut last_cell_state = Instant::now();
     let mut nonce = 0u64;
+    // Capabilities the coordinator announced in its Hello reply; metrics
+    // snapshots are shipped only once CAP_METRICS is advertised.
+    let mut coordinator_caps = 0u32;
 
     while inner.running.load(Ordering::SeqCst) {
         if last_heartbeat.elapsed() >= inner.config.heartbeat_interval {
@@ -210,17 +220,49 @@ fn session(inner: &Arc<WorkerInner>, mut stream: TcpStream) {
             last_cell_state = Instant::now();
             let epoch = inner.epoch.load(Ordering::SeqCst);
             let cells: Vec<usize> = inner.cells.lock().iter().copied().collect();
+            // Real load numbers: the hosted topology refreshes per-cell
+            // `matching.<qp>x<wp>.*` gauges on tick into the shared
+            // registry; translate cell indices back to grid coordinates
+            // and read them off a snapshot.
+            let grid = *inner.grid.lock();
+            let snap = inner.config.metrics.snapshot();
             for cell in cells {
+                let (active_queries, retained_writes) = match grid {
+                    Some(g) => {
+                        let c = g.coord_of(cell);
+                        let prefix = format!("matching.{}x{}", c.qp, c.wp);
+                        (
+                            snap.gauges.get(&format!("{prefix}.active_queries")).copied().unwrap_or(0),
+                            snap.gauges.get(&format!("{prefix}.retained_writes")).copied().unwrap_or(0),
+                        )
+                    }
+                    None => (0, 0),
+                };
                 let report = Frame::CellState {
                     worker: inner.config.name.clone(),
                     epoch,
                     cell: cell as u32,
-                    active_queries: 0,
-                    retained_writes: 0,
+                    active_queries,
+                    retained_writes,
                 };
                 if stream.write_all(&report.encode()).is_err() {
                     return;
                 }
+            }
+            // Metrics federation: ship the full snapshot so the
+            // coordinator can expose per-worker labeled series. Gated on
+            // the coordinator's advertised CAP_METRICS so an old
+            // coordinator never sees a frame type it cannot decode.
+            if coordinator_caps & CAP_METRICS != 0 {
+                let report = Frame::MetricsReport {
+                    worker: inner.config.name.clone(),
+                    epoch,
+                    snapshot: snap.to_json().into_bytes().into(),
+                };
+                if stream.write_all(&report.encode()).is_err() {
+                    return;
+                }
+                inner.config.metrics.inc("worker.metrics_reports");
             }
         }
         let n = match stream.read(&mut buf) {
@@ -243,6 +285,9 @@ fn session(inner: &Arc<WorkerInner>, mut stream: TcpStream) {
                     // uses the first CellState at a fresh epoch to catch
                     // this worker up with a subscription replay.
                     last_cell_state = Instant::now() - inner.config.cell_state_interval;
+                }
+                Ok(Some(Frame::Hello { capabilities, .. })) => {
+                    coordinator_caps = capabilities;
                 }
                 Ok(Some(_)) => {}
                 Ok(None) => break,
@@ -270,6 +315,7 @@ fn handle_assign(
     let mine: BTreeSet<usize> =
         cells.iter().filter(|(_, w)| *w == inner.config.name).map(|(c, _)| *c as usize).collect();
     inner.epoch.store(epoch, Ordering::SeqCst);
+    *inner.grid.lock() = Some(GridShape::new(query_partitions as usize, write_partitions as usize));
     inner.config.metrics.set_gauge("worker.epoch", epoch);
     inner.config.metrics.set_gauge("worker.cells_hosted", mine.len() as u64);
 
@@ -285,6 +331,10 @@ fn handle_assign(
         let mut config = inner.config.cluster.clone();
         config.query_partitions = query_partitions as usize;
         config.write_partitions = write_partitions as usize;
+        // Hosted cells stamp sampled traces with this worker's name and
+        // the *live* epoch (the Arc is shared with the control loop).
+        config.worker_identity =
+            Some(WorkerIdentity::new(inner.config.name.as_str(), Arc::clone(&inner.epoch)));
         let grid = invalidb_common::GridShape::new(config.query_partitions, config.write_partitions);
         let host = Arc::new(CellSet::new(grid, mine.iter().copied()));
         let next = if mine.is_empty() {

@@ -72,6 +72,12 @@ impl Histogram {
         self.count
     }
 
+    /// Sum of all recorded samples (exact, tracked outside the buckets) —
+    /// the `_sum` series of the Prometheus histogram exposition.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
     /// Arithmetic mean (exact, tracked outside the buckets).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {

@@ -36,7 +36,7 @@ pub use msg::{AfterImage, ClusterMessage, SubscriptionRequest};
 pub use notify::{ChangeItem, MaintenanceError, MatchType, Notification, NotificationKind, ResultItem};
 pub use partition::{fnv1a64, stable_hash64};
 pub use query_spec::{AggregateOp, AggregateSpec, QuerySpec, SortDirection, SortSpec, SpecError};
-pub use trace::{Stage, StageStamp, TraceContext, ALL_STAGES};
+pub use trace::{Stage, StageStamp, TraceContext, ALL_STAGES, MAX_PLAUSIBLE_HOP_MICROS};
 pub use value::{canonical_cmp, canonical_eq, Value};
 
 /// Version number of a stored record. The application server initializes

@@ -91,13 +91,31 @@ impl std::fmt::Display for Stage {
 }
 
 /// One timestamped pipeline hop inside a [`TraceContext`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageStamp {
     /// Which stage took the stamp.
     pub stage: Stage,
     /// Unix-epoch microseconds at the time of the stamp.
     pub at_micros: u64,
+    /// Name of the worker process that took the stamp, when the stage ran
+    /// inside a cluster worker (`None` for in-process and legacy stamps).
+    pub worker: Option<String>,
+    /// Assignment epoch the worker was serving when it stamped, so a trace
+    /// that straddles a failover shows which epoch matched the write.
+    pub epoch: Option<u64>,
 }
+
+impl StageStamp {
+    /// A plain stamp with no worker annotation.
+    pub fn new(stage: Stage, at_micros: u64) -> StageStamp {
+        StageStamp { stage, at_micros, worker: None, epoch: None }
+    }
+}
+
+/// Hop deltas above this are treated as clock skew, not latency. A single
+/// hop inside one pipeline taking a minute of wall-clock time means the
+/// clocks disagree, not that the hop was slow.
+pub const MAX_PLAUSIBLE_HOP_MICROS: u64 = 60_000_000;
 
 /// A sampled end-to-end trace of one write through the pipeline.
 ///
@@ -133,7 +151,25 @@ impl TraceContext {
     /// Appends a stamp for `stage` at an explicit time (tests, transports
     /// that captured the time earlier).
     pub fn stamp_at(&mut self, stage: Stage, at_micros: u64) {
-        self.stamps.push(StageStamp { stage, at_micros });
+        self.stamps.push(StageStamp::new(stage, at_micros));
+    }
+
+    /// Appends a stamp for `stage` annotated with the identity of the
+    /// cluster worker (and the assignment epoch it was serving) that
+    /// executed the stage. Used by `workerd`-hosted cells so a distributed
+    /// trace shows *which* process matched the write.
+    pub fn stamp_worker(&mut self, stage: Stage, worker: &str, epoch: u64) {
+        self.stamps.push(StageStamp {
+            stage,
+            at_micros: now_micros(),
+            worker: Some(worker.to_string()),
+            epoch: Some(epoch),
+        });
+    }
+
+    /// The first stamp carrying a worker annotation, if any.
+    pub fn worker_stamp(&self) -> Option<&StageStamp> {
+        self.stamps.iter().find(|s| s.worker.is_some())
     }
 
     /// The timestamp of the first stamp recorded for `stage`, if any.
@@ -158,6 +194,18 @@ impl TraceContext {
             .collect()
     }
 
+    /// Per-hop *signed* latency. Consecutive stamps may come from different
+    /// hosts whose clocks disagree, so a hop can legitimately compute as
+    /// negative; unlike [`TraceContext::breakdown`] (which saturates to
+    /// zero), this preserves the sign so consumers can count skewed hops
+    /// instead of folding them into the stage tables as zero-latency hops.
+    pub fn hops(&self) -> Vec<(Stage, Stage, i64)> {
+        self.stamps
+            .windows(2)
+            .map(|w| (w[0].stage, w[1].stage, w[1].at_micros as i64 - w[0].at_micros as i64))
+            .collect()
+    }
+
     /// Encodes the trace for the event layer.
     pub fn to_document(&self) -> Document {
         let mut d = Document::with_capacity(2);
@@ -168,9 +216,17 @@ impl TraceContext {
                 self.stamps
                     .iter()
                     .map(|s| {
-                        let mut sd = Document::with_capacity(2);
+                        let mut sd = Document::with_capacity(4);
                         sd.insert("s", s.stage.as_str());
                         sd.insert("t", s.at_micros as i64);
+                        // Worker annotations are optional keys so legacy
+                        // decoders (and unannotated stamps) stay compact.
+                        if let Some(worker) = &s.worker {
+                            sd.insert("w", worker.as_str());
+                        }
+                        if let Some(epoch) = s.epoch {
+                            sd.insert("e", epoch as i64);
+                        }
                         Value::Object(sd)
                     })
                     .collect(),
@@ -200,7 +256,9 @@ impl TraceContext {
                     sd.get("t")
                         .and_then(Value::as_i64)
                         .ok_or_else(|| SpecError::new("stamp missing `t`"))? as u64;
-                Ok(StageStamp { stage, at_micros })
+                let worker = sd.get("w").and_then(Value::as_str).map(str::to_string);
+                let epoch = sd.get("e").and_then(Value::as_i64).map(|e| e as u64);
+                Ok(StageStamp { stage, at_micros, worker, epoch })
             })
             .collect::<Result<Vec<_>, SpecError>>()?;
         Ok(TraceContext { trace_id, stamps })
@@ -253,6 +311,37 @@ mod tests {
         assert_eq!(t.stamps.len(), 1);
         assert_eq!(t.stamps[0].stage, Stage::AppServer);
         assert!(t.stamps[0].at_micros > 0);
+    }
+
+    #[test]
+    fn worker_annotations_roundtrip() {
+        let mut t = TraceContext { trace_id: 9, stamps: Vec::new() };
+        t.stamp_at(Stage::AppServer, 100);
+        t.stamps.push(StageStamp {
+            stage: Stage::Matching,
+            at_micros: 150,
+            worker: Some("w1".into()),
+            epoch: Some(3),
+        });
+        let decoded = TraceContext::from_document(&t.to_document()).unwrap();
+        assert_eq!(decoded, t);
+        let stamp = decoded.worker_stamp().expect("worker stamp survives the wire");
+        assert_eq!(stamp.worker.as_deref(), Some("w1"));
+        assert_eq!(stamp.epoch, Some(3));
+        // Unannotated stamps stay unannotated.
+        assert!(decoded.stamps[0].worker.is_none());
+    }
+
+    #[test]
+    fn hops_preserve_negative_deltas() {
+        let mut t = TraceContext { trace_id: 2, stamps: Vec::new() };
+        t.stamp_at(Stage::AppServer, 1_000);
+        t.stamp_at(Stage::Broker, 900); // remote clock running behind
+        t.stamp_at(Stage::Delivery, 1_200);
+        assert_eq!(t.hops()[0].2, -100);
+        assert_eq!(t.hops()[1].2, 300);
+        // breakdown() saturates — the skew is invisible there.
+        assert_eq!(t.breakdown()[0].2, 0);
     }
 
     #[test]

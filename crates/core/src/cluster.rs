@@ -162,6 +162,7 @@ impl Cluster {
                 subscription: broker.subscribe(CLUSTER_TOPIC),
                 decode_errors: Arc::clone(&decode_errors),
                 metrics: config.metrics.clone(),
+                identity: config.worker_identity.clone(),
             },
         );
 
@@ -563,6 +564,8 @@ struct IngressSource {
     subscription: invalidb_broker::Subscription,
     decode_errors: Arc<AtomicU64>,
     metrics: MetricsRegistry,
+    /// Worker identity for trace stamps in multi-process deployments.
+    identity: Option<crate::config::WorkerIdentity>,
 }
 
 impl Source<Event> for IngressSource {
@@ -581,7 +584,10 @@ impl Source<Event> for IngressSource {
                 // envelope is decoded off the event layer.
                 if let ClusterMessage::Write(img) = &mut msg {
                     if let Some(trace) = img.trace.as_mut() {
-                        trace.stamp(Stage::Ingestion);
+                        match &self.identity {
+                            Some(id) => id.stamp(trace, Stage::Ingestion),
+                            None => trace.stamp(Stage::Ingestion),
+                        }
                         self.metrics.inc("ingress.traced_writes");
                     }
                 }

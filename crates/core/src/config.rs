@@ -1,10 +1,49 @@
 //! Cluster configuration.
 
-use invalidb_common::ConfigError;
+use invalidb_common::{ConfigError, Stage, TraceContext};
 use invalidb_obs::MetricsRegistry;
 use invalidb_query::{MongoQueryEngine, QueryEngine};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Identity of the worker process hosting this cluster in a multi-process
+/// deployment: the name registered with the coordinator plus the *live*
+/// assignment epoch (shared with the worker control loop, so trace stamps
+/// always carry the epoch in force at processing time, not the epoch at
+/// topology build time).
+///
+/// When set on a [`ClusterConfig`], sampled traces are stamped with this
+/// identity at the ingestion and filtering stages — a cross-process trace
+/// then names the workerd cell that matched the write.
+#[derive(Debug, Clone)]
+pub struct WorkerIdentity {
+    name: Arc<str>,
+    epoch: Arc<AtomicU64>,
+}
+
+impl WorkerIdentity {
+    /// Creates an identity from the registered worker name and the live
+    /// epoch cell (shared with whatever advances the epoch on `Assign`).
+    pub fn new(name: impl Into<String>, epoch: Arc<AtomicU64>) -> WorkerIdentity {
+        WorkerIdentity { name: name.into().into(), epoch }
+    }
+
+    /// The worker name as registered with the coordinator.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The assignment epoch currently in force.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Stamps `stage` on a sampled trace, annotated with this identity.
+    pub fn stamp(&self, trace: &mut TraceContext, stage: Stage) {
+        trace.stamp_worker(stage, &self.name, self.epoch());
+    }
+}
 
 /// Configuration of an InvaliDB cluster.
 #[derive(Clone)]
@@ -62,6 +101,11 @@ pub struct ClusterConfig {
     /// values amortize channel wakeups under load; `1` reproduces the old
     /// one-message-per-turn behavior.
     pub max_batch: usize,
+    /// Identity of the hosting worker process in a multi-process
+    /// deployment. When set, sampled traces are stamped with the worker
+    /// name and live epoch at the ingestion and filtering stages. `None`
+    /// (the default) for single-process clusters.
+    pub worker_identity: Option<WorkerIdentity>,
 }
 
 impl ClusterConfig {
@@ -86,6 +130,7 @@ impl ClusterConfig {
             admin_addr: None,
             wire_codec: invalidb_json::WireCodec::default(),
             max_batch: 32,
+            worker_identity: None,
         }
     }
 
@@ -208,6 +253,13 @@ impl ClusterConfigBuilder {
         self
     }
 
+    /// Identifies the hosting worker process; sampled traces stamped by
+    /// this cluster then carry its name and live assignment epoch.
+    pub fn worker_identity(mut self, identity: WorkerIdentity) -> Self {
+        self.config.worker_identity = Some(identity);
+        self
+    }
+
     /// Validates the settings and returns the config.
     pub fn build(self) -> Result<ClusterConfig, ConfigError> {
         let c = &self.config;
@@ -250,6 +302,7 @@ impl std::fmt::Debug for ClusterConfig {
             .field("sorting_tasks", &self.sorting_tasks)
             .field("retention", &self.retention)
             .field("engine", &self.engine.name())
+            .field("worker_identity", &self.worker_identity.as_ref().map(WorkerIdentity::name))
             .finish()
     }
 }

@@ -43,6 +43,6 @@ pub mod sorting;
 pub mod window;
 
 pub use cluster::{CellHost, CellSet, Cluster, FullGrid};
-pub use config::{ClusterConfig, ClusterConfigBuilder};
+pub use config::{ClusterConfig, ClusterConfigBuilder, WorkerIdentity};
 pub use event::{Event, FilterChange, FilterChangeKind, OutMsg};
 pub use window::{SortedWindow, VisibleEvent, WindowOutcome};

@@ -17,7 +17,7 @@
 //! write-subscription race), and any write older than the newest seen
 //! version of the same record is dropped (§5.1).
 
-use crate::config::ClusterConfig;
+use crate::config::{ClusterConfig, WorkerIdentity};
 use crate::event::{Event, FilterChange, FilterChangeKind, OutMsg};
 use crate::query_index::QueryIndex;
 use invalidb_common::trace::now_micros;
@@ -188,6 +188,7 @@ impl MatchingNode {
                 hash,
                 &img,
                 &self.config.metrics,
+                self.config.worker_identity.as_ref(),
                 &mut self.slow_scratch,
                 ctx,
             );
@@ -284,6 +285,7 @@ impl MatchingNode {
                         hash,
                         img,
                         &self.config.metrics,
+                        self.config.worker_identity.as_ref(),
                         &mut self.slow_scratch,
                         ctx,
                     ),
@@ -312,6 +314,7 @@ impl MatchingNode {
                         *hash,
                         img,
                         &self.config.metrics,
+                        self.config.worker_identity.as_ref(),
                         &mut self.slow_scratch,
                         ctx,
                     );
@@ -328,11 +331,12 @@ impl MatchingNode {
         hash: QueryHash,
         img: &AfterImage,
         metrics: &MetricsRegistry,
+        identity: Option<&WorkerIdentity>,
         scratch: &mut SlowQueryScratch,
         ctx: &mut BoltContext<'_, Event>,
     ) -> Option<FilterChangeKind> {
         let started = std::time::Instant::now();
-        let kind = Self::evaluate(group, hash, img, metrics, ctx);
+        let kind = Self::evaluate(group, hash, img, metrics, identity, ctx);
         scratch.charge(
             &group.tenant.0,
             hash.0,
@@ -349,6 +353,7 @@ impl MatchingNode {
         hash: QueryHash,
         img: &AfterImage,
         metrics: &MetricsRegistry,
+        identity: Option<&WorkerIdentity>,
         ctx: &mut BoltContext<'_, Event>,
     ) -> Option<FilterChangeKind> {
         let old = group.result.get(&img.key).copied();
@@ -378,9 +383,13 @@ impl MatchingNode {
         }
         // Stamp the filtering stage on sampled traces; the clone touches
         // only traced writes, so the unsampled fast path stays allocation
-        // free.
+        // free. On a workerd host the stamp also names the worker and its
+        // assignment epoch, so a cross-process trace identifies the cell.
         let trace: Option<TraceContext> = img.trace.clone().map(|mut t| {
-            t.stamp(Stage::Matching);
+            match identity {
+                Some(id) => id.stamp(&mut t, Stage::Matching),
+                None => t.stamp(Stage::Matching),
+            }
             t
         });
         if group.staged {

@@ -579,7 +579,8 @@ fn read_session(
                 | Frame::JoinCluster { .. }
                 | Frame::Assign { .. }
                 | Frame::CellState { .. }
-                | Frame::WorkerHeartbeat { .. } => {}
+                | Frame::WorkerHeartbeat { .. }
+                | Frame::MetricsReport { .. } => {}
             }
         }
     }

@@ -62,6 +62,14 @@ pub const CAP_BINARY: u32 = 0x0000_0001;
 /// types their decoder understands.
 pub const CAP_CLUSTER: u32 = 0x0000_0002;
 
+/// `Hello` capability bit 2: the sender understands metrics federation
+/// (`MetricsReport`). A worker only ships snapshots to a coordinator that
+/// advertised this bit in its `Hello` reply, and a coordinator ignores the
+/// frame from peers entirely at its discretion — the bit exists so a new
+/// worker dialing an old coordinator never emits a frame type the peer's
+/// decoder would reject as [`FrameError::UnknownType`].
+pub const CAP_METRICS: u32 = 0x0000_0004;
+
 /// Stage-tracing sidecar of a `Publish` frame (present iff [`FLAG_TRACE`]
 /// is set): identifies the sampled trace inside the opaque envelope and
 /// carries the sender's transmit timestamp, so the server can attribute
@@ -169,6 +177,20 @@ pub enum Frame {
         /// Sender-chosen value (diagnostics).
         nonce: u64,
     },
+    /// Worker → coordinator: a full `MetricsSnapshot` of the worker's
+    /// registry, shipped on a fixed cadence so the coordinator can serve a
+    /// federated `/metrics` for the whole fleet. Requires [`CAP_METRICS`]
+    /// on the coordinator's side of the `Hello` exchange. The snapshot is
+    /// opaque at this layer (its JSON rendering), so the wire protocol
+    /// does not chase the metrics schema.
+    MetricsReport {
+        /// Reporting worker.
+        worker: String,
+        /// Epoch the worker is running.
+        epoch: u64,
+        /// `MetricsSnapshot::to_json` bytes.
+        snapshot: Bytes,
+    },
 }
 
 impl Frame {
@@ -184,6 +206,7 @@ impl Frame {
             Frame::Assign { .. } => 8,
             Frame::CellState { .. } => 9,
             Frame::WorkerHeartbeat { .. } => 10,
+            Frame::MetricsReport { .. } => 11,
         }
     }
 
@@ -251,6 +274,11 @@ impl Frame {
                 put_u64(out, *epoch);
                 put_u64(out, *nonce);
             }
+            Frame::MetricsReport { worker, epoch, snapshot } => {
+                put_str(out, worker);
+                put_u64(out, *epoch);
+                put_blob(out, snapshot);
+            }
         }
         let len = (out.len() - body) as u32;
         let crc = crc32(&out[body..]);
@@ -317,6 +345,7 @@ impl Frame {
                 retained_writes: r.u64()?,
             },
             10 => Frame::WorkerHeartbeat { worker: r.str()?, epoch: r.u64()?, nonce: r.u64()? },
+            11 => Frame::MetricsReport { worker: r.str()?, epoch: r.u64()?, snapshot: r.blob()? },
             other => return Err(FrameError::UnknownType(other)),
         };
         if r.pos != payload.len() {
@@ -596,6 +625,12 @@ mod tests {
                 retained_writes: 4096,
             },
             Frame::WorkerHeartbeat { worker: "worker-1".into(), epoch: 3, nonce: 99 },
+            Frame::MetricsReport {
+                worker: "worker-1".into(),
+                epoch: 3,
+                snapshot: Bytes::from_static(b"{\"counters\":{},\"gauges\":{},\"hists\":{}}"),
+            },
+            Frame::MetricsReport { worker: "w".into(), epoch: 0, snapshot: Bytes::new() },
         ]
     }
 
@@ -795,6 +830,7 @@ mod tests {
                 9,
             ),
             (Frame::WorkerHeartbeat { worker: "w".into(), epoch: 1, nonce: 0 }, 10),
+            (Frame::MetricsReport { worker: "w".into(), epoch: 1, snapshot: Bytes::new() }, 11),
         ] {
             assert_eq!(frame.encode()[5], id, "type id of {frame:?}");
         }
@@ -826,6 +862,8 @@ mod tests {
     #[test]
     fn capability_bits_are_distinct() {
         assert_eq!(CAP_BINARY & CAP_CLUSTER, 0);
+        assert_eq!(CAP_BINARY & CAP_METRICS, 0);
+        assert_eq!(CAP_CLUSTER & CAP_METRICS, 0);
     }
 
     #[test]

@@ -35,8 +35,8 @@ pub mod server;
 pub use chaos::{ChaosProxy, ChaosProxyConfig};
 pub use client::{RemoteBroker, RemoteBrokerConfig};
 pub use frame::{
-    crc32, Decoder, Frame, FrameError, TraceInfo, CAP_BINARY, CAP_CLUSTER, FLAG_TRACE, HEADER_LEN,
-    MAX_PAYLOAD, PROTOCOL_VERSION,
+    crc32, Decoder, Frame, FrameError, TraceInfo, CAP_BINARY, CAP_CLUSTER, CAP_METRICS, FLAG_TRACE,
+    HEADER_LEN, MAX_PAYLOAD, PROTOCOL_VERSION,
 };
 pub use invalidb_broker::BrokerHandle;
 pub use queue::{OverflowPolicy, SendQueue};

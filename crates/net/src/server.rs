@@ -346,7 +346,8 @@ fn read_loop(
                 | Frame::JoinCluster { .. }
                 | Frame::Assign { .. }
                 | Frame::CellState { .. }
-                | Frame::WorkerHeartbeat { .. } => {}
+                | Frame::WorkerHeartbeat { .. }
+                | Frame::MetricsReport { .. } => {}
             }
         }
     }
@@ -435,7 +436,16 @@ fn send(queue: &SendQueue<Frame>, frame: Frame) {
 /// must never drop traffic.
 fn stamp_broker(payload: Bytes, info: TraceInfo, registry: &MetricsRegistry) -> Bytes {
     registry.inc("net.traced_publishes");
-    registry.record("net.broker_hop_us", now_micros().saturating_sub(info.sent_at_micros));
+    // `sent_at_micros` came from the *sender's* clock; on another host the
+    // difference to our clock is latency plus skew. A negative or absurd
+    // delta is skew, not a hop measurement — count it instead of feeding
+    // garbage into the hop histogram.
+    let hop = now_micros() as i64 - info.sent_at_micros as i64;
+    if hop >= 0 && (hop as u64) <= invalidb_common::MAX_PLAUSIBLE_HOP_MICROS {
+        registry.record("net.broker_hop_us", hop as u64);
+    } else {
+        registry.inc("trace.skew_clamped");
+    }
     let was_binary = bin::is_binary(&payload);
     let mut doc = match invalidb_json::payload_to_document(&payload) {
         Ok(d) => d,

@@ -37,8 +37,11 @@ use std::time::Duration;
 /// How often blocked reads/accepts wake up to poll the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
 
+/// A custom route handler: returns `(status, content type, body)`.
+pub type AdminRoute = Arc<dyn Fn() -> (u16, &'static str, String) + Send + Sync>;
+
 /// Tuning for [`AdminServer`].
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct AdminConfig {
     /// Thresholds for the health state machine.
     pub health: HealthPolicy,
@@ -46,6 +49,22 @@ pub struct AdminConfig {
     pub eval_interval: Duration,
     /// How many slow-query entries `/queries` returns.
     pub slow_query_top_k: usize,
+    /// Extra routes, consulted *before* the built-ins — a host can add
+    /// endpoints (the coordinator's `/cluster`) or shadow a built-in (its
+    /// federated `/metrics`). Exact-path match, GET only.
+    pub routes: Vec<(String, AdminRoute)>,
+}
+
+impl AdminConfig {
+    /// Adds (or shadows) a route at `path`.
+    pub fn with_route(
+        mut self,
+        path: impl Into<String>,
+        handler: impl Fn() -> (u16, &'static str, String) + Send + Sync + 'static,
+    ) -> AdminConfig {
+        self.routes.push((path.into(), Arc::new(handler)));
+        self
+    }
 }
 
 impl Default for AdminConfig {
@@ -54,7 +73,19 @@ impl Default for AdminConfig {
             health: HealthPolicy::default(),
             eval_interval: Duration::from_millis(250),
             slow_query_top_k: 32,
+            routes: Vec::new(),
         }
+    }
+}
+
+impl std::fmt::Debug for AdminConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdminConfig")
+            .field("health", &self.health)
+            .field("eval_interval", &self.eval_interval)
+            .field("slow_query_top_k", &self.slow_query_top_k)
+            .field("routes", &self.routes.iter().map(|(p, _)| p.as_str()).collect::<Vec<_>>())
+            .finish()
     }
 }
 
@@ -269,6 +300,9 @@ fn route(request_line: &str, shared: &Shared) -> Option<(u16, &'static str, Stri
         return Some((404, "text/plain; charset=utf-8", "only GET is supported\n".to_owned()));
     }
     let path = path.split('?').next().unwrap_or(path);
+    if let Some((_, handler)) = shared.config.routes.iter().find(|(p, _)| p == path) {
+        return Some(handler());
+    }
     match path {
         "/metrics" => {
             let snap = shared.registry.snapshot();
@@ -379,6 +413,26 @@ mod tests {
             );
             thread::sleep(Duration::from_millis(10));
         }
+        admin.shutdown();
+    }
+
+    #[test]
+    fn custom_routes_extend_and_shadow_builtins() {
+        let registry = MetricsRegistry::new();
+        registry.inc("own.counter");
+        let config = AdminConfig::default()
+            .with_route("/cluster", || (200, "application/json", "{\"workers\":[]}".to_owned()))
+            .with_route("/metrics", || (200, "text/plain; charset=utf-8", "shadowed\n".to_owned()));
+        let mut admin = AdminServer::bind("127.0.0.1:0", registry, config).unwrap();
+        let addr = admin.local_addr();
+        let (status, body) = get(addr, "/cluster");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"workers\""));
+        let (_, body) = get(addr, "/metrics");
+        assert_eq!(body, "shadowed\n", "custom route takes precedence over the built-in");
+        // Untouched built-ins still serve.
+        let (status, _) = get(addr, "/healthz");
+        assert_eq!(status, 200);
         admin.shutdown();
     }
 

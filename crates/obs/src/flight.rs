@@ -96,26 +96,43 @@ pub struct FlightEvent {
     /// Free-form detail: the subject (peer address, topic, tenant) and any
     /// event-specific context.
     pub detail: String,
+    /// Assignment epoch in force when the event happened, for cluster
+    /// events (membership, failover). `None` for non-cluster events, so an
+    /// incident dump reads as an ordered epoch timeline without noise.
+    pub epoch: Option<u64>,
+    /// Worker the event concerns, for cluster events.
+    pub worker_id: Option<String>,
 }
 
 impl FlightEvent {
-    /// Encodes the event as a document (the JSON object model).
+    /// Encodes the event as a document (the JSON object model). The
+    /// cluster annotations (`epoch`, `worker_id`) are emitted only when
+    /// present, keeping non-cluster events identical to older dumps.
     pub fn to_document(&self) -> Document {
-        let mut d = Document::with_capacity(4);
+        let mut d = Document::with_capacity(6);
         d.insert("seq", self.seq as i64);
         d.insert("at_micros", self.at_micros as i64);
         d.insert("kind", self.kind.as_str());
         d.insert("detail", self.detail.as_str());
+        if let Some(epoch) = self.epoch {
+            d.insert("epoch", epoch as i64);
+        }
+        if let Some(worker) = &self.worker_id {
+            d.insert("worker_id", worker.as_str());
+        }
         d
     }
 
-    /// Decodes an event from its document encoding.
+    /// Decodes an event from its document encoding. Dumps recorded before
+    /// the cluster annotations existed decode with both set to `None`.
     pub fn from_document(d: &Document) -> Option<FlightEvent> {
         Some(FlightEvent {
             seq: d.get("seq")?.as_i64()? as u64,
             at_micros: d.get("at_micros")?.as_i64()? as u64,
             kind: FlightEventKind::parse(d.get("kind")?.as_str()?)?,
             detail: d.get("detail")?.as_str()?.to_owned(),
+            epoch: d.get("epoch").and_then(|v| v.as_i64()).map(|e| e as u64),
+            worker_id: d.get("worker_id").and_then(|v| v.as_str()).map(str::to_owned),
         })
     }
 }
@@ -161,7 +178,34 @@ impl FlightRecorder {
     /// Records an event with an explicit timestamp.
     pub fn record_at(&self, at_micros: u64, kind: FlightEventKind, detail: impl Into<String>) {
         let seq = self.inner.head.fetch_add(1, Ordering::Relaxed);
-        self.store(FlightEvent { seq, at_micros, kind, detail: detail.into() });
+        self.store(FlightEvent {
+            seq,
+            at_micros,
+            kind,
+            detail: detail.into(),
+            epoch: None,
+            worker_id: None,
+        });
+    }
+
+    /// Records a cluster event annotated with the worker it concerns and
+    /// the assignment epoch in force, timestamped now.
+    pub fn record_cluster(
+        &self,
+        kind: FlightEventKind,
+        detail: impl Into<String>,
+        worker_id: impl Into<String>,
+        epoch: u64,
+    ) {
+        let seq = self.inner.head.fetch_add(1, Ordering::Relaxed);
+        self.store(FlightEvent {
+            seq,
+            at_micros: now_micros(),
+            kind,
+            detail: detail.into(),
+            epoch: Some(epoch),
+            worker_id: Some(worker_id.into()),
+        });
     }
 
     /// Stores an already-sequenced event into its ring slot. Reservation
@@ -280,6 +324,8 @@ mod tests {
             at_micros: 0,
             kind: FlightEventKind::QueueDrop,
             detail: "stalled".into(),
+            epoch: None,
+            worker_id: None,
         });
         let dump = rec.dump();
         assert_eq!(dump.len(), 4);
@@ -292,8 +338,20 @@ mod tests {
         let rec = FlightRecorder::with_capacity(4);
         rec.record(FlightEventKind::HealthTransition, "healthy -> degraded");
         rec.record(FlightEventKind::DecodeError, "peer 127.0.0.1:1: bad crc");
+        rec.record_cluster(FlightEventKind::Failover, "1 cell orphaned", "victim", 3);
         let back = events_from_json(&rec.dump_json()).unwrap();
         assert_eq!(back, rec.dump());
+        assert_eq!(back[2].epoch, Some(3));
+        assert_eq!(back[2].worker_id.as_deref(), Some("victim"));
+        assert_eq!(back[0].epoch, None);
+    }
+
+    #[test]
+    fn legacy_dumps_without_cluster_fields_decode() {
+        let json = r#"[{"seq":0,"at_micros":5,"kind":"reconnect","detail":"peer"}]"#;
+        let events = events_from_json(json).unwrap();
+        assert_eq!(events[0].epoch, None);
+        assert_eq!(events[0].worker_id, None);
     }
 
     #[test]

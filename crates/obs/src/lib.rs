@@ -50,7 +50,7 @@ mod registry;
 mod slow;
 mod snapshot;
 
-pub use admin::{AdminConfig, AdminServer};
+pub use admin::{AdminConfig, AdminRoute, AdminServer};
 pub use flight::{
     events_from_json, events_to_json, FlightEvent, FlightEventKind, FlightRecorder,
     DEFAULT_FLIGHT_CAPACITY,
@@ -59,7 +59,10 @@ pub use health::{
     HealthCause, HealthCauseKind, HealthMonitor, HealthPolicy, HealthReport, HealthStatus,
 };
 pub use link::{ComponentMetrics, LinkMetrics, LinkRegistry, TopologyMetrics};
-pub use prom::{from_prometheus, to_prometheus, COUNTER_FAMILY, GAUGE_FAMILY, HISTOGRAM_FAMILY};
+pub use prom::{
+    from_prometheus, from_prometheus_federated, to_prometheus, to_prometheus_federated,
+    to_prometheus_labeled, COUNTER_FAMILY, GAUGE_FAMILY, HISTOGRAM_FAMILY, HISTOGRAM_STAT_FAMILY,
+};
 pub use registry::MetricsRegistry;
 pub use slow::{SlowQueryEntry, SlowQueryLog, SlowQueryScratch, DEFAULT_SLOW_LOG_CAPACITY};
 pub use snapshot::{HistogramSummary, MetricsSnapshot};

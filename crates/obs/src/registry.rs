@@ -4,7 +4,8 @@ use crate::flight::FlightRecorder;
 use crate::link::{LinkRegistry, TopologyMetrics};
 use crate::slow::SlowQueryLog;
 use crate::snapshot::{HistogramSummary, MetricsSnapshot};
-use invalidb_common::{Histogram, TraceContext};
+use invalidb_common::trace::now_micros;
+use invalidb_common::{Histogram, TraceContext, MAX_PLAUSIBLE_HOP_MICROS};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -14,6 +15,12 @@ use std::sync::Arc;
 pub(crate) const STAGE_PREFIX: &str = "stage.";
 /// Name of the end-to-end latency histogram fed by `record_trace`.
 pub(crate) const E2E_HIST: &str = "stage.total";
+/// Counter of per-hop deltas discarded as clock skew (negative or absurd)
+/// instead of being folded into the stage histograms.
+pub(crate) const SKEW_CLAMPED: &str = "trace.skew_clamped";
+/// Prefix of the per-tenant notification-staleness SLO histograms fed by
+/// [`MetricsRegistry::record_staleness`] (`slo.<tenant>.staleness_us`).
+pub(crate) const SLO_PREFIX: &str = "slo.";
 
 #[derive(Default)]
 struct Inner {
@@ -80,12 +87,38 @@ impl MetricsRegistry {
     /// Folds a completed trace into the per-stage latency histograms:
     /// each hop's delta goes into `stage.<destination>` and the full
     /// first-to-last span into `stage.total`.
+    ///
+    /// Consecutive stamps may come from different hosts, so a hop delta is
+    /// latency *plus clock skew*. Negative or implausibly large deltas are
+    /// counted in `trace.skew_clamped` and kept out of the stage tables —
+    /// a skewed pair of clocks must not manufacture latency data. The
+    /// end-to-end span stays in: its first and last stamps (app server
+    /// accept and delivery) share one process and therefore one clock.
     pub fn record_trace(&self, trace: &TraceContext) {
-        for (_, to, delta) in trace.breakdown() {
-            self.record(&format!("{STAGE_PREFIX}{to}"), delta);
+        for (_, to, delta) in trace.hops() {
+            if delta < 0 || delta as u64 > MAX_PLAUSIBLE_HOP_MICROS {
+                self.inc(SKEW_CLAMPED);
+                continue;
+            }
+            self.record(&format!("{STAGE_PREFIX}{to}"), delta as u64);
         }
         self.record(E2E_HIST, trace.elapsed_micros());
         self.inc("traces.recorded");
+    }
+
+    /// Records one delivered notification's save→notify staleness into the
+    /// tenant's SLO histogram `slo.<tenant>.staleness_us` — the paper's
+    /// headline metric, per tenant. `written_at_micros` is the app-server
+    /// wall clock at write acceptance; since delivery happens back on an
+    /// app server, the pair is same-clock in the single-app-server case
+    /// and skew-clamped (like trace hops) otherwise.
+    pub fn record_staleness(&self, tenant: &str, written_at_micros: u64) {
+        let delta = now_micros() as i64 - written_at_micros as i64;
+        if delta < 0 || delta as u64 > MAX_PLAUSIBLE_HOP_MICROS {
+            self.inc(SKEW_CLAMPED);
+            return;
+        }
+        self.record(&format!("{SLO_PREFIX}{tenant}.staleness_us"), delta as u64);
     }
 
     /// The registry's flight recorder: every component sharing this
@@ -222,6 +255,35 @@ mod tests {
         assert_eq!(snap.hists["stage.delivery"].count, 1);
         assert_eq!(snap.hists["stage.total"].count, 1);
         assert_eq!(snap.counters["traces.recorded"], 1);
+    }
+
+    #[test]
+    fn skewed_hops_are_clamped_not_recorded() {
+        let reg = MetricsRegistry::new();
+        let mut t = TraceContext { trace_id: 2, stamps: Vec::new() };
+        t.stamp_at(Stage::AppServer, 10_000);
+        t.stamp_at(Stage::Broker, 9_000); // broker clock behind: skew
+        t.stamp_at(Stage::Delivery, 10_500);
+        reg.record_trace(&t);
+        let snap = reg.snapshot();
+        assert!(!snap.hists.contains_key("stage.broker"), "skewed hop must not pollute stage table");
+        assert_eq!(snap.counters["trace.skew_clamped"], 1);
+        // The broker→delivery hop (1_500) and the e2e span still record.
+        assert_eq!(snap.hists["stage.delivery"].count, 1);
+        assert_eq!(snap.hists["stage.total"].count, 1);
+    }
+
+    #[test]
+    fn staleness_feeds_per_tenant_histogram() {
+        let reg = MetricsRegistry::new();
+        reg.record_staleness("tenant-a", invalidb_common::trace::now_micros());
+        let snap = reg.snapshot();
+        assert_eq!(snap.hists["slo.tenant-a.staleness_us"].count, 1);
+        // A write "from the future" is skew, not negative staleness.
+        reg.record_staleness("tenant-a", invalidb_common::trace::now_micros() + 120_000_000);
+        let snap = reg.snapshot();
+        assert_eq!(snap.hists["slo.tenant-a.staleness_us"].count, 1);
+        assert_eq!(snap.counters["trace.skew_clamped"], 1);
     }
 
     #[test]

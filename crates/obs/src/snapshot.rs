@@ -6,21 +6,31 @@ use std::collections::BTreeMap;
 /// Summary statistics of one histogram, in whole microseconds.
 ///
 /// All fields are integers so the JSON and text renderers carry exactly
-/// the same numbers and the JSON round-trips losslessly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// the same numbers and the JSON round-trips losslessly. Besides the
+/// summary statistics the snapshot also carries the non-empty log-linear
+/// buckets, so the Prometheus renderer can expose a *native* histogram
+/// (cumulative `le` series plus `_sum`/`_count`) instead of gauges.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct HistogramSummary {
     /// Number of recorded samples.
     pub count: u64,
+    /// Sum of all samples, rounded to the nearest integer.
+    pub sum: u64,
     /// Mean, rounded to the nearest integer.
     pub mean: u64,
     /// Median (p50).
     pub p50: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
     /// Smallest recorded sample (0 when empty).
     pub min: u64,
     /// Largest recorded sample (0 when empty).
     pub max: u64,
+    /// `(upper bound, count)` of every non-empty log-linear bucket, in
+    /// ascending bound order. Counts are per-bucket (not cumulative).
+    pub buckets: Vec<(u64, u64)>,
 }
 
 impl HistogramSummary {
@@ -28,11 +38,14 @@ impl HistogramSummary {
     pub fn of(h: &Histogram) -> HistogramSummary {
         HistogramSummary {
             count: h.count(),
+            sum: h.sum().round() as u64,
             mean: h.mean().round() as u64,
             p50: h.quantile(0.50),
             p99: h.quantile(0.99),
+            p999: h.quantile(0.999),
             min: if h.count() == 0 { 0 } else { h.min() },
             max: h.max(),
+            buckets: h.nonzero_buckets().collect(),
         }
     }
 }
@@ -60,11 +73,11 @@ impl MetricsSnapshot {
             .iter()
             .filter_map(|stage| {
                 let key = format!("{STAGE_PREFIX}{stage}");
-                self.hists.get(&key).map(|s| (stage.to_string(), *s))
+                self.hists.get(&key).map(|s| (stage.to_string(), s.clone()))
             })
             .collect();
         if let Some(total) = self.hists.get(E2E_HIST) {
-            rows.push(("total".to_owned(), *total));
+            rows.push(("total".to_owned(), total.clone()));
         }
         rows
     }
@@ -95,13 +108,13 @@ impl MetricsSnapshot {
                 out.push('\n');
             }
             out.push_str(&format!(
-                "{:<name_width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
-                "histogram (µs)", "count", "mean", "p50", "p99", "min", "max"
+                "{:<name_width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+                "histogram (µs)", "count", "mean", "p50", "p99", "p999", "min", "max"
             ));
             for (name, h) in &self.hists {
                 out.push_str(&format!(
-                    "{:<name_width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
-                    name, h.count, h.mean, h.p50, h.p99, h.min, h.max
+                    "{:<name_width$}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}\n",
+                    name, h.count, h.mean, h.p50, h.p99, h.p999, h.min, h.max
                 ));
             }
         }
@@ -123,13 +136,24 @@ impl MetricsSnapshot {
         d.insert("gauges", gauges);
         let mut hists = Document::with_capacity(self.hists.len());
         for (name, h) in &self.hists {
-            let mut hd = Document::with_capacity(6);
+            let mut hd = Document::with_capacity(9);
             hd.insert("count", h.count as i64);
+            hd.insert("sum", h.sum as i64);
             hd.insert("mean", h.mean as i64);
             hd.insert("p50", h.p50 as i64);
             hd.insert("p99", h.p99 as i64);
+            hd.insert("p999", h.p999 as i64);
             hd.insert("min", h.min as i64);
             hd.insert("max", h.max as i64);
+            hd.insert(
+                "buckets",
+                Value::Array(
+                    h.buckets
+                        .iter()
+                        .map(|(le, n)| Value::Array(vec![(*le as i64).into(), (*n as i64).into()]))
+                        .collect(),
+                ),
+            );
             hists.insert(name.as_str(), hd);
         }
         d.insert("hists", hists);
@@ -148,15 +172,30 @@ impl MetricsSnapshot {
         for (name, v) in d.get("hists")?.as_object()?.iter() {
             let hd = v.as_object()?;
             let field = |k: &str| hd.get(k).and_then(Value::as_i64).map(|x| x as u64);
+            // `sum`, `p999`, and `buckets` are additive fields: snapshots
+            // serialized before they existed decode with zero/empty.
+            let mut buckets = Vec::new();
+            if let Some(rows) = hd.get("buckets").and_then(Value::as_array) {
+                for row in rows {
+                    let pair = row.as_array()?;
+                    if pair.len() != 2 {
+                        return None;
+                    }
+                    buckets.push((pair[0].as_i64()? as u64, pair[1].as_i64()? as u64));
+                }
+            }
             snap.hists.insert(
                 name.to_owned(),
                 HistogramSummary {
                     count: field("count")?,
+                    sum: field("sum").unwrap_or(0),
                     mean: field("mean")?,
                     p50: field("p50")?,
                     p99: field("p99")?,
+                    p999: field("p999").unwrap_or(0),
                     min: field("min")?,
                     max: field("max")?,
+                    buckets,
                 },
             );
         }
@@ -186,7 +225,17 @@ mod tests {
         snap.gauges.insert("queue_depth".into(), 3);
         snap.hists.insert(
             "stage.matching".into(),
-            HistogramSummary { count: 5, mean: 40, p50: 32, p99: 130, min: 10, max: 130 },
+            HistogramSummary {
+                count: 5,
+                sum: 200,
+                mean: 40,
+                p50: 32,
+                p99: 130,
+                p999: 130,
+                min: 10,
+                max: 130,
+                buckets: vec![(10, 1), (33, 2), (47, 1), (131, 1)],
+            },
         );
         snap
     }
@@ -225,6 +274,17 @@ mod tests {
         snap.hists.insert("unrelated".into(), HistogramSummary::default());
         let rows: Vec<String> = snap.stage_breakdown().into_iter().map(|(n, _)| n).collect();
         assert_eq!(rows, vec!["ingestion", "matching", "total"]);
+    }
+
+    #[test]
+    fn legacy_hist_documents_decode() {
+        // Snapshots serialized before sum/p999/buckets existed still parse.
+        let json = r#"{"counters":{},"gauges":{},"hists":{"lat":{"count":1,"mean":2,"p50":2,"p99":2,"min":2,"max":2}}}"#;
+        let snap = MetricsSnapshot::from_json(json).unwrap();
+        assert_eq!(snap.hists["lat"].count, 1);
+        assert_eq!(snap.hists["lat"].sum, 0);
+        assert_eq!(snap.hists["lat"].p999, 0);
+        assert!(snap.hists["lat"].buckets.is_empty());
     }
 
     #[test]

@@ -10,10 +10,18 @@
 //! you see is exactly what a scrape sees.
 //!
 //! Run with: `cargo run --release --example invalidb_top [iterations]`
+//!
+//! **Cluster mode**: point it at a *running* coordinator's admin endpoint
+//! instead of self-hosting a pipeline —
+//! `cargo run --release --example invalidb_top -- --cluster 127.0.0.1:9465 [iterations]`.
+//! It then renders the federated view: membership and failover state from
+//! `/cluster`, and per-worker labeled series from the coordinator's
+//! federated `/metrics` (parsed with
+//! [`from_prometheus_federated`](invalidb::obs::from_prometheus_federated)).
 
 use invalidb::client::{AppServer, AppServerConfig};
 use invalidb::core::{Cluster, ClusterConfig};
-use invalidb::obs::from_prometheus;
+use invalidb::obs::{from_prometheus, from_prometheus_federated};
 use invalidb::store::Store;
 use invalidb::{doc, Key, QuerySpec};
 use std::io::{Read, Write};
@@ -33,8 +41,63 @@ fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
     Ok((status, body))
 }
 
+/// Cluster mode: attach to a running coordinator's admin endpoint and
+/// render the federated view — one line for the coordinator's own series,
+/// one per worker from the `worker`-labeled series.
+fn cluster_top(admin: SocketAddr, iterations: usize) {
+    println!("invalidb_top --cluster: scraping http://{admin} ({iterations} frames)\n");
+    for frame in 0..iterations {
+        let (status, text) = http_get(admin, "/metrics").expect("scrape federated /metrics");
+        assert_eq!(status, 200, "federated metrics endpoint must answer 200");
+        let parts = from_prometheus_federated(&text).expect("parse federated exposition");
+        let gauge =
+            |snap: &invalidb::MetricsSnapshot, name: &str| snap.gauges.get(name).copied().unwrap_or(0);
+        let counter =
+            |snap: &invalidb::MetricsSnapshot, name: &str| snap.counters.get(name).copied().unwrap_or(0);
+        if let Some(coord) = parts.get("") {
+            println!(
+                "frame {:>2}  epoch={} workers={} unassigned={} cached_subs={} last_mttr_ms={}",
+                frame + 1,
+                gauge(coord, "cluster.epoch"),
+                gauge(coord, "cluster.workers_alive"),
+                gauge(coord, "cluster.cells_unassigned"),
+                gauge(coord, "cluster.cached_subscriptions"),
+                gauge(coord, "cluster.failover_mttr_ms"),
+            );
+        }
+        for (worker, snap) in &parts {
+            if worker.is_empty() {
+                continue;
+            }
+            println!(
+                "          worker {worker}: epoch={} cells={} matched={} traced={} skew_clamped={}",
+                gauge(snap, "worker.epoch"),
+                gauge(snap, "worker.cells_hosted"),
+                counter(snap, "matching.matched"),
+                counter(snap, "ingress.traced_writes"),
+                counter(snap, "trace.skew_clamped"),
+            );
+        }
+        std::thread::sleep(Duration::from_millis(500));
+    }
+    let (status, members) = http_get(admin, "/cluster").expect("scrape /cluster");
+    assert_eq!(status, 200);
+    println!("\ncluster membership: {members}");
+}
+
 fn main() {
-    let iterations: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(10);
+    let args: Vec<String> = std::env::args().collect();
+    if args.get(1).map(String::as_str) == Some("--cluster") {
+        let admin: SocketAddr = args
+            .get(2)
+            .expect("--cluster needs the coordinator admin address")
+            .parse()
+            .expect("parse admin address");
+        let iterations = args.get(3).and_then(|a| a.parse().ok()).unwrap_or(10);
+        cluster_top(admin, iterations);
+        return;
+    }
+    let iterations: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(10);
 
     // Pipeline under observation, with the admin plane on an ephemeral port.
     let store = Arc::new(Store::new());
