@@ -134,7 +134,27 @@ fn main() {
     }
     println!("\npaper: quaestor's distribution is the standalone one shifted right ~5 ms, longer tail under write pressure, <100 ms near capacity");
 
-    out.insert("fig6e", stage_breakdown());
+    // (e) per-stage breakdown, once per topology batch bound: max_batch=1
+    // is the pre-mini-batch pipeline, the default shows what batched
+    // matching buys per stage (the matching row is the interesting one).
+    let default_batch = invalidb_core::ClusterConfig::new(1, 1).max_batch;
+    let mut breakdowns = Vec::new();
+    let mut default_run = Value::Null;
+    for max_batch in [1usize, default_batch] {
+        let run = stage_breakdown(max_batch);
+        if max_batch == default_batch {
+            default_run = run.clone();
+        }
+        breakdowns.push(run);
+    }
+    // `fig6e` keeps the default run's shape (plus its `max_batch`) for
+    // existing consumers; the sweep lives under `breakdowns`.
+    let mut fig6e = match default_run {
+        Value::Object(d) => d,
+        _ => unreachable!("default batch run always recorded"),
+    };
+    fig6e.insert("breakdowns", Value::Array(breakdowns));
+    out.insert("fig6e", Value::from(fig6e));
 
     let json = invalidb_json::to_string(&out);
     match std::fs::write(invalidb_bench::artifact_path("BENCH_fig6.json"), &json) {
@@ -146,9 +166,9 @@ fn main() {
 /// (e) Extension beyond the paper: where does the latency go? Runs the
 /// *real* pipeline (store + broker + 2x2 cluster + app server) with
 /// stage tracing on every write and prints the per-stage latency table
-/// aggregated by the shared metrics registry. Returns the same numbers as
-/// a JSON value for `BENCH_fig6.json`.
-fn stage_breakdown() -> Value {
+/// aggregated by the shared metrics registry. Returns the stage rows as
+/// a JSON array for `BENCH_fig6.json`.
+fn stage_breakdown(max_batch: usize) -> Value {
     use invalidb_broker::Broker;
     use invalidb_client::{AppServer, AppServerConfig, ClientEvent};
     use invalidb_common::{doc, Key, QuerySpec};
@@ -157,13 +177,18 @@ fn stage_breakdown() -> Value {
     use invalidb_store::Store;
     use std::sync::Arc;
 
-    table::banner("Figure 6e", "per-stage latency breakdown, traced live pipeline (2 QP x 2 WP)");
+    table::banner(
+        "Figure 6e",
+        &format!(
+            "per-stage latency breakdown, traced live pipeline (2 QP x 2 WP, max_batch={max_batch})"
+        ),
+    );
     let store = Arc::new(Store::new());
     let broker = Broker::new();
     let metrics = MetricsRegistry::new();
     let cluster = Cluster::start(
         broker.clone(),
-        ClusterConfig::builder(2, 2).metrics(metrics.clone()).build().unwrap(),
+        ClusterConfig::builder(2, 2).metrics(metrics.clone()).max_batch(max_batch).build().unwrap(),
     );
     let config =
         AppServerConfig::builder().trace_sample_every(1).metrics(metrics.clone()).build().unwrap();
@@ -217,11 +242,12 @@ fn stage_breakdown() -> Value {
     table::table(&["stage (µs)", "count", "mean", "p50", "p99", "max"], &rows);
     println!("{writes} traced writes, {delivered} notifications delivered; stage.total is the end-to-end write->delivery latency, the stage.* rows its additive decomposition");
     cluster.shutdown();
-    let mut fig6e = Document::with_capacity(3);
-    fig6e.insert("traced_writes", writes);
-    fig6e.insert("delivered", delivered as i64);
-    fig6e.insert("stages", Value::Array(stages));
-    Value::from(fig6e)
+    let mut breakdown = Document::with_capacity(4);
+    breakdown.insert("max_batch", max_batch as i64);
+    breakdown.insert("traced_writes", writes);
+    breakdown.insert("delivered", delivered as i64);
+    breakdown.insert("stages", Value::Array(stages));
+    Value::from(breakdown)
 }
 
 /// Prints a coarse latency histogram (2 ms buckets to 40 ms, like Fig 6c/d).

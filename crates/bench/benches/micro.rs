@@ -82,6 +82,71 @@ fn bench_matching(c: &mut Criterion) {
         });
     });
     group.finish();
+
+    // Mini-batch probing: one columnar `candidates_batch` call over a
+    // 32-write batch versus 32 serial `candidates` probes. Throughput is
+    // writes, so the report reads as per-write cost either way.
+    let mut w = Workload::new(4, 1_000);
+    let specs = w.queries(1_000);
+    let batch_docs: Vec<_> = (0..32).map(|_| w.next_document().1).collect();
+    let refs: Vec<Option<&invalidb_common::Document>> = batch_docs.iter().map(Some).collect();
+    let mut group = c.benchmark_group("matching_batch");
+    group.throughput(Throughput::Elements(batch_docs.len() as u64));
+    group.bench_function("serial_candidates_32_writes", |b| {
+        let mut index: QueryIndex<usize> = QueryIndex::default();
+        for (i, spec) in specs.iter().enumerate() {
+            index.insert(i, &spec.filter);
+        }
+        b.iter(|| {
+            let mut pairs = 0usize;
+            for doc in &batch_docs {
+                pairs += index.candidates(black_box(doc)).len();
+            }
+            black_box(pairs)
+        });
+    });
+    group.bench_function("candidates_batch_32_writes", |b| {
+        let mut index: QueryIndex<usize> = QueryIndex::default();
+        for (i, spec) in specs.iter().enumerate() {
+            index.insert(i, &spec.filter);
+        }
+        b.iter(|| black_box(index.candidates_batch(black_box(&refs)).len()));
+    });
+    group.finish();
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    // The ingestion-tier decode of a binary write envelope: the eager path
+    // materializes the whole envelope and clones the `doc` subtree again
+    // into the after-image; the lazy path skip-scans the IVBD bytes and
+    // materializes only the subtrees the message owns.
+    use invalidb_common::{AfterImage, ClusterMessage, TenantId};
+    let mut w = Workload::new(6, 10);
+    let envelope = ClusterMessage::Write(AfterImage {
+        tenant: TenantId("bench".to_owned()),
+        collection: "t".to_owned(),
+        key: Key::of(42),
+        version: 7,
+        doc: Some(w.next_document().1),
+        written_at: 7,
+        trace: None,
+    })
+    .to_document();
+    let payload = invalidb_json::WireCodec::Binary.encode(&envelope);
+    let mut group = c.benchmark_group("ingest");
+    group.throughput(Throughput::Bytes(payload.len() as u64));
+    group.bench_function("decode_write_envelope_eager", |b| {
+        b.iter(|| {
+            let d = invalidb_json::payload_to_document(black_box(&payload)).unwrap();
+            black_box(ClusterMessage::from_document(&d).unwrap())
+        });
+    });
+    group.bench_function("decode_write_envelope_lazy", |b| {
+        b.iter(|| {
+            black_box(invalidb_core::ingest::decode_cluster_payload(black_box(&payload)).unwrap())
+        });
+    });
+    group.finish();
 }
 
 fn bench_json(c: &mut Criterion) {
@@ -181,6 +246,6 @@ fn bench_store(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matching, bench_json, bench_window, bench_partitioning, bench_broker, bench_store
+    targets = bench_matching, bench_ingest, bench_json, bench_window, bench_partitioning, bench_broker, bench_store
 }
 criterion_main!(benches);

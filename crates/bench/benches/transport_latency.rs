@@ -50,10 +50,29 @@ struct Wire {
     /// flight; `true` uses the batching defaults and pipelines `burst`
     /// writes per round.
     batched: bool,
+    /// Overrides the topology drain bound (`ClusterConfig::max_batch`)
+    /// independently of the wire-level knobs — the batch-size sweep holds
+    /// frame coalescing fixed and varies only this.
+    topology_batch: Option<usize>,
+    /// Overrides the pipelined writes per round. The batch sweep uses a
+    /// deeper burst than the codec grid so multi-message scheduling turns
+    /// actually occur at every swept bound.
+    burst_override: Option<usize>,
 }
 
 impl Wire {
+    fn new(codec: WireCodec, batched: bool) -> Wire {
+        Wire { codec, batched, topology_batch: None, burst_override: None }
+    }
+
+    fn with_topology_batch(codec: WireCodec, max_batch: usize, burst: usize) -> Wire {
+        Wire { codec, batched: true, topology_batch: Some(max_batch), burst_override: Some(burst) }
+    }
+
     fn burst(&self) -> usize {
+        if let Some(b) = self.burst_override {
+            return b;
+        }
         if self.batched {
             std::env::var("INVALIDB_BENCH_BURST").ok().and_then(|v| v.parse().ok()).unwrap_or(16)
         } else {
@@ -62,6 +81,9 @@ impl Wire {
     }
 
     fn max_batch(&self) -> usize {
+        if let Some(mb) = self.topology_batch {
+            return mb;
+        }
         if self.batched {
             ClusterConfig::new(1, 1).max_batch
         } else {
@@ -270,10 +292,10 @@ fn main() {
         "Notification latency (save -> push notification): deployment x codec x batching",
     );
 
-    let json_unbatched = Wire { codec: WireCodec::Json, batched: false };
-    let json_batched = Wire { codec: WireCodec::Json, batched: true };
-    let bin_unbatched = Wire { codec: WireCodec::Binary, batched: false };
-    let bin_batched = Wire { codec: WireCodec::Binary, batched: true };
+    let json_unbatched = Wire::new(WireCodec::Json, false);
+    let json_batched = Wire::new(WireCodec::Json, true);
+    let bin_unbatched = Wire::new(WireCodec::Binary, false);
+    let bin_batched = Wire::new(WireCodec::Binary, true);
 
     let mut rows = Vec::new();
     let mut json_rows: Vec<Value> = Vec::new();
@@ -284,11 +306,12 @@ fn main() {
             format!("{:.0}", s.p99_us),
             format!("{:.0}", s.max_us),
         ]);
-        let mut row = Document::with_capacity(7);
+        let mut row = Document::with_capacity(8);
         row.insert("label", label);
         row.insert("transport", transport);
         row.insert("codec", if matches!(wire.codec, WireCodec::Binary) { "binary" } else { "json" });
         row.insert("batched", wire.batched);
+        row.insert("max_batch", wire.max_batch() as i64);
         row.insert("mean_us", s.mean_us);
         row.insert("p99_us", s.p99_us);
         row.insert("max_us", s.max_us);
@@ -311,6 +334,36 @@ fn main() {
     record("TCP loopback - binary, unbatched", "tcp-app", &bin_unbatched, &s);
     let improved = measure_tcp_app("bench-tcp-bb", rounds, &bin_batched);
     record("TCP loopback - binary, batched", "tcp-app", &bin_batched, &improved);
+
+    // Batch-size sweep over the topology drain bound (`ClusterConfig::
+    // max_batch`): the wire stays fixed at the binary codec with frame
+    // coalescing on, so the sweep isolates what mini-batch matching alone
+    // buys. `max_batch = 1` reproduces the one-message-per-turn pipeline
+    // this optimization round started from — the baseline the batch gain
+    // is quoted against.
+    let sweep_burst = 64;
+    let mut sweep_rows: Vec<Value> = Vec::new();
+    let mut sweep_means: Vec<(usize, f64)> = Vec::new();
+    for mb in [1usize, 8, ClusterConfig::new(1, 1).max_batch] {
+        let wire = Wire::with_topology_batch(WireCodec::Binary, mb, sweep_burst);
+        let s = measure_tcp_app(&format!("bench-tcp-mb{mb}"), rounds, &wire);
+        record(&format!("TCP loopback - binary, max_batch={mb}"), "tcp-app", &wire, &s);
+        let mut row = Document::with_capacity(5);
+        row.insert("max_batch", mb as i64);
+        row.insert("burst", sweep_burst as i64);
+        row.insert("mean_us", s.mean_us);
+        row.insert("p99_us", s.p99_us);
+        row.insert("max_us", s.max_us);
+        sweep_rows.push(Value::from(row));
+        sweep_means.push((mb, s.mean_us));
+    }
+    let sweep_baseline = sweep_means[0].1;
+    let (best_mb, best_mean) = sweep_means
+        .iter()
+        .copied()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("sweep is non-empty");
+    let batch_gain = (sweep_baseline - best_mean) / sweep_baseline * 100.0;
 
     // (c) Cluster *and* app server both remote — every envelope crosses
     // the wire twice (publish up, deliver down): 4 TCP hops per round.
@@ -341,14 +394,21 @@ fn main() {
         "TCP write path: binary+batched vs JSON+unbatched: {:.0} us -> {:.0} us ({improvement:+.1}%)",
         baseline.mean_us, improved.mean_us
     );
+    println!(
+        "topology batch sweep (binary): max_batch=1 {:.0} us -> max_batch={best_mb} {:.0} us ({batch_gain:+.1}%)",
+        sweep_baseline, best_mean
+    );
     println!("paper: ~9 ms end-to-end average through Redis + Storm (Table 3)");
 
-    let mut out = Document::with_capacity(5);
+    let mut out = Document::with_capacity(9);
     out.insert("rounds", rounds as i64);
     out.insert("burst_batched", bin_batched.burst() as i64);
     out.insert("rows", Value::Array(json_rows));
     out.insert("baseline", "TCP loopback - JSON, unbatched");
     out.insert("improvement_pct", improvement);
+    out.insert("batch_sweep", Value::Array(sweep_rows));
+    out.insert("batch_baseline_max_batch", 1i64);
+    out.insert("batch_gain_pct", batch_gain);
     let json = invalidb_json::to_string(&out);
     match std::fs::write(invalidb_bench::artifact_path("BENCH_transport.json"), &json) {
         Ok(()) => println!("\nmachine-readable results written to BENCH_transport.json"),

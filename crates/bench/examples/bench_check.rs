@@ -33,6 +33,13 @@ fn require_rows(name: &str, doc: &Document, field: &str) {
     }
 }
 
+fn require_number(name: &str, row: &Document, field: &str, context: &str) {
+    match row.get(field) {
+        Some(Value::Float(_)) | Some(Value::Int(_)) => {}
+        _ => fail(name, &format!("{context} lacks numeric `{field}`")),
+    }
+}
+
 fn main() {
     let transport = load("BENCH_transport.json");
     require_rows("BENCH_transport.json", &transport, "rows");
@@ -51,6 +58,7 @@ fn main() {
                     fail("BENCH_transport.json", &format!("row {i} lacks `{field}`"));
                 }
             }
+            require_number("BENCH_transport.json", row, "max_batch", &format!("row {i}"));
             if row.get("transport").and_then(|v| v.as_str()) == Some("multiprocess") {
                 multiprocess = true;
                 if row.get("remote_worker").is_none() {
@@ -63,11 +71,80 @@ fn main() {
         }
     }
 
-    let fig6 = load("BENCH_fig6.json");
-    for field in ["fig6e"] {
-        if fig6.get(field).is_none() {
-            fail("BENCH_fig6.json", &format!("`{field}` missing"));
+    // Topology batch-size sweep: the gain rows of the mini-batch matching
+    // optimization. A max_batch=1 row must anchor the sweep — the
+    // `batch_gain_pct` headline is quoted against it.
+    require_rows("BENCH_transport.json", &transport, "batch_sweep");
+    require_number("BENCH_transport.json", &transport, "batch_gain_pct", "document");
+    if let Some(Value::Array(sweep)) = transport.get("batch_sweep") {
+        let mut baseline = false;
+        for (i, row) in sweep.iter().enumerate() {
+            let Value::Object(row) = row else {
+                fail("BENCH_transport.json", &format!("batch_sweep row {i} is not an object"));
+            };
+            for field in ["max_batch", "mean_us", "p99_us", "max_us"] {
+                require_number("BENCH_transport.json", row, field, &format!("batch_sweep row {i}"));
+            }
+            if row.get("max_batch").and_then(|v| v.as_i64()) == Some(1) {
+                baseline = true;
+            }
         }
+        if !baseline {
+            fail("BENCH_transport.json", "batch_sweep lacks the `max_batch = 1` baseline row");
+        }
+    }
+
+    let fig6 = load("BENCH_fig6.json");
+    let fig6e = match fig6.get("fig6e") {
+        Some(Value::Object(d)) => d,
+        Some(_) => fail("BENCH_fig6.json", "`fig6e` is not an object"),
+        None => fail("BENCH_fig6.json", "`fig6e` missing"),
+    };
+    require_number("BENCH_fig6.json", fig6e, "max_batch", "`fig6e`");
+    require_rows("BENCH_fig6.json", fig6e, "stages");
+    match fig6e.get("breakdowns") {
+        Some(Value::Array(runs)) if !runs.is_empty() => {
+            let mut baseline = false;
+            for (i, run) in runs.iter().enumerate() {
+                let Value::Object(run) = run else {
+                    fail("BENCH_fig6.json", &format!("fig6e breakdown {i} is not an object"));
+                };
+                require_number("BENCH_fig6.json", run, "max_batch", &format!("fig6e breakdown {i}"));
+                require_rows("BENCH_fig6.json", run, "stages");
+                if let Some(Value::Array(stages)) = run.get("stages") {
+                    for (j, stage) in stages.iter().enumerate() {
+                        let Value::Object(stage) = stage else {
+                            fail(
+                                "BENCH_fig6.json",
+                                &format!("fig6e breakdown {i} stage {j} is not an object"),
+                            );
+                        };
+                        if stage.get("stage").and_then(|v| v.as_str()).is_none() {
+                            fail(
+                                "BENCH_fig6.json",
+                                &format!("fig6e breakdown {i} stage {j} lacks `stage`"),
+                            );
+                        }
+                        for field in ["count", "mean_us", "p50_us", "p99_us", "max_us"] {
+                            require_number(
+                                "BENCH_fig6.json",
+                                stage,
+                                field,
+                                &format!("fig6e breakdown {i} stage {j}"),
+                            );
+                        }
+                    }
+                }
+                if run.get("max_batch").and_then(|v| v.as_i64()) == Some(1) {
+                    baseline = true;
+                }
+            }
+            if !baseline {
+                fail("BENCH_fig6.json", "fig6e breakdowns lack the `max_batch = 1` baseline run");
+            }
+        }
+        Some(Value::Array(_)) => fail("BENCH_fig6.json", "`fig6e.breakdowns` is empty"),
+        _ => fail("BENCH_fig6.json", "`fig6e.breakdowns` missing or not an array"),
     }
 
     println!("bench-check OK: BENCH_transport.json, BENCH_fig6.json");

@@ -227,6 +227,17 @@ pub trait EventLayer: Send + Sync {
 
     /// Number of active local subscribers on a topic.
     fn subscriber_count(&self, topic: &str) -> usize;
+
+    /// Connection generation of this layer: `0` forever for transports
+    /// that cannot lose messages between publisher and broker (the
+    /// in-process [`Broker`]), incremented on every (re)established
+    /// session for remote transports. Publishers that need at-least-once
+    /// delivery across the at-most-once event layer (§5.3) watch this to
+    /// learn that a gap may have opened — anything published while the
+    /// previous generation was dying can be silently gone.
+    fn generation(&self) -> u64 {
+        0
+    }
 }
 
 impl EventLayer for Broker {
@@ -272,6 +283,11 @@ impl BrokerHandle {
     /// See [`EventLayer::subscriber_count`].
     pub fn subscriber_count(&self, topic: &str) -> usize {
         self.inner.subscriber_count(topic)
+    }
+
+    /// See [`EventLayer::generation`].
+    pub fn generation(&self) -> u64 {
+        self.inner.generation()
     }
 }
 

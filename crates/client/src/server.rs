@@ -283,6 +283,8 @@ struct Shared {
     last_epoch: AtomicU64,
     /// Epoch-triggered replays performed (observability).
     epoch_replays: AtomicU64,
+    /// Link-generation-triggered replays performed (observability).
+    reconnect_replays: AtomicU64,
 }
 
 /// An application server for one tenant.
@@ -324,6 +326,7 @@ impl AppServer {
             write_ring: Mutex::new(std::collections::VecDeque::new()),
             last_epoch: AtomicU64::new(0),
             epoch_replays: AtomicU64::new(0),
+            reconnect_replays: AtomicU64::new(0),
         });
         let renewal_bucket = Arc::new(TokenBucket::new(config.renewal_burst, config.renewals_per_sec));
         // Optional admin plane. A failed bind does not abort the server but
@@ -371,6 +374,14 @@ impl AppServer {
     /// Number of epoch-triggered write replays performed so far.
     pub fn epoch_replays(&self) -> u64 {
         self.shared.epoch_replays.load(Ordering::Relaxed)
+    }
+
+    /// Number of link-reconnect-triggered write replays performed so far:
+    /// the keeper watches the event layer's connection generation and
+    /// repairs the at-most-once gap a reconnect opens (ring replay plus
+    /// subscription renewal).
+    pub fn reconnect_replays(&self) -> u64 {
+        self.shared.reconnect_replays.load(Ordering::Relaxed)
     }
 
     /// Highest cluster epoch observed on the epoch topic.
@@ -589,15 +600,31 @@ impl AppServer {
                         Some(p) => p,
                         None => continue,
                     };
-                    let d = match invalidb_json::payload_to_document(&payload) {
-                        Ok(d) => d,
+                    // Heartbeats dominate idle notify-topic traffic; sniff
+                    // them through the lazy view so binary payloads never
+                    // materialize a document tree just to be discarded.
+                    let view = match invalidb_json::PayloadView::new(&payload) {
+                        Ok(v) => v,
                         Err(_) => continue,
                     };
-                    if d.get("type").and_then(|v| v.as_str()) == Some("heartbeat") {
+                    let is_heartbeat = match &view {
+                        invalidb_json::PayloadView::Binary(lazy) => matches!(
+                            lazy.get("type"),
+                            Ok(Some(v)) if v.as_str() == Some("heartbeat")
+                        ),
+                        invalidb_json::PayloadView::Json(d) => {
+                            d.get("type").and_then(|v| v.as_str()) == Some("heartbeat")
+                        }
+                    };
+                    if is_heartbeat {
                         *shared.last_heartbeat.lock() = Instant::now();
                         shared.connection_lost.store(false, Ordering::Relaxed);
                         continue;
                     }
+                    let d = match view.to_document() {
+                        Ok(d) => d,
+                        Err(_) => continue,
+                    };
                     let n = match Notification::from_document(&d) {
                         Ok(n) => n,
                         Err(_) => continue,
@@ -619,7 +646,17 @@ impl AppServer {
                                 ClientEvent::Aggregate { value: value.clone(), count: *count }
                             }
                         };
-                        entry.confirmed = true;
+                        // Only baseline-carrying notifications confirm a
+                        // registration: a stray Change proves the pump is
+                        // alive but cannot repair a live result whose
+                        // initial was lost (sorted top-k especially), so it
+                        // must not cancel the at-least-once re-register.
+                        if matches!(
+                            n.kind,
+                            NotificationKind::InitialResult { .. } | NotificationKind::Aggregate { .. }
+                        ) {
+                            entry.confirmed = true;
+                        }
                         metrics.inc("appserver.events_delivered");
                         // Notification-staleness SLO: save → notify, per
                         // tenant, for every delivered change (not just
@@ -684,6 +721,11 @@ impl AppServer {
                         let mut subs = shared.subs.lock();
                         for entry in subs.values_mut() {
                             entry.needs_renewal = true;
+                            // See the keeper's generation watch: renewals
+                            // racing a rebuilding cluster can lose their
+                            // initial results too — stay unconfirmed until
+                            // a notification proves the registration took.
+                            entry.confirmed = false;
                             marked += 1;
                         }
                     }
@@ -714,8 +756,53 @@ impl AppServer {
             .name(format!("appserver-keeper-{}", self.tenant))
             .spawn(move || {
                 let mut last_ttl_refresh = Instant::now();
+                let mut last_generation = broker.generation();
                 while !shared.shutdown.load(Ordering::Relaxed) {
                     std::thread::sleep(Duration::from_millis(20));
+                    // -1. Link-generation watch: a remote event layer that
+                    //    reconnected silently dropped everything published
+                    //    against the dying session (at-most-once, §5.3) —
+                    //    writes *and* notifications in flight during the gap
+                    //    are gone and nothing downstream will ever resend
+                    //    them. Repair exactly like a failover epoch bump:
+                    //    replay the recent-write ring (duplicates are
+                    //    version-guarded by the matching nodes) and renew
+                    //    every subscription so fresh initial results rebuild
+                    //    the client-side live results from the pull truth.
+                    let generation = broker.generation();
+                    if generation != last_generation {
+                        last_generation = generation;
+                        let ring: Vec<bytes::Bytes> =
+                            shared.write_ring.lock().iter().cloned().collect();
+                        for payload in &ring {
+                            broker.publish(CLUSTER_TOPIC, payload.clone());
+                        }
+                        let mut marked = 0usize;
+                        {
+                            let mut subs = shared.subs.lock();
+                            for entry in subs.values_mut() {
+                                entry.needs_renewal = true;
+                                // Un-confirm: the renewal itself races the
+                                // session's SUBSCRIBE replay, so its fresh
+                                // initial result can be dropped server-side
+                                // like any other envelope. Only a delivered
+                                // notification re-confirms; until then the
+                                // at-least-once retry keeps re-registering.
+                                entry.confirmed = false;
+                                marked += 1;
+                            }
+                        }
+                        shared.reconnect_replays.fetch_add(1, Ordering::Relaxed);
+                        config.metrics.inc("appserver.reconnect_replays");
+                        config.metrics.flight().record(
+                            FlightEventKind::Reconnect,
+                            format!(
+                                "{tenant}: link generation {generation}: replayed {} writes, \
+                                 renewing {marked} subscriptions",
+                                ring.len()
+                            ),
+                        );
+                    }
                     // 0. At-least-once registration: a Subscribe that never
                     //    produced a notification was dropped somewhere (e.g.
                     //    a worker mid-rebuild) — re-register it.

@@ -575,10 +575,12 @@ impl Source<Event> for IngressSource {
             None => return Vec::new(),
         };
         let mut out = Vec::with_capacity(8);
-        let mut decode = |payload: bytes::Bytes| match invalidb_json::payload_to_document(&payload)
-            .ok()
-            .and_then(|d| ClusterMessage::from_document(&d).ok())
-        {
+        // Binary write envelopes take the zero-copy lazy path (only the
+        // `key`/`doc`/`trace` subtrees are materialized); everything else
+        // falls back to the eager decoder with identical error accounting.
+        let mut decode = |payload: bytes::Bytes| match crate::ingest::decode_cluster_payload(
+            &payload,
+        ) {
             Some(mut msg) => {
                 // Sampled traces get their ingestion stamp the moment the
                 // envelope is decoded off the event layer.

@@ -40,6 +40,57 @@ pub enum Event {
     Out(Arc<OutMsg>),
 }
 
+/// A mini-batch of after-images, in arrival order.
+///
+/// The topology runtime drains up to `max_batch` buffered messages per
+/// scheduling turn; the matching stage regroups the contiguous
+/// [`Event::Write`] runs of such a turn into a `WriteBatch` so the whole
+/// batch shares one index probe and one per-query dispatch
+/// (`MatchingNode::handle_write_batch`). The buffer is reused turn over
+/// turn — hence `clear` instead of consuming constructors.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBatch {
+    writes: Vec<Arc<AfterImage>>,
+}
+
+impl WriteBatch {
+    /// An empty batch with room for `cap` writes.
+    pub fn with_capacity(cap: usize) -> WriteBatch {
+        WriteBatch { writes: Vec::with_capacity(cap) }
+    }
+
+    /// Appends a write; arrival order is the vector order.
+    pub fn push(&mut self, img: Arc<AfterImage>) {
+        self.writes.push(img);
+    }
+
+    /// The batched after-images in arrival order.
+    pub fn writes(&self) -> &[Arc<AfterImage>] {
+        &self.writes
+    }
+
+    /// Number of batched writes.
+    pub fn len(&self) -> usize {
+        self.writes.len()
+    }
+
+    /// True when no writes are batched.
+    pub fn is_empty(&self) -> bool {
+        self.writes.is_empty()
+    }
+
+    /// Drops all writes, keeping the allocation for reuse.
+    pub fn clear(&mut self) {
+        self.writes.clear();
+    }
+}
+
+impl From<Vec<Arc<AfterImage>>> for WriteBatch {
+    fn from(writes: Vec<Arc<AfterImage>>) -> WriteBatch {
+        WriteBatch { writes }
+    }
+}
+
 /// Kind of matching-status transition detected by the filtering stage.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FilterChangeKind {

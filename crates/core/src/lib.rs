@@ -36,6 +36,7 @@ pub mod aggregation;
 pub mod cluster;
 pub mod config;
 pub mod event;
+pub mod ingest;
 pub mod matching;
 pub mod notifier;
 pub mod query_index;

@@ -18,7 +18,7 @@
 //! version of the same record is dropped (§5.1).
 
 use crate::config::{ClusterConfig, WorkerIdentity};
-use crate::event::{Event, FilterChange, FilterChangeKind, OutMsg};
+use crate::event::{Event, FilterChange, FilterChangeKind, OutMsg, WriteBatch};
 use crate::query_index::QueryIndex;
 use invalidb_common::trace::now_micros;
 use invalidb_common::{
@@ -90,6 +90,8 @@ pub struct MatchingNode {
     /// Locally accumulated slow-query charges, flushed to the shared log
     /// on tick so the per-evaluation hot path never takes its lock.
     slow_scratch: SlowQueryScratch,
+    /// Reused mini-batch buffer for [`Bolt::execute_batch`] turns.
+    write_scratch: WriteBatch,
 }
 
 impl MatchingNode {
@@ -108,6 +110,7 @@ impl MatchingNode {
             stale_dropped: 0,
             ingest_lag_us: 0,
             slow_scratch: SlowQueryScratch::new(),
+            write_scratch: WriteBatch::default(),
         }
     }
 
@@ -227,99 +230,212 @@ impl MatchingNode {
     }
 
     fn handle_write(&mut self, img: &Arc<AfterImage>, ctx: &mut BoltContext<'_, Event>) {
-        let record = RecordId {
-            tenant: img.tenant.clone(),
-            collection: img.collection.clone(),
-            key: img.key.clone(),
-        };
-        // Staleness avoidance: drop anything not newer than what we've seen.
-        match self.latest_versions.get(&record) {
-            Some(&seen) if img.version <= seen => {
-                self.stale_dropped += 1;
-                self.config.metrics.inc("matching.dropped_stale");
-                return;
-            }
-            _ => {}
-        }
-        self.latest_versions.insert(record, img.version);
-        self.retention.push_back((self.clock.now(), Arc::clone(img)));
-        // Ingestion lag: how far behind the write's origin timestamp this
-        // cell is running. Tracked as a peak here, published on tick.
-        let lag = now_micros().saturating_sub(img.written_at);
-        self.ingest_lag_us = self.ingest_lag_us.max(lag);
-        if let Some(cost) = self.config.synthetic_match_cost {
-            // Emulates the paper's CPU throttling so saturation appears at
-            // laptop-scale workloads; busy-wait to consume executor time.
-            let until = std::time::Instant::now() + cost * self.queries.len().max(1) as u32;
-            while std::time::Instant::now() < until {
-                std::hint::spin_loop();
-            }
-        }
-        if self.config.multi_query_index {
-            // Candidates = index stab (by the new content) ∪ queries whose
-            // result currently contains the key (covers moves out of range
-            // and deletes). Every candidate is verified by full evaluation.
+        // Single writes are a batch of one: the same code path computes
+        // exactly the serial candidates (index stab ∪ containing holders).
+        self.handle_write_batch(std::slice::from_ref(img), ctx);
+    }
+
+    /// Batched write evaluation — the mini-batch tentpole. Produces, per
+    /// query and therefore per subscription, byte-identical notifications
+    /// in the same order as feeding the writes one by one; only the
+    /// cross-query interleaving may differ.
+    ///
+    /// Three phases:
+    /// 1. sequential admission (staleness avoidance, retention, lag),
+    ///    exactly as the serial path;
+    /// 2. group surviving writes by `(tenant, collection)` and split each
+    ///    group into distinct-key runs — within a run the `containing`
+    ///    snapshot equals every serial per-write lookup, so one batched
+    ///    index probe yields exactly the serial candidate sets;
+    /// 3. evaluate each candidate query over its columnar slice of the
+    ///    run (writes in arrival order), paying the query-table lookup,
+    ///    clock reads and slow-query charge once per query per run
+    ///    instead of once per (write, query) pair.
+    fn handle_write_batch(&mut self, imgs: &[Arc<AfterImage>], ctx: &mut BoltContext<'_, Event>) {
+        // Phase 1 — admission, in arrival order.
+        let mut live: Vec<&Arc<AfterImage>> = Vec::with_capacity(imgs.len());
+        for img in imgs {
             let record = RecordId {
                 tenant: img.tenant.clone(),
                 collection: img.collection.clone(),
                 key: img.key.clone(),
             };
-            let mut candidates =
-                match self.indexes.get_mut(&(img.tenant.clone(), img.collection.clone())) {
-                    Some(index) => match &img.doc {
-                        Some(doc) => index.candidates(doc),
-                        None => index.scan_candidates(),
-                    },
-                    None => return,
-                };
-            if let Some(holders) = self.containing.get(&record) {
-                candidates.extend(holders.iter().copied());
+            // Staleness avoidance: drop anything not newer than what we've
+            // seen.
+            match self.latest_versions.get(&record) {
+                Some(&seen) if img.version <= seen => {
+                    self.stale_dropped += 1;
+                    self.config.metrics.inc("matching.dropped_stale");
+                    continue;
+                }
+                _ => {}
             }
-            candidates.sort_unstable_by_key(|h| h.0);
-            candidates.dedup();
-            let mut dead: Vec<QueryHash> = Vec::new();
-            for hash in candidates {
-                let transition = match self.queries.get_mut(&(img.tenant.clone(), hash)) {
-                    Some(group) => Self::match_against(
-                        group,
-                        hash,
-                        img,
-                        &self.config.metrics,
-                        self.config.worker_identity.as_ref(),
-                        &mut self.slow_scratch,
-                        ctx,
-                    ),
-                    None => {
-                        // The query was cancelled/expired; lazily purge its
-                        // membership entry so `containing` does not leak.
-                        dead.push(hash);
-                        continue;
-                    }
-                };
-                self.note_transition(img, hash, transition);
+            self.latest_versions.insert(record, img.version);
+            self.retention.push_back((self.clock.now(), Arc::clone(img)));
+            // Ingestion lag: how far behind the write's origin timestamp
+            // this cell is running. Tracked as a peak here, published on
+            // tick.
+            let lag = now_micros().saturating_sub(img.written_at);
+            self.ingest_lag_us = self.ingest_lag_us.max(lag);
+            if let Some(cost) = self.config.synthetic_match_cost {
+                // Emulates the paper's CPU throttling so saturation appears
+                // at laptop-scale workloads; busy-wait per write to consume
+                // executor time.
+                let until = std::time::Instant::now() + cost * self.queries.len().max(1) as u32;
+                while std::time::Instant::now() < until {
+                    std::hint::spin_loop();
+                }
             }
-            if !dead.is_empty() {
-                if let Some(list) = self.containing.get_mut(&record) {
-                    list.retain(|h| !dead.contains(h));
-                    if list.is_empty() {
-                        self.containing.remove(&record);
+            live.push(img);
+        }
+        if live.is_empty() {
+            return;
+        }
+        if live.len() > 1 {
+            self.config.metrics.inc("matching.write_batches");
+        }
+        if !self.config.multi_query_index {
+            // Unindexed fallback: every same-(tenant, collection) query is
+            // evaluated per write, as before.
+            for img in live {
+                for ((_, hash), group) in self.queries.iter_mut() {
+                    if group.tenant == img.tenant && group.collection == img.collection {
+                        Self::match_against(
+                            group,
+                            *hash,
+                            img,
+                            &self.config.metrics,
+                            self.config.worker_identity.as_ref(),
+                            &mut self.slow_scratch,
+                            ctx,
+                        );
                     }
                 }
             }
-        } else {
-            for ((_, hash), group) in self.queries.iter_mut() {
-                if group.tenant == img.tenant && group.collection == img.collection {
-                    Self::match_against(
-                        group,
-                        *hash,
-                        img,
-                        &self.config.metrics,
-                        self.config.worker_identity.as_ref(),
-                        &mut self.slow_scratch,
-                        ctx,
+            return;
+        }
+        // Phase 2 — group by (tenant, collection), preserving arrival order
+        // within each group. A query belongs to exactly one group, so the
+        // order of writes any single query observes is unchanged.
+        let mut groups: Vec<(&TenantId, &str, Vec<&Arc<AfterImage>>)> = Vec::new();
+        for img in live {
+            match groups.iter_mut().find(|(t, c, _)| **t == img.tenant && *c == img.collection) {
+                Some((_, _, writes)) => writes.push(img),
+                None => groups.push((&img.tenant, &img.collection, vec![img])),
+            }
+        }
+        for (tenant, collection, writes) in groups {
+            // Distinct-key runs: an evaluation can move a record in or out
+            // of a query's result, which changes the holder candidates of a
+            // *later write to the same record*. Splitting at the first
+            // repeated key keeps every run's `containing` snapshot exact.
+            let mut start = 0;
+            let mut seen: std::collections::HashSet<&Key> = std::collections::HashSet::new();
+            for i in 0..writes.len() {
+                if !seen.insert(&writes[i].key) {
+                    self.process_run(tenant, collection, &writes[start..i], ctx);
+                    seen.clear();
+                    seen.insert(&writes[i].key);
+                    start = i;
+                }
+            }
+            self.process_run(tenant, collection, &writes[start..], ctx);
+        }
+    }
+
+    /// Phase 3 of [`MatchingNode::handle_write_batch`]: one distinct-key
+    /// run of one (tenant, collection) group — one index probe, then each
+    /// candidate query's predicate over its columnar slice of the run.
+    fn process_run(
+        &mut self,
+        tenant: &TenantId,
+        collection: &str,
+        writes: &[&Arc<AfterImage>],
+        ctx: &mut BoltContext<'_, Event>,
+    ) {
+        if writes.is_empty() {
+            return;
+        }
+        let index = match self.indexes.get_mut(&(tenant.clone(), collection.to_owned())) {
+            Some(index) => index,
+            None => return, // no queries for this (tenant, collection)
+        };
+        let docs: Vec<Option<&invalidb_common::Document>> =
+            writes.iter().map(|img| img.doc.as_ref()).collect();
+        let mut pairs = index.candidates_batch(&docs);
+        // Holder candidates: queries whose result currently contains the
+        // record (covers moves out of range and deletes). Keys are distinct
+        // within a run, so this snapshot equals the serial per-write lookup.
+        for (w, img) in writes.iter().enumerate() {
+            let record = RecordId {
+                tenant: img.tenant.clone(),
+                collection: img.collection.clone(),
+                key: img.key.clone(),
+            };
+            if let Some(holders) = self.containing.get(&record) {
+                pairs.extend(holders.iter().map(|h| (*h, w as u32)));
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        // Columnar evaluation: pairs are grouped by query hash with write
+        // indices ascending, so each query sees its writes in arrival
+        // order — per-subscription output is byte-identical to serial.
+        let mut transitions: Vec<(u32, FilterChangeKind)> = Vec::new();
+        let mut i = 0;
+        while i < pairs.len() {
+            let hash = pairs[i].0;
+            let mut j = i + 1;
+            while j < pairs.len() && pairs[j].0 == hash {
+                j += 1;
+            }
+            match self.queries.get_mut(&(tenant.clone(), hash)) {
+                Some(group) => {
+                    let started = std::time::Instant::now();
+                    for k in i..j {
+                        let img = writes[pairs[k].1 as usize];
+                        if let Some(kind) = Self::evaluate(
+                            group,
+                            hash,
+                            img,
+                            &self.config.metrics,
+                            self.config.worker_identity.as_ref(),
+                            ctx,
+                        ) {
+                            transitions.push((pairs[k].1, kind));
+                        }
+                    }
+                    self.slow_scratch.charge_n(
+                        &group.tenant.0,
+                        hash.0,
+                        || group.spec_display.clone(),
+                        (j - i) as u64,
+                        started.elapsed().as_micros() as u64,
                     );
                 }
+                None => {
+                    // The query was cancelled/expired; lazily purge its
+                    // membership entries so `containing` does not leak.
+                    for k in i..j {
+                        let img = writes[pairs[k].1 as usize];
+                        let record = RecordId {
+                            tenant: img.tenant.clone(),
+                            collection: img.collection.clone(),
+                            key: img.key.clone(),
+                        };
+                        if let Some(list) = self.containing.get_mut(&record) {
+                            list.retain(|h| *h != hash);
+                            if list.is_empty() {
+                                self.containing.remove(&record);
+                            }
+                        }
+                    }
+                }
             }
+            for (w, kind) in transitions.drain(..) {
+                self.note_transition(writes[w as usize], hash, Some(kind));
+            }
+            i = j;
         }
     }
 
@@ -532,6 +648,31 @@ impl Bolt<Event> for MatchingNode {
             // Not addressed to the filtering stage.
             Event::FilterChange(_) | Event::Out(_) => {}
         }
+    }
+
+    fn execute_batch(&mut self, inputs: &mut Vec<Event>, ctx: &mut BoltContext<'_, Event>) {
+        // Regroup the turn's contiguous write runs into a `WriteBatch` so
+        // each run shares one index probe and one per-query dispatch.
+        // Control events flush the pending run first: a subscribe between
+        // two writes must observe exactly the writes before it.
+        let mut batch = std::mem::take(&mut self.write_scratch);
+        for event in inputs.drain(..) {
+            match event {
+                Event::Write(img) => batch.push(img),
+                other => {
+                    if !batch.is_empty() {
+                        self.handle_write_batch(batch.writes(), ctx);
+                        batch.clear();
+                    }
+                    self.execute(other, ctx);
+                }
+            }
+        }
+        if !batch.is_empty() {
+            self.handle_write_batch(batch.writes(), ctx);
+            batch.clear();
+        }
+        self.write_scratch = batch;
     }
 
     fn tick(&mut self, _ctx: &mut BoltContext<'_, Event>) {
@@ -864,6 +1005,86 @@ mod tests {
         assert!(top[0].evals >= 1);
         assert_eq!(top[0].tenant, "app");
         assert!(!top[0].label.is_empty(), "label captured from the query spec");
+    }
+
+    #[test]
+    fn batched_writes_equal_serial_per_subscription() {
+        use invalidb_stream::run_with_collector;
+        // Two identically subscribed nodes: one executes writes one by one,
+        // the other gets them as a single execute_batch turn. Output per
+        // subscription (and per query hash for staged queries) must be
+        // byte-identical, including under moves-out-of-range, deletes,
+        // duplicate keys (forcing run splits) and a second collection.
+        let grid = GridShape::new(1, 1);
+        let cfg = ClusterConfig::new(1, 1);
+        let clock = MockClock::new();
+        let mut serial = MatchingNode::new(0, grid, cfg.clone(), Arc::new(clock.clone()));
+        let mut batched = MatchingNode::new(0, grid, cfg, Arc::new(clock.clone()));
+        let subs = vec![
+            subscribe_event(QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 10i64 } }), 1, vec![]),
+            subscribe_event(
+                QuerySpec::filter("t", doc! {}).sorted_by("n", SortDirection::Asc).with_limit(3),
+                2,
+                vec![],
+            ),
+            subscribe_event(QuerySpec::filter("u", doc! { "n" => doc! { "$lt" => 0i64 } }), 3, vec![]),
+        ];
+        let mut writes = vec![
+            write_event(Key::of("a"), 1, Some(doc! { "n" => 15i64 })), // add
+            write_event(Key::of("b"), 1, Some(doc! { "n" => 5i64 })),  // filtered (sub 1)
+            write_event(Key::of("a"), 2, Some(doc! { "n" => 20i64 })), // change, dup key
+            write_event(Key::of("a"), 3, Some(doc! { "n" => 1i64 })),  // move out of range
+            write_event(Key::of("b"), 2, None),                        // delete
+            write_event(Key::of("a"), 3, Some(doc! { "n" => 99i64 })), // stale (dropped)
+        ];
+        writes.push(Event::Write(Arc::new(AfterImage {
+            tenant: TenantId::new("app"),
+            collection: "u".into(),
+            key: Key::of("z"),
+            version: 1,
+            doc: Some(doc! { "n" => -4i64 }),
+            written_at: 42,
+            trace: None,
+        })));
+        let mut out_serial = Vec::new();
+        run_with_collector(&mut out_serial, |ctx| {
+            for sub in &subs {
+                serial.execute(sub.clone(), ctx);
+            }
+            for w in &writes {
+                serial.execute(w.clone(), ctx);
+            }
+        });
+        let mut out_batched = Vec::new();
+        run_with_collector(&mut out_batched, |ctx| {
+            let mut turn: Vec<Event> = subs.iter().chain(writes.iter()).cloned().collect();
+            batched.execute_batch(&mut turn, ctx);
+        });
+        let per_sub = |events: &[Event], sub: u64| -> Vec<Notification> {
+            notifications(events).into_iter().filter(|n| n.subscription.0 == sub).collect()
+        };
+        for sub in [1u64, 2, 3] {
+            assert_eq!(per_sub(&out_serial, sub), per_sub(&out_batched, sub), "subscription {sub}");
+        }
+        let changes = |events: &[Event]| -> Vec<FilterChange> {
+            events
+                .iter()
+                .filter_map(|e| match e {
+                    Event::FilterChange(fc) => Some((**fc).clone()),
+                    _ => None,
+                })
+                .collect()
+        };
+        let serial_fc = changes(&out_serial);
+        assert_eq!(serial_fc.len(), changes(&out_batched).len());
+        for (a, b) in serial_fc.iter().zip(changes(&out_batched).iter()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(a.version, b.version);
+            assert_eq!(a.doc, b.doc);
+        }
+        assert_eq!(serial.stale_dropped(), batched.stale_dropped());
+        assert_eq!(serial.retained_writes(), batched.retained_writes());
     }
 
     #[test]

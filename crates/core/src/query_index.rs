@@ -247,6 +247,60 @@ impl<Id: Copy + Eq + Hash> QueryIndex<Id> {
         out
     }
 
+    /// Batched candidate generation for a write mini-batch: pays the
+    /// dirty-rebuild, attribute-map lookups and scratch allocation once for
+    /// the whole batch instead of per write. `docs[w]` is the after-image
+    /// document of write `w` (`None` for deletes, which stab nothing — the
+    /// caller resolves delete candidates through its result sets).
+    ///
+    /// Returns `(id, write_index)` pairs in **columnar** layout: grouped by
+    /// query id (ascending), write indices ascending within each group, no
+    /// duplicates. Each query's predicate then runs over its contiguous
+    /// slice, so per-query dispatch cost is paid once per batch. The pair
+    /// set is exactly `{(id, w) | id ∈ candidates(docs[w])}` — the same
+    /// conservative superset guarantee as [`QueryIndex::candidates`].
+    pub fn candidates_batch(&mut self, docs: &[Option<&Document>]) -> Vec<(Id, u32)>
+    where
+        Id: Ord,
+    {
+        self.rebuild_if_dirty();
+        let mut pairs: Vec<(Id, u32)> = Vec::new();
+        let mut scratch: Vec<Id> = Vec::new();
+        for (w, doc) in docs.iter().enumerate() {
+            let w = w as u32;
+            for id in &self.scan {
+                pairs.push((*id, w));
+            }
+            let doc = match doc {
+                Some(doc) => doc,
+                None => continue,
+            };
+            scratch.clear();
+            for (attr, value) in doc.iter() {
+                if let Some(tree) = self.trees.get(attr) {
+                    match value {
+                        // Arrays fan out (MongoDB semantics: any element hits).
+                        Value::Array(items) => {
+                            for item in items {
+                                tree.stab(item, &mut scratch);
+                            }
+                        }
+                        v => tree.stab(v, &mut scratch),
+                    }
+                }
+            }
+            for id in &scratch {
+                pairs.push((*id, w));
+            }
+        }
+        // Stable sort: equal ids keep insertion order, and insertion order
+        // within one id is ascending write index (writes were visited in
+        // order), so duplicates of one `(id, w)` end up adjacent.
+        pairs.sort_by_key(|(id, _)| *id);
+        pairs.dedup();
+        pairs
+    }
+
     /// Candidates for a *delete* (no document): deletes can only affect
     /// queries that currently contain the key, which the caller resolves
     /// through its result sets; only the scan list is returned here.
@@ -381,6 +435,47 @@ mod tests {
         assert_eq!(idx.candidates(&doc! { "color" => "red" }), vec![1]);
         assert_eq!(idx.candidates(&doc! { "color" => "blue" }), vec![2]);
         assert!(idx.candidates(&doc! { "color" => "green" }).is_empty());
+    }
+
+    #[test]
+    fn batch_candidates_agree_with_serial_candidates() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut idx: QueryIndex<u32> = QueryIndex::default();
+        for i in 0..50u32 {
+            let lo = rng.gen_range(-40..40i64);
+            idx.insert(i, &range_filter(lo, lo + rng.gen_range(0..20i64)));
+        }
+        idx.insert(50, &doc! { "$or" => vec![Value::Object(doc! { "a" => 1i64 })] });
+        let docs: Vec<Option<Document>> = (0..16)
+            .map(|w| {
+                if w % 5 == 4 {
+                    None // delete
+                } else {
+                    Some(doc! { "random" => rng.gen_range(-50..50i64), "other" => w as i64 })
+                }
+            })
+            .collect();
+        let refs: Vec<Option<&Document>> = docs.iter().map(Option::as_ref).collect();
+        let pairs = idx.candidates_batch(&refs);
+        // Columnar invariants: grouped by id, writes ascending, no dupes.
+        for win in pairs.windows(2) {
+            assert!(win[0] < win[1], "sorted unique pairs");
+        }
+        // Exact agreement with the serial path, write by write.
+        for (w, doc) in docs.iter().enumerate() {
+            let mut serial = match doc {
+                Some(d) => idx.candidates(d),
+                None => idx.scan_candidates(),
+            };
+            serial.sort_unstable();
+            serial.dedup();
+            let mut batched: Vec<u32> =
+                pairs.iter().filter(|(_, bw)| *bw == w as u32).map(|(id, _)| *id).collect();
+            batched.sort_unstable();
+            assert_eq!(batched, serial, "write {w}");
+        }
     }
 
     #[test]

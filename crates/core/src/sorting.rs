@@ -35,9 +35,22 @@ struct SortGroup {
     client_state: Vec<WindowItem>,
     /// False after a maintenance error, until renewal re-activates.
     active: bool,
+    /// Filter changes that arrived while deactivated, in arrival order.
+    /// The renewal's fresh snapshot is read from the store *before* the
+    /// Subscribe is published, so a change generated from a later write
+    /// can still reach this task first (it travels on the matching
+    /// channel, the Subscribe on the query-ingest channel). Discarding it
+    /// would freeze its key at the snapshot's state forever; instead it
+    /// is replayed — version-guarded — right after the reseed.
+    pending: Vec<Arc<FilterChange>>,
     slack: u64,
     subscriptions: HashMap<SubscriptionId, SubState>,
 }
+
+/// Bound on buffered filter changes per deactivated query. On overflow
+/// the oldest buffered change is shed: the next renewal's snapshot is
+/// read later than anything shed, so it covers the loss.
+const PENDING_CAP: usize = 4096;
 
 /// The sorting-stage bolt.
 pub struct SortingNode {
@@ -107,6 +120,26 @@ impl SortingNode {
                 group.active = true;
                 group.slack = req.slack;
                 group.client_state = group.window.snapshot_visible();
+                // Replay changes buffered while deactivated. Per-key FIFO
+                // order is preserved, and the window's version guard drops
+                // whatever the fresh snapshot already reflects. A nested
+                // maintenance error mid-replay re-buffers the remainder
+                // for the next renewal.
+                let pending = std::mem::take(&mut group.pending);
+                for fc in pending {
+                    if group.active {
+                        Self::apply_filter_change(
+                            group,
+                            &fc,
+                            &self.config,
+                            &mut self.maintenance_errors,
+                            &mut self.slow_scratch,
+                            ctx,
+                        );
+                    } else {
+                        group.pending.push(fc);
+                    }
+                }
             }
             return;
         }
@@ -126,17 +159,49 @@ impl SortingNode {
                 window,
                 client_state,
                 active: true,
+                pending: Vec::new(),
                 slack: req.slack,
                 subscriptions,
             },
         );
     }
 
-    fn handle_filter_change(&mut self, fc: &FilterChange, ctx: &mut BoltContext<'_, Event>) {
+    fn handle_filter_change(&mut self, fc: &Arc<FilterChange>, ctx: &mut BoltContext<'_, Event>) {
         let group = match self.groups.get_mut(&(fc.tenant.clone(), fc.query_hash)) {
-            Some(g) if g.active => g,
-            _ => return, // inactive (awaiting renewal) or unknown
+            Some(g) => g,
+            None => return, // unknown query
         };
+        if !group.active {
+            // Awaiting renewal: buffer instead of discarding — the
+            // renewal's snapshot may have been read before the write that
+            // produced this change (see the `pending` field).
+            if group.pending.len() >= PENDING_CAP {
+                group.pending.remove(0);
+                self.config.metrics.inc("sorting.pending_shed");
+            }
+            group.pending.push(Arc::clone(fc));
+            return;
+        }
+        Self::apply_filter_change(
+            group,
+            fc,
+            &self.config,
+            &mut self.maintenance_errors,
+            &mut self.slow_scratch,
+            ctx,
+        );
+    }
+
+    /// Applies one filter change to an active group's window, emitting the
+    /// visible edit script (or a maintenance error, which deactivates).
+    fn apply_filter_change(
+        group: &mut SortGroup,
+        fc: &FilterChange,
+        config: &ClusterConfig,
+        maintenance_errors: &mut u64,
+        slow_scratch: &mut SlowQueryScratch,
+        ctx: &mut BoltContext<'_, Event>,
+    ) {
         // Slow-query accounting: the window maintenance below is the
         // sorting stage's per-query cost.
         let started = std::time::Instant::now();
@@ -150,8 +215,8 @@ impl SortingNode {
             // Query maintenance error: deactivate and ask for renewal. The
             // client's list stays at the last valid state (client_state).
             group.active = false;
-            self.maintenance_errors += 1;
-            self.config.metrics.inc("sorting.maintenance_errors");
+            *maintenance_errors += 1;
+            config.metrics.inc("sorting.maintenance_errors");
             for (sub, state) in &group.subscriptions {
                 ctx.emit(Event::Out(Arc::new(OutMsg::Notify(Notification {
                     tenant: state.tenant.clone(),
@@ -161,7 +226,7 @@ impl SortingNode {
                     trace: trace.clone(),
                 }))));
             }
-            self.slow_scratch.charge(
+            slow_scratch.charge(
                 &fc.tenant.0,
                 fc.query_hash.0,
                 || group.spec_display.clone(),
@@ -171,7 +236,7 @@ impl SortingNode {
         }
         Self::broadcast(group, &outcome.events, fc.written_at, trace.as_ref(), ctx);
         apply_events(&mut group.client_state, &outcome.events);
-        self.slow_scratch.charge(
+        slow_scratch.charge(
             &fc.tenant.0,
             fc.query_hash.0,
             || group.spec_display.clone(),
@@ -308,5 +373,168 @@ impl Bolt<Event> for SortingNode {
         self.config
             .metrics
             .set_gauge(&format!("sorting.{}.active_queries", self.task), self.groups.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::FilterChangeKind;
+    use invalidb_common::{doc, Document, Key, MatchType, MockClock, QuerySpec, SortDirection};
+    use invalidb_stream::{Grouping, Source, TopologyBuilder};
+    use parking_lot::Mutex;
+    use std::time::Duration;
+
+    struct Harness {
+        tx: crossbeam::channel::Sender<Event>,
+        out: Arc<Mutex<Vec<Event>>>,
+        _topo: invalidb_stream::RunningTopology,
+    }
+
+    struct ChanSource(crossbeam::channel::Receiver<Event>);
+    impl Source<Event> for ChanSource {
+        fn poll(&mut self, timeout: Duration) -> Vec<Event> {
+            match self.0.recv_timeout(timeout) {
+                Ok(e) => {
+                    let mut out = vec![e];
+                    out.extend(self.0.try_iter());
+                    out
+                }
+                Err(_) => Vec::new(),
+            }
+        }
+    }
+
+    struct Collector(Arc<Mutex<Vec<Event>>>);
+    impl Bolt<Event> for Collector {
+        fn execute(&mut self, input: Event, _ctx: &mut BoltContext<'_, Event>) {
+            self.0.lock().push(input);
+        }
+    }
+
+    fn harness(config: ClusterConfig) -> Harness {
+        let (tx, rx) = crossbeam::channel::unbounded();
+        let out = Arc::new(Mutex::new(Vec::new()));
+        let clock = MockClock::new();
+        let mut b = TopologyBuilder::new();
+        b.add_source("src", ChanSource(rx));
+        let cfg = config.clone();
+        b.add_bolt("node", 1, move |task| {
+            Box::new(SortingNode::new(task, cfg.clone(), Arc::new(clock.clone())))
+        });
+        let out2 = Arc::clone(&out);
+        b.add_bolt("sink", 1, move |_| Box::new(Collector(Arc::clone(&out2))));
+        b.connect("src", "node", Grouping::Broadcast);
+        b.connect("node", "sink", Grouping::Shuffle);
+        Harness { tx, out, _topo: b.start() }
+    }
+
+    fn subscribe_event(spec: &QuerySpec, slack: u64, initial: Vec<ResultItem>) -> Event {
+        Event::Subscribe(Arc::new(SubscriptionRequest {
+            tenant: TenantId::new("app"),
+            subscription: SubscriptionId(1),
+            query_hash: spec.stable_hash(),
+            spec: spec.clone(),
+            initial,
+            slack,
+            ttl_micros: 60_000_000,
+            renewal: false,
+        }))
+    }
+
+    fn change_event(spec: &QuerySpec, kind: FilterChangeKind, key: &str, version: u64, doc: Option<Document>) -> Event {
+        Event::FilterChange(Arc::new(FilterChange {
+            tenant: TenantId::new("app"),
+            query_hash: spec.stable_hash(),
+            kind,
+            key: Key::of(key),
+            version,
+            doc,
+            written_at: 7,
+            trace: None,
+        }))
+    }
+
+    fn item(key: &str, version: u64, n: i64) -> ResultItem {
+        ResultItem {
+            key: Key::of(key),
+            version,
+            doc: Some(doc! { "n" => n }),
+            index: None,
+        }
+    }
+
+    fn notifications(h: &Harness, n: usize) -> Vec<Notification> {
+        for _ in 0..400 {
+            if h.out.lock().len() >= n {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        h.out
+            .lock()
+            .iter()
+            .filter_map(|e| match e {
+                Event::Out(msg) => match &**msg {
+                    OutMsg::Notify(note) => Some(note.clone()),
+                    _ => None,
+                },
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Regression test for the inactive-discard race: a filter change that
+    /// reaches the sorting task while its query awaits renewal must be
+    /// buffered and replayed after the reseed — the renewal's snapshot is
+    /// read from the store before the Subscribe is published, so the change
+    /// may postdate the snapshot and be the key's only chance to surface.
+    #[test]
+    fn changes_buffered_while_awaiting_renewal_replay_after_reseed() {
+        let h = harness(ClusterConfig::new(1, 1));
+        let spec = QuerySpec::filter("t", Document::new())
+            .sorted_by("n", SortDirection::Asc)
+            .with_limit(2);
+
+        // Seed with zero slack and a full (hence incomplete) window: the
+        // first remove exhausts the window and raises a maintenance error.
+        h.tx.send(subscribe_event(&spec, 0, vec![item("k1", 1, 1), item("k2", 1, 2)])).unwrap();
+        h.tx.send(change_event(&spec, FilterChangeKind::Remove, "k1", 2, None)).unwrap();
+        let notes = notifications(&h, 1);
+        assert_eq!(notes.len(), 1, "remove on an exhausted window must error: {notes:?}");
+        assert!(
+            matches!(notes[0].kind, NotificationKind::Error(_)),
+            "expected maintenance error, got {:?}",
+            notes[0].kind
+        );
+
+        // While the query is deactivated, two changes race the renewal:
+        // one already covered by the upcoming snapshot (k2@1, stale) and
+        // one that postdates it (k3). Both were silently discarded before.
+        h.tx.send(change_event(
+            &spec,
+            FilterChangeKind::Change,
+            "k2",
+            1,
+            Some(doc! { "n" => 2i64 }),
+        ))
+        .unwrap();
+        h.tx.send(change_event(&spec, FilterChangeKind::Add, "k3", 1, Some(doc! { "n" => 3i64 })))
+            .unwrap();
+
+        // Renewal: fresh snapshot read before k3's write reached the store.
+        // Ample slack, window complete (1 item < cap).
+        h.tx.send(subscribe_event(&spec, 2, vec![item("k2", 1, 2)])).unwrap();
+
+        let notes = notifications(&h, 2);
+        assert_eq!(notes.len(), 2, "exactly the buffered fresh change must surface: {notes:?}");
+        match &notes[1].kind {
+            NotificationKind::Change(change) => {
+                assert_eq!(change.match_type, MatchType::Add);
+                assert_eq!(change.item.key, Key::of("k3"));
+                assert_eq!(change.item.index, Some(1));
+            }
+            other => panic!("expected buffered add to replay, got {other:?}"),
+        }
     }
 }

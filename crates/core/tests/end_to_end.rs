@@ -368,6 +368,108 @@ fn multi_tenant_topics_are_isolated() {
     cluster.shutdown();
 }
 
+/// Mini-batch matching is a pure optimization: a burst of writes drained
+/// as one topology batch must produce **byte-identical** notifications —
+/// content and order, per subscription — to the same writes processed one
+/// message per turn, under both envelope codecs.
+#[test]
+fn batched_writes_notify_byte_identically_to_serial() {
+    use invalidb_json::WireCodec;
+    use std::collections::HashMap;
+
+    for codec in [WireCodec::Json, WireCodec::Binary] {
+        let run = |max_batch: usize| -> HashMap<u64, Vec<Bytes>> {
+            let broker = Broker::new();
+            let notify = broker.subscribe(&notify_topic(TENANT));
+            // A single chain of tasks (1x1 grid, one task per stage) makes
+            // per-subscription order fully deterministic; batching may only
+            // change how many messages share a scheduling turn.
+            let cfg = ClusterConfig::builder(1, 1)
+                .query_ingest_nodes(1)
+                .write_ingest_nodes(1)
+                .sorting_tasks(1)
+                .wire_codec(codec)
+                .max_batch(max_batch)
+                .build()
+                .unwrap();
+            let cluster = Cluster::start(broker.clone(), cfg);
+            let publish = |msg: &ClusterMessage| {
+                broker.publish(CLUSTER_TOPIC, codec.encode(&msg.to_document()));
+            };
+
+            let unsorted = QuerySpec::filter("t", doc! { "n" => doc! { "$gte" => 25i64 } });
+            let sorted =
+                QuerySpec::filter("t", doc! {}).sorted_by("n", SortDirection::Desc).with_limit(3);
+            publish(&subscribe_msg(&unsorted, 1, vec![], 0));
+            publish(&subscribe_msg(&sorted, 2, vec![], 4));
+            collect(&notify, 2); // both initial results
+
+            // A deterministic burst published back-to-back so the batched
+            // run actually drains multi-message turns: repeated keys (runs
+            // split within a batch), updates moving records across the
+            // filter boundary, and deletes.
+            let mut versions: HashMap<i64, u64> = HashMap::new();
+            for i in 0..60i64 {
+                let key = i % 7;
+                let v = versions.entry(key).or_insert(0);
+                *v += 1;
+                let msg = if i % 9 == 8 {
+                    write_msg("t", Key::of(key), *v, None)
+                } else {
+                    write_msg("t", Key::of(key), *v, Some(doc! { "n" => (i * 13) % 50 }))
+                };
+                publish(&msg);
+            }
+
+            // Collect raw payloads until quiescent, grouped by subscription
+            // (heartbeats are unsubscription-addressed and timing-dependent,
+            // so they are excluded from the comparison).
+            let mut out: HashMap<u64, Vec<Bytes>> = HashMap::new();
+            let mut idle = 0;
+            while idle < 8 {
+                match notify.recv_timeout(Duration::from_millis(100)) {
+                    Some(p) => {
+                        if let Some(n) = decode(p.clone()) {
+                            idle = 0;
+                            out.entry(n.subscription.0).or_default().push(p);
+                        }
+                    }
+                    None => idle += 1,
+                }
+            }
+            cluster.shutdown();
+            out
+        };
+
+        let serial = run(1);
+        let batched = run(32);
+        assert!(
+            serial.values().map(Vec::len).sum::<usize>() > 10,
+            "workload produced too few notifications to be meaningful"
+        );
+        let mut subs: Vec<&u64> = serial.keys().chain(batched.keys()).collect();
+        subs.sort();
+        subs.dedup();
+        for sub in subs {
+            let s = serial.get(sub).map(Vec::as_slice).unwrap_or_default();
+            let b = batched.get(sub).map(Vec::as_slice).unwrap_or_default();
+            assert_eq!(
+                s.len(),
+                b.len(),
+                "{codec:?} subscription {sub}: serial {} vs batched {} notifications",
+                s.len(),
+                b.len()
+            );
+            for (i, (sp, bp)) in s.iter().zip(b).enumerate() {
+                assert_eq!(
+                    sp, bp,
+                    "{codec:?} subscription {sub}: notification {i} differs byte-wise"
+                );
+            }
+        }
+    }
+}
+
 /// The multi-query index is a pure optimization: with and without it, the
 /// same workload must produce exactly the same notifications.
 #[test]

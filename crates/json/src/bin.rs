@@ -54,14 +54,14 @@ pub const BIN_VERSION: u8 = 1;
 /// overflow past the other.
 pub const MAX_DEPTH: usize = 128;
 
-const TAG_NULL: u8 = 0x00;
-const TAG_FALSE: u8 = 0x01;
-const TAG_TRUE: u8 = 0x02;
-const TAG_INT: u8 = 0x03;
-const TAG_FLOAT: u8 = 0x04;
-const TAG_STRING: u8 = 0x05;
-const TAG_ARRAY: u8 = 0x06;
-const TAG_OBJECT: u8 = 0x07;
+pub(crate) const TAG_NULL: u8 = 0x00;
+pub(crate) const TAG_FALSE: u8 = 0x01;
+pub(crate) const TAG_TRUE: u8 = 0x02;
+pub(crate) const TAG_INT: u8 = 0x03;
+pub(crate) const TAG_FLOAT: u8 = 0x04;
+pub(crate) const TAG_STRING: u8 = 0x05;
+pub(crate) const TAG_ARRAY: u8 = 0x06;
+pub(crate) const TAG_OBJECT: u8 = 0x07;
 
 /// Whether `payload` starts like a binary-codec document (magic prefix;
 /// a partial prefix of a short payload also counts so torn payloads are
@@ -145,11 +145,11 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn zigzag(i: i64) -> u64 {
+pub(crate) fn zigzag(i: i64) -> u64 {
     ((i << 1) ^ (i >> 63)) as u64
 }
 
-fn unzigzag(v: u64) -> i64 {
+pub(crate) fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
@@ -272,13 +272,13 @@ pub fn decode_document(payload: &[u8]) -> Result<Document, BinError> {
     Ok(doc)
 }
 
-struct BinReader<'a> {
-    buf: &'a [u8],
-    pos: usize,
+pub(crate) struct BinReader<'a> {
+    pub(crate) buf: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> BinReader<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], BinError> {
         if self.buf.len() - self.pos < n {
             return Err(BinError::new(BinErrorKind::Truncated, self.pos));
         }
@@ -287,11 +287,11 @@ impl<'a> BinReader<'a> {
         Ok(s)
     }
 
-    fn byte(&mut self) -> Result<u8, BinError> {
+    pub(crate) fn byte(&mut self) -> Result<u8, BinError> {
         Ok(self.take(1)?[0])
     }
 
-    fn varint(&mut self) -> Result<u64, BinError> {
+    pub(crate) fn varint(&mut self) -> Result<u64, BinError> {
         let start = self.pos;
         let mut v: u64 = 0;
         let mut shift = 0u32;
@@ -311,7 +311,7 @@ impl<'a> BinReader<'a> {
     /// A varint used as a length/count: additionally bounded by the bytes
     /// actually remaining, so a corrupt huge count fails fast instead of
     /// attempting a giant allocation.
-    fn len_varint(&mut self) -> Result<usize, BinError> {
+    pub(crate) fn len_varint(&mut self) -> Result<usize, BinError> {
         let start = self.pos;
         let v = self.varint()?;
         if v > (self.buf.len() - self.pos) as u64 {
@@ -320,7 +320,7 @@ impl<'a> BinReader<'a> {
         Ok(v as usize)
     }
 
-    fn str(&mut self) -> Result<String, BinError> {
+    pub(crate) fn str(&mut self) -> Result<String, BinError> {
         let len = self.len_varint()?;
         let start = self.pos;
         let bytes = self.take(len)?;
@@ -329,7 +329,7 @@ impl<'a> BinReader<'a> {
             .map_err(|_| BinError::new(BinErrorKind::BadUtf8, start))
     }
 
-    fn object_body(&mut self, depth: usize) -> Result<Document, BinError> {
+    pub(crate) fn object_body(&mut self, depth: usize) -> Result<Document, BinError> {
         if depth > MAX_DEPTH {
             return Err(BinError::new(BinErrorKind::TooDeep, self.pos));
         }
@@ -345,7 +345,7 @@ impl<'a> BinReader<'a> {
         Ok(doc)
     }
 
-    fn value(&mut self, depth: usize) -> Result<Value, BinError> {
+    pub(crate) fn value(&mut self, depth: usize) -> Result<Value, BinError> {
         if depth > MAX_DEPTH {
             return Err(BinError::new(BinErrorKind::TooDeep, self.pos));
         }

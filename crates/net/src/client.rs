@@ -403,6 +403,14 @@ impl EventLayer for RemoteBroker {
     fn subscriber_count(&self, topic: &str) -> usize {
         RemoteBroker::subscriber_count(self, topic)
     }
+
+    fn generation(&self) -> u64 {
+        // `reconnects` is 1 after the first connect and +1 per re-established
+        // session, which is exactly the generation contract: a bump tells
+        // publishers that frames enqueued against the previous session may
+        // have died with it.
+        self.metrics().reconnects.load(Ordering::Relaxed)
+    }
 }
 
 impl From<RemoteBroker> for BrokerHandle {

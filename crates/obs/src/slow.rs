@@ -219,6 +219,41 @@ impl SlowQueryScratch {
         );
     }
 
+    /// Charges `evals` evaluations totalling `cost_us` microseconds in one
+    /// call. The batched matching path times a whole per-query candidate
+    /// slice with a single clock-read pair; the per-evaluation cost is
+    /// approximated by the slice mean for the max/last fields.
+    pub fn charge_n(
+        &mut self,
+        tenant: &str,
+        query_hash: u64,
+        label: impl FnOnce() -> String,
+        evals: u64,
+        cost_us: u64,
+    ) {
+        if evals == 0 {
+            return;
+        }
+        let per_eval = cost_us / evals;
+        if let Some(p) = self.pending.get_mut(&(tenant.to_owned(), query_hash)) {
+            p.evals += evals;
+            p.total_us += cost_us;
+            p.max_us = p.max_us.max(per_eval);
+            p.last_us = per_eval;
+            return;
+        }
+        self.pending.insert(
+            (tenant.to_owned(), query_hash),
+            PendingCharge {
+                label: Some(label()),
+                evals,
+                total_us: cost_us,
+                max_us: per_eval,
+                last_us: per_eval,
+            },
+        );
+    }
+
     /// Number of distinct queries with unflushed charges.
     pub fn len(&self) -> usize {
         self.pending.len()

@@ -53,6 +53,19 @@ pub trait Bolt<M: Message>: Send {
     /// Processes one input message.
     fn execute(&mut self, input: M, ctx: &mut BoltContext<'_, M>);
 
+    /// Processes one scheduling turn's worth of buffered input (up to
+    /// `max_batch` messages, in arrival order). The runtime always delivers
+    /// through this hook; the default forwards message-by-message to
+    /// [`Bolt::execute`], so plain bolts behave exactly as before. Bolts
+    /// with cross-message amortization opportunities (the matching stage's
+    /// shared index probe) override it. Implementations must leave
+    /// `inputs` empty — the runtime reuses the buffer across turns.
+    fn execute_batch(&mut self, inputs: &mut Vec<M>, ctx: &mut BoltContext<'_, M>) {
+        for msg in inputs.drain(..) {
+            self.execute(msg, ctx);
+        }
+    }
+
     /// Periodic tick for time-driven work (default: no-op).
     fn tick(&mut self, _ctx: &mut BoltContext<'_, M>) {}
 }
@@ -334,6 +347,7 @@ impl<M: Message> TopologyBuilder<M> {
                             .spawn(move || {
                                 let rr: Vec<AtomicUsize> =
                                     outputs.iter().map(|_| AtomicUsize::new(0)).collect();
+                                let mut batch: Vec<M> = Vec::with_capacity(max_batch);
                                 loop {
                                     match rx.recv_timeout(tick_interval) {
                                         Ok(Input::Msg(msg)) => {
@@ -344,23 +358,21 @@ impl<M: Message> TopologyBuilder<M> {
                                             // so a drained spike decays
                                             // even under steady traffic.
                                             m.queue_depth.store(rx.len() as u64 + 1, Ordering::Relaxed);
-                                            let mut ctx = BoltContext {
-                                                outputs: &outputs,
-                                                rr_counters: &rr,
-                                                emitted: 0,
-                                            };
-                                            bolt.execute(msg, &mut ctx);
                                             // Batch execution: drain what is
                                             // already buffered (bounded, so a
                                             // firehose can't starve ticks)
                                             // without paying a blocking
-                                            // receive per message.
+                                            // receive per message, then hand
+                                            // the whole turn to the bolt in
+                                            // one call so it can amortize
+                                            // cross-message work.
+                                            batch.push(msg);
                                             let mut stop = false;
-                                            for _ in 1..max_batch {
+                                            while batch.len() < max_batch {
                                                 match rx.try_recv() {
                                                     Ok(Input::Msg(msg)) => {
                                                         m.processed.fetch_add(1, Ordering::Relaxed);
-                                                        bolt.execute(msg, &mut ctx);
+                                                        batch.push(msg);
                                                     }
                                                     Ok(Input::Stop) => {
                                                         stop = true;
@@ -369,6 +381,13 @@ impl<M: Message> TopologyBuilder<M> {
                                                     Err(_) => break, // drained
                                                 }
                                             }
+                                            let mut ctx = BoltContext {
+                                                outputs: &outputs,
+                                                rr_counters: &rr,
+                                                emitted: 0,
+                                            };
+                                            bolt.execute_batch(&mut batch, &mut ctx);
+                                            batch.clear();
                                             if stop {
                                                 break;
                                             }

@@ -340,6 +340,70 @@ fn forced_disconnect_recovers_via_replay() {
     link.shutdown();
 }
 
+/// Regression for the mixed-version flake: a reconnect mid-stream (the
+/// client's heartbeat supervisor fires under CPU starvation, or the link
+/// drops) loses in-flight publishes and notifications at-most-once. The
+/// keeper's link-generation watch must repair that **on its own** — ring
+/// replay plus subscription renewal — so live results converge without
+/// the application re-driving a single write.
+#[test]
+fn reconnect_repair_restores_convergence_without_redrive() {
+    let host = cluster_host();
+    let proxy = ChaosProxy::start(
+        host.server.local_addr().to_string(),
+        ChaosProxyConfig { seed: 31, ..ChaosProxyConfig::default() },
+    )
+    .expect("start chaos proxy");
+    let link = remote(&proxy.local_addr().to_string());
+    let app = AppServer::start(
+        "netstack-regen",
+        Arc::clone(&host.store),
+        link.clone(),
+        AppServerConfig::default(),
+    );
+
+    let spec = QuerySpec::filter("items", doc! { "n" => doc! { "$gte" => 0i64 } });
+    let mut sub = app.subscribe(&spec).unwrap();
+    assert!(matches!(
+        sub.events().timeout(Duration::from_secs(10)).next(),
+        Some(ClientEvent::Initial(_))
+    ));
+    let mut subs = vec![(sub, spec)];
+
+    let mut rng = StdRng::seed_from_u64(3030);
+    for _ in 0..60 {
+        random_write(&app, &mut rng);
+    }
+    assert_converges(&host.store, &mut subs, Duration::from_secs(20), "pre-disconnect");
+
+    // Sever the link and write into the gap. These publishes are lost on
+    // the wire (at-most-once) but retained in the app server's write ring.
+    let reconnects_before = link.metrics().reconnects.load(Ordering::Relaxed);
+    let replays_before = app.reconnect_replays();
+    link.kick();
+    proxy.reset_all();
+    for _ in 0..40 {
+        random_write(&app, &mut rng);
+    }
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while link.metrics().reconnects.load(Ordering::Relaxed) <= reconnects_before {
+        assert!(Instant::now() < deadline, "supervisor should reconnect");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(link.wait_connected(Duration::from_secs(10)));
+
+    // No re-drive: the generation watch alone must replay the ring and
+    // renew the subscription until the live result matches the pull truth.
+    assert_converges(&host.store, &mut subs, Duration::from_secs(30), "generation-watch repair");
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while app.reconnect_replays() <= replays_before {
+        assert!(Instant::now() < deadline, "keeper should record the generation-triggered replay");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    link.shutdown();
+}
+
 /// Truncated frames (a torn tail followed by a reset) are contained: the
 /// decoder holds the partial frame, the supervisor reconnects, and
 /// traffic keeps flowing — no panic, no wedge.
