@@ -69,12 +69,14 @@ fn bench_matching(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1_000));
     group.bench_function("indexed_1000_queries_per_write", |b| {
         let mut i = 0;
+        let mut cands: Vec<usize> = Vec::new();
         b.iter(|| {
             let doc = &docs[i % docs.len()];
             i += 1;
             let mut hits = 0u32;
-            for id in index.candidates(black_box(doc)) {
-                if queries[id].matches(doc) {
+            index.candidates(black_box(doc), &mut cands);
+            for id in &cands {
+                if queries[*id].matches(doc) {
                     hits += 1;
                 }
             }
@@ -97,10 +99,12 @@ fn bench_matching(c: &mut Criterion) {
         for (i, spec) in specs.iter().enumerate() {
             index.insert(i, &spec.filter);
         }
+        let mut cands: Vec<usize> = Vec::new();
         b.iter(|| {
             let mut pairs = 0usize;
             for doc in &batch_docs {
-                pairs += index.candidates(black_box(doc)).len();
+                index.candidates(black_box(doc), &mut cands);
+                pairs += cands.len();
             }
             black_box(pairs)
         });
@@ -110,7 +114,11 @@ fn bench_matching(c: &mut Criterion) {
         for (i, spec) in specs.iter().enumerate() {
             index.insert(i, &spec.filter);
         }
-        b.iter(|| black_box(index.candidates_batch(black_box(&refs)).len()));
+        let mut pairs: Vec<(usize, u32)> = Vec::new();
+        b.iter(|| {
+            index.candidates_batch(black_box(&refs), &mut pairs);
+            black_box(pairs.len())
+        });
     });
     group.finish();
 }

@@ -147,5 +147,50 @@ fn main() {
         _ => fail("BENCH_fig6.json", "`fig6e.breakdowns` missing or not an array"),
     }
 
-    println!("bench-check OK: BENCH_transport.json, BENCH_fig6.json");
+    // Q-scaling sweep: per-write matching cost vs. active query count, in
+    // both index modes, plus the growth exponents the sublinearity claim in
+    // EXPERIMENTS.md is quoted from.
+    let qscale = load("BENCH_qscale.json");
+    require_rows("BENCH_qscale.json", &qscale, "rows");
+    require_number("BENCH_qscale.json", &qscale, "improvement_at_100k_mixed", "document");
+    if let Some(Value::Array(rows)) = qscale.get("rows") {
+        let mut shapes: Vec<&str> = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            let Value::Object(row) = row else {
+                fail("BENCH_qscale.json", &format!("row {i} is not an object"));
+            };
+            match row.get("shape").and_then(|v| v.as_str()) {
+                Some(s) => {
+                    if !shapes.contains(&s) {
+                        shapes.push(s);
+                    }
+                }
+                None => fail("BENCH_qscale.json", &format!("row {i} lacks `shape`")),
+            }
+            for field in ["q", "q_distinct", "writes", "new_us_per_write", "prepr_us_per_write"] {
+                require_number("BENCH_qscale.json", row, field, &format!("row {i}"));
+            }
+        }
+        for shape in ["unique_ranges", "shared_conjunctions", "duplicated_filters", "mixed"] {
+            if !shapes.contains(&shape) {
+                fail("BENCH_qscale.json", &format!("no rows for shape `{shape}`"));
+            }
+        }
+    }
+    require_rows("BENCH_qscale.json", &qscale, "scaling");
+    if let Some(Value::Array(rows)) = qscale.get("scaling") {
+        for (i, row) in rows.iter().enumerate() {
+            let Value::Object(row) = row else {
+                fail("BENCH_qscale.json", &format!("scaling row {i} is not an object"));
+            };
+            if row.get("shape").and_then(|v| v.as_str()).is_none() {
+                fail("BENCH_qscale.json", &format!("scaling row {i} lacks `shape`"));
+            }
+            for field in ["q_lo", "q_hi", "exponent_new", "exponent_prepr"] {
+                require_number("BENCH_qscale.json", row, field, &format!("scaling row {i}"));
+            }
+        }
+    }
+
+    println!("bench-check OK: BENCH_transport.json, BENCH_fig6.json, BENCH_qscale.json");
 }

@@ -27,9 +27,10 @@ use invalidb_common::{
     TraceContext, Version,
 };
 use invalidb_obs::{MetricsRegistry, SlowQueryScratch};
-use invalidb_query::PreparedQuery;
+use invalidb_query::{PreparedAtom, PreparedQuery};
 use invalidb_stream::{Bolt, BoltContext};
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 /// Key identifying a record across tenants and collections.
@@ -43,6 +44,42 @@ struct RecordId {
 struct SubState {
     tenant: TenantId,
     expires_at: Timestamp,
+}
+
+/// Shared predicate evaluation (SharedDB-style): atomic predicate results
+/// are memoized per write within one evaluation run, keyed by the atom's
+/// hash-consed identity. A predicate shared by a thousand conjunctive
+/// queries is evaluated once per write, not a thousand times.
+#[derive(Default)]
+struct PredCache {
+    /// (predicate hash, write index within the run) → result.
+    map: HashMap<(u64, u32), bool>,
+    hits: u64,
+}
+
+impl PredCache {
+    /// Starts a new run: prior writes' results no longer apply. Capacity is
+    /// retained, so the steady state allocates nothing.
+    fn begin_run(&mut self) {
+        self.map.clear();
+    }
+
+    /// The conjunction of `atoms` over `doc`, memoized per (atom, write).
+    /// Exactly equivalent to `prepared.matches(doc)` by the
+    /// [`invalidb_query::PreparedQuery::conjuncts`] contract.
+    fn eval_all(&mut self, atoms: &[PreparedAtom], write_idx: u32, doc: &invalidb_common::Document) -> bool {
+        atoms.iter().all(|a| match self.map.entry((a.hash().0, write_idx)) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                self.hits += 1;
+                *e.get()
+            }
+            std::collections::hash_map::Entry::Vacant(e) => *e.insert(a.matches(doc)),
+        })
+    }
+
+    fn take_hits(&mut self) -> u64 {
+        std::mem::take(&mut self.hits)
+    }
 }
 
 /// One active query on this node (shared by all its subscriptions).
@@ -92,11 +129,29 @@ pub struct MatchingNode {
     slow_scratch: SlowQueryScratch,
     /// Reused mini-batch buffer for [`Bolt::execute_batch`] turns.
     write_scratch: WriteBatch,
+    /// Shared predicate evaluation cache (cleared per evaluation run).
+    pred_cache: PredCache,
+    /// Reused candidate-pair buffer for the batched index probe.
+    cand_pairs: Vec<(QueryHash, u32)>,
+    /// Cluster-shared `matching.index.*` series, resolved once so the tick
+    /// path never touches the registry maps. Gauges are maintained by
+    /// publishing this cell's delta since the last tick — the registry
+    /// value is the sum over all cells of the process.
+    metric_indexed: Arc<AtomicU64>,
+    metric_scanned: Arc<AtomicU64>,
+    metric_eq_hits: Arc<AtomicU64>,
+    metric_pred_hits: Arc<AtomicU64>,
+    last_indexed: u64,
+    last_scanned: u64,
 }
 
 impl MatchingNode {
     /// Creates the node for task index `task` in the grid.
     pub fn new(task: usize, grid: GridShape, config: ClusterConfig, clock: Arc<dyn Clock>) -> Self {
+        let metric_indexed = config.metrics.gauge("matching.index.indexed_queries");
+        let metric_scanned = config.metrics.gauge("matching.index.scanned_queries");
+        let metric_eq_hits = config.metrics.counter("matching.index.eq_lane_hits");
+        let metric_pred_hits = config.metrics.counter("matching.index.pred_cache_hits");
         Self {
             coord: grid.coord_of(task),
             grid,
@@ -111,6 +166,14 @@ impl MatchingNode {
             ingest_lag_us: 0,
             slow_scratch: SlowQueryScratch::new(),
             write_scratch: WriteBatch::default(),
+            pred_cache: PredCache::default(),
+            cand_pairs: Vec::new(),
+            metric_indexed,
+            metric_scanned,
+            metric_eq_hits,
+            metric_pred_hits,
+            last_indexed: 0,
+            last_scanned: 0,
         }
     }
 
@@ -186,6 +249,7 @@ impl MatchingNode {
             }
         }
         for img in retained {
+            self.pred_cache.begin_run();
             let transition = Self::match_against(
                 &mut group,
                 hash,
@@ -193,6 +257,8 @@ impl MatchingNode {
                 &self.config.metrics,
                 self.config.worker_identity.as_ref(),
                 &mut self.slow_scratch,
+                &mut self.pred_cache,
+                0,
                 ctx,
             );
             self.note_transition(&img, hash, transition);
@@ -296,8 +362,10 @@ impl MatchingNode {
         }
         if !self.config.multi_query_index {
             // Unindexed fallback: every same-(tenant, collection) query is
-            // evaluated per write, as before.
+            // evaluated per write, as before — the shared predicate cache
+            // still collapses atoms repeated across those queries.
             for img in live {
+                self.pred_cache.begin_run();
                 for ((_, hash), group) in self.queries.iter_mut() {
                     if group.tenant == img.tenant && group.collection == img.collection {
                         Self::match_against(
@@ -307,6 +375,8 @@ impl MatchingNode {
                             &self.config.metrics,
                             self.config.worker_identity.as_ref(),
                             &mut self.slow_scratch,
+                            &mut self.pred_cache,
+                            0,
                             ctx,
                         );
                     }
@@ -362,7 +432,8 @@ impl MatchingNode {
         };
         let docs: Vec<Option<&invalidb_common::Document>> =
             writes.iter().map(|img| img.doc.as_ref()).collect();
-        let mut pairs = index.candidates_batch(&docs);
+        let mut pairs = std::mem::take(&mut self.cand_pairs);
+        index.candidates_batch(&docs, &mut pairs);
         // Holder candidates: queries whose result currently contains the
         // record (covers moves out of range and deletes). Keys are distinct
         // within a run, so this snapshot equals the serial per-write lookup.
@@ -381,6 +452,9 @@ impl MatchingNode {
         // Columnar evaluation: pairs are grouped by query hash with write
         // indices ascending, so each query sees its writes in arrival
         // order — per-subscription output is byte-identical to serial.
+        // One predicate-memo run spans the whole run: a memoized atom
+        // result is shared across every candidate query of each write.
+        self.pred_cache.begin_run();
         let mut transitions: Vec<(u32, FilterChangeKind)> = Vec::new();
         let mut i = 0;
         while i < pairs.len() {
@@ -400,6 +474,8 @@ impl MatchingNode {
                             img,
                             &self.config.metrics,
                             self.config.worker_identity.as_ref(),
+                            &mut self.pred_cache,
+                            pairs[k].1,
                             ctx,
                         ) {
                             transitions.push((pairs[k].1, kind));
@@ -437,6 +513,8 @@ impl MatchingNode {
             }
             i = j;
         }
+        pairs.clear();
+        self.cand_pairs = pairs;
     }
 
     /// Evaluates one write against one query, charging the wall-clock cost
@@ -449,10 +527,12 @@ impl MatchingNode {
         metrics: &MetricsRegistry,
         identity: Option<&WorkerIdentity>,
         scratch: &mut SlowQueryScratch,
+        cache: &mut PredCache,
+        write_idx: u32,
         ctx: &mut BoltContext<'_, Event>,
     ) -> Option<FilterChangeKind> {
         let started = std::time::Instant::now();
-        let kind = Self::evaluate(group, hash, img, metrics, identity, ctx);
+        let kind = Self::evaluate(group, hash, img, metrics, identity, cache, write_idx, ctx);
         scratch.charge(
             &group.tenant.0,
             hash.0,
@@ -470,6 +550,8 @@ impl MatchingNode {
         img: &AfterImage,
         metrics: &MetricsRegistry,
         identity: Option<&WorkerIdentity>,
+        cache: &mut PredCache,
+        write_idx: u32,
         ctx: &mut BoltContext<'_, Event>,
     ) -> Option<FilterChangeKind> {
         let old = group.result.get(&img.key).copied();
@@ -478,7 +560,14 @@ impl MatchingNode {
                 return None; // stale relative to what this query already reflects
             }
         }
-        let matches_now = img.doc.as_ref().is_some_and(|d| group.prepared.matches(d));
+        // Shared predicate evaluation: conjunctive queries resolve each
+        // atom through the per-run memo (identical result to
+        // `prepared.matches` by the `conjuncts` contract); queries that
+        // opt out of decomposition evaluate whole.
+        let matches_now = img.doc.as_ref().is_some_and(|d| match group.prepared.conjuncts() {
+            Some(atoms) => cache.eval_all(atoms, write_idx, d),
+            None => group.prepared.matches(d),
+        });
         let kind = match (old.is_some(), matches_now) {
             (false, true) => FilterChangeKind::Add,
             (true, true) => FilterChangeKind::Change,
@@ -685,7 +774,41 @@ impl Bolt<Event> for MatchingNode {
         self.config.metrics.set_gauge(&format!("{cell}.retained_writes"), self.retention.len() as u64);
         self.config.metrics.set_gauge(&format!("{cell}.ingest_lag_us"), self.ingest_lag_us);
         self.ingest_lag_us = 0;
+        // Cluster-shared index/sharing series. The gauges are summed over
+        // all cells, so each cell publishes its delta since the last tick;
+        // the hit counters are drained.
+        let mut indexed = 0u64;
+        let mut scanned = 0u64;
+        let mut eq_hits = 0u64;
+        for index in self.indexes.values_mut() {
+            indexed += index.indexed_len() as u64;
+            scanned += index.scan_len() as u64;
+            eq_hits += index.take_eq_lane_hits();
+        }
+        publish_gauge_delta(&self.metric_indexed, &mut self.last_indexed, indexed);
+        publish_gauge_delta(&self.metric_scanned, &mut self.last_scanned, scanned);
+        if eq_hits > 0 {
+            self.metric_eq_hits.fetch_add(eq_hits, AtomicOrdering::Relaxed);
+        }
+        let pred_hits = self.pred_cache.take_hits();
+        if pred_hits > 0 {
+            self.metric_pred_hits.fetch_add(pred_hits, AtomicOrdering::Relaxed);
+        }
     }
+}
+
+/// Moves a cluster-shared gauge by this publisher's delta since its last
+/// publication: the gauge value stays the sum over all publishers.
+pub(crate) fn publish_gauge_delta(gauge: &AtomicU64, last: &mut u64, now: u64) {
+    if now >= *last {
+        let delta = now - *last;
+        if delta > 0 {
+            gauge.fetch_add(delta, AtomicOrdering::Relaxed);
+        }
+    } else {
+        gauge.fetch_sub(*last - now, AtomicOrdering::Relaxed);
+    }
+    *last = now;
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use invalidb_obs::SlowQueryScratch;
 use invalidb_query::PreparedQuery;
 use invalidb_stream::{Bolt, BoltContext};
 use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 struct SubState {
@@ -63,11 +64,19 @@ pub struct SortingNode {
     /// Locally accumulated slow-query charges, flushed to the shared log
     /// on tick so the per-filter-change hot path never takes its lock.
     slow_scratch: SlowQueryScratch,
+    /// Cluster-shared gauge of sort windows serving more than one
+    /// subscription (shared sort windows: normalization collapses
+    /// equivalent specs onto one query hash, so their subscriptions attach
+    /// to one maintained window). Published as a tick delta, like the
+    /// matching stage's `matching.index.*` gauges.
+    metric_shared: Arc<AtomicU64>,
+    last_shared: u64,
 }
 
 impl SortingNode {
     /// Creates the sorting node for task index `task`.
     pub fn new(task: usize, config: ClusterConfig, clock: Arc<dyn Clock>) -> Self {
+        let metric_shared = config.metrics.gauge("matching.index.shared_windows");
         Self {
             task,
             config,
@@ -75,6 +84,8 @@ impl SortingNode {
             groups: HashMap::new(),
             maintenance_errors: 0,
             slow_scratch: SlowQueryScratch::new(),
+            metric_shared,
+            last_shared: 0,
         }
     }
 
@@ -373,6 +384,8 @@ impl Bolt<Event> for SortingNode {
         self.config
             .metrics
             .set_gauge(&format!("sorting.{}.active_queries", self.task), self.groups.len() as u64);
+        let shared = self.groups.values().filter(|g| g.subscriptions.len() >= 2).count() as u64;
+        crate::matching::publish_gauge_delta(&self.metric_shared, &mut self.last_shared, shared);
     }
 }
 
@@ -430,9 +443,13 @@ mod tests {
     }
 
     fn subscribe_event(spec: &QuerySpec, slack: u64, initial: Vec<ResultItem>) -> Event {
+        subscribe_as(spec, 1, slack, initial)
+    }
+
+    fn subscribe_as(spec: &QuerySpec, sub: u64, slack: u64, initial: Vec<ResultItem>) -> Event {
         Event::Subscribe(Arc::new(SubscriptionRequest {
             tenant: TenantId::new("app"),
-            subscription: SubscriptionId(1),
+            subscription: SubscriptionId(sub),
             query_hash: spec.stable_hash(),
             spec: spec.clone(),
             initial,
@@ -535,6 +552,97 @@ mod tests {
                 assert_eq!(change.item.index, Some(1));
             }
             other => panic!("expected buffered add to replay, got {other:?}"),
+        }
+    }
+
+    /// Shared-sort-window churn: two subscriptions share one window (same
+    /// normalized query hash). One member leaves while the window is
+    /// deactivated awaiting renewal; the survivor's renewal must re-seed
+    /// the window, replay the `pending` buffer, and keep delivering
+    /// ordered notifications — the window dies only with its last member.
+    #[test]
+    fn shared_window_survives_member_churn_mid_renewal() {
+        let mut cfg = ClusterConfig::new(1, 1);
+        cfg.tick_interval = Duration::from_millis(10);
+        let metrics = cfg.metrics.clone();
+        let h = harness(cfg);
+        let spec = QuerySpec::filter("t", Document::new())
+            .sorted_by("n", SortDirection::Asc)
+            .with_limit(2);
+
+        // Two subscribers, one shared window.
+        h.tx.send(subscribe_as(&spec, 1, 0, vec![item("k1", 1, 1), item("k2", 1, 2)])).unwrap();
+        h.tx.send(subscribe_as(&spec, 2, 0, vec![item("k1", 1, 1), item("k2", 1, 2)])).unwrap();
+        // The shared-windows gauge sees the group once both are attached.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if metrics.snapshot().gauges.get("matching.index.shared_windows").copied() == Some(1) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "shared_windows gauge never rose");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // Exhaust the zero-slack window: maintenance error deactivates the
+        // group and notifies both members.
+        h.tx.send(change_event(&spec, FilterChangeKind::Remove, "k1", 2, None)).unwrap();
+        let notes = notifications(&h, 2);
+        assert_eq!(notes.len(), 2, "both members get the maintenance error: {notes:?}");
+        assert!(notes.iter().all(|n| matches!(n.kind, NotificationKind::Error(_))));
+        let erred: std::collections::HashSet<u64> =
+            notes.iter().map(|n| n.subscription.0).collect();
+        assert_eq!(erred, std::collections::HashSet::from([1, 2]));
+
+        // While deactivated: a change postdating the upcoming snapshot is
+        // buffered, and member 1 leaves mid-renewal.
+        h.tx.send(change_event(&spec, FilterChangeKind::Add, "k3", 1, Some(doc! { "n" => 3i64 })))
+            .unwrap();
+        h.tx.send(Event::Unsubscribe {
+            tenant: TenantId::new("app"),
+            query_hash: spec.stable_hash(),
+            subscription: SubscriptionId(1),
+        })
+        .unwrap();
+
+        // The survivor renews: reseed + pending replay must still work.
+        h.tx.send(subscribe_as(&spec, 2, 2, vec![item("k2", 1, 2)])).unwrap();
+        let notes = notifications(&h, 3);
+        assert_eq!(notes.len(), 3, "replay reaches only the survivor: {notes:?}");
+        let replayed = &notes[2];
+        assert_eq!(replayed.subscription, SubscriptionId(2), "departed member gets nothing");
+        match &replayed.kind {
+            NotificationKind::Change(change) => {
+                assert_eq!(change.match_type, MatchType::Add);
+                assert_eq!(change.item.key, Key::of("k3"));
+                assert_eq!(change.item.index, Some(1), "ordered position maintained");
+            }
+            other => panic!("expected buffered add to replay, got {other:?}"),
+        }
+
+        // Ordered maintenance continues for the survivor after churn.
+        h.tx.send(change_event(&spec, FilterChangeKind::Add, "k0", 1, Some(doc! { "n" => 0i64 })))
+            .unwrap();
+        let notes = notifications(&h, 4);
+        let last = notes.last().unwrap();
+        assert_eq!(last.subscription, SubscriptionId(2));
+        match &last.kind {
+            NotificationKind::Change(change) => {
+                assert_eq!(change.item.key, Key::of("k0"));
+                assert_eq!(change.item.index, Some(0), "sorts ahead of the window");
+            }
+            other => panic!("expected ordered add, got {other:?}"),
+        }
+
+        // With one member left the window no longer counts as shared.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if metrics.snapshot().gauges.get("matching.index.shared_windows").copied()
+                == Some(0)
+            {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "shared_windows gauge never fell");
+            std::thread::sleep(Duration::from_millis(5));
         }
     }
 }

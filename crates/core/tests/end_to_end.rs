@@ -549,3 +549,126 @@ fn query_index_is_transparent() {
     assert!(!with_index.is_empty());
     assert_eq!(with_index, without_index, "index changed observable behaviour");
 }
+
+/// Equivalence proof for the sublinear-matching optimizations: conjunctive
+/// anchoring, equality lanes and the shared predicate cache must be
+/// invisible in the output. The same workload — heavy on conjunctions,
+/// `$eq`/`$in` shapes and *duplicated* filters (shared across
+/// subscriptions and spelled differently) — must notify identically with
+/// the index enabled and in force-scan mode.
+#[test]
+fn conjunctive_and_shared_shapes_notify_identically_to_force_scan() {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let run = |indexed: bool| -> Vec<String> {
+        let broker = Broker::new();
+        let notify = broker.subscribe(&notify_topic(TENANT));
+        // Single chain of tasks: with one matching cell and one sorting
+        // task, per-subscription notification content (including sorted
+        // index positions) is fully deterministic, so any difference below
+        // is the optimization's fault, not scheduling.
+        let mut cfg = ClusterConfig::builder(1, 1)
+            .query_ingest_nodes(1)
+            .write_ingest_nodes(1)
+            .sorting_tasks(1)
+            .build()
+            .unwrap();
+        cfg.multi_query_index = indexed;
+        let cluster = Cluster::start(broker.clone(), cfg);
+
+        let statuses = ["open", "closed", "pending"];
+        let mut specs = Vec::new();
+        // Conjunctive: equality anchor + range residual.
+        for (i, status) in statuses.iter().enumerate() {
+            specs.push(QuerySpec::filter(
+                "t",
+                doc! { "status" => *status, "n" => doc! { "$lt" => (i as i64 + 1) * 30 } },
+            ));
+        }
+        // Eq-heavy and $in shapes.
+        specs.push(QuerySpec::filter("t", doc! { "status" => "open" }));
+        specs.push(QuerySpec::filter(
+            "t",
+            doc! { "status" => doc! { "$in" => vec!["open", "closed"] } },
+        ));
+        // Duplicated filter, spelled two ways: both normalize to one query
+        // hash, so two subscriptions share one group.
+        specs.push(QuerySpec::filter(
+            "t",
+            doc! { "status" => "open", "n" => doc! { "$gte" => 10i64 } },
+        ));
+        specs.push(QuerySpec::filter(
+            "t",
+            doc! { "$and" => vec![
+                invalidb_common::Value::Object(doc! { "n" => doc! { "$gte" => 10i64 } }),
+                invalidb_common::Value::Object(doc! { "status" => doc! { "$eq" => "open" } }),
+            ]},
+        ));
+        // Multi-op range condition (split into atoms, combined anchor) —
+        // matched via array fan-out too.
+        specs.push(QuerySpec::filter("t", doc! { "n" => doc! { "$gt" => 5i64, "$lt" => 40i64 } }));
+        // A sorted conjunctive query exercises the staged path.
+        specs.push(
+            QuerySpec::filter("t", doc! { "status" => "open" })
+                .sorted_by("n", SortDirection::Asc)
+                .with_limit(5),
+        );
+        for (i, spec) in specs.iter().enumerate() {
+            publish(&broker, &subscribe_msg(spec, i as u64 + 1, vec![], 2));
+        }
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut versions = std::collections::HashMap::new();
+        for round in 0..120 {
+            let key = rng.gen_range(0..12i64);
+            let v = versions.entry(key).or_insert(0u64);
+            *v += 1;
+            let msg = if rng.gen_bool(0.15) {
+                write_msg("t", Key::of(key), *v, None)
+            } else {
+                let status = statuses[rng.gen_range(0..statuses.len())];
+                let doc = if round % 10 == 9 {
+                    // Array-valued attribute: fan-out semantics.
+                    doc! {
+                        "status" => status,
+                        "n" => vec![rng.gen_range(0..30i64), rng.gen_range(30..90i64)],
+                    }
+                } else {
+                    doc! { "status" => status, "n" => rng.gen_range(0..90i64) }
+                };
+                write_msg("t", Key::of(key), *v, Some(doc))
+            };
+            publish(&broker, &msg);
+        }
+        let mut out = Vec::new();
+        let mut idle = 0;
+        while idle < 8 {
+            match notify.recv_timeout(Duration::from_millis(100)) {
+                Some(p) => {
+                    if let Some(n) = decode(p) {
+                        idle = 0;
+                        if let NotificationKind::Change(c) = &n.kind {
+                            out.push(format!(
+                                "{} {} {} v{} idx{:?}",
+                                n.subscription.0,
+                                c.match_type,
+                                c.item.key,
+                                c.item.version,
+                                c.item.index
+                            ));
+                        }
+                    }
+                }
+                None => idle += 1,
+            }
+        }
+        cluster.shutdown();
+        out.sort();
+        out
+    };
+
+    let with_index = run(true);
+    let force_scan = run(false);
+    assert!(with_index.len() > 50, "workload too small to be meaningful");
+    assert_eq!(with_index, force_scan, "shared-execution optimizations changed behaviour");
+}

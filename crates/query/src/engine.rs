@@ -17,6 +17,7 @@
 
 use crate::filter::Filter;
 use crate::parse::{parse_filter, FilterParseError};
+use crate::predicate::{decompose, predicate_hash, PredicateHash};
 use crate::sort::compare_items;
 use invalidb_common::{canonical_eq, Document, Key, QuerySpec, Value};
 use std::cmp::Ordering;
@@ -49,6 +50,33 @@ impl From<FilterParseError> for EngineError {
     }
 }
 
+/// One compiled atomic conjunct of a prepared query, evaluable standalone.
+/// Atoms with equal [`PredicateHash`]es compute the same function (within
+/// one engine), which is what lets the filtering stage evaluate a predicate
+/// once per write no matter how many queries contain it.
+pub struct PreparedAtom {
+    hash: PredicateHash,
+    eval: Box<dyn Fn(&Document) -> bool + Send + Sync>,
+}
+
+impl PreparedAtom {
+    /// Hash-consed identity of this predicate (see [`crate::predicate`]).
+    pub fn hash(&self) -> PredicateHash {
+        self.hash
+    }
+
+    /// Evaluates just this conjunct against a document.
+    pub fn matches(&self, doc: &Document) -> bool {
+        (self.eval)(doc)
+    }
+}
+
+impl fmt::Debug for PreparedAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PreparedAtom({:#018x})", self.hash.0)
+    }
+}
+
 /// A query compiled for repeated evaluation against after-images.
 pub trait PreparedQuery: Send + Sync {
     /// The wire-form query this was prepared from.
@@ -56,6 +84,14 @@ pub trait PreparedQuery: Send + Sync {
 
     /// Does the document match the query's filter predicates?
     fn matches(&self, doc: &Document) -> bool;
+
+    /// The filter as compiled atomic conjuncts, when the engine supports
+    /// shared predicate evaluation: `matches(doc)` is exactly
+    /// `conjuncts().iter().all(|a| a.matches(doc))` (an empty slice matches
+    /// everything). `None` opts out — the query is only evaluable whole.
+    fn conjuncts(&self) -> Option<&[PreparedAtom]> {
+        None
+    }
 
     /// Orders two result items according to the query's sort specification
     /// (with the primary key as unambiguous final tiebreak).
@@ -83,13 +119,34 @@ impl QueryEngine for MongoQueryEngine {
 
     fn prepare(&self, spec: &QuerySpec) -> Result<Arc<dyn PreparedQuery>, EngineError> {
         let filter = parse_filter(&spec.filter)?;
-        Ok(Arc::new(MongoPrepared { spec: spec.clone(), filter }))
+        // Compile the canonical conjuncts individually for shared predicate
+        // evaluation. Decomposition is semantics-preserving, so each atom
+        // must parse whenever the whole filter did; if one somehow does
+        // not, fall back to whole-filter evaluation rather than failing.
+        let mut atoms = Vec::new();
+        let mut complete = true;
+        for atom in decompose(&spec.filter) {
+            match parse_filter(&atom.doc) {
+                Ok(compiled) => atoms.push(PreparedAtom {
+                    hash: atom.hash,
+                    eval: Box::new(move |doc| compiled.matches(doc)),
+                }),
+                Err(_) => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        let atoms = complete.then_some(atoms);
+        Ok(Arc::new(MongoPrepared { spec: spec.clone(), filter, atoms }))
     }
 }
 
 struct MongoPrepared {
     spec: QuerySpec,
     filter: Filter,
+    /// Compiled canonical conjuncts (`None` if decomposition failed).
+    atoms: Option<Vec<PreparedAtom>>,
 }
 
 impl PreparedQuery for MongoPrepared {
@@ -99,6 +156,10 @@ impl PreparedQuery for MongoPrepared {
 
     fn matches(&self, doc: &Document) -> bool {
         self.filter.matches(doc)
+    }
+
+    fn conjuncts(&self) -> Option<&[PreparedAtom]> {
+        self.atoms.as_deref()
     }
 
     fn cmp_items(&self, a: (&Key, &Document), b: (&Key, &Document)) -> Ordering {
@@ -132,13 +193,32 @@ impl QueryEngine for KvQueryEngine {
                 scalar => conditions.push((k.to_owned(), scalar.clone())),
             }
         }
-        Ok(Arc::new(KvPrepared { spec: spec.clone(), conditions }))
+        // Each equality condition is one atom; atom hashes are only ever
+        // compared within one engine, so kv semantics (strict path lookup,
+        // no array fan-out) never mix with mongo's for the same document.
+        let atoms = conditions
+            .iter()
+            .map(|(path, want)| {
+                let mut single = Document::with_capacity(1);
+                single.insert(path.clone(), want.clone());
+                let hash = predicate_hash(&single);
+                let (path, want) = (path.clone(), want.clone());
+                PreparedAtom {
+                    hash,
+                    eval: Box::new(move |doc: &Document| {
+                        doc.get_path(&path).is_some_and(|got| canonical_eq(got, &want))
+                    }),
+                }
+            })
+            .collect();
+        Ok(Arc::new(KvPrepared { spec: spec.clone(), conditions, atoms }))
     }
 }
 
 struct KvPrepared {
     spec: QuerySpec,
     conditions: Vec<(String, Value)>,
+    atoms: Vec<PreparedAtom>,
 }
 
 impl PreparedQuery for KvPrepared {
@@ -150,6 +230,10 @@ impl PreparedQuery for KvPrepared {
         self.conditions
             .iter()
             .all(|(path, want)| doc.get_path(path).is_some_and(|got| canonical_eq(got, want)))
+    }
+
+    fn conjuncts(&self) -> Option<&[PreparedAtom]> {
+        Some(&self.atoms)
     }
 
     fn cmp_items(&self, a: (&Key, &Document), b: (&Key, &Document)) -> Ordering {
@@ -199,6 +283,42 @@ mod tests {
         assert!(KvQueryEngine.prepare(&op).is_err());
         let top = QuerySpec::filter("t", doc! { "$or" => Vec::<Value>::new() });
         assert!(KvQueryEngine.prepare(&top).is_err());
+    }
+
+    #[test]
+    fn conjunct_product_equals_whole_filter() {
+        let filters = [
+            doc! { "status" => "open", "price" => doc! { "$gt" => 10i64, "$lt" => 100i64 } },
+            doc! { "a" => doc! { "$in" => vec![1i64, 2, 3] }, "b" => doc! { "$exists" => true } },
+            doc! { "$or" => vec![
+                Value::Object(doc! { "x" => 1i64 }),
+                Value::Object(doc! { "y" => doc! { "$gte" => 5i64 } }),
+            ], "z" => doc! { "$ne" => 0i64 } },
+            doc! { "name" => doc! { "$regex" => "^ab", "$options" => "i" } },
+            doc! {},
+        ];
+        let docs = [
+            doc! { "status" => "open", "price" => 50i64, "a" => 2i64, "b" => 1i64, "z" => 1i64 },
+            doc! { "status" => "open", "price" => 200i64, "x" => 1i64, "z" => 0i64 },
+            doc! { "price" => Value::from(vec![5i64, 50]), "y" => 7i64, "name" => "Abel", "z" => 3i64 },
+            doc! { "a" => Value::from(vec![3i64]), "b" => Value::Null },
+        ];
+        for f in &filters {
+            let q = MongoQueryEngine.prepare(&QuerySpec::filter("t", f.clone())).unwrap();
+            let atoms = q.conjuncts().expect("mongo queries decompose");
+            for d in &docs {
+                let whole = q.matches(d);
+                let product = atoms.iter().all(|a| a.matches(d));
+                assert_eq!(whole, product, "filter {f} doc {d}");
+            }
+        }
+        // Kv engine: same invariant under its own semantics.
+        let kv = KvQueryEngine.prepare(&QuerySpec::filter("t", doc! { "a" => 1i64, "b" => "x" })).unwrap();
+        let atoms = kv.conjuncts().unwrap();
+        assert_eq!(atoms.len(), 2);
+        for d in [doc! { "a" => 1i64, "b" => "x" }, doc! { "a" => 1i64 }, doc! {}] {
+            assert_eq!(kv.matches(&d), atoms.iter().all(|a| a.matches(&d)), "doc {d}");
+        }
     }
 
     #[test]

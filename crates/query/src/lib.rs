@@ -11,6 +11,8 @@
 //! * [`geo`] — `$geoWithin` / `$nearSphere`;
 //! * [`sort`] — multi-attribute ordering with primary-key tiebreak;
 //! * [`normalize`] — canonicalization for stable query hashing;
+//! * [`predicate`] — conjunctive decomposition into hash-consed atoms
+//!   (the currency of the multi-query optimizations);
 //! * [`engine`] — the [`QueryEngine`]/[`PreparedQuery`] plug-in interface
 //!   with the full [`MongoQueryEngine`] and a minimal [`KvQueryEngine`].
 
@@ -20,12 +22,16 @@ pub mod geo;
 pub mod normalize;
 pub mod parse;
 pub mod path;
+pub mod predicate;
 pub mod regex;
 pub mod sort;
 pub mod text;
 
-pub use engine::{EngineError, KvQueryEngine, MongoQueryEngine, PreparedQuery, QueryEngine};
+pub use engine::{
+    EngineError, KvQueryEngine, MongoQueryEngine, PreparedAtom, PreparedQuery, QueryEngine,
+};
 pub use filter::{FieldPred, Filter};
 pub use normalize::{normalize_filter, normalize_spec};
 pub use parse::{parse_filter, FilterParseError};
+pub use predicate::{decompose, filter_hash, predicate_hash, Atom, FilterHash, PredicateHash};
 pub use sort::{compare_items, sort_value};

@@ -7,7 +7,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Marker bound for messages flowing through a topology.
 pub trait Message: Send + Clone + 'static {}
@@ -348,8 +348,16 @@ impl<M: Message> TopologyBuilder<M> {
                                 let rr: Vec<AtomicUsize> =
                                     outputs.iter().map(|_| AtomicUsize::new(0)).collect();
                                 let mut batch: Vec<M> = Vec::with_capacity(max_batch);
+                                // Ticks are due every `tick_interval` whether
+                                // or not the queue ever drains: a firehose
+                                // arriving faster than the interval would
+                                // otherwise reset `recv_timeout` forever and
+                                // starve time-driven work (retention expiry,
+                                // gauge publication) exactly when it matters.
+                                let mut last_tick = Instant::now();
                                 loop {
-                                    match rx.recv_timeout(tick_interval) {
+                                    let wait = tick_interval.saturating_sub(last_tick.elapsed());
+                                    match rx.recv_timeout(wait) {
                                         Ok(Input::Msg(msg)) => {
                                             m.processed.fetch_add(1, Ordering::Relaxed);
                                             // Saturation gauge: live input
@@ -359,8 +367,7 @@ impl<M: Message> TopologyBuilder<M> {
                                             // even under steady traffic.
                                             m.queue_depth.store(rx.len() as u64 + 1, Ordering::Relaxed);
                                             // Batch execution: drain what is
-                                            // already buffered (bounded, so a
-                                            // firehose can't starve ticks)
+                                            // already buffered (bounded)
                                             // without paying a blocking
                                             // receive per message, then hand
                                             // the whole turn to the bolt in
@@ -391,6 +398,16 @@ impl<M: Message> TopologyBuilder<M> {
                                             if stop {
                                                 break;
                                             }
+                                            if last_tick.elapsed() >= tick_interval {
+                                                m.ticks.fetch_add(1, Ordering::Relaxed);
+                                                let mut ctx = BoltContext {
+                                                    outputs: &outputs,
+                                                    rr_counters: &rr,
+                                                    emitted: 0,
+                                                };
+                                                bolt.tick(&mut ctx);
+                                                last_tick = Instant::now();
+                                            }
                                         }
                                         Err(RecvTimeoutError::Timeout) => {
                                             m.ticks.fetch_add(1, Ordering::Relaxed);
@@ -404,6 +421,7 @@ impl<M: Message> TopologyBuilder<M> {
                                                 emitted: 0,
                                             };
                                             bolt.tick(&mut ctx);
+                                            last_tick = Instant::now();
                                         }
                                         Ok(Input::Stop) | Err(RecvTimeoutError::Disconnected) => break,
                                     }

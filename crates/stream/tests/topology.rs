@@ -197,6 +197,37 @@ fn ticks_reach_bolts() {
 }
 
 #[test]
+fn ticks_survive_a_message_firehose() {
+    // A sender firing faster than the tick interval must not starve ticks:
+    // time-driven work (retention expiry, gauge publication) is due every
+    // interval even while the queue never drains.
+    struct TickCounter(Arc<Mutex<u32>>);
+    impl Bolt<u64> for TickCounter {
+        fn execute(&mut self, _input: u64, _ctx: &mut BoltContext<'_, u64>) {}
+        fn tick(&mut self, _ctx: &mut BoltContext<'_, u64>) {
+            *self.0.lock() += 1;
+        }
+    }
+    let (tx, rx) = unbounded::<u64>();
+    let ticks = Arc::new(Mutex::new(0));
+    let mut b = TopologyBuilder::new().with_config(TopologyConfig {
+        tick_interval: Duration::from_millis(5),
+        ..TopologyConfig::default()
+    });
+    b.add_source("src", ChannelSource(rx));
+    let t2 = Arc::clone(&ticks);
+    b.add_bolt("ticky", 1, move |_| Box::new(TickCounter(Arc::clone(&t2))));
+    b.connect("src", "ticky", Grouping::Shuffle);
+    let topo = b.start();
+    for i in 0..100u64 {
+        tx.send(i).unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    topo.shutdown();
+    assert!(*ticks.lock() >= 5, "ticks fired while messages kept arriving");
+}
+
+#[test]
 #[should_panic(expected = "must be declared after")]
 fn cyclic_connection_rejected() {
     let (_tx, rx) = unbounded::<u64>();

@@ -162,6 +162,14 @@ fn main() {
             gauge("cluster.matching.queue_depth"),
             counter("appserver.events_delivered"),
         );
+        println!(
+            "          index: indexed={} scanned={} eq_hits={} pred_hits={} shared_windows={}",
+            gauge("matching.index.indexed_queries"),
+            gauge("matching.index.scanned_queries"),
+            counter("matching.index.eq_lane_hits"),
+            counter("matching.index.pred_cache_hits"),
+            gauge("matching.index.shared_windows"),
+        );
     }
 
     // The heaviest continuous queries, straight from /queries.
